@@ -1,0 +1,63 @@
+#ifndef MAPCOMP_BENCH_BENCH_COMMON_H_
+#define MAPCOMP_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/simulator/scenarios.h"
+
+namespace mapcomp {
+namespace bench {
+
+/// Global scale factor for the experiment harnesses. Scale 1 (default)
+/// reproduces each figure's *shape* in seconds; MAPCOMP_BENCH_SCALE=5 runs
+/// at roughly the paper's sample counts (100 runs / 500 tasks).
+inline int Scale() {
+  const char* env = std::getenv("MAPCOMP_BENCH_SCALE");
+  if (env == nullptr) return 1;
+  int v = std::atoi(env);
+  return v < 1 ? 1 : v;
+}
+
+/// The four experiment configurations of Figures 2-3.
+struct Config {
+  const char* name;
+  bool keys;
+  bool unfold;
+  bool right_compose;
+  bool left_compose;
+};
+
+inline const Config kFig2Configs[] = {
+    {"no-keys", false, true, true, true},
+    {"keys", true, true, true, true},
+    {"no-unfolding", false, false, true, true},
+    {"no-right-compose", false, true, false, true},
+};
+
+/// §4.2 also reports that disabling *left* compose has no noticeable impact
+/// on the simulator workloads (they introduce no operators beyond
+/// σ, π, ∪, ⋈, ×); bench_fig2 prints this ablation separately.
+inline const Config kNoLeftComposeConfig = {"no-left-compose", false, true,
+                                            true, false};
+
+inline sim::EditingScenarioOptions MakeEditingOptions(const Config& config,
+                                                      uint64_t seed,
+                                                      int schema_size,
+                                                      int num_edits) {
+  sim::EditingScenarioOptions opts;
+  opts.schema_size = schema_size;
+  opts.num_edits = num_edits;
+  opts.seed = seed;
+  opts.simulator.primitives.enable_keys = config.keys;
+  opts.compose.eliminate.enable_unfold = config.unfold;
+  opts.compose.eliminate.enable_right_compose = config.right_compose;
+  opts.compose.eliminate.enable_left_compose = config.left_compose;
+  return opts;
+}
+
+}  // namespace bench
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_BENCH_BENCH_COMMON_H_

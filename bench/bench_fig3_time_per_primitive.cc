@@ -1,0 +1,67 @@
+// Figure 3: composition time per edit (milliseconds) for each primitive,
+// same four configurations as Figure 2. The paper observes that disabling
+// view unfolding or adding keys increases the running time significantly,
+// and reports median run times (0.2 s no-keys, 2.8 s keys, 2.1 s
+// no-unfolding on their hardware).
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+using namespace mapcomp;
+using namespace mapcomp::bench;
+
+int main() {
+  int runs = 2 * Scale();
+  int schema_size = 30;
+  int num_edits = 50;
+  std::printf(
+      "# Figure 3: time per edit in ms (%d runs x %d edits, schema size "
+      "%d)\n",
+      runs, num_edits, schema_size);
+
+  std::map<std::string, std::map<sim::Primitive, sim::PerPrimitiveStats>>
+      table;
+  std::map<std::string, double> median_run_ms;
+  for (const Config& config : kFig2Configs) {
+    std::vector<double> run_times;
+    for (int run = 0; run < runs; ++run) {
+      sim::EditingScenarioResult res = sim::RunEditingScenario(
+          MakeEditingOptions(config, 2000 + run, schema_size, num_edits));
+      for (const auto& [p, stats] : res.per_primitive) {
+        sim::PerPrimitiveStats& agg = table[config.name][p];
+        agg.edits += stats.edits;
+        agg.millis += stats.millis;
+      }
+      run_times.push_back(res.total_millis);
+    }
+    std::sort(run_times.begin(), run_times.end());
+    median_run_ms[config.name] = run_times[run_times.size() / 2];
+  }
+
+  std::printf("%-6s %12s %12s %14s %18s\n", "prim", "no-keys", "keys",
+              "no-unfolding", "no-right-compose");
+  for (sim::Primitive p : sim::AllPrimitives()) {
+    if (p == sim::Primitive::kAR) continue;
+    std::printf("%-6s", sim::PrimitiveName(p));
+    for (const Config& config : kFig2Configs) {
+      const auto& per = table[config.name];
+      auto it = per.find(p);
+      if (it == per.end() || it->second.edits == 0) {
+        std::printf(" %12s", "-");
+      } else {
+        std::printf(" %12.3f", it->second.MillisPerEdit());
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("# median run time (ms):");
+  for (const Config& config : kFig2Configs) {
+    std::printf(" %s=%.1f", config.name, median_run_ms[config.name]);
+  }
+  std::printf("\n");
+  return 0;
+}

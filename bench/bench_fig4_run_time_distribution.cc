@@ -1,0 +1,39 @@
+// Figure 4: sorted per-run execution times for the 'no keys' configuration
+// (the paper's argument for reporting medians: most runs cluster tightly,
+// a few outliers skew the average).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+using namespace mapcomp;
+using namespace mapcomp::bench;
+
+int main() {
+  int runs = 20 * Scale();
+  int schema_size = 30;
+  int num_edits = 50;
+  std::printf(
+      "# Figure 4: sorted run times, no-keys config "
+      "(%d runs x %d edits, schema size %d)\n",
+      runs, num_edits, schema_size);
+  std::vector<double> times;
+  for (int run = 0; run < runs; ++run) {
+    sim::EditingScenarioResult res = sim::RunEditingScenario(
+        MakeEditingOptions(kFig2Configs[0], 3000 + run, schema_size,
+                           num_edits));
+    times.push_back(res.total_millis);
+  }
+  std::sort(times.begin(), times.end());
+  std::printf("%-6s %14s\n", "run", "time-ms");
+  for (size_t i = 0; i < times.size(); ++i) {
+    std::printf("%-6zu %14.1f\n", i, times[i]);
+  }
+  double sum = 0;
+  for (double t : times) sum += t;
+  std::printf("# median=%.1f ms, mean=%.1f ms, max=%.1f ms\n",
+              times[times.size() / 2], sum / times.size(), times.back());
+  return 0;
+}

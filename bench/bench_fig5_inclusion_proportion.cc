@@ -1,0 +1,58 @@
+// Figure 5: effect of an increasing proportion of inclusion edits (Sub/Sup)
+// on the eliminated fraction — total and for selected primitives (Df, DA,
+// Nf, Hf) — and on the total running time. The paper finds composition gets
+// harder (unfolding loses leverage) while overall time *decreases* (the
+// algorithm fails faster on symbols it cannot isolate).
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+
+using namespace mapcomp;
+using namespace mapcomp::bench;
+
+int main() {
+  int runs = 2 * Scale();
+  int schema_size = 30;
+  int num_edits = 50;
+  std::printf(
+      "# Figure 5: inclusion-edit proportion sweep "
+      "(%d runs x %d edits, schema size %d)\n",
+      runs, num_edits, schema_size);
+  std::printf("%-6s %8s %8s %8s %8s %8s %10s\n", "prop%", "total", "Df",
+              "DA", "Nf", "Hf", "time-ms");
+
+  for (int percent = 0; percent <= 20; percent += 2) {
+    std::map<sim::Primitive, sim::PerPrimitiveStats> per;
+    long long total = 0, elim = 0;
+    double millis = 0;
+    for (int run = 0; run < runs; ++run) {
+      sim::EditingScenarioOptions opts = MakeEditingOptions(
+          kFig2Configs[0], 4000 + run, schema_size, num_edits);
+      opts.simulator.events =
+          sim::EventVector::Default().WithInclusionProportion(percent /
+                                                              100.0);
+      sim::EditingScenarioResult res = sim::RunEditingScenario(opts);
+      millis += res.total_millis;
+      for (const auto& [p, stats] : res.per_primitive) {
+        per[p].consumed_total += stats.consumed_total;
+        per[p].consumed_eliminated += stats.consumed_eliminated;
+        total += stats.consumed_total;
+        elim += stats.consumed_eliminated;
+      }
+    }
+    auto frac = [&per](sim::Primitive p) {
+      auto it = per.find(p);
+      return it == per.end() || it->second.consumed_total == 0
+                 ? -1.0
+                 : it->second.ConsumedEliminatedFraction();
+    };
+    std::printf("%-6d %8.3f %8.3f %8.3f %8.3f %8.3f %10.1f\n", percent,
+                total == 0 ? 1.0 : static_cast<double>(elim) / total,
+                frac(sim::Primitive::kDf), frac(sim::Primitive::kDA),
+                frac(sim::Primitive::kNf), frac(sim::Primitive::kHf),
+                millis / runs);
+  }
+  return 0;
+}

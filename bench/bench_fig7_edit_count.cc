@@ -1,0 +1,41 @@
+// Figure 7: schema reconciliation — fraction of symbols eliminated and
+// execution time as the number of edits per branch grows (10..210). The
+// paper finds more edits make composition harder (fraction drops) while the
+// running time grows.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace mapcomp;
+using namespace mapcomp::bench;
+
+int main() {
+  int tasks = Scale();
+  int schema_size = 30;
+  std::printf(
+      "# Figure 7: reconciliation, eliminated fraction and time vs edit "
+      "count (%d tasks/point, schema size %d)\n",
+      tasks, schema_size);
+  std::printf("%-6s %12s %14s\n", "edits", "fraction", "compose-ms");
+  for (int edits = 10; edits <= 210; edits += 40) {
+    long long total = 0, elim = 0;
+    double millis = 0;
+    for (int task = 0; task < tasks; ++task) {
+      sim::ReconciliationScenarioOptions opts;
+      opts.schema_size = schema_size;
+      opts.num_edits = edits;
+      opts.seed = 6000 + task;
+      opts.max_branch_attempts = 2;
+      sim::ReconciliationScenarioResult res =
+          sim::RunReconciliationScenario(opts);
+      total += res.symbols_total;
+      elim += res.symbols_eliminated;
+      millis += res.compose_millis;
+    }
+    std::printf("%-6d %12.3f %14.1f\n", edits,
+                total == 0 ? 1.0 : static_cast<double>(elim) / total,
+                millis / tasks);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// §4 first data set: the 22 composition problems drawn from the literature
+// (reconstructed — see src/testdata/literature_suite.h). Reports per-problem
+// elimination outcome, output size and timing.
+
+#include <cstdio>
+
+#include "src/compose/compose.h"
+#include "src/parser/parser.h"
+#include "src/testdata/literature_suite.h"
+
+using namespace mapcomp;
+
+int main() {
+  std::printf("# Literature suite: 22 problems from [5,7,8] + paper examples\n");
+  std::printf("%-34s %6s %6s %10s %10s %10s\n", "problem", "elim", "total",
+              "in-ops", "out-ops", "time-ms");
+  Parser parser;
+  int ok = 0;
+  double total_ms = 0;
+  for (const testdata::LiteratureProblem& prob :
+       testdata::LiteratureSuite()) {
+    Result<CompositionProblem> parsed = parser.ParseProblem(prob.text);
+    if (!parsed.ok()) {
+      std::printf("%-34s parse error: %s\n", prob.name,
+                  parsed.status().ToString().c_str());
+      continue;
+    }
+    int in_ops = OperatorCount(parsed->sigma12) +
+                 OperatorCount(parsed->sigma23);
+    CompositionResult res = Compose(*parsed);
+    bool matches = res.eliminated_count == prob.expect_eliminated &&
+                   res.total_count == prob.expect_total;
+    if (matches) ++ok;
+    total_ms += res.total_millis;
+    std::printf("%-34s %6d %6d %10d %10d %10.3f%s\n", prob.name,
+                res.eliminated_count, res.total_count, in_ops,
+                OperatorCount(res.constraints), res.total_millis,
+                matches ? "" : "  [UNEXPECTED]");
+  }
+  std::printf("# expected outcomes matched: %d/%zu, total %.2f ms\n", ok,
+              testdata::LiteratureSuite().size(), total_ms);
+  return 0;
+}

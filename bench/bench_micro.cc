@@ -1,0 +1,131 @@
+// Microbenchmarks (google-benchmark) of the core operations behind the
+// paper's experiments: parsing, monotonicity analysis, normalization,
+// per-symbol elimination, full composition, and one simulator edit.
+
+#include <benchmark/benchmark.h>
+
+#include "src/algebra/builders.h"
+#include "src/compose/compose.h"
+#include "src/compose/monotone.h"
+#include "src/compose/normalize_left.h"
+#include "src/compose/normalize_right.h"
+#include "src/parser/parser.h"
+#include "src/simulator/simulator.h"
+#include "src/testdata/literature_suite.h"
+
+namespace mapcomp {
+namespace {
+
+const char* kExprText =
+    "pi[1,3](sel[#2=#4 and #1!=5]((R * S) & (R * S))) - pi[2,1](T)";
+
+Signature BenchSig() {
+  Signature sig;
+  (void)sig.AddRelation("R", 2);
+  (void)sig.AddRelation("S", 2);
+  (void)sig.AddRelation("T", 2);
+  (void)sig.AddRelation("U", 1);
+  return sig;
+}
+
+void BM_ParseExpression(benchmark::State& state) {
+  Parser parser;
+  Signature sig = BenchSig();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser.ParseExpr(kExprText, sig));
+  }
+}
+BENCHMARK(BM_ParseExpression);
+
+void BM_MonotoneCheck(benchmark::State& state) {
+  Parser parser;
+  Signature sig = BenchSig();
+  ExprPtr e = parser.ParseExpr(kExprText, sig).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckMonotone(e, "S"));
+  }
+}
+BENCHMARK(BM_MonotoneCheck);
+
+void BM_LeftNormalize(benchmark::State& state) {
+  // Examples 7-style input: difference + projection on the left.
+  ConstraintSet cs{
+      Constraint::Contain(Difference(Rel("R", 2), Rel("S", 2)), Rel("T", 2)),
+      Constraint::Contain(Project({1}, Rel("S", 2)), Rel("U", 1))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LeftNormalize(cs, "S", 2, &op::Registry::Default()));
+  }
+}
+BENCHMARK(BM_LeftNormalize);
+
+void BM_RightNormalizeWithSkolem(benchmark::State& state) {
+  ConstraintSet cs{Constraint::Contain(
+      Rel("R", 2), Project({1, 2}, Product(Rel("S", 2), Rel("T", 2))))};
+  for (auto _ : state) {
+    int counter = 0;
+    benchmark::DoNotOptimize(RightNormalize(cs, "S", 2, nullptr, &counter,
+                                            &op::Registry::Default()));
+  }
+}
+BENCHMARK(BM_RightNormalizeWithSkolem);
+
+void BM_EliminateUnfold(benchmark::State& state) {
+  ConstraintSet cs{
+      Constraint::Equal(Rel("S", 2), Product(Rel("U", 1), Rel("U", 1))),
+      Constraint::Contain(Difference(Rel("R", 2), Rel("S", 2)), Rel("T", 2)),
+      Constraint::Contain(Rel("T", 2), Union(Rel("S", 2), Rel("R", 2)))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Eliminate(cs, "S", 2));
+  }
+}
+BENCHMARK(BM_EliminateUnfold);
+
+void BM_ComposeLiteratureSuite(benchmark::State& state) {
+  Parser parser;
+  std::vector<CompositionProblem> problems;
+  for (const testdata::LiteratureProblem& prob :
+       testdata::LiteratureSuite()) {
+    problems.push_back(parser.ParseProblem(prob.text).value());
+  }
+  for (auto _ : state) {
+    for (const CompositionProblem& p : problems) {
+      benchmark::DoNotOptimize(Compose(p));
+    }
+  }
+}
+BENCHMARK(BM_ComposeLiteratureSuite);
+
+void BM_SimulatorEdit(benchmark::State& state) {
+  sim::SimulatorOptions opts;
+  sim::EvolutionSimulator simulator(opts, 42);
+  sim::SimSchema schema = simulator.RandomSchema(30);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.ApplyRandomEdit(schema));
+  }
+}
+BENCHMARK(BM_SimulatorEdit);
+
+void BM_ComposeOneEdit(benchmark::State& state) {
+  // One composition step of the editing scenario at paper scale.
+  sim::SimulatorOptions opts;
+  sim::EvolutionSimulator simulator(opts, 43);
+  sim::SimSchema schema0 = simulator.RandomSchema(30);
+  sim::FullEdit e1 = simulator.ApplyRandomEdit(schema0);
+  sim::FullEdit e2 = simulator.ApplyRandomEdit(e1.new_schema);
+  CompositionProblem p;
+  p.sigma1 = schema0.ToSignature();
+  p.sigma2 = e1.new_schema.ToSignature();
+  p.sigma3 = e2.new_schema.ToSignature();
+  p.sigma12 = e1.constraints;
+  p.sigma23 = e2.constraints;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Compose(p));
+  }
+}
+BENCHMARK(BM_ComposeOneEdit);
+
+}  // namespace
+}  // namespace mapcomp
+
+BENCHMARK_MAIN();

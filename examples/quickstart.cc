@@ -1,0 +1,56 @@
+// Quickstart: the paper's Example 1 (the movies schema editor) end to end.
+//
+// A designer evolves Movies(mid, name, year, rating, genre, theater) into
+// Names(mid, name) + Years(mid, year) via an intermediate FiveStarMovies
+// table. Composition eliminates the intermediate table and yields a direct
+// mapping from the original schema to the final one.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/compose/compose.h"
+#include "src/parser/parser.h"
+
+int main() {
+  // Composition tasks can be written in a plain-text format (paper §4).
+  // Attributes are positional: Movies is mid=1, name=2, year=3, rating=4,
+  // genre=5, theater=6.
+  const char* task = R"(
+    schema original { Movies(6); }
+    schema intermediate { FiveStarMovies(3); }
+    schema final { Names(2); Years(2); }
+
+    -- Mapping (1): keep only 5-star movies, drop genre/theater.
+    map m12 {
+      pi[1,2,3](sel[#4=5](Movies)) <= FiveStarMovies;
+    }
+
+    -- Mapping (2): split the table in two.
+    map m23 {
+      pi[1,2](FiveStarMovies) <= Names;
+      pi[1,3](FiveStarMovies) <= Years;
+    }
+  )";
+
+  mapcomp::Parser parser;
+  mapcomp::Result<mapcomp::CompositionProblem> problem =
+      parser.ParseProblem(task);
+  if (!problem.ok()) {
+    std::printf("parse error: %s\n", problem.status().ToString().c_str());
+    return 1;
+  }
+
+  mapcomp::CompositionResult result = mapcomp::Compose(*problem);
+
+  std::printf("=== composition report ===\n%s\n", result.Report().c_str());
+  std::printf("=== composed mapping (Movies -> Names, Years) ===\n%s",
+              mapcomp::ConstraintSetToString(result.constraints).c_str());
+  std::printf(
+      "\nThe paper's expected result:\n"
+      "  pi[1,2](sel[#4=5](Movies)) <= Names;\n"
+      "  pi[1,3](sel[#4=5](Movies)) <= Years;\n"
+      "(the computed form is equivalent; composed outputs are often more\n"
+      "verbose than hand-derived ones — paper §4.)\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Schema reconciliation (§1.1, §4.2): an initial schema σ0 is modified by
+// two independent designers, producing σA and σB. To merge their work we
+// need a direct mapping between σA and σB describing the overlapping
+// content, obtained by composing the *inverse* of the σ0→σA mapping with
+// the σ0→σB mapping — i.e. eliminating the shared ancestor's symbols.
+//
+// Build & run:  ./build/examples/reconciliation [schema_size] [edits]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/simulator/scenarios.h"
+
+using namespace mapcomp;
+
+int main(int argc, char** argv) {
+  sim::ReconciliationScenarioOptions opts;
+  opts.schema_size = argc > 1 ? std::atoi(argv[1]) : 10;
+  opts.num_edits = argc > 2 ? std::atoi(argv[2]) : 12;
+  opts.seed = 7;
+
+  std::printf("Shared ancestor schema: %d relations. Each designer applies "
+              "%d random edits.\n\n",
+              opts.schema_size, opts.num_edits);
+
+  CompositionProblem problem = sim::BuildReconciliationProblem(opts);
+  std::printf("branch A schema: %d relations; ancestor: %d; branch B: %d\n",
+              problem.sigma1.size(), problem.sigma2.size(),
+              problem.sigma3.size());
+  std::printf("input mappings: %zu + %zu constraints (%d operators)\n\n",
+              problem.sigma12.size(), problem.sigma23.size(),
+              OperatorCount(problem.sigma12) +
+                  OperatorCount(problem.sigma23));
+
+  CompositionResult result = Compose(problem);
+  std::printf("%s\n", result.Report().c_str());
+  std::printf("reconciled mapping A <-> B: %zu constraints, %d operators\n",
+              result.constraints.size(),
+              OperatorCount(result.constraints));
+  if (!result.residual_sigma2.empty()) {
+    std::printf("ancestor symbols kept as intermediates:");
+    for (const std::string& s : result.residual_sigma2) {
+      std::printf(" %s", s.c_str());
+    }
+    std::printf("\n(populating them at low cost lets the mapping be used "
+                "anyway — paper §1.3)\n");
+  }
+  int shown = 0;
+  std::printf("\nsample constraints:\n");
+  for (const Constraint& c : result.constraints) {
+    if (++shown > 8) {
+      std::printf("  ...\n");
+      break;
+    }
+    std::printf("  %s;\n", c.ToString().c_str());
+  }
+  return 0;
+}

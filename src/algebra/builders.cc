@@ -1,0 +1,169 @@
+#include "src/algebra/builders.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace mapcomp {
+
+namespace {
+[[noreturn]] void BuilderFail(const std::string& msg) {
+  std::cerr << "mapcomp builder misuse: " << msg << "\n";
+  std::abort();
+}
+
+void RequireNonNull(const ExprPtr& e, const char* who) {
+  if (e == nullptr) BuilderFail(std::string(who) + ": null child");
+}
+}  // namespace
+
+ExprPtr Rel(std::string name, int arity) {
+  if (arity < 1) BuilderFail("Rel " + name + ": arity must be >= 1");
+  return Expr::Make(ExprKind::kRelation, std::move(name), {}, Condition::True(),
+                    {}, arity, {});
+}
+
+ExprPtr Dom(int arity) {
+  if (arity < 1) BuilderFail("Dom: arity must be >= 1");
+  return Expr::Make(ExprKind::kDomain, "D", {}, Condition::True(), {}, arity,
+                    {});
+}
+
+ExprPtr EmptyRel(int arity) {
+  if (arity < 1) BuilderFail("EmptyRel: arity must be >= 1");
+  return Expr::Make(ExprKind::kEmpty, "empty", {}, Condition::True(), {},
+                    arity, {});
+}
+
+ExprPtr Lit(int arity, std::vector<Tuple> tuples) {
+  if (arity < 1) BuilderFail("Lit: arity must be >= 1");
+  for (const Tuple& t : tuples) {
+    if (static_cast<int>(t.size()) != arity) {
+      BuilderFail("Lit: tuple arity mismatch");
+    }
+  }
+  return Expr::Make(ExprKind::kLiteral, "", {}, Condition::True(), {}, arity,
+                    std::move(tuples));
+}
+
+namespace {
+ExprPtr MakeSetOp(ExprKind kind, ExprPtr a, ExprPtr b, const char* who) {
+  RequireNonNull(a, who);
+  RequireNonNull(b, who);
+  if (a->arity() != b->arity()) {
+    BuilderFail(std::string(who) + ": arity mismatch " +
+                std::to_string(a->arity()) + " vs " +
+                std::to_string(b->arity()));
+  }
+  int arity = a->arity();
+  return Expr::Make(kind, "", {std::move(a), std::move(b)}, Condition::True(),
+                    {}, arity, {});
+}
+}  // namespace
+
+ExprPtr Union(ExprPtr a, ExprPtr b) {
+  return MakeSetOp(ExprKind::kUnion, std::move(a), std::move(b), "Union");
+}
+
+ExprPtr Intersect(ExprPtr a, ExprPtr b) {
+  return MakeSetOp(ExprKind::kIntersect, std::move(a), std::move(b),
+                   "Intersect");
+}
+
+ExprPtr Difference(ExprPtr a, ExprPtr b) {
+  return MakeSetOp(ExprKind::kDifference, std::move(a), std::move(b),
+                   "Difference");
+}
+
+ExprPtr Product(ExprPtr a, ExprPtr b) {
+  RequireNonNull(a, "Product");
+  RequireNonNull(b, "Product");
+  int arity = a->arity() + b->arity();
+  return Expr::Make(ExprKind::kProduct, "", {std::move(a), std::move(b)},
+                    Condition::True(), {}, arity, {});
+}
+
+ExprPtr Select(Condition c, ExprPtr e) {
+  RequireNonNull(e, "Select");
+  if (c.MaxAttr() > e->arity()) {
+    BuilderFail("Select: condition references attribute " +
+                std::to_string(c.MaxAttr()) + " beyond arity " +
+                std::to_string(e->arity()));
+  }
+  int arity = e->arity();
+  return Expr::Make(ExprKind::kSelect, "", {std::move(e)}, std::move(c), {},
+                    arity, {});
+}
+
+ExprPtr Project(std::vector<int> indexes, ExprPtr e) {
+  RequireNonNull(e, "Project");
+  if (indexes.empty()) BuilderFail("Project: empty index list");
+  for (int i : indexes) {
+    if (i < 1 || i > e->arity()) {
+      BuilderFail("Project: index " + std::to_string(i) +
+                  " out of range for arity " + std::to_string(e->arity()));
+    }
+  }
+  int arity = static_cast<int>(indexes.size());
+  return Expr::Make(ExprKind::kProject, "", {std::move(e)}, Condition::True(),
+                    std::move(indexes), arity, {});
+}
+
+ExprPtr SkolemApp(std::string fname, std::vector<int> arg_indexes, ExprPtr e) {
+  RequireNonNull(e, "SkolemApp");
+  for (int i : arg_indexes) {
+    if (i < 1 || i > e->arity()) {
+      BuilderFail("SkolemApp: argument index out of range");
+    }
+  }
+  int arity = e->arity() + 1;
+  return Expr::Make(ExprKind::kSkolem, std::move(fname), {std::move(e)},
+                    Condition::True(), std::move(arg_indexes), arity, {});
+}
+
+ExprPtr UserOpExpr(std::string opname, std::vector<ExprPtr> args, int arity,
+                   Condition cond, std::vector<int> indexes) {
+  for (const ExprPtr& a : args) RequireNonNull(a, "UserOpExpr");
+  if (arity < 1) BuilderFail("UserOpExpr: arity must be >= 1");
+  return Expr::Make(ExprKind::kUserOp, std::move(opname), std::move(args),
+                    std::move(cond), std::move(indexes), arity, {});
+}
+
+ExprPtr EquiJoin(ExprPtr a, ExprPtr b,
+                 const std::vector<std::pair<int, int>>& join_on) {
+  RequireNonNull(a, "EquiJoin");
+  RequireNonNull(b, "EquiJoin");
+  int ra = a->arity();
+  int rb = b->arity();
+  std::vector<Condition> atoms;
+  std::vector<bool> right_joined(rb + 1, false);
+  for (const auto& [l, r] : join_on) {
+    if (l < 1 || l > ra || r < 1 || r > rb) {
+      BuilderFail("EquiJoin: join index out of range");
+    }
+    atoms.push_back(Condition::AttrCmp(l, CmpOp::kEq, ra + r));
+    right_joined[r] = true;
+  }
+  // Output: all of `a`, then the non-joined attributes of `b`.
+  std::vector<int> out = IdentityIndexes(ra);
+  for (int r = 1; r <= rb; ++r) {
+    if (!right_joined[r]) out.push_back(ra + r);
+  }
+  return Project(std::move(out),
+                 Select(Condition::AndAll(std::move(atoms)),
+                        Product(std::move(a), std::move(b))));
+}
+
+std::vector<int> IdentityIndexes(int r) {
+  std::vector<int> out;
+  out.reserve(r);
+  for (int i = 1; i <= r; ++i) out.push_back(i);
+  return out;
+}
+
+std::vector<int> IndexRange(int from, int to) {
+  std::vector<int> out;
+  for (int i = from; i <= to; ++i) out.push_back(i);
+  return out;
+}
+
+}  // namespace mapcomp

@@ -1,0 +1,64 @@
+#ifndef MAPCOMP_ALGEBRA_BUILDERS_H_
+#define MAPCOMP_ALGEBRA_BUILDERS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/algebra/expr.h"
+
+namespace mapcomp {
+
+/// Builder functions for relational expressions. All builders validate
+/// arities and index ranges; on programmer error they print a diagnostic and
+/// abort (they are not used on untrusted input — the parser validates before
+/// building).
+
+/// Base relation symbol with the given arity.
+ExprPtr Rel(std::string name, int arity);
+
+/// D^r — the r-fold cross product of the active domain (paper §2).
+ExprPtr Dom(int arity);
+
+/// The empty relation of a given arity.
+ExprPtr EmptyRel(int arity);
+
+/// A constant relation containing exactly `tuples` (all of arity `arity`).
+ExprPtr Lit(int arity, std::vector<Tuple> tuples);
+
+ExprPtr Union(ExprPtr a, ExprPtr b);
+ExprPtr Intersect(ExprPtr a, ExprPtr b);
+ExprPtr Product(ExprPtr a, ExprPtr b);
+ExprPtr Difference(ExprPtr a, ExprPtr b);
+
+/// σ_c(e).
+ExprPtr Select(Condition c, ExprPtr e);
+
+/// π_I(e) with I a 1-based index list (repetitions allowed).
+ExprPtr Project(std::vector<int> indexes, ExprPtr e);
+
+/// f_I(e) — appends one column holding Skolem function `fname` applied to
+/// the attributes of `e` selected by `arg_indexes` (paper §2, §3.5).
+ExprPtr SkolemApp(std::string fname, std::vector<int> arg_indexes, ExprPtr e);
+
+/// A user-defined operator node. `arity` must follow the registered
+/// operator's arity rule; prefer `op::MakeUserOp` which computes it.
+ExprPtr UserOpExpr(std::string opname, std::vector<ExprPtr> args, int arity,
+                   Condition cond = Condition::True(),
+                   std::vector<int> indexes = {});
+
+/// Derived operator: natural-style equijoin of `a` and `b` on
+/// `a.attr[i] == b.attr[i]` for each pair in `join_on` (pairs of 1-based
+/// positions, left-relative and right-relative). Expands to π σ × per the
+/// paper's treatment of join as a derived operator.
+ExprPtr EquiJoin(ExprPtr a, ExprPtr b,
+                 const std::vector<std::pair<int, int>>& join_on);
+
+/// Identity projection list [1..r].
+std::vector<int> IdentityIndexes(int r);
+
+/// Index range [from..to] inclusive.
+std::vector<int> IndexRange(int from, int to);
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_ALGEBRA_BUILDERS_H_

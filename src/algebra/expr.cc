@@ -1,0 +1,188 @@
+#include "src/algebra/expr.h"
+
+#include <algorithm>
+
+namespace mapcomp {
+
+ExprPtr Expr::Make(ExprKind kind, std::string name,
+                   std::vector<ExprPtr> children, Condition condition,
+                   std::vector<int> indexes, int arity,
+                   std::vector<Tuple> tuples) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = kind;
+  e->name_ = std::move(name);
+  e->children_ = std::move(children);
+  e->condition_ = std::move(condition);
+  e->indexes_ = std::move(indexes);
+  e->arity_ = arity;
+  e->tuples_ = std::move(tuples);
+  return e;
+}
+
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind() != b->kind() || a->arity() != b->arity()) return false;
+  if (a->name() != b->name()) return false;
+  if (a->indexes() != b->indexes()) return false;
+  if (!(a->condition() == b->condition())) return false;
+  if (a->children().size() != b->children().size()) return false;
+  for (size_t i = 0; i < a->children().size(); ++i) {
+    if (!ExprEquals(a->children()[i], b->children()[i])) return false;
+  }
+  if (a->kind() == ExprKind::kLiteral) {
+    if (a->tuples().size() != b->tuples().size()) return false;
+    for (size_t i = 0; i < a->tuples().size(); ++i) {
+      if (a->tuples()[i].size() != b->tuples()[i].size()) return false;
+      for (size_t j = 0; j < a->tuples()[i].size(); ++j) {
+        if (CompareValues(a->tuples()[i][j], b->tuples()[i][j]) != 0) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+size_t ExprHash(const ExprPtr& e) {
+  if (e == nullptr) return 0;
+  size_t seed = static_cast<size_t>(e->kind());
+  HashCombine(&seed, std::hash<std::string>()(e->name()));
+  HashCombine(&seed, static_cast<size_t>(e->arity()));
+  for (int i : e->indexes()) HashCombine(&seed, static_cast<size_t>(i));
+  HashCombine(&seed, e->condition().Hash());
+  for (const ExprPtr& c : e->children()) HashCombine(&seed, ExprHash(c));
+  for (const Tuple& t : e->tuples()) HashCombine(&seed, HashTuple(t));
+  return seed;
+}
+
+int OperatorCount(const ExprPtr& e) {
+  if (e == nullptr) return 0;
+  int n = 1;
+  for (const ExprPtr& c : e->children()) n += OperatorCount(c);
+  return n;
+}
+
+bool ContainsRelation(const ExprPtr& e, const std::string& name) {
+  if (e == nullptr) return false;
+  if (e->kind() == ExprKind::kRelation && e->name() == name) return true;
+  for (const ExprPtr& c : e->children()) {
+    if (ContainsRelation(c, name)) return true;
+  }
+  return false;
+}
+
+void CollectRelations(const ExprPtr& e, std::set<std::string>* out) {
+  if (e == nullptr) return;
+  if (e->kind() == ExprKind::kRelation) out->insert(e->name());
+  for (const ExprPtr& c : e->children()) CollectRelations(c, out);
+}
+
+bool ContainsSkolem(const ExprPtr& e) {
+  if (e == nullptr) return false;
+  if (e->kind() == ExprKind::kSkolem) return true;
+  for (const ExprPtr& c : e->children()) {
+    if (ContainsSkolem(c)) return true;
+  }
+  return false;
+}
+
+void CollectSkolems(const ExprPtr& e, std::set<std::string>* out) {
+  if (e == nullptr) return;
+  if (e->kind() == ExprKind::kSkolem) out->insert(e->name());
+  for (const ExprPtr& c : e->children()) CollectSkolems(c, out);
+}
+
+bool ContainsDomain(const ExprPtr& e) {
+  if (e == nullptr) return false;
+  if (e->kind() == ExprKind::kDomain) return true;
+  for (const ExprPtr& c : e->children()) {
+    if (ContainsDomain(c)) return true;
+  }
+  return false;
+}
+
+Status ValidateExpr(const ExprPtr& e) {
+  if (e == nullptr) return Status::InvalidArgument("null expression");
+  for (const ExprPtr& c : e->children()) MAPCOMP_RETURN_IF_ERROR(ValidateExpr(c));
+  switch (e->kind()) {
+    case ExprKind::kRelation:
+    case ExprKind::kDomain:
+    case ExprKind::kEmpty:
+      if (e->arity() < 1) {
+        return Status::InvalidArgument("arity must be >= 1 for " + e->name());
+      }
+      return Status::OK();
+    case ExprKind::kLiteral:
+      for (const Tuple& t : e->tuples()) {
+        if (static_cast<int>(t.size()) != e->arity()) {
+          return Status::InvalidArgument("literal tuple arity mismatch");
+        }
+      }
+      return Status::OK();
+    case ExprKind::kUnion:
+    case ExprKind::kIntersect:
+    case ExprKind::kDifference:
+      if (e->children().size() != 2) {
+        return Status::InvalidArgument("binary operator needs 2 children");
+      }
+      if (e->child(0)->arity() != e->child(1)->arity() ||
+          e->arity() != e->child(0)->arity()) {
+        return Status::InvalidArgument("arity mismatch in set operator");
+      }
+      return Status::OK();
+    case ExprKind::kProduct:
+      if (e->children().size() != 2) {
+        return Status::InvalidArgument("product needs 2 children");
+      }
+      if (e->arity() != e->child(0)->arity() + e->child(1)->arity()) {
+        return Status::InvalidArgument("product arity mismatch");
+      }
+      return Status::OK();
+    case ExprKind::kSelect:
+      if (e->children().size() != 1 || e->arity() != e->child(0)->arity()) {
+        return Status::InvalidArgument("selection arity mismatch");
+      }
+      if (e->condition().MaxAttr() > e->arity()) {
+        return Status::InvalidArgument(
+            "selection condition references attribute beyond arity");
+      }
+      return Status::OK();
+    case ExprKind::kProject: {
+      if (e->children().size() != 1) {
+        return Status::InvalidArgument("projection needs 1 child");
+      }
+      if (e->arity() != static_cast<int>(e->indexes().size())) {
+        return Status::InvalidArgument("projection arity mismatch");
+      }
+      int r = e->child(0)->arity();
+      for (int i : e->indexes()) {
+        if (i < 1 || i > r) {
+          return Status::InvalidArgument("projection index out of range");
+        }
+      }
+      return Status::OK();
+    }
+    case ExprKind::kSkolem: {
+      if (e->children().size() != 1) {
+        return Status::InvalidArgument("skolem needs 1 child");
+      }
+      if (e->arity() != e->child(0)->arity() + 1) {
+        return Status::InvalidArgument("skolem arity must be child arity + 1");
+      }
+      int r = e->child(0)->arity();
+      for (int i : e->indexes()) {
+        if (i < 1 || i > r) {
+          return Status::InvalidArgument("skolem argument index out of range");
+        }
+      }
+      return Status::OK();
+    }
+    case ExprKind::kUserOp:
+      // Arity contract is owned by the registry; builders enforce it.
+      return Status::OK();
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+}  // namespace mapcomp

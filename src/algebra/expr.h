@@ -1,0 +1,112 @@
+#ifndef MAPCOMP_ALGEBRA_EXPR_H_
+#define MAPCOMP_ALGEBRA_EXPR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/algebra/condition.h"
+#include "src/algebra/value.h"
+#include "src/common/status.h"
+
+namespace mapcomp {
+
+/// Node kinds of a relational expression (paper §2). The six basic operators
+/// are union, intersection, cross product, set difference, selection and
+/// projection; join is derived. `D` (active domain) and the empty relation
+/// are the two special relations of §2. The Skolem operator is the internal
+/// technical device of §3.5. User-defined operators are dispatched through
+/// the operator registry.
+enum class ExprKind {
+  kRelation,    ///< base relation symbol S
+  kDomain,      ///< D^r — r-fold product of the active domain
+  kEmpty,       ///< the empty relation of a given arity
+  kLiteral,     ///< explicit constant relation, e.g. {c} in primitive Df
+  kUnion,       ///< E1 ∪ E2
+  kIntersect,   ///< E1 ∩ E2
+  kProduct,     ///< E1 × E2
+  kDifference,  ///< E1 − E2
+  kSelect,      ///< σ_c(E)
+  kProject,     ///< π_I(E)
+  kSkolem,      ///< f_I(E) — appends one column computed by Skolem function f
+  kUserOp,      ///< registry-defined operator
+};
+
+class Expr;
+/// Expressions are immutable and shared; rewrites build new nodes.
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// An immutable relational-algebra expression node. Construct via the
+/// builder functions in `src/algebra/builders.h`, which validate arities and
+/// abort with a diagnostic on programmer error (the parser performs its own
+/// checked validation before building).
+class Expr {
+ public:
+  ExprKind kind() const { return kind_; }
+  /// Relation name, Skolem function name, or user-op name.
+  const std::string& name() const { return name_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  const ExprPtr& child(int i) const { return children_[i]; }
+  /// Selection condition; also carries a user-op's condition parameter.
+  const Condition& condition() const { return condition_; }
+  /// Projection output list (1-based), or Skolem argument indexes, or a
+  /// user-op's index parameter.
+  const std::vector<int>& indexes() const { return indexes_; }
+  /// Number of output attributes. Computed at construction.
+  int arity() const { return arity_; }
+  /// Tuples of a kLiteral node.
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  // --- Factory used by builders.h (validates nothing; builders do). ---
+  static ExprPtr Make(ExprKind kind, std::string name,
+                      std::vector<ExprPtr> children, Condition condition,
+                      std::vector<int> indexes, int arity,
+                      std::vector<Tuple> tuples);
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kRelation;
+  std::string name_;
+  std::vector<ExprPtr> children_;
+  Condition condition_;
+  std::vector<int> indexes_;
+  int arity_ = 0;
+  std::vector<Tuple> tuples_;
+};
+
+/// Deep structural equality.
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b);
+
+/// Structural hash consistent with ExprEquals.
+size_t ExprHash(const ExprPtr& e);
+
+/// Total number of operator nodes (the paper's mapping-size metric counts
+/// "the total number of operators across all constraints"). Leaf relations,
+/// D, ∅ and literals count 1 each.
+int OperatorCount(const ExprPtr& e);
+
+/// True if the relation symbol `name` occurs anywhere in `e`.
+bool ContainsRelation(const ExprPtr& e, const std::string& name);
+
+/// Inserts every base-relation name occurring in `e` into `out`.
+void CollectRelations(const ExprPtr& e, std::set<std::string>* out);
+
+/// True if any Skolem operator occurs in `e`.
+bool ContainsSkolem(const ExprPtr& e);
+
+/// Inserts every Skolem function name occurring in `e` into `out`.
+void CollectSkolems(const ExprPtr& e, std::set<std::string>* out);
+
+/// True if the active-domain relation D occurs in `e`.
+bool ContainsDomain(const ExprPtr& e);
+
+/// Checks internal consistency: child arities compatible with the operator,
+/// projection/Skolem indexes within range, selection conditions within
+/// arity, literal tuples uniform.
+Status ValidateExpr(const ExprPtr& e);
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_ALGEBRA_EXPR_H_

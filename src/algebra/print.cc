@@ -1,0 +1,79 @@
+#include "src/algebra/print.h"
+
+namespace mapcomp {
+
+namespace {
+std::string IndexListToString(const std::vector<int>& idx) {
+  std::string out;
+  for (size_t i = 0; i < idx.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(idx[i]);
+  }
+  return out;
+}
+}  // namespace
+
+std::string ExprToString(const ExprPtr& e) {
+  if (e == nullptr) return "<null>";
+  switch (e->kind()) {
+    case ExprKind::kRelation:
+      return e->name();
+    case ExprKind::kDomain:
+      return "D^" + std::to_string(e->arity());
+    case ExprKind::kEmpty:
+      return "empty^" + std::to_string(e->arity());
+    case ExprKind::kLiteral: {
+      std::string out = "{";
+      for (size_t i = 0; i < e->tuples().size(); ++i) {
+        if (i > 0) out += ",";
+        out += TupleToString(e->tuples()[i]);
+      }
+      out += "}";
+      if (e->tuples().empty()) out += "^" + std::to_string(e->arity());
+      return out;
+    }
+    case ExprKind::kUnion:
+      return "(" + ExprToString(e->child(0)) + " + " +
+             ExprToString(e->child(1)) + ")";
+    case ExprKind::kIntersect:
+      return "(" + ExprToString(e->child(0)) + " & " +
+             ExprToString(e->child(1)) + ")";
+    case ExprKind::kProduct:
+      return "(" + ExprToString(e->child(0)) + " * " +
+             ExprToString(e->child(1)) + ")";
+    case ExprKind::kDifference:
+      return "(" + ExprToString(e->child(0)) + " - " +
+             ExprToString(e->child(1)) + ")";
+    case ExprKind::kSelect:
+      return "sel[" + e->condition().ToString() + "](" +
+             ExprToString(e->child(0)) + ")";
+    case ExprKind::kProject:
+      return "pi[" + IndexListToString(e->indexes()) + "](" +
+             ExprToString(e->child(0)) + ")";
+    case ExprKind::kSkolem:
+      return "$" + e->name() + "[" + IndexListToString(e->indexes()) + "](" +
+             ExprToString(e->child(0)) + ")";
+    case ExprKind::kUserOp: {
+      std::string out = e->name();
+      bool has_indexes = !e->indexes().empty();
+      bool has_cond = !e->condition().IsTrue();
+      if (has_indexes || has_cond) {
+        out += "[";
+        if (has_indexes) out += IndexListToString(e->indexes());
+        if (has_indexes && has_cond) out += "; ";
+        if (has_cond) out += e->condition().ToString();
+        out += "]";
+      }
+      out += "(";
+      for (size_t i = 0; i < e->children().size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ExprToString(e->children()[i]);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "<?>";
+}
+
+}  // namespace mapcomp

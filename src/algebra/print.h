@@ -1,0 +1,30 @@
+#ifndef MAPCOMP_ALGEBRA_PRINT_H_
+#define MAPCOMP_ALGEBRA_PRINT_H_
+
+#include <string>
+
+#include "src/algebra/expr.h"
+
+namespace mapcomp {
+
+/// Renders an expression in the library's parseable text syntax:
+///
+///   R                       base relation
+///   D^2, empty^2            active domain / empty relation of arity 2
+///   {(1,'a'),(2,'b')}       literal constant relation
+///   (E1 + E2)               union
+///   (E1 & E2)               intersection
+///   (E1 * E2)               cross product
+///   (E1 - E2)               difference
+///   sel[#1=#2 and #3=5](E)  selection
+///   pi[1,3](E)              projection
+///   $f[1,2](E)              Skolem operator
+///   name[...](E1,E2)        user-defined operator
+///
+/// Binary operators are printed fully parenthesized, so the output parses
+/// back to a structurally identical expression.
+std::string ExprToString(const ExprPtr& e);
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_ALGEBRA_PRINT_H_

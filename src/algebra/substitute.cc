@@ -1,0 +1,44 @@
+#include "src/algebra/substitute.h"
+
+namespace mapcomp {
+
+ExprPtr SubstituteRelation(const ExprPtr& e, const std::string& name,
+                           const ExprPtr& replacement) {
+  if (e == nullptr) return e;
+  if (e->kind() == ExprKind::kRelation && e->name() == name) {
+    return replacement;
+  }
+  bool changed = false;
+  std::vector<ExprPtr> new_children;
+  new_children.reserve(e->children().size());
+  for (const ExprPtr& c : e->children()) {
+    ExprPtr nc = SubstituteRelation(c, name, replacement);
+    changed = changed || nc != c;
+    new_children.push_back(std::move(nc));
+  }
+  if (!changed) return e;
+  return Expr::Make(e->kind(), e->name(), std::move(new_children),
+                    e->condition(), e->indexes(), e->arity(), e->tuples());
+}
+
+ExprPtr RenameRelation(const ExprPtr& e, const std::string& from,
+                       const std::string& to) {
+  if (e == nullptr) return e;
+  if (e->kind() == ExprKind::kRelation && e->name() == from) {
+    return Expr::Make(ExprKind::kRelation, to, {}, Condition::True(), {},
+                      e->arity(), {});
+  }
+  bool changed = false;
+  std::vector<ExprPtr> new_children;
+  new_children.reserve(e->children().size());
+  for (const ExprPtr& c : e->children()) {
+    ExprPtr nc = RenameRelation(c, from, to);
+    changed = changed || nc != c;
+    new_children.push_back(std::move(nc));
+  }
+  if (!changed) return e;
+  return Expr::Make(e->kind(), e->name(), std::move(new_children),
+                    e->condition(), e->indexes(), e->arity(), e->tuples());
+}
+
+}  // namespace mapcomp

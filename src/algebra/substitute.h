@@ -1,0 +1,22 @@
+#ifndef MAPCOMP_ALGEBRA_SUBSTITUTE_H_
+#define MAPCOMP_ALGEBRA_SUBSTITUTE_H_
+
+#include <string>
+
+#include "src/algebra/expr.h"
+
+namespace mapcomp {
+
+/// Returns `e` with every occurrence of relation symbol `name` replaced by
+/// `replacement` (which must have the same arity as the symbol's uses).
+/// Shares unchanged subtrees with the input.
+ExprPtr SubstituteRelation(const ExprPtr& e, const std::string& name,
+                           const ExprPtr& replacement);
+
+/// Returns `e` with relation symbol `from` renamed to `to` (same arity).
+ExprPtr RenameRelation(const ExprPtr& e, const std::string& from,
+                       const std::string& to);
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_ALGEBRA_SUBSTITUTE_H_

@@ -1,0 +1,51 @@
+#include "src/algebra/value.h"
+
+#include <functional>
+
+namespace mapcomp {
+
+int CompareValues(const Value& a, const Value& b) {
+  if (a.index() != b.index()) return a.index() < b.index() ? -1 : 1;
+  if (std::holds_alternative<int64_t>(a)) {
+    int64_t x = std::get<int64_t>(a), y = std::get<int64_t>(b);
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  const std::string& x = std::get<std::string>(a);
+  const std::string& y = std::get<std::string>(b);
+  return x.compare(y);
+}
+
+std::string ValueToString(const Value& v) {
+  if (std::holds_alternative<int64_t>(v)) {
+    return std::to_string(std::get<int64_t>(v));
+  }
+  return "'" + std::get<std::string>(v) + "'";
+}
+
+std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ",";
+    out += ValueToString(t[i]);
+  }
+  out += ")";
+  return out;
+}
+
+size_t HashValue(const Value& v) {
+  size_t seed = v.index();
+  if (std::holds_alternative<int64_t>(v)) {
+    HashCombine(&seed, std::hash<int64_t>()(std::get<int64_t>(v)));
+  } else {
+    HashCombine(&seed, std::hash<std::string>()(std::get<std::string>(v)));
+  }
+  return seed;
+}
+
+size_t HashTuple(const Tuple& t) {
+  size_t seed = t.size();
+  for (const Value& v : t) HashCombine(&seed, HashValue(v));
+  return seed;
+}
+
+}  // namespace mapcomp

@@ -1,0 +1,41 @@
+#ifndef MAPCOMP_ALGEBRA_VALUE_H_
+#define MAPCOMP_ALGEBRA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mapcomp {
+
+/// A database value. The paper's constraints compare attributes against
+/// constants; we support integer and string constants. Values are totally
+/// ordered (all integers precede all strings) so tuples can live in ordered
+/// containers.
+using Value = std::variant<int64_t, std::string>;
+
+/// A database tuple under the unnamed perspective: attribute i of the paper
+/// corresponds to index i-1 of the vector.
+using Tuple = std::vector<Value>;
+
+/// Three-way comparison: negative / zero / positive like strcmp.
+int CompareValues(const Value& a, const Value& b);
+
+/// Renders a value in the library's text syntax: integers bare, strings
+/// single-quoted.
+std::string ValueToString(const Value& v);
+
+/// Renders a tuple as `(v1,v2,...)`.
+std::string TupleToString(const Tuple& t);
+
+/// Combines a hash value into a running seed (boost::hash_combine recipe).
+inline void HashCombine(size_t* seed, size_t v) {
+  *seed ^= v + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+size_t HashValue(const Value& v);
+size_t HashTuple(const Tuple& t);
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_ALGEBRA_VALUE_H_

@@ -1,0 +1,107 @@
+#include "src/compose/compose.h"
+
+#include <chrono>
+
+#include "src/compose/simplify_constraints.h"
+
+namespace mapcomp {
+
+namespace {
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+}  // namespace
+
+std::string CompositionResult::Report() const {
+  std::string out = "eliminated " + std::to_string(eliminated_count) + "/" +
+                    std::to_string(total_count) + " symbols in " +
+                    std::to_string(total_millis) + " ms\n";
+  for (const SymbolStat& s : stats) {
+    out += "  " + s.symbol + ": ";
+    out += s.eliminated ? std::string("eliminated via ") +
+                              EliminateStepName(s.step)
+                        : "kept (" + s.failure_reason + ")";
+    out += " [" + std::to_string(s.size_before) + " -> " +
+           std::to_string(s.size_after) + " ops, " +
+           std::to_string(s.millis) + " ms]\n";
+  }
+  return out;
+}
+
+CompositionResult Compose(const CompositionProblem& problem,
+                          const ComposeOptions& options) {
+  auto total_start = std::chrono::steady_clock::now();
+  CompositionResult result;
+
+  // Σ := Σ12 ∪ Σ23.
+  ConstraintSet sigma = problem.sigma12;
+  sigma.insert(sigma.end(), problem.sigma23.begin(), problem.sigma23.end());
+
+  // Key information from every schema feeds Skolem minimization.
+  Signature all_keys;
+  {
+    Result<Signature> merged =
+        Signature::Merge(problem.sigma1, problem.sigma2);
+    if (merged.ok()) {
+      Result<Signature> merged3 = Signature::Merge(*merged, problem.sigma3);
+      if (merged3.ok()) all_keys = *merged3;
+    }
+  }
+  ComposeOptions opts = options;
+  if (opts.eliminate.keys == nullptr) opts.eliminate.keys = &all_keys;
+
+  std::vector<std::string> order =
+      !options.order.empty()
+          ? options.order
+          : (!problem.elimination_order.empty() ? problem.elimination_order
+                                                : problem.sigma2.names());
+
+  std::vector<std::string> residual;
+  for (const std::string& symbol : order) {
+    auto start = std::chrono::steady_clock::now();
+    SymbolStat stat;
+    stat.symbol = symbol;
+    stat.size_before = OperatorCount(sigma);
+    EliminateOutcome outcome = Eliminate(sigma, symbol,
+                                         problem.sigma2.ArityOf(symbol),
+                                         opts.eliminate);
+    stat.eliminated = outcome.success;
+    stat.step = outcome.step;
+    stat.failure_reason = outcome.failure_reason;
+    if (outcome.success) {
+      sigma = std::move(outcome.constraints);
+      ++result.eliminated_count;
+    } else {
+      residual.push_back(symbol);
+    }
+    stat.size_after = OperatorCount(sigma);
+    stat.millis = MillisSince(start);
+    result.stats.push_back(std::move(stat));
+    ++result.total_count;
+  }
+
+  if (options.simplify_output) {
+    sigma = SimplifyConstraintSet(std::move(sigma), opts.eliminate.registry);
+  }
+
+  // Assemble the residual signature σ1 ∪ σ2' ∪ σ3.
+  Signature out_sig = problem.sigma1;
+  for (const std::string& s : residual) {
+    out_sig.AddOrReplaceRelation(s, problem.sigma2.ArityOf(s));
+    auto key = problem.sigma2.KeyOf(s);
+    if (key.has_value()) {
+      Status st = out_sig.SetKey(s, *key);
+      (void)st;  // key positions were validated at declaration
+    }
+  }
+  Result<Signature> merged = Signature::Merge(out_sig, problem.sigma3);
+  result.sigma = merged.ok() ? *merged : out_sig;
+  result.residual_sigma2 = std::move(residual);
+  result.constraints = std::move(sigma);
+  result.total_millis = MillisSince(total_start);
+  return result;
+}
+
+}  // namespace mapcomp

@@ -1,0 +1,62 @@
+#ifndef MAPCOMP_COMPOSE_COMPOSE_H_
+#define MAPCOMP_COMPOSE_COMPOSE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/compose/eliminate.h"
+#include "src/constraints/mapping.h"
+
+namespace mapcomp {
+
+/// Options for the COMPOSE driver.
+struct ComposeOptions {
+  EliminateOptions eliminate;
+  /// Elimination order for σ2 symbols; empty = the signature's insertion
+  /// order (the paper follows "the user-specified ordering", §3.1).
+  std::vector<std::string> order;
+  /// Run the final constraint-set simplification pass.
+  bool simplify_output = true;
+};
+
+/// Per-symbol elimination record.
+struct SymbolStat {
+  std::string symbol;
+  bool eliminated = false;
+  EliminateStep step = EliminateStep::kNone;
+  std::string failure_reason;
+  double millis = 0.0;
+  int size_before = 0;  ///< operator count before this symbol's elimination
+  int size_after = 0;
+};
+
+/// Result of composing two mappings. Best-effort (§3.1): `residual_sigma2`
+/// lists the σ2 symbols that could not be eliminated; `constraints` is over
+/// σ1 ∪ residual σ2 ∪ σ3 and is equivalent to Σ12 ∪ Σ23.
+struct CompositionResult {
+  Signature sigma;  ///< σ1 ∪ residual σ2 ∪ σ3
+  std::vector<std::string> residual_sigma2;
+  ConstraintSet constraints;
+  std::vector<SymbolStat> stats;
+  int eliminated_count = 0;
+  int total_count = 0;
+  double total_millis = 0.0;
+
+  double EliminatedFraction() const {
+    return total_count == 0
+               ? 1.0
+               : static_cast<double>(eliminated_count) / total_count;
+  }
+  std::string Report() const;
+};
+
+/// Procedure COMPOSE (§3.1): eliminates σ2 symbols one at a time in the
+/// given order, keeping whatever cannot be eliminated. Key information from
+/// all three schemas feeds Skolem-argument minimization automatically
+/// unless options.eliminate.keys is preset.
+CompositionResult Compose(const CompositionProblem& problem,
+                          const ComposeOptions& options = {});
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_COMPOSE_COMPOSE_H_

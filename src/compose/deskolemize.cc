@@ -1,0 +1,262 @@
+#include "src/compose/deskolemize.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/logic/homomorphism.h"
+#include "src/logic/to_algebra.h"
+#include "src/logic/translate.h"
+
+namespace mapcomp {
+
+namespace {
+
+using logic::Dependency;
+using logic::LAtom;
+using logic::Term;
+using logic::TermCond;
+using logic::VarId;
+
+bool TermMentionsFunction(const Term& t) { return t.IsFunc(); }
+
+/// Step 3: every function symbol must occur with a single argument list
+/// inside one dependency.
+Status CheckRepeatedFunctions(const Dependency& d) {
+  std::map<std::string, std::vector<VarId>> seen;
+  for (const Term& t : CollectFunctionTerms(d)) {
+    auto [it, inserted] = seen.try_emplace(t.func, t.func_args);
+    if (!inserted && it->second != t.func_args) {
+      return Status::Unsupported(
+          "deskolemize step 3: function " + t.func +
+          " occurs with two different argument lists in one dependency");
+    }
+  }
+  return Status::OK();
+}
+
+/// Steps 5-7: body conditions involving Skolem terms are "restricting".
+/// Trivially-true ones are dropped; anything else fails.
+Status EliminateRestrictingConditions(Dependency* d) {
+  std::vector<TermCond> kept;
+  for (const TermCond& c : d->body_conds) {
+    if (TermMentionsFunction(c.lhs) || TermMentionsFunction(c.rhs)) {
+      bool trivially_true =
+          (c.op == CmpOp::kEq || c.op == CmpOp::kLe || c.op == CmpOp::kGe) &&
+          c.lhs == c.rhs;
+      if (trivially_true) continue;
+      return Status::Unsupported(
+          "deskolemize step 5-7: restricting condition " + c.ToString() +
+          " constrains a Skolem value in the body");
+    }
+    kept.push_back(c);
+  }
+  d->body_conds = std::move(kept);
+  // Function terms appearing as *body atom* arguments are equally
+  // restricting (the atom filters on the Skolem value).
+  for (const LAtom& a : d->body) {
+    for (const Term& t : a.args) {
+      if (t.IsFunc()) {
+        return Status::Unsupported(
+            "deskolemize step 5-7: body atom " + a.ToString() +
+            " restricts a Skolem value");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Steps 8-9: merges `other` into `rep`. Requires a body isomorphism
+/// aligning the argument lists of all shared functions.
+Status MergeDependencies(Dependency* rep, const Dependency& other) {
+  // Seed the bijection with the shared functions' argument alignments.
+  std::map<std::string, std::vector<VarId>> rep_funcs;
+  for (const Term& t : CollectFunctionTerms(*rep)) {
+    rep_funcs.try_emplace(t.func, t.func_args);
+  }
+  std::map<VarId, VarId> seed;
+  for (const Term& t : CollectFunctionTerms(other)) {
+    auto it = rep_funcs.find(t.func);
+    if (it == rep_funcs.end()) continue;
+    if (it->second.size() != t.func_args.size()) {
+      return Status::Unsupported(
+          "deskolemize step 8: function " + t.func +
+          " used with different arities across dependencies");
+    }
+    for (size_t i = 0; i < t.func_args.size(); ++i) {
+      auto [st, inserted] = seed.try_emplace(t.func_args[i], it->second[i]);
+      if (!inserted && st->second != it->second[i]) {
+        return Status::Unsupported(
+            "deskolemize step 8: inconsistent function argument alignment");
+      }
+    }
+  }
+  std::optional<std::map<VarId, VarId>> phi = logic::FindBodyBijection(
+      rep->body, rep->body_conds, other.body, other.body_conds, seed);
+  if (!phi.has_value()) {
+    return Status::Unsupported(
+        "deskolemize step 9: dependencies share a Skolem function but their "
+        "bodies are not isomorphic");
+  }
+  // Remap other's head into rep's variable space; head-only variables get
+  // fresh ids.
+  std::vector<VarId> remap(other.num_vars, -1);
+  for (const auto& [from, to] : *phi) remap[from] = to;
+  for (VarId v = 0; v < other.num_vars; ++v) {
+    if (remap[v] == -1) remap[v] = rep->num_vars++;
+  }
+  for (LAtom atom : other.head) {
+    for (Term& t : atom.args) t = logic::RemapTerm(t, remap);
+    // Avoid exact duplicates.
+    if (std::find(rep->head.begin(), rep->head.end(), atom) ==
+        rep->head.end()) {
+      rep->head.push_back(std::move(atom));
+    }
+  }
+  for (TermCond cond : other.head_conds) {
+    cond.lhs = logic::RemapTerm(cond.lhs, remap);
+    cond.rhs = logic::RemapTerm(cond.rhs, remap);
+    if (std::find(rep->head_conds.begin(), rep->head_conds.end(), cond) ==
+        rep->head_conds.end()) {
+      rep->head_conds.push_back(std::move(cond));
+    }
+  }
+  return Status::OK();
+}
+
+/// Step 12: drops vacuous head equalities ∃y (y = t): a head condition whose
+/// variable occurs nowhere else is satisfiable by choice of y, so the
+/// condition (and the variable) can be eliminated.
+void EliminateUnnecessaryExistentials(Dependency* d) {
+  std::set<VarId> body_vars = d->BodyVars();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<VarId, int> uses;
+    auto count = [&uses](const Term& t) {
+      if (t.IsVar()) ++uses[t.var];
+      for (VarId a : t.func_args) ++uses[a];
+    };
+    for (const LAtom& a : d->head) {
+      for (const Term& t : a.args) count(t);
+    }
+    for (const TermCond& c : d->head_conds) {
+      count(c.lhs);
+      count(c.rhs);
+    }
+    for (size_t i = 0; i < d->head_conds.size(); ++i) {
+      const TermCond& c = d->head_conds[i];
+      if (c.op != CmpOp::kEq) continue;
+      auto lonely = [&](const Term& t) {
+        return t.IsVar() && body_vars.count(t.var) == 0 && uses[t.var] == 1;
+      };
+      if (lonely(c.lhs) || lonely(c.rhs)) {
+        d->head_conds.erase(d->head_conds.begin() + i);
+        changed = true;
+        break;
+      }
+    }
+  }
+}
+
+/// Step 11: replaces every function term with a fresh existential variable.
+void ReplaceFunctionsWithVars(Dependency* d) {
+  std::vector<std::pair<Term, VarId>> assignment;
+  auto replace = [&](Term* t) {
+    if (!t->IsFunc()) return;
+    for (const auto& [func, var] : assignment) {
+      if (func == *t) {
+        *t = Term::MakeVar(var);
+        return;
+      }
+    }
+    VarId fresh = d->num_vars++;
+    assignment.emplace_back(*t, fresh);
+    *t = Term::MakeVar(fresh);
+  };
+  for (LAtom& a : d->head) {
+    for (Term& t : a.args) replace(&t);
+  }
+  for (TermCond& c : d->head_conds) {
+    replace(&c.lhs);
+    replace(&c.rhs);
+  }
+}
+
+}  // namespace
+
+Result<ConstraintSet> Deskolemize(const ConstraintSet& cs) {
+  ConstraintSet plain;
+  std::vector<Dependency> deps;
+  for (const Constraint& c : cs) {
+    if (!ContainsSkolem(c.lhs) && !ContainsSkolem(c.rhs)) {
+      plain.push_back(c);
+      continue;
+    }
+    // Steps 1-2 (unnest, cycle check) happen inside the translation.
+    MAPCOMP_ASSIGN_OR_RETURN(std::vector<Dependency> translated,
+                             logic::ConstraintToDependencies(c));
+    for (Dependency& d : translated) deps.push_back(std::move(d));
+  }
+
+  for (Dependency& d : deps) {
+    MAPCOMP_RETURN_IF_ERROR(CheckRepeatedFunctions(d));   // step 3
+    MAPCOMP_RETURN_IF_ERROR(EliminateRestrictingConditions(&d));  // 5-7
+    d = d.Canonicalized();                                // step 4
+  }
+
+  // Steps 8-9: group dependencies by shared function symbols (union-find
+  // over co-occurring names) and merge each group.
+  std::map<std::string, int> func_group;
+  std::vector<int> parent(deps.size());
+  for (size_t i = 0; i < deps.size(); ++i) parent[i] = static_cast<int>(i);
+  std::function<int(int)> find = [&](int x) {
+    return parent[x] == x ? x : parent[x] = find(parent[x]);
+  };
+  for (size_t i = 0; i < deps.size(); ++i) {
+    for (const std::string& f : deps[i].FunctionNames()) {
+      auto [it, inserted] = func_group.try_emplace(f, static_cast<int>(i));
+      if (!inserted) parent[find(static_cast<int>(i))] = find(it->second);
+    }
+  }
+  std::map<int, Dependency> merged;
+  std::vector<Dependency> result_deps;
+  for (size_t i = 0; i < deps.size(); ++i) {
+    if (deps[i].FunctionNames().empty()) {
+      result_deps.push_back(std::move(deps[i]));
+      continue;
+    }
+    int root = find(static_cast<int>(i));
+    auto [it, inserted] = merged.try_emplace(root, deps[i]);
+    if (!inserted) {
+      MAPCOMP_RETURN_IF_ERROR(MergeDependencies(&it->second, deps[i]));
+    }
+  }
+  for (auto& [_, d] : merged) {
+    // Re-verify step 3 after merging (aligned occurrences must agree).
+    MAPCOMP_RETURN_IF_ERROR(CheckRepeatedFunctions(d));
+    result_deps.push_back(std::move(d));
+  }
+
+  // Step 10: drop canonical duplicates.
+  std::vector<std::string> seen;
+  std::vector<Dependency> unique_deps;
+  for (Dependency& d : result_deps) {
+    std::string key = d.Canonicalized().ToString();
+    if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
+    seen.push_back(std::move(key));
+    unique_deps.push_back(std::move(d));
+  }
+
+  // Steps 11-12: functions → ∃-variables (each introduced variable is used,
+  // so step 12 is vacuous), then back to algebra.
+  ConstraintSet out = std::move(plain);
+  for (Dependency& d : unique_deps) {
+    ReplaceFunctionsWithVars(&d);
+    EliminateUnnecessaryExistentials(&d);
+    MAPCOMP_ASSIGN_OR_RETURN(Constraint c, logic::DependencyToConstraint(d));
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace mapcomp

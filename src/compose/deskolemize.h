@@ -1,0 +1,35 @@
+#ifndef MAPCOMP_COMPOSE_DESKOLEMIZE_H_
+#define MAPCOMP_COMPOSE_DESKOLEMIZE_H_
+
+#include "src/constraints/constraint.h"
+
+namespace mapcomp {
+
+/// Right-denormalization (§3.5.3): removes the Skolem functions introduced
+/// by right normalization, following the 12-step procedure of Nash et
+/// al. [8] adapted to this library's algebra↔logic bridge:
+///
+///   1-2. unnest / check cycles — performed by the logic translation, which
+///        only admits function terms with plain-variable arguments;
+///   3.   check for repeated function symbols — a function occurring with
+///        two different argument lists in one dependency fails (this is
+///        where the paper's Example 17 is rejected);
+///   4.   align variables — canonical renaming per dependency;
+///   5-7. eliminate restricting atoms/constraints — body conditions on
+///        Skolem terms are dropped when trivially true, otherwise fail;
+///        head conditions on Skolem terms survive (they become selections
+///        on the existential variable);
+///   8-9. check/combine dependencies — dependencies sharing a function are
+///        merged when their bodies are isomorphic with function arguments
+///        aligned, else fail;
+///   10.  remove redundant constraints — canonical duplicates dropped;
+///   11.  replace functions with ∃-variables;
+///   12.  eliminate unnecessary ∃-variables.
+///
+/// Constraints containing no Skolem operator pass through untouched. On any
+/// failure the whole call fails and right compose reverts (paper behaviour).
+Result<ConstraintSet> Deskolemize(const ConstraintSet& cs);
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_COMPOSE_DESKOLEMIZE_H_

@@ -1,0 +1,83 @@
+#include "src/compose/domain_empty.h"
+
+#include "src/algebra/builders.h"
+#include "src/algebra/simplify.h"
+
+namespace mapcomp {
+
+SimplifyHook RegistrySimplifyHook(const op::Registry* registry) {
+  if (registry == nullptr) return nullptr;
+  return [registry](const ExprPtr& e) -> ExprPtr {
+    const op::OperatorDef* def = registry->Find(e->name());
+    if (def != nullptr && def->simplify) return def->simplify(e);
+    return nullptr;
+  };
+}
+
+namespace {
+
+/// Constraint-level rewrites that keep composed outputs readable (the paper
+/// notes output simplification is "essential", §4). All are equivalences
+/// for containment constraints:
+///
+///   E ⊆ A ∩ B        →  E ⊆ A, E ⊆ B
+///   A ∪ B ⊆ E        →  A ⊆ E, B ⊆ E
+///   E ⊆ X × D^k      →  π_{1..x}(E) ⊆ X
+///   E ⊆ D^k × X      →  π_{k+1..}(E) ⊆ X
+///
+/// (the D-product rules rely on the convention that D includes the
+/// constraint set's constants — see EvalOptions::extra_constants).
+bool RewriteConstraint(const Constraint& c, ConstraintSet* out) {
+  if (c.kind != ConstraintKind::kContainment) return false;
+  if (c.rhs->kind() == ExprKind::kIntersect) {
+    out->push_back(Constraint::Contain(c.lhs, c.rhs->child(0)));
+    out->push_back(Constraint::Contain(c.lhs, c.rhs->child(1)));
+    return true;
+  }
+  if (c.lhs->kind() == ExprKind::kUnion) {
+    out->push_back(Constraint::Contain(c.lhs->child(0), c.rhs));
+    out->push_back(Constraint::Contain(c.lhs->child(1), c.rhs));
+    return true;
+  }
+  if (c.rhs->kind() == ExprKind::kProduct) {
+    const ExprPtr& a = c.rhs->child(0);
+    const ExprPtr& b = c.rhs->child(1);
+    if (b->kind() == ExprKind::kDomain) {
+      out->push_back(Constraint::Contain(
+          Project(IndexRange(1, a->arity()), c.lhs), a));
+      return true;
+    }
+    if (a->kind() == ExprKind::kDomain) {
+      out->push_back(Constraint::Contain(
+          Project(IndexRange(a->arity() + 1, c.rhs->arity()), c.lhs), b));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ConstraintSet SimplifyAndPrune(ConstraintSet cs, const op::Registry* registry) {
+  SimplifyHook hook = RegistrySimplifyHook(registry);
+  ConstraintSet out;
+  // Each rewrite strictly reduces a constraint's size, so the work queue
+  // terminates.
+  std::vector<Constraint> queue(std::make_move_iterator(cs.begin()),
+                                std::make_move_iterator(cs.end()));
+  for (size_t i = 0; i < queue.size(); ++i) {
+    Constraint c = std::move(queue[i]);
+    c.lhs = SimplifyExpr(c.lhs, hook);
+    c.rhs = SimplifyExpr(c.rhs, hook);
+    if (c.kind == ConstraintKind::kContainment) {
+      if (c.rhs->kind() == ExprKind::kDomain) continue;  // E ⊆ D^r: trivial
+      if (c.lhs->kind() == ExprKind::kEmpty) continue;   // ∅ ⊆ E: trivial
+    }
+    if (ExprEquals(c.lhs, c.rhs)) continue;  // E ⊆ E / E = E: trivial
+    if (RewriteConstraint(c, &queue)) continue;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace mapcomp

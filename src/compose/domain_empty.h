@@ -1,0 +1,23 @@
+#ifndef MAPCOMP_COMPOSE_DOMAIN_EMPTY_H_
+#define MAPCOMP_COMPOSE_DOMAIN_EMPTY_H_
+
+#include "src/algebra/simplify.h"
+#include "src/constraints/constraint.h"
+#include "src/op/registry.h"
+
+namespace mapcomp {
+
+/// Builds a SimplifyHook that dispatches to the registry's per-operator
+/// simplification rules (user-supplied D/∅ identities, §3.4.3/§3.5.4).
+SimplifyHook RegistrySimplifyHook(const op::Registry* registry);
+
+/// The "eliminate domain relation" (§3.4.3) and "eliminate empty relation"
+/// (§3.5.4) steps: applies the rewrite identities on every constraint via
+/// the algebraic simplifier, then deletes containment constraints that are
+/// satisfied by any instance — rhs = D^r, lhs = ∅, or lhs structurally
+/// equal to rhs.
+ConstraintSet SimplifyAndPrune(ConstraintSet cs, const op::Registry* registry);
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_COMPOSE_DOMAIN_EMPTY_H_

@@ -1,0 +1,251 @@
+#include "src/compose/eliminate.h"
+
+#include "src/algebra/substitute.h"
+#include "src/compose/deskolemize.h"
+#include "src/compose/domain_empty.h"
+#include "src/compose/monotone.h"
+#include "src/compose/normalize_left.h"
+#include "src/compose/normalize_right.h"
+
+namespace mapcomp {
+
+namespace {
+
+bool IsBareSymbol(const ExprPtr& e, const std::string& symbol) {
+  return e->kind() == ExprKind::kRelation && e->name() == symbol;
+}
+
+/// View unfolding (§3.2): find S = E1 (either orientation) with E1 free of
+/// S, delete it, substitute E1 for S everywhere. Correct regardless of
+/// monotonicity because the defining constraint is an equality.
+Result<ConstraintSet> TryUnfold(const ConstraintSet& cs,
+                                const std::string& symbol,
+                                const op::Registry* registry) {
+  int def_index = -1;
+  ExprPtr definition;
+  for (size_t i = 0; i < cs.size(); ++i) {
+    const Constraint& c = cs[i];
+    if (c.kind != ConstraintKind::kEquality) continue;
+    if (IsBareSymbol(c.lhs, symbol) && !ContainsRelation(c.rhs, symbol)) {
+      def_index = static_cast<int>(i);
+      definition = c.rhs;
+      break;
+    }
+    if (IsBareSymbol(c.rhs, symbol) && !ContainsRelation(c.lhs, symbol)) {
+      def_index = static_cast<int>(i);
+      definition = c.lhs;
+      break;
+    }
+  }
+  if (def_index < 0) {
+    return Status::NotFound("no defining equality constraint for " + symbol);
+  }
+  ConstraintSet out;
+  out.reserve(cs.size() - 1);
+  for (size_t i = 0; i < cs.size(); ++i) {
+    if (static_cast<int>(i) == def_index) continue;
+    Constraint c = cs[i];
+    c.lhs = SubstituteRelation(c.lhs, symbol, definition);
+    c.rhs = SubstituteRelation(c.rhs, symbol, definition);
+    out.push_back(std::move(c));
+  }
+  return SimplifyAndPrune(std::move(out), registry);
+}
+
+/// Splits the constraint set into those mentioning S (equalities converted
+/// to two containments) and those not.
+void Partition(const ConstraintSet& cs, const std::string& symbol,
+               ConstraintSet* with_s, ConstraintSet* without_s) {
+  for (const Constraint& c : cs) {
+    if (!ConstraintContainsRelation(c, symbol)) {
+      without_s->push_back(c);
+      continue;
+    }
+    if (c.kind == ConstraintKind::kEquality) {
+      with_s->push_back(Constraint::Contain(c.lhs, c.rhs));
+      with_s->push_back(Constraint::Contain(c.rhs, c.lhs));
+    } else {
+      with_s->push_back(c);
+    }
+  }
+}
+
+Status CheckNoBothSides(const ConstraintSet& cs, const std::string& symbol) {
+  for (const Constraint& c : cs) {
+    if (ContainsRelation(c.lhs, symbol) && ContainsRelation(c.rhs, symbol)) {
+      return Status::Unsupported(symbol +
+                                 " appears on both sides of a constraint");
+    }
+  }
+  return Status::OK();
+}
+
+Result<ConstraintSet> TryLeftCompose(const ConstraintSet& cs,
+                                     const std::string& symbol, int arity,
+                                     const EliminateOptions& options) {
+  ConstraintSet with_s, without_s;
+  Partition(cs, symbol, &with_s, &without_s);
+  MAPCOMP_RETURN_IF_ERROR(CheckNoBothSides(with_s, symbol));
+  // Right-monotonicity pre-check (§3.4).
+  for (const Constraint& c : with_s) {
+    if (ContainsRelation(c.rhs, symbol) &&
+        CheckMonotone(c.rhs, symbol, options.registry) != Mono::kMonotone) {
+      return Status::Unsupported("rhs of " + c.ToString() +
+                                 " is not monotone in " + symbol);
+    }
+  }
+  MAPCOMP_ASSIGN_OR_RETURN(
+      LeftNormalForm nf,
+      LeftNormalize(with_s, symbol, arity, options.registry));
+  // Normalization may have moved S into new right-side positions (e.g. the
+  // difference rule); re-verify monotonicity before substituting.
+  ConstraintSet substituted = std::move(without_s);
+  for (Constraint& c : nf.others) {
+    if (ContainsRelation(c.lhs, symbol)) {
+      return Status::Internal("left normalization left " + symbol +
+                              " on a left side");
+    }
+    if (ContainsRelation(c.rhs, symbol)) {
+      if (CheckMonotone(c.rhs, symbol, options.registry) != Mono::kMonotone) {
+        return Status::Unsupported("rhs of normalized " + c.ToString() +
+                                   " is not monotone in " + symbol);
+      }
+      c.rhs = SubstituteRelation(c.rhs, symbol, nf.upper_bound);
+    }
+    substituted.push_back(std::move(c));
+  }
+  // Eliminate the domain relation (§3.4.3).
+  return SimplifyAndPrune(std::move(substituted), options.registry);
+}
+
+Result<ConstraintSet> TryRightCompose(const ConstraintSet& cs,
+                                      const std::string& symbol, int arity,
+                                      const EliminateOptions& options) {
+  ConstraintSet with_s, without_s;
+  Partition(cs, symbol, &with_s, &without_s);
+  MAPCOMP_RETURN_IF_ERROR(CheckNoBothSides(with_s, symbol));
+  // Left-monotonicity pre-check (§3.5).
+  for (const Constraint& c : with_s) {
+    if (ContainsRelation(c.lhs, symbol) &&
+        CheckMonotone(c.lhs, symbol, options.registry) != Mono::kMonotone) {
+      return Status::Unsupported("lhs of " + c.ToString() +
+                                 " is not monotone in " + symbol);
+    }
+  }
+  int skolem_counter = 0;
+  MAPCOMP_ASSIGN_OR_RETURN(
+      RightNormalForm nf,
+      RightNormalize(with_s, symbol, arity, options.keys, &skolem_counter,
+                     options.registry));
+  ConstraintSet substituted = std::move(without_s);
+  for (Constraint& c : nf.others) {
+    if (ContainsRelation(c.rhs, symbol)) {
+      return Status::Internal("right normalization left " + symbol +
+                              " on a right side");
+    }
+    if (ContainsRelation(c.lhs, symbol)) {
+      if (CheckMonotone(c.lhs, symbol, options.registry) != Mono::kMonotone) {
+        return Status::Unsupported("lhs of normalized " + c.ToString() +
+                                   " is not monotone in " + symbol);
+      }
+      c.lhs = SubstituteRelation(c.lhs, symbol, nf.lower_bound);
+    }
+    substituted.push_back(std::move(c));
+  }
+  // Eliminate the empty relation (§3.5.4).
+  substituted = SimplifyAndPrune(std::move(substituted), options.registry);
+  // Right-denormalize (§3.5.3) when Skolem functions were introduced.
+  if (ContainsSkolem(substituted)) {
+    MAPCOMP_ASSIGN_OR_RETURN(substituted, Deskolemize(substituted));
+    substituted = SimplifyAndPrune(std::move(substituted), options.registry);
+  }
+  return substituted;
+}
+
+}  // namespace
+
+const char* EliminateStepName(EliminateStep step) {
+  switch (step) {
+    case EliminateStep::kNone:
+      return "none";
+    case EliminateStep::kNotMentioned:
+      return "not-mentioned";
+    case EliminateStep::kUnfold:
+      return "unfold";
+    case EliminateStep::kLeftCompose:
+      return "left-compose";
+    case EliminateStep::kRightCompose:
+      return "right-compose";
+  }
+  return "?";
+}
+
+EliminateOutcome Eliminate(const ConstraintSet& cs, const std::string& symbol,
+                           int arity, const EliminateOptions& options) {
+  EliminateOutcome out;
+  out.constraints = cs;
+
+  bool mentioned = false;
+  for (const Constraint& c : cs) {
+    if (ConstraintContainsRelation(c, symbol)) {
+      mentioned = true;
+      break;
+    }
+  }
+  if (!mentioned) {
+    out.success = true;
+    out.step = EliminateStep::kNotMentioned;
+    return out;
+  }
+
+  int input_size = OperatorCount(cs);
+  auto blown_up = [&](const ConstraintSet& result) {
+    return OperatorCount(result) >
+           options.max_blowup_factor * std::max(input_size, 1);
+  };
+  std::string reasons;
+
+  if (options.enable_unfold) {
+    Result<ConstraintSet> r = TryUnfold(cs, symbol, options.registry);
+    if (r.ok() && blown_up(*r)) {
+      reasons += "[unfold] result exceeds blowup budget; ";
+    } else if (r.ok()) {
+      out.success = true;
+      out.step = EliminateStep::kUnfold;
+      out.constraints = std::move(*r);
+      return out;
+    } else {
+      reasons += "[unfold] " + r.status().message() + "; ";
+    }
+  }
+  if (options.enable_left_compose) {
+    Result<ConstraintSet> r = TryLeftCompose(cs, symbol, arity, options);
+    if (r.ok() && blown_up(*r)) {
+      reasons += "[left] result exceeds blowup budget; ";
+    } else if (r.ok()) {
+      out.success = true;
+      out.step = EliminateStep::kLeftCompose;
+      out.constraints = std::move(*r);
+      return out;
+    } else {
+      reasons += "[left] " + r.status().message() + "; ";
+    }
+  }
+  if (options.enable_right_compose) {
+    Result<ConstraintSet> r = TryRightCompose(cs, symbol, arity, options);
+    if (r.ok() && blown_up(*r)) {
+      reasons += "[right] result exceeds blowup budget; ";
+    } else if (r.ok()) {
+      out.success = true;
+      out.step = EliminateStep::kRightCompose;
+      out.constraints = std::move(*r);
+      return out;
+    } else {
+      reasons += "[right] " + r.status().message() + "; ";
+    }
+  }
+  out.failure_reason = std::move(reasons);
+  return out;
+}
+
+}  // namespace mapcomp

@@ -1,0 +1,55 @@
+#ifndef MAPCOMP_COMPOSE_ELIMINATE_H_
+#define MAPCOMP_COMPOSE_ELIMINATE_H_
+
+#include <string>
+
+#include "src/constraints/constraint.h"
+#include "src/constraints/signature.h"
+#include "src/op/registry.h"
+
+namespace mapcomp {
+
+/// Which ELIMINATE step succeeded for a symbol.
+enum class EliminateStep {
+  kNone,          ///< elimination failed
+  kNotMentioned,  ///< symbol did not occur in the constraints
+  kUnfold,        ///< view unfolding (§3.2)
+  kLeftCompose,   ///< left compose (§3.4)
+  kRightCompose,  ///< right compose (§3.5)
+};
+
+const char* EliminateStepName(EliminateStep step);
+
+/// Options for ELIMINATE. The enable_* switches implement the paper's
+/// experiment configurations ('no unfolding', 'no right compose',
+/// 'no left compose').
+struct EliminateOptions {
+  bool enable_unfold = true;
+  bool enable_left_compose = true;
+  bool enable_right_compose = true;
+  /// Key information used to minimize Skolem function arguments (§3.5.1).
+  const Signature* keys = nullptr;
+  const op::Registry* registry = &op::Registry::Default();
+  /// Abort when the working constraint set exceeds this multiple of the
+  /// input size (operator count); the paper aborts at 100 (§4).
+  int max_blowup_factor = 100;
+};
+
+/// Outcome of eliminating one symbol.
+struct EliminateOutcome {
+  bool success = false;
+  EliminateStep step = EliminateStep::kNone;
+  ConstraintSet constraints;  ///< new set on success; the input on failure
+  std::string failure_reason; ///< set when !success
+};
+
+/// The ELIMINATE procedure (§3.1): tries view unfolding, then left compose,
+/// then right compose, to produce an equivalent constraint set without
+/// `symbol`. Never partially applies a step: each either fully succeeds or
+/// leaves the constraints untouched.
+EliminateOutcome Eliminate(const ConstraintSet& cs, const std::string& symbol,
+                           int arity, const EliminateOptions& options = {});
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_COMPOSE_ELIMINATE_H_

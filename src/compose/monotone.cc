@@ -1,0 +1,105 @@
+#include "src/compose/monotone.h"
+
+namespace mapcomp {
+
+namespace {
+
+/// Combination table for operators that are monotone in all arguments
+/// (∪, ∩, ×): 'i' is the identity, equal values persist, opposite
+/// polarities or any 'u' give 'u'.
+Mono Combine(Mono a, Mono b) {
+  if (a == Mono::kIndependent) return b;
+  if (b == Mono::kIndependent) return a;
+  if (a == b) return a;
+  return Mono::kUnknown;
+}
+
+Mono Flip(Mono m) {
+  switch (m) {
+    case Mono::kMonotone:
+      return Mono::kAnti;
+    case Mono::kAnti:
+      return Mono::kMonotone;
+    default:
+      return m;
+  }
+}
+
+}  // namespace
+
+char MonoToChar(Mono m) {
+  switch (m) {
+    case Mono::kMonotone:
+      return 'm';
+    case Mono::kAnti:
+      return 'a';
+    case Mono::kIndependent:
+      return 'i';
+    case Mono::kUnknown:
+      return 'u';
+  }
+  return '?';
+}
+
+Mono CheckMonotone(const ExprPtr& e, const std::string& symbol,
+                   const op::Registry* registry) {
+  switch (e->kind()) {
+    case ExprKind::kRelation:
+      return e->name() == symbol ? Mono::kMonotone : Mono::kIndependent;
+    case ExprKind::kDomain:
+      // D is shorthand for the union of projections of *all* relations
+      // (paper §2), so it grows monotonically with any symbol.
+      return Mono::kMonotone;
+    case ExprKind::kEmpty:
+    case ExprKind::kLiteral:
+      return Mono::kIndependent;
+    case ExprKind::kUnion:
+    case ExprKind::kIntersect:
+    case ExprKind::kProduct:
+      return Combine(CheckMonotone(e->child(0), symbol, registry),
+                     CheckMonotone(e->child(1), symbol, registry));
+    case ExprKind::kDifference:
+      return Combine(CheckMonotone(e->child(0), symbol, registry),
+                     Flip(CheckMonotone(e->child(1), symbol, registry)));
+    case ExprKind::kSelect:
+    case ExprKind::kProject:
+    case ExprKind::kSkolem:
+      return CheckMonotone(e->child(0), symbol, registry);
+    case ExprKind::kUserOp: {
+      const op::OperatorDef* def =
+          registry != nullptr ? registry->Find(e->name()) : nullptr;
+      Mono acc = Mono::kIndependent;
+      for (size_t i = 0; i < e->children().size(); ++i) {
+        Mono child = CheckMonotone(e->children()[i], symbol, registry);
+        op::Polarity pol =
+            def != nullptr && i < def->polarity.size()
+                ? def->polarity[i]
+                : op::Polarity::kUnknown;
+        Mono adjusted = Mono::kUnknown;
+        switch (pol) {
+          case op::Polarity::kMonotone:
+            adjusted = child;
+            break;
+          case op::Polarity::kAnti:
+            adjusted = Flip(child);
+            break;
+          case op::Polarity::kUnknown:
+            adjusted = child == Mono::kIndependent ? Mono::kIndependent
+                                                   : Mono::kUnknown;
+            break;
+        }
+        acc = Combine(acc, adjusted);
+      }
+      return acc;
+    }
+  }
+  return Mono::kUnknown;
+}
+
+bool IsMonotoneOrIndependent(const ExprPtr& e, const std::string& symbol,
+                             const op::Registry* registry) {
+  Mono m = CheckMonotone(e, symbol, registry);
+  return m == Mono::kMonotone || m == Mono::kIndependent;
+}
+
+}  // namespace mapcomp

@@ -1,0 +1,38 @@
+#ifndef MAPCOMP_COMPOSE_MONOTONE_H_
+#define MAPCOMP_COMPOSE_MONOTONE_H_
+
+#include <string>
+
+#include "src/algebra/expr.h"
+#include "src/op/registry.h"
+
+namespace mapcomp {
+
+/// Result of the MONOTONE procedure (paper §3.3): how an expression depends
+/// on a relation symbol.
+enum class Mono {
+  kMonotone,     ///< 'm' — adding tuples to S only adds output tuples
+  kAnti,         ///< 'a' — adding tuples to S only removes output tuples
+  kIndependent,  ///< 'i' — the expression does not depend on S
+  kUnknown,      ///< 'u' — cannot tell
+};
+
+char MonoToChar(Mono m);
+
+/// The sound-but-incomplete recursive monotonicity check of §3.3. Per-node:
+/// σ and π pass through; ∪, ∩, × combine their operands' values; set
+/// difference flips its second operand; D is monotone in every symbol
+/// (adding tuples can only grow the active domain); user-defined operators
+/// use the registry's per-argument polarity table.
+Mono CheckMonotone(const ExprPtr& e, const std::string& symbol,
+                   const op::Registry* registry = &op::Registry::Default());
+
+/// Convenience: true when the expression is monotone in — or independent
+/// of — the symbol (the condition left/right compose require).
+bool IsMonotoneOrIndependent(const ExprPtr& e, const std::string& symbol,
+                             const op::Registry* registry =
+                                 &op::Registry::Default());
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_COMPOSE_MONOTONE_H_

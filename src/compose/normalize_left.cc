@@ -1,0 +1,128 @@
+#include "src/compose/normalize_left.h"
+
+#include <deque>
+
+#include "src/algebra/builders.h"
+
+namespace mapcomp {
+
+namespace {
+
+bool IsBareSymbol(const ExprPtr& e, const std::string& symbol) {
+  return e->kind() == ExprKind::kRelation && e->name() == symbol;
+}
+
+/// One left-normalization rewrite of `c` (whose lhs contains S in a complex
+/// expression). Returns the replacement constraints, or Unsupported if no
+/// rule matches.
+Result<std::vector<Constraint>> RewriteLeft(const Constraint& c,
+                                            const std::string& symbol,
+                                            const op::Registry* registry) {
+  const ExprPtr& lhs = c.lhs;
+  switch (lhs->kind()) {
+    case ExprKind::kUnion:
+      // E1 ∪ E2 ⊆ E3 → E1 ⊆ E3, E2 ⊆ E3.
+      return std::vector<Constraint>{Constraint::Contain(lhs->child(0), c.rhs),
+                                     Constraint::Contain(lhs->child(1), c.rhs)};
+    case ExprKind::kDifference:
+      // E1 − E2 ⊆ E3 → E1 ⊆ E2 ∪ E3.
+      return std::vector<Constraint>{Constraint::Contain(
+          lhs->child(0), Union(lhs->child(1), c.rhs))};
+    case ExprKind::kSelect: {
+      // σ_c(E1) ⊆ E2 → E1 ⊆ E2 ∪ (D^r − σ_c(D^r)).
+      int r = lhs->arity();
+      ExprPtr complement =
+          Difference(Dom(r), Select(lhs->condition(), Dom(r)));
+      return std::vector<Constraint>{Constraint::Contain(
+          lhs->child(0), Union(c.rhs, std::move(complement)))};
+    }
+    case ExprKind::kProject: {
+      // π_I(E1) ⊆ E2. Prefix I: E1 ⊆ E2 × D^{r−s}. General I:
+      // E1 ⊆ π_{s+1..s+r}(σ_{∧_k #k=#(s+I_k)}(E2 × D^r)).
+      const ExprPtr& inner = lhs->child(0);
+      int r = inner->arity();
+      int s = static_cast<int>(lhs->indexes().size());
+      if (lhs->indexes() == IdentityIndexes(s)) {
+        ExprPtr rhs = s == r ? c.rhs : Product(c.rhs, Dom(r - s));
+        return std::vector<Constraint>{
+            Constraint::Contain(inner, std::move(rhs))};
+      }
+      std::vector<Condition> eqs;
+      eqs.reserve(s);
+      for (int k = 1; k <= s; ++k) {
+        eqs.push_back(
+            Condition::AttrCmp(k, CmpOp::kEq, s + lhs->indexes()[k - 1]));
+      }
+      ExprPtr rhs = Project(IndexRange(s + 1, s + r),
+                            Select(Condition::AndAll(std::move(eqs)),
+                                   Product(c.rhs, Dom(r))));
+      return std::vector<Constraint>{
+          Constraint::Contain(inner, std::move(rhs))};
+    }
+    case ExprKind::kUserOp: {
+      const op::OperatorDef* def =
+          registry != nullptr ? registry->Find(lhs->name()) : nullptr;
+      if (def != nullptr && def->left_rule) {
+        std::optional<std::vector<Constraint>> rewritten =
+            def->left_rule(c, symbol);
+        if (rewritten.has_value()) return *std::move(rewritten);
+      }
+      return Status::Unsupported("no left-normalization rule for operator " +
+                                 lhs->name());
+    }
+    default:
+      // ∩, ×, Skolem: no identity is known (§3.4.1); leaves can't contain S
+      // in a complex position.
+      return Status::Unsupported(
+          "no left-normalization rule for this operator");
+  }
+}
+
+}  // namespace
+
+Result<LeftNormalForm> LeftNormalize(const ConstraintSet& input,
+                                     const std::string& symbol, int arity,
+                                     const op::Registry* registry) {
+  std::deque<Constraint> queue(input.begin(), input.end());
+  ConstraintSet done;
+  int budget = 100 + 10 * OperatorCount(input);
+  while (!queue.empty()) {
+    if (--budget < 0) {
+      return Status::ResourceExhausted("left normalization did not converge");
+    }
+    Constraint c = std::move(queue.front());
+    queue.pop_front();
+    if (c.kind != ConstraintKind::kContainment) {
+      return Status::Internal("left normalize expects containments only");
+    }
+    if (!ContainsRelation(c.lhs, symbol) || IsBareSymbol(c.lhs, symbol)) {
+      done.push_back(std::move(c));
+      continue;
+    }
+    MAPCOMP_ASSIGN_OR_RETURN(std::vector<Constraint> rewritten,
+                             RewriteLeft(c, symbol, registry));
+    for (Constraint& nc : rewritten) queue.push_back(std::move(nc));
+  }
+  // Collapse all S ⊆ E_i into S ⊆ E_1 ∩ E_2 ∩ …
+  LeftNormalForm out;
+  for (Constraint& c : done) {
+    if (IsBareSymbol(c.lhs, symbol)) {
+      if (ContainsRelation(c.rhs, symbol)) {
+        return Status::Unsupported(
+            "normalization left " + symbol + " on both sides of a constraint");
+      }
+      out.upper_bound = out.upper_bound == nullptr
+                            ? c.rhs
+                            : Intersect(out.upper_bound, c.rhs);
+    } else {
+      out.others.push_back(std::move(c));
+    }
+  }
+  if (out.upper_bound == nullptr) {
+    // S never appears on a left side: any S satisfies S ⊆ D^r.
+    out.upper_bound = Dom(arity);
+  }
+  return out;
+}
+
+}  // namespace mapcomp

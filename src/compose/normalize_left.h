@@ -1,0 +1,38 @@
+#ifndef MAPCOMP_COMPOSE_NORMALIZE_LEFT_H_
+#define MAPCOMP_COMPOSE_NORMALIZE_LEFT_H_
+
+#include <string>
+
+#include "src/constraints/constraint.h"
+#include "src/op/registry.h"
+
+namespace mapcomp {
+
+/// Result of left normalization (§3.4.1): the constraints not mentioning S
+/// on their left side, plus the single collapsed upper bound ξ : S ⊆ E1.
+struct LeftNormalForm {
+  ConstraintSet others;
+  ExprPtr upper_bound;  ///< E1; never contains S
+};
+
+/// Rewrites `input` (containment constraints only) so that S appears on the
+/// left of exactly one constraint, alone. Uses the identities
+///
+///   ∪:  E1 ∪ E2 ⊆ E3  ↔  E1 ⊆ E3, E2 ⊆ E3
+///   −:  E1 − E2 ⊆ E3  ↔  E1 ⊆ E2 ∪ E3
+///   π:  π_I(E1) ⊆ E2  ↔  E1 ⊆ E2 × D^{r−|I|}            (I a prefix)
+///                      ↔  E1 ⊆ π_{s+1..s+r}(σ_c(E2 × D^r)) (general I)
+///   σ:  σ_c(E1) ⊆ E2  ↔  E1 ⊆ E2 ∪ (D^r − σ_c(D^r))
+///
+/// Constraints of the forms E1 ∩ E2 ⊆ E3, E1 × E2 ⊆ E3 and E1 − E2 ⊆ E3
+/// (with S in E2) have no known identity (§3.4.1, Example 6) and cause
+/// failure, as do unregistered user operators. Multiple S ⊆ E_i collapse
+/// into S ⊆ E_1 ∩ E_2 ∩ …; when S never appears on a left side, the trivial
+/// bound S ⊆ D^r is used.
+Result<LeftNormalForm> LeftNormalize(const ConstraintSet& input,
+                                     const std::string& symbol, int arity,
+                                     const op::Registry* registry);
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_COMPOSE_NORMALIZE_LEFT_H_

@@ -1,0 +1,187 @@
+#include "src/compose/normalize_right.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/algebra/builders.h"
+
+namespace mapcomp {
+
+namespace {
+
+bool IsBareSymbol(const ExprPtr& e, const std::string& symbol) {
+  return e->kind() == ExprKind::kRelation && e->name() == symbol;
+}
+
+/// Skolemizes E1 ⊆ π_I(E2): appends one fresh Skolem column per E2-position
+/// not covered by I, then permutes to E2's column order.
+Result<std::vector<Constraint>> SkolemizeProjection(
+    const Constraint& c, const Signature* keys, int* skolem_counter) {
+  const ExprPtr& proj = c.rhs;
+  const ExprPtr& inner = proj->child(0);
+  const std::vector<int>& index_list = proj->indexes();
+  int r2 = inner->arity();
+  int r1 = static_cast<int>(index_list.size());
+
+  std::vector<Constraint> out;
+  // Duplicate indexes in I force equalities on E1's columns.
+  for (int k = 0; k < r1; ++k) {
+    for (int k2 = k + 1; k2 < r1; ++k2) {
+      if (index_list[k] == index_list[k2]) {
+        out.push_back(Constraint::Contain(
+            c.lhs,
+            Select(Condition::AttrCmp(k + 1, CmpOp::kEq, k2 + 1), Dom(r1))));
+      }
+    }
+  }
+
+  // Skolem argument minimization via keys (§3.5.1): if the lhs is a base
+  // relation with a declared key, functions depend only on the key columns.
+  std::vector<int> skolem_args = IdentityIndexes(r1);
+  if (keys != nullptr && c.lhs->kind() == ExprKind::kRelation) {
+    std::optional<std::vector<int>> key = keys->KeyOf(c.lhs->name());
+    if (key.has_value() && !key->empty()) skolem_args = *key;
+  }
+
+  // first_pos[j] = 1-based position in I of E2-column j's first occurrence,
+  // or 0 if j is projected away.
+  std::vector<int> first_pos(r2 + 1, 0);
+  for (int k = 0; k < r1; ++k) {
+    if (first_pos[index_list[k]] == 0) first_pos[index_list[k]] = k + 1;
+  }
+  ExprPtr x = c.lhs;
+  std::vector<int> perm(r2);
+  int appended = 0;
+  for (int j = 1; j <= r2; ++j) {
+    if (first_pos[j] != 0) {
+      perm[j - 1] = first_pos[j];
+    } else {
+      x = SkolemApp("sk" + std::to_string((*skolem_counter)++), skolem_args,
+                    x);
+      ++appended;
+      perm[j - 1] = r1 + appended;
+    }
+  }
+  ExprPtr lhs =
+      perm == IdentityIndexes(x->arity()) ? x : Project(std::move(perm), x);
+  out.push_back(Constraint::Contain(std::move(lhs), inner));
+  return out;
+}
+
+Result<std::vector<Constraint>> RewriteRight(const Constraint& c,
+                                             const std::string& symbol,
+                                             const Signature* keys,
+                                             int* skolem_counter,
+                                             const op::Registry* registry) {
+  const ExprPtr& rhs = c.rhs;
+  switch (rhs->kind()) {
+    case ExprKind::kUnion: {
+      // E1 ⊆ E2 ∪ E3 → E1 − E3 ⊆ E2 (keeping the S operand on the right).
+      bool in_left = ContainsRelation(rhs->child(0), symbol);
+      bool in_right = ContainsRelation(rhs->child(1), symbol);
+      if (in_left && in_right) {
+        return Status::Unsupported(
+            "symbol occurs in both operands of a union on the right");
+      }
+      if (in_left) {
+        return std::vector<Constraint>{Constraint::Contain(
+            Difference(c.lhs, rhs->child(1)), rhs->child(0))};
+      }
+      return std::vector<Constraint>{Constraint::Contain(
+          Difference(c.lhs, rhs->child(0)), rhs->child(1))};
+    }
+    case ExprKind::kIntersect:
+      return std::vector<Constraint>{
+          Constraint::Contain(c.lhs, rhs->child(0)),
+          Constraint::Contain(c.lhs, rhs->child(1))};
+    case ExprKind::kProduct: {
+      int ra = rhs->child(0)->arity();
+      int rb = rhs->child(1)->arity();
+      return std::vector<Constraint>{
+          Constraint::Contain(Project(IndexRange(1, ra), c.lhs),
+                              rhs->child(0)),
+          Constraint::Contain(Project(IndexRange(ra + 1, ra + rb), c.lhs),
+                              rhs->child(1))};
+    }
+    case ExprKind::kDifference: {
+      int r = rhs->arity();
+      return std::vector<Constraint>{
+          Constraint::Contain(c.lhs, rhs->child(0)),
+          Constraint::Contain(Intersect(c.lhs, rhs->child(1)), EmptyRel(r))};
+    }
+    case ExprKind::kSelect: {
+      int r = rhs->arity();
+      return std::vector<Constraint>{
+          Constraint::Contain(c.lhs, rhs->child(0)),
+          Constraint::Contain(c.lhs, Select(rhs->condition(), Dom(r)))};
+    }
+    case ExprKind::kProject:
+      return SkolemizeProjection(c, keys, skolem_counter);
+    case ExprKind::kUserOp: {
+      const op::OperatorDef* def =
+          registry != nullptr ? registry->Find(rhs->name()) : nullptr;
+      if (def != nullptr && def->right_rule) {
+        std::optional<std::vector<Constraint>> rewritten =
+            def->right_rule(c, symbol);
+        if (rewritten.has_value()) return *std::move(rewritten);
+      }
+      return Status::Unsupported("no right-normalization rule for operator " +
+                                 rhs->name());
+    }
+    default:
+      return Status::Unsupported(
+          "no right-normalization rule for this operator");
+  }
+}
+
+}  // namespace
+
+Result<RightNormalForm> RightNormalize(const ConstraintSet& input,
+                                       const std::string& symbol, int arity,
+                                       const Signature* keys,
+                                       int* skolem_counter,
+                                       const op::Registry* registry) {
+  std::deque<Constraint> queue(input.begin(), input.end());
+  ConstraintSet done;
+  int budget = 100 + 10 * OperatorCount(input);
+  while (!queue.empty()) {
+    if (--budget < 0) {
+      return Status::ResourceExhausted("right normalization did not converge");
+    }
+    Constraint c = std::move(queue.front());
+    queue.pop_front();
+    if (c.kind != ConstraintKind::kContainment) {
+      return Status::Internal("right normalize expects containments only");
+    }
+    if (!ContainsRelation(c.rhs, symbol) || IsBareSymbol(c.rhs, symbol)) {
+      done.push_back(std::move(c));
+      continue;
+    }
+    MAPCOMP_ASSIGN_OR_RETURN(
+        std::vector<Constraint> rewritten,
+        RewriteRight(c, symbol, keys, skolem_counter, registry));
+    for (Constraint& nc : rewritten) queue.push_back(std::move(nc));
+  }
+  // Collapse all E_i ⊆ S into E_1 ∪ E_2 ∪ … ⊆ S.
+  RightNormalForm out;
+  for (Constraint& c : done) {
+    if (IsBareSymbol(c.rhs, symbol)) {
+      if (ContainsRelation(c.lhs, symbol)) {
+        return Status::Unsupported(
+            "normalization left " + symbol + " on both sides of a constraint");
+      }
+      out.lower_bound = out.lower_bound == nullptr
+                            ? c.lhs
+                            : Union(out.lower_bound, c.lhs);
+    } else {
+      out.others.push_back(std::move(c));
+    }
+  }
+  if (out.lower_bound == nullptr) {
+    // S never appears on a right side: any S satisfies ∅ ⊆ S.
+    out.lower_bound = EmptyRel(arity);
+  }
+  return out;
+}
+
+}  // namespace mapcomp

@@ -1,0 +1,48 @@
+#ifndef MAPCOMP_COMPOSE_NORMALIZE_RIGHT_H_
+#define MAPCOMP_COMPOSE_NORMALIZE_RIGHT_H_
+
+#include <string>
+
+#include "src/constraints/constraint.h"
+#include "src/constraints/signature.h"
+#include "src/op/registry.h"
+
+namespace mapcomp {
+
+/// Result of right normalization (§3.5.1): the constraints not mentioning S
+/// on their right side, plus the collapsed lower bound ξ : E1 ⊆ S.
+struct RightNormalForm {
+  ConstraintSet others;
+  ExprPtr lower_bound;  ///< E1; may contain Skolem operators; never S
+};
+
+/// Rewrites `input` (containment constraints only) so that S appears on the
+/// right of exactly one constraint, alone. Uses the identities
+///
+///   ∪:  E1 ⊆ E2 ∪ E3  ↔  E1 − E3 ⊆ E2   (S-side kept on the right)
+///   ∩:  E1 ⊆ E2 ∩ E3  ↔  E1 ⊆ E2, E1 ⊆ E3
+///   ×:  E1 ⊆ E2 × E3  ↔  π_prefix(E1) ⊆ E2, π_suffix(E1) ⊆ E3
+///   −:  E1 ⊆ E2 − E3  ↔  E1 ⊆ E2, E1 ∩ E3 ⊆ ∅
+///   π:  E1 ⊆ π_I(E2)  ↔  π_P(f_K(…(E1))) ⊆ E2      (Skolemization)
+///   σ:  E1 ⊆ σ_c(E2)  ↔  E1 ⊆ E2, E1 ⊆ σ_c(D^r)
+///
+/// There is a rule for every basic operator, so right normalization always
+/// succeeds on basic relational expressions (§3.5.1) — with two exceptions
+/// treated as failures: S occurring in both operands of a ∪ on the right,
+/// and unregistered user operators.
+///
+/// Skolemization: each projected-away column j of E2 gets a fresh function
+/// f_j applied to E1's columns; when E1 is a base relation with a declared
+/// key (in `keys`), the function's arguments are narrowed to the key
+/// positions, which "increases our chances of success in deskolemize"
+/// (§3.5.1). Duplicate indexes in I additionally emit
+/// E1 ⊆ σ_{#k=#k'}(D^{r1}).
+Result<RightNormalForm> RightNormalize(const ConstraintSet& input,
+                                       const std::string& symbol, int arity,
+                                       const Signature* keys,
+                                       int* skolem_counter,
+                                       const op::Registry* registry);
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_COMPOSE_NORMALIZE_RIGHT_H_

@@ -1,0 +1,60 @@
+#include "src/compose/simplify_constraints.h"
+
+#include <unordered_set>
+
+#include "src/compose/domain_empty.h"
+
+namespace mapcomp {
+
+ConstraintSet SimplifyConstraintSet(ConstraintSet cs,
+                                    const op::Registry* registry) {
+  cs = SimplifyAndPrune(std::move(cs), registry);
+
+  // Structural dedup (order-preserving).
+  ConstraintSet unique;
+  for (Constraint& c : cs) {
+    bool dup = false;
+    for (const Constraint& seen : unique) {
+      if (ConstraintEquals(seen, c)) {
+        dup = true;
+        break;
+      }
+    }
+    // An equality subsumes either containment direction.
+    if (!dup && c.kind == ConstraintKind::kContainment) {
+      for (const Constraint& seen : unique) {
+        if (seen.kind == ConstraintKind::kEquality &&
+            ((ExprEquals(seen.lhs, c.lhs) && ExprEquals(seen.rhs, c.rhs)) ||
+             (ExprEquals(seen.lhs, c.rhs) && ExprEquals(seen.rhs, c.lhs)))) {
+          dup = true;
+          break;
+        }
+      }
+    }
+    if (!dup) unique.push_back(std::move(c));
+  }
+
+  // Merge inverse containment pairs into equalities.
+  ConstraintSet out;
+  std::vector<bool> consumed(unique.size(), false);
+  for (size_t i = 0; i < unique.size(); ++i) {
+    if (consumed[i]) continue;
+    if (unique[i].kind == ConstraintKind::kContainment) {
+      for (size_t j = i + 1; j < unique.size(); ++j) {
+        if (consumed[j] || unique[j].kind != ConstraintKind::kContainment) {
+          continue;
+        }
+        if (ExprEquals(unique[i].lhs, unique[j].rhs) &&
+            ExprEquals(unique[i].rhs, unique[j].lhs)) {
+          consumed[j] = true;
+          unique[i] = Constraint::Equal(unique[i].lhs, unique[i].rhs);
+          break;
+        }
+      }
+    }
+    out.push_back(std::move(unique[i]));
+  }
+  return out;
+}
+
+}  // namespace mapcomp

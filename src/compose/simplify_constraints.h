@@ -1,0 +1,23 @@
+#ifndef MAPCOMP_COMPOSE_SIMPLIFY_CONSTRAINTS_H_
+#define MAPCOMP_COMPOSE_SIMPLIFY_CONSTRAINTS_H_
+
+#include "src/constraints/constraint.h"
+#include "src/op/registry.h"
+
+namespace mapcomp {
+
+/// Output-mapping simplification. The paper observes (§4) that composed
+/// mappings "are often more verbose than the ones derived manually, so
+/// simplification of output mappings is essential" while scoping full
+/// simplification out; this pass performs the cheap, always-sound part:
+///
+///   * algebraic simplification of both sides (incl. D/∅ identities),
+///   * removal of trivially-satisfied constraints,
+///   * structural deduplication,
+///   * merging the pair E1 ⊆ E2, E2 ⊆ E1 into E1 = E2.
+ConstraintSet SimplifyConstraintSet(ConstraintSet cs,
+                                    const op::Registry* registry);
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_COMPOSE_SIMPLIFY_CONSTRAINTS_H_

@@ -1,0 +1,80 @@
+#include "src/constraints/mapping.h"
+
+namespace mapcomp {
+
+namespace {
+
+/// Every relation in `e` must be declared in one of the signatures with the
+/// same arity.
+Status CheckDeclared(const ExprPtr& e,
+                     const std::vector<const Signature*>& sigs) {
+  if (e == nullptr) return Status::InvalidArgument("null expression");
+  if (e->kind() == ExprKind::kRelation) {
+    for (const Signature* s : sigs) {
+      if (s->Contains(e->name())) {
+        if (s->ArityOf(e->name()) != e->arity()) {
+          return Status::InvalidArgument(
+              "relation " + e->name() + " used with arity " +
+              std::to_string(e->arity()) + " but declared with " +
+              std::to_string(s->ArityOf(e->name())));
+        }
+        return Status::OK();
+      }
+    }
+    return Status::NotFound("relation " + e->name() + " not declared");
+  }
+  for (const ExprPtr& c : e->children()) {
+    MAPCOMP_RETURN_IF_ERROR(CheckDeclared(c, sigs));
+  }
+  return Status::OK();
+}
+
+Status CheckConstraints(const ConstraintSet& cs,
+                        const std::vector<const Signature*>& sigs) {
+  for (const Constraint& c : cs) {
+    MAPCOMP_RETURN_IF_ERROR(ValidateExpr(c.lhs));
+    MAPCOMP_RETURN_IF_ERROR(ValidateExpr(c.rhs));
+    if (c.lhs->arity() != c.rhs->arity()) {
+      return Status::InvalidArgument("constraint sides have different arity: " +
+                                     c.ToString());
+    }
+    MAPCOMP_RETURN_IF_ERROR(CheckDeclared(c.lhs, sigs));
+    MAPCOMP_RETURN_IF_ERROR(CheckDeclared(c.rhs, sigs));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string Mapping::ToString() const {
+  std::string out = "input:  " + input.ToString() + "\n";
+  out += "output: " + output.ToString() + "\n";
+  out += ConstraintSetToString(constraints);
+  return out;
+}
+
+Status Mapping::Validate() const {
+  if (!Signature::Disjoint(input, output)) {
+    return Status::InvalidArgument("mapping signatures are not disjoint");
+  }
+  return CheckConstraints(constraints, {&input, &output});
+}
+
+Status CompositionProblem::Validate() const {
+  if (!Signature::Disjoint(sigma1, sigma2) ||
+      !Signature::Disjoint(sigma2, sigma3) ||
+      !Signature::Disjoint(sigma1, sigma3)) {
+    return Status::InvalidArgument("problem signatures are not disjoint");
+  }
+  MAPCOMP_RETURN_IF_ERROR(CheckConstraints(sigma12, {&sigma1, &sigma2}));
+  MAPCOMP_RETURN_IF_ERROR(CheckConstraints(sigma23, {&sigma2, &sigma3}));
+  for (const std::string& s : elimination_order) {
+    if (!sigma2.Contains(s)) {
+      return Status::InvalidArgument("elimination order mentions " + s +
+                                     " which is not in sigma2");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mapcomp

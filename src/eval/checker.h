@@ -1,0 +1,37 @@
+#ifndef MAPCOMP_EVAL_CHECKER_H_
+#define MAPCOMP_EVAL_CHECKER_H_
+
+#include "src/constraints/constraint.h"
+#include "src/constraints/signature.h"
+#include "src/eval/evaluator.h"
+#include "src/eval/instance.h"
+
+namespace mapcomp {
+
+/// Collects every constant mentioned in selection conditions and literal
+/// relations of the constraint set. These are added to the active domain
+/// when checking (see EvalOptions::extra_constants).
+std::set<Value> CollectConstants(const ConstraintSet& cs);
+
+/// A ⊨ ξ (paper §2). For equality constraints checks both containments.
+Result<bool> Satisfies(const Instance& instance, const Constraint& c,
+                       const EvalOptions& options = {});
+
+/// A ⊨ Σ. Automatically adds CollectConstants(cs) to the options' extra
+/// constants.
+Result<bool> SatisfiesAll(const Instance& instance, const ConstraintSet& cs,
+                          const EvalOptions& options = {});
+
+/// Searches for an extension of `base` by relations of `extra` (tuples drawn
+/// from base's active domain plus `fresh_values` new values) satisfying
+/// `cs`. Used to test the completeness half of constraint-set equivalence
+/// (paper §2) on small cases. Exponential — keep arities ≤ 2 and domains
+/// tiny. Returns the witness instance, NotFound if the bounded search space
+/// is exhausted, or an error.
+Result<Instance> FindExtension(const Instance& base, const Signature& extra,
+                               const ConstraintSet& cs, int fresh_values = 1,
+                               long long max_candidates = 200000);
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_EVAL_CHECKER_H_

@@ -1,0 +1,172 @@
+#include "src/eval/evaluator.h"
+
+#include <cmath>
+
+namespace mapcomp {
+
+namespace {
+
+struct EvalState {
+  const Instance* instance;
+  const EvalOptions* options;
+  std::set<Value> domain;  // active domain + extra constants
+};
+
+Result<std::set<Tuple>> EvalRec(const ExprPtr& e, EvalState* st);
+
+Result<std::set<Tuple>> EvalDomain(int arity, EvalState* st) {
+  double size = std::pow(static_cast<double>(st->domain.size()),
+                         static_cast<double>(arity));
+  if (size > static_cast<double>(st->options->max_domain_tuples)) {
+    return Status::ResourceExhausted(
+        "enumerating D^" + std::to_string(arity) + " over " +
+        std::to_string(st->domain.size()) + " values is too large");
+  }
+  std::set<Tuple> out;
+  Tuple current;
+  // Iterative r-fold cross product of the domain.
+  std::vector<std::set<Value>::const_iterator> iters(arity, st->domain.begin());
+  if (st->domain.empty()) return out;
+  while (true) {
+    Tuple t;
+    t.reserve(arity);
+    for (int i = 0; i < arity; ++i) t.push_back(*iters[i]);
+    out.insert(std::move(t));
+    int pos = arity - 1;
+    while (pos >= 0) {
+      ++iters[pos];
+      if (iters[pos] != st->domain.end()) break;
+      iters[pos] = st->domain.begin();
+      --pos;
+    }
+    if (pos < 0) break;
+  }
+  return out;
+}
+
+Result<std::set<Tuple>> EvalRec(const ExprPtr& e, EvalState* st) {
+  switch (e->kind()) {
+    case ExprKind::kRelation:
+      return st->instance->Get(e->name());
+    case ExprKind::kDomain:
+      return EvalDomain(e->arity(), st);
+    case ExprKind::kEmpty:
+      return std::set<Tuple>{};
+    case ExprKind::kLiteral: {
+      std::set<Tuple> out;
+      for (const Tuple& t : e->tuples()) out.insert(t);
+      return out;
+    }
+    case ExprKind::kUnion: {
+      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> a, EvalRec(e->child(0), st));
+      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> b, EvalRec(e->child(1), st));
+      a.insert(b.begin(), b.end());
+      return a;
+    }
+    case ExprKind::kIntersect: {
+      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> a, EvalRec(e->child(0), st));
+      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> b, EvalRec(e->child(1), st));
+      std::set<Tuple> out;
+      for (const Tuple& t : a) {
+        if (b.count(t) > 0) out.insert(t);
+      }
+      return out;
+    }
+    case ExprKind::kDifference: {
+      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> a, EvalRec(e->child(0), st));
+      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> b, EvalRec(e->child(1), st));
+      std::set<Tuple> out;
+      for (const Tuple& t : a) {
+        if (b.count(t) == 0) out.insert(t);
+      }
+      return out;
+    }
+    case ExprKind::kProduct: {
+      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> a, EvalRec(e->child(0), st));
+      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> b, EvalRec(e->child(1), st));
+      std::set<Tuple> out;
+      for (const Tuple& ta : a) {
+        for (const Tuple& tb : b) {
+          Tuple t = ta;
+          t.insert(t.end(), tb.begin(), tb.end());
+          out.insert(std::move(t));
+        }
+      }
+      return out;
+    }
+    case ExprKind::kSelect: {
+      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> a, EvalRec(e->child(0), st));
+      std::set<Tuple> out;
+      for (const Tuple& t : a) {
+        if (e->condition().Eval(t)) out.insert(t);
+      }
+      return out;
+    }
+    case ExprKind::kProject: {
+      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> a, EvalRec(e->child(0), st));
+      std::set<Tuple> out;
+      for (const Tuple& t : a) {
+        Tuple p;
+        p.reserve(e->indexes().size());
+        for (int i : e->indexes()) p.push_back(t[i - 1]);
+        out.insert(std::move(p));
+      }
+      return out;
+    }
+    case ExprKind::kSkolem: {
+      if (st->options->skolem_mode == SkolemEvalMode::kError) {
+        return Status::Unsupported(
+            "cannot evaluate Skolem function " + e->name() +
+            " without an interpretation (SkolemEvalMode::kError)");
+      }
+      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> a, EvalRec(e->child(0), st));
+      std::set<Tuple> out;
+      for (const Tuple& t : a) {
+        std::string term = e->name() + "(";
+        for (size_t i = 0; i < e->indexes().size(); ++i) {
+          if (i > 0) term += ",";
+          term += ValueToString(t[e->indexes()[i] - 1]);
+        }
+        term += ")";
+        Tuple extended = t;
+        extended.push_back(Value(std::move(term)));
+        out.insert(std::move(extended));
+      }
+      return out;
+    }
+    case ExprKind::kUserOp: {
+      const op::OperatorDef* def =
+          st->options->registry ? st->options->registry->Find(e->name())
+                                : nullptr;
+      if (def == nullptr || !def->eval) {
+        return Status::Unsupported("no evaluator for operator " + e->name());
+      }
+      std::vector<std::set<Tuple>> kids;
+      kids.reserve(e->children().size());
+      for (const ExprPtr& c : e->children()) {
+        MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> k, EvalRec(c, st));
+        kids.push_back(std::move(k));
+      }
+      op::EvalContext ctx;
+      ctx.active_domain = &st->domain;
+      return def->eval(*e, kids, ctx);
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+}  // namespace
+
+Result<std::set<Tuple>> Evaluate(const ExprPtr& e, const Instance& instance,
+                                 const EvalOptions& options) {
+  if (e == nullptr) return Status::InvalidArgument("null expression");
+  EvalState st;
+  st.instance = &instance;
+  st.options = &options;
+  st.domain = instance.ActiveDomain();
+  st.domain.insert(options.extra_constants.begin(),
+                   options.extra_constants.end());
+  return EvalRec(e, &st);
+}
+
+}  // namespace mapcomp

@@ -1,0 +1,46 @@
+#ifndef MAPCOMP_EVAL_EVALUATOR_H_
+#define MAPCOMP_EVAL_EVALUATOR_H_
+
+#include <set>
+
+#include "src/algebra/expr.h"
+#include "src/common/status.h"
+#include "src/eval/instance.h"
+#include "src/op/registry.h"
+
+namespace mapcomp {
+
+/// How the evaluator treats Skolem operator nodes.
+enum class SkolemEvalMode {
+  /// Evaluating a Skolem node is an error (the default — Skolem functions
+  /// are existentially quantified, so a fixed interpretation is generally
+  /// not meaningful).
+  kError,
+  /// Interpret every Skolem function as the canonical injective term
+  /// constructor: f(v1..vk) ↦ the string "f(v1,..,vk)". Useful in tests.
+  kInjectiveTerms,
+};
+
+/// Evaluation options.
+struct EvalOptions {
+  /// Extra values added to the active domain. Following the paper's use of
+  /// D in rewrite identities, the checker passes every constant mentioned in
+  /// the constraint set being checked, which keeps identities such as
+  /// E ∪ D^r = D^r sound in the presence of literal relations.
+  std::set<Value> extra_constants;
+  SkolemEvalMode skolem_mode = SkolemEvalMode::kError;
+  const op::Registry* registry = &op::Registry::Default();
+  /// Guard on enumerating D^r: evaluation fails with ResourceExhausted when
+  /// |adom|^r would exceed this.
+  long long max_domain_tuples = 2'000'000;
+};
+
+/// Evaluates a relational expression against an instance under standard set
+/// semantics (paper §2). `D` denotes the instance's active domain plus
+/// `options.extra_constants`.
+Result<std::set<Tuple>> Evaluate(const ExprPtr& e, const Instance& instance,
+                                 const EvalOptions& options = {});
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_EVAL_EVALUATOR_H_

@@ -1,0 +1,49 @@
+#include "src/eval/generator.h"
+
+#include "src/eval/checker.h"
+
+namespace mapcomp {
+
+Instance RandomInstance(const Signature& sig, std::mt19937_64* rng,
+                        const GenOptions& options) {
+  static const char* kStrings[] = {"a", "b", "c"};
+  Instance out;
+  std::uniform_int_distribution<int> count_dist(0,
+                                                options.max_tuples_per_rel);
+  std::uniform_int_distribution<int> val_dist(0, options.domain_size - 1);
+  std::uniform_int_distribution<int> str_dist(0, 2);
+  std::uniform_int_distribution<int> kind_dist(0, 3);
+  for (const std::string& name : sig.names()) {
+    int r = sig.ArityOf(name);
+    int n = count_dist(*rng);
+    std::set<Tuple> tuples;
+    for (int i = 0; i < n; ++i) {
+      Tuple t;
+      t.reserve(r);
+      for (int j = 0; j < r; ++j) {
+        if (options.include_strings && kind_dist(*rng) == 0) {
+          t.push_back(Value(std::string(kStrings[str_dist(*rng)])));
+        } else {
+          t.push_back(Value(int64_t{val_dist(*rng)}));
+        }
+      }
+      tuples.insert(std::move(t));
+    }
+    out.Set(name, std::move(tuples));
+  }
+  return out;
+}
+
+Result<Instance> RandomInstanceSatisfying(const Signature& sig,
+                                          const ConstraintSet& cs,
+                                          std::mt19937_64* rng, int attempts,
+                                          const GenOptions& options) {
+  for (int i = 0; i < attempts; ++i) {
+    Instance candidate = RandomInstance(sig, rng, options);
+    MAPCOMP_ASSIGN_OR_RETURN(bool sat, SatisfiesAll(candidate, cs));
+    if (sat) return candidate;
+  }
+  return Status::NotFound("no satisfying instance within attempt budget");
+}
+
+}  // namespace mapcomp

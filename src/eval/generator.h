@@ -1,0 +1,31 @@
+#ifndef MAPCOMP_EVAL_GENERATOR_H_
+#define MAPCOMP_EVAL_GENERATOR_H_
+
+#include <random>
+
+#include "src/constraints/signature.h"
+#include "src/eval/instance.h"
+
+namespace mapcomp {
+
+/// Parameters for random instance generation (used by property tests).
+struct GenOptions {
+  int domain_size = 4;          ///< values drawn from integers 0..domain_size-1
+  int max_tuples_per_rel = 5;   ///< uniform 0..max per relation
+  bool include_strings = false; ///< also draw from a small string pool
+};
+
+/// Uniformly random instance over the signature's relations.
+Instance RandomInstance(const Signature& sig, std::mt19937_64* rng,
+                        const GenOptions& options = {});
+
+/// Rejection-samples an instance satisfying `cs`; returns NotFound after
+/// `attempts` failures. Useful to seed soundness property tests.
+Result<Instance> RandomInstanceSatisfying(const Signature& sig,
+                                          const ConstraintSet& cs,
+                                          std::mt19937_64* rng, int attempts,
+                                          const GenOptions& options = {});
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_EVAL_GENERATOR_H_

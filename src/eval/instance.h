@@ -1,0 +1,52 @@
+#ifndef MAPCOMP_EVAL_INSTANCE_H_
+#define MAPCOMP_EVAL_INSTANCE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/algebra/value.h"
+#include "src/constraints/signature.h"
+
+namespace mapcomp {
+
+/// A database instance: relation name → finite set of tuples (paper §2).
+/// `(A,B)` — the instance over σ1 ∪ σ2 formed from instances A and B — is
+/// modeled by simply holding both signatures' relations in one Instance.
+class Instance {
+ public:
+  void Set(const std::string& name, std::set<Tuple> tuples);
+  void Add(const std::string& name, Tuple t);
+  void Clear(const std::string& name);
+
+  /// Contents of relation `name` (empty set if absent).
+  const std::set<Tuple>& Get(const std::string& name) const;
+
+  bool Has(const std::string& name) const;
+  std::vector<std::string> RelationNames() const;
+
+  /// Set of values appearing anywhere in the instance (paper §2).
+  std::set<Value> ActiveDomain() const;
+
+  /// Merges `other` into a copy of this (union of relations; shared names
+  /// take the union of their tuple sets).
+  Instance MergedWith(const Instance& other) const;
+
+  /// Keeps only the relations named in `sig` (the restriction used by the
+  /// soundness half of constraint-set equivalence, paper §2).
+  Instance RestrictedTo(const Signature& sig) const;
+
+  bool operator==(const Instance& other) const {
+    return relations_ == other.relations_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::set<Tuple>> relations_;
+};
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_EVAL_INSTANCE_H_

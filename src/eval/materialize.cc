@@ -1,0 +1,66 @@
+#include "src/eval/materialize.h"
+
+#include <set>
+
+#include "src/eval/checker.h"
+
+namespace mapcomp {
+
+Result<MaterializeResult> PopulateResiduals(
+    const Instance& input, const ConstraintSet& constraints,
+    const std::vector<std::string>& residuals, const EvalOptions& options,
+    int max_iterations) {
+  MaterializeResult out;
+  out.instance = input;
+  std::set<std::string> residual_set(residuals.begin(), residuals.end());
+
+  // Collect, per residual symbol, the expressions that feed it.
+  struct Feed {
+    std::string target;
+    ExprPtr source;
+  };
+  std::vector<Feed> feeds;
+  for (const Constraint& c : constraints) {
+    auto bare = [&](const ExprPtr& e) {
+      return e->kind() == ExprKind::kRelation &&
+             residual_set.count(e->name()) > 0;
+    };
+    if (bare(c.rhs)) feeds.push_back(Feed{c.rhs->name(), c.lhs});
+    if (c.kind == ConstraintKind::kEquality && bare(c.lhs)) {
+      feeds.push_back(Feed{c.lhs->name(), c.rhs});
+    }
+  }
+
+  EvalOptions opts = options;
+  std::set<Value> consts = CollectConstants(constraints);
+  opts.extra_constants.insert(consts.begin(), consts.end());
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    out.iterations = iter + 1;
+    bool grew = false;
+    for (const Feed& feed : feeds) {
+      Result<std::set<Tuple>> value = Evaluate(feed.source, out.instance,
+                                               opts);
+      if (!value.ok()) {
+        // A feed we cannot evaluate (e.g. Skolem without interpretation)
+        // simply contributes nothing; the final satisfaction check reports
+        // the truth.
+        continue;
+      }
+      const std::set<Tuple>& current = out.instance.Get(feed.target);
+      for (const Tuple& t : *value) {
+        if (current.count(t) == 0) {
+          out.instance.Add(feed.target, t);
+          grew = true;
+        }
+      }
+    }
+    if (!grew) break;
+  }
+
+  MAPCOMP_ASSIGN_OR_RETURN(out.satisfied,
+                           SatisfiesAll(out.instance, constraints, opts));
+  return out;
+}
+
+}  // namespace mapcomp

@@ -1,0 +1,41 @@
+#ifndef MAPCOMP_EVAL_MATERIALIZE_H_
+#define MAPCOMP_EVAL_MATERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/constraints/constraint.h"
+#include "src/eval/evaluator.h"
+
+namespace mapcomp {
+
+/// Outcome of populating residual intermediate relations.
+struct MaterializeResult {
+  Instance instance;       ///< input plus populated residuals
+  bool satisfied = false;  ///< whether the full constraint set now holds
+  int iterations = 0;      ///< fixpoint rounds used
+};
+
+/// Implements the paper's §1.3 usage note for best-effort composition: "to
+/// use the mapping, those non-eliminated σ2-symbols may need to be
+/// populated as intermediate relations that will be discarded at the end",
+/// e.g. S in  R ⊆ S, S = tc(S), S ⊆ T  is "definable as a recursive view
+/// on R".
+///
+/// Starting from every residual relation empty, repeatedly grows each
+/// residual S with the evaluation of
+///   * E for every containment E ⊆ S, and
+///   * E for every equality S = E or E = S,
+/// until a fixpoint (or `max_iterations`). For constraints monotone in the
+/// residuals — the common case, including tc — this computes the least
+/// population. The result records whether the populated instance satisfies
+/// the whole constraint set (it may not when residuals appear in
+/// non-monotone positions).
+Result<MaterializeResult> PopulateResiduals(
+    const Instance& input, const ConstraintSet& constraints,
+    const std::vector<std::string>& residuals,
+    const EvalOptions& options = {}, int max_iterations = 64);
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_EVAL_MATERIALIZE_H_

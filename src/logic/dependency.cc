@@ -1,0 +1,182 @@
+#include "src/logic/dependency.h"
+
+namespace mapcomp {
+namespace logic {
+
+std::string LAtom::ToString() const {
+  std::string out = rel + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ",";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string TermCond::ToString() const {
+  return lhs.ToString() + CmpOpToString(op) + rhs.ToString();
+}
+
+namespace {
+void AddTermVars(const Term& t, std::set<VarId>* out) {
+  if (t.IsVar()) out->insert(t.var);
+  if (t.IsFunc()) {
+    for (VarId a : t.func_args) out->insert(a);
+  }
+}
+}  // namespace
+
+std::set<VarId> Dependency::BodyVars() const {
+  std::set<VarId> out;
+  for (const LAtom& a : body) {
+    for (const Term& t : a.args) AddTermVars(t, &out);
+  }
+  for (const TermCond& c : body_conds) {
+    AddTermVars(c.lhs, &out);
+    AddTermVars(c.rhs, &out);
+  }
+  return out;
+}
+
+std::set<VarId> Dependency::HeadVars() const {
+  std::set<VarId> out;
+  for (const LAtom& a : head) {
+    for (const Term& t : a.args) AddTermVars(t, &out);
+  }
+  for (const TermCond& c : head_conds) {
+    AddTermVars(c.lhs, &out);
+    AddTermVars(c.rhs, &out);
+  }
+  return out;
+}
+
+std::set<std::string> Dependency::FunctionNames() const {
+  std::set<std::string> out;
+  auto visit = [&out](const Term& t) {
+    if (t.IsFunc()) out.insert(t.func);
+  };
+  for (const LAtom& a : body) {
+    for (const Term& t : a.args) visit(t);
+  }
+  for (const TermCond& c : body_conds) {
+    visit(c.lhs);
+    visit(c.rhs);
+  }
+  for (const LAtom& a : head) {
+    for (const Term& t : a.args) visit(t);
+  }
+  for (const TermCond& c : head_conds) {
+    visit(c.lhs);
+    visit(c.rhs);
+  }
+  return out;
+}
+
+Dependency Dependency::Canonicalized() const {
+  std::vector<VarId> remap(num_vars, -1);
+  int next = 0;
+  auto touch_var = [&](VarId v) {
+    if (v >= 0 && v < num_vars && remap[v] == -1) remap[v] = next++;
+  };
+  auto touch = [&](const Term& t) {
+    if (t.IsVar()) touch_var(t.var);
+    if (t.IsFunc()) {
+      for (VarId a : t.func_args) touch_var(a);
+    }
+  };
+  for (const LAtom& a : body) {
+    for (const Term& t : a.args) touch(t);
+  }
+  for (const TermCond& c : body_conds) {
+    touch(c.lhs);
+    touch(c.rhs);
+  }
+  for (const LAtom& a : head) {
+    for (const Term& t : a.args) touch(t);
+  }
+  for (const TermCond& c : head_conds) {
+    touch(c.lhs);
+    touch(c.rhs);
+  }
+  // Unused variables map to fresh trailing ids.
+  for (VarId v = 0; v < num_vars; ++v) {
+    if (remap[v] == -1) remap[v] = next++;
+  }
+  Dependency out = *this;
+  out.num_vars = next;
+  for (LAtom& a : out.body) {
+    for (Term& t : a.args) t = RemapTerm(t, remap);
+  }
+  for (TermCond& c : out.body_conds) {
+    c.lhs = RemapTerm(c.lhs, remap);
+    c.rhs = RemapTerm(c.rhs, remap);
+  }
+  for (LAtom& a : out.head) {
+    for (Term& t : a.args) t = RemapTerm(t, remap);
+  }
+  for (TermCond& c : out.head_conds) {
+    c.lhs = RemapTerm(c.lhs, remap);
+    c.rhs = RemapTerm(c.rhs, remap);
+  }
+  return out;
+}
+
+std::string Dependency::ToString() const {
+  std::string out;
+  bool first = true;
+  for (const LAtom& a : body) {
+    if (!first) out += " & ";
+    first = false;
+    out += a.ToString();
+  }
+  for (const TermCond& c : body_conds) {
+    if (!first) out += " & ";
+    first = false;
+    out += c.ToString();
+  }
+  if (first) out += "true";
+  out += " -> ";
+  first = true;
+  for (const LAtom& a : head) {
+    if (!first) out += " & ";
+    first = false;
+    out += a.ToString();
+  }
+  for (const TermCond& c : head_conds) {
+    if (!first) out += " & ";
+    first = false;
+    out += c.ToString();
+  }
+  if (first) out += "true";
+  return out;
+}
+
+std::vector<Term> CollectFunctionTerms(const Dependency& d) {
+  std::vector<Term> out;
+  auto visit = [&out](const Term& t) {
+    if (t.IsFunc()) {
+      for (const Term& seen : out) {
+        if (seen == t) return;
+      }
+      out.push_back(t);
+    }
+  };
+  for (const LAtom& a : d.body) {
+    for (const Term& t : a.args) visit(t);
+  }
+  for (const TermCond& c : d.body_conds) {
+    visit(c.lhs);
+    visit(c.rhs);
+  }
+  for (const LAtom& a : d.head) {
+    for (const Term& t : a.args) visit(t);
+  }
+  for (const TermCond& c : d.head_conds) {
+    visit(c.lhs);
+    visit(c.rhs);
+  }
+  return out;
+}
+
+}  // namespace logic
+}  // namespace mapcomp

@@ -1,0 +1,75 @@
+#ifndef MAPCOMP_LOGIC_DEPENDENCY_H_
+#define MAPCOMP_LOGIC_DEPENDENCY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/logic/term.h"
+
+namespace mapcomp {
+namespace logic {
+
+/// Reserved relation name for active-domain atoms `$D(x)` (arity 1).
+inline const char kDomainAtom[] = "$D";
+
+/// A relational atom R(t1,...,tk).
+struct LAtom {
+  std::string rel;
+  std::vector<Term> args;
+
+  bool operator==(const LAtom& o) const {
+    return rel == o.rel && args == o.args;
+  }
+  std::string ToString() const;
+};
+
+/// A comparison between two terms (from selection conditions).
+struct TermCond {
+  CmpOp op = CmpOp::kEq;
+  Term lhs, rhs;
+
+  bool operator==(const TermCond& o) const {
+    return op == o.op && lhs == o.lhs && rhs == o.rhs;
+  }
+  std::string ToString() const;
+};
+
+/// A (possibly Skolemized) tuple-generating dependency:
+///
+///   ∀x̄ [ body ∧ body_conds → ∃ȳ head ∧ head_conds ]
+///
+/// where x̄ are the variables occurring in the body and ȳ the remaining
+/// variables. Head atom arguments may contain Skolem function terms over
+/// body variables (the Skolemized form produced by right compose, §3.5);
+/// deskolemization removes them.
+struct Dependency {
+  std::vector<LAtom> body;
+  std::vector<TermCond> body_conds;
+  std::vector<LAtom> head;
+  std::vector<TermCond> head_conds;
+  int num_vars = 0;
+
+  /// Variables appearing in body atoms or conds.
+  std::set<VarId> BodyVars() const;
+  /// Variables appearing in head atoms or conds (including func args).
+  std::set<VarId> HeadVars() const;
+  /// All Skolem function names used.
+  std::set<std::string> FunctionNames() const;
+
+  /// Renumbers variables in first-occurrence order (body atoms, body conds,
+  /// head atoms, head conds) and compacts num_vars. Canonical form used for
+  /// duplicate detection.
+  Dependency Canonicalized() const;
+
+  std::string ToString() const;
+};
+
+/// Collects function terms (with their argument lists) appearing anywhere in
+/// the dependency.
+std::vector<Term> CollectFunctionTerms(const Dependency& d);
+
+}  // namespace logic
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_LOGIC_DEPENDENCY_H_

@@ -1,0 +1,189 @@
+#include "src/logic/homomorphism.h"
+
+#include <algorithm>
+
+namespace mapcomp {
+namespace logic {
+
+namespace {
+
+/// Tries to map term `from` onto term `to` extending `h`; terms are
+/// var/const only.
+bool UnifyInto(const Term& from, const Term& to, std::map<VarId, Term>* h) {
+  if (from.IsConst()) {
+    return to.IsConst() && CompareValues(from.constant, to.constant) == 0;
+  }
+  if (!from.IsVar()) return false;
+  auto it = h->find(from.var);
+  if (it != h->end()) return it->second == to;
+  (*h)[from.var] = to;
+  return true;
+}
+
+bool HomSearch(const std::vector<LAtom>& from, size_t index,
+               const std::vector<LAtom>& to, std::map<VarId, Term>* h) {
+  if (index == from.size()) return true;
+  const LAtom& atom = from[index];
+  for (const LAtom& target : to) {
+    if (target.rel != atom.rel || target.args.size() != atom.args.size()) {
+      continue;
+    }
+    std::map<VarId, Term> saved = *h;
+    bool ok = true;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (atom.args[i].IsFunc() || target.args[i].IsFunc()) {
+        ok = false;
+        break;
+      }
+      if (!UnifyInto(atom.args[i], target.args[i], h)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && HomSearch(from, index + 1, to, h)) return true;
+    *h = std::move(saved);
+  }
+  return false;
+}
+
+/// Applies a (possibly partial) variable renaming to a term; unmapped
+/// variables stay in place, flagged through *complete.
+Term ApplyRenaming(const Term& t, const std::map<VarId, VarId>& phi,
+                   bool* complete) {
+  Term out = t;
+  if (t.IsVar()) {
+    auto it = phi.find(t.var);
+    if (it == phi.end()) {
+      *complete = false;
+    } else {
+      out.var = it->second;
+    }
+  } else if (t.IsFunc()) {
+    for (VarId& a : out.func_args) {
+      auto it = phi.find(a);
+      if (it == phi.end()) {
+        *complete = false;
+      } else {
+        a = it->second;
+      }
+    }
+  }
+  return out;
+}
+
+bool CondsCorrespond(const std::vector<TermCond>& a_conds,
+                     const std::vector<TermCond>& b_conds,
+                     const std::map<VarId, VarId>& phi) {
+  if (a_conds.size() != b_conds.size()) return false;
+  std::vector<bool> used(a_conds.size(), false);
+  for (const TermCond& bc : b_conds) {
+    bool complete = true;
+    TermCond mapped{bc.op, ApplyRenaming(bc.lhs, phi, &complete),
+                    ApplyRenaming(bc.rhs, phi, &complete)};
+    if (!complete) return false;
+    bool found = false;
+    for (size_t i = 0; i < a_conds.size(); ++i) {
+      if (!used[i] && a_conds[i] == mapped) {
+        used[i] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool BijSearch(const std::vector<LAtom>& a_atoms,
+               const std::vector<LAtom>& b_atoms, size_t index,
+               std::vector<bool>* used, std::map<VarId, VarId>* phi,
+               std::map<VarId, VarId>* inverse) {
+  if (index == b_atoms.size()) return true;
+  const LAtom& atom = b_atoms[index];
+  for (size_t k = 0; k < a_atoms.size(); ++k) {
+    if ((*used)[k]) continue;
+    const LAtom& target = a_atoms[k];
+    if (target.rel != atom.rel || target.args.size() != atom.args.size()) {
+      continue;
+    }
+    std::map<VarId, VarId> saved_phi = *phi;
+    std::map<VarId, VarId> saved_inv = *inverse;
+    bool ok = true;
+    for (size_t i = 0; i < atom.args.size() && ok; ++i) {
+      const Term& bt = atom.args[i];
+      const Term& at = target.args[i];
+      if (bt.kind != at.kind) {
+        ok = false;
+      } else if (bt.IsConst()) {
+        ok = CompareValues(bt.constant, at.constant) == 0;
+      } else if (bt.IsVar()) {
+        auto bind = [&](VarId from, VarId to) {
+          auto it = phi->find(from);
+          if (it != phi->end()) return it->second == to;
+          auto jt = inverse->find(to);
+          if (jt != inverse->end()) return false;  // not injective
+          (*phi)[from] = to;
+          (*inverse)[to] = from;
+          return true;
+        };
+        ok = bind(bt.var, at.var);
+      } else {  // function term
+        ok = bt.func == at.func && bt.func_args.size() == at.func_args.size();
+        for (size_t j = 0; j < bt.func_args.size() && ok; ++j) {
+          auto it = phi->find(bt.func_args[j]);
+          if (it != phi->end()) {
+            ok = it->second == at.func_args[j];
+          } else {
+            auto jt = inverse->find(at.func_args[j]);
+            if (jt != inverse->end()) {
+              ok = false;
+            } else {
+              (*phi)[bt.func_args[j]] = at.func_args[j];
+              (*inverse)[at.func_args[j]] = bt.func_args[j];
+            }
+          }
+        }
+      }
+    }
+    if (ok) {
+      (*used)[k] = true;
+      if (BijSearch(a_atoms, b_atoms, index + 1, used, phi, inverse)) {
+        return true;
+      }
+      (*used)[k] = false;
+    }
+    *phi = std::move(saved_phi);
+    *inverse = std::move(saved_inv);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::map<VarId, Term>> FindHomomorphism(
+    const std::vector<LAtom>& from_atoms, const std::vector<LAtom>& to_atoms) {
+  std::map<VarId, Term> h;
+  if (HomSearch(from_atoms, 0, to_atoms, &h)) return h;
+  return std::nullopt;
+}
+
+std::optional<std::map<VarId, VarId>> FindBodyBijection(
+    const std::vector<LAtom>& a_atoms, const std::vector<TermCond>& a_conds,
+    const std::vector<LAtom>& b_atoms, const std::vector<TermCond>& b_conds,
+    const std::map<VarId, VarId>& seed) {
+  if (a_atoms.size() != b_atoms.size()) return std::nullopt;
+  std::map<VarId, VarId> phi = seed;
+  std::map<VarId, VarId> inverse;
+  for (const auto& [from, to] : seed) {
+    if (!inverse.emplace(to, from).second) return std::nullopt;
+  }
+  std::vector<bool> used(a_atoms.size(), false);
+  if (!BijSearch(a_atoms, b_atoms, 0, &used, &phi, &inverse)) {
+    return std::nullopt;
+  }
+  if (!CondsCorrespond(a_conds, b_conds, phi)) return std::nullopt;
+  return phi;
+}
+
+}  // namespace logic
+}  // namespace mapcomp

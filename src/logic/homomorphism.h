@@ -1,0 +1,32 @@
+#ifndef MAPCOMP_LOGIC_HOMOMORPHISM_H_
+#define MAPCOMP_LOGIC_HOMOMORPHISM_H_
+
+#include <map>
+#include <optional>
+
+#include "src/logic/dependency.h"
+
+namespace mapcomp {
+namespace logic {
+
+/// Classic conjunctive-query homomorphism: a variable mapping h such that
+/// h(atom) ∈ to_atoms for every atom in from_atoms (constants map to
+/// themselves). Function terms are unsupported (returns nullopt). Used for
+/// CQ containment (from ⊇ to as queries iff such an h exists on their
+/// canonical databases) and redundancy detection.
+std::optional<std::map<VarId, Term>> FindHomomorphism(
+    const std::vector<LAtom>& from_atoms, const std::vector<LAtom>& to_atoms);
+
+/// Searches for a bijective variable renaming phi with phi(b_atoms) =
+/// a_atoms as multisets, extending `seed` (pairs b-var → a-var). Conditions
+/// must also correspond. Used by deskolemization step 9 to decide whether
+/// two dependencies sharing Skolem functions have identical bodies.
+std::optional<std::map<VarId, VarId>> FindBodyBijection(
+    const std::vector<LAtom>& a_atoms, const std::vector<TermCond>& a_conds,
+    const std::vector<LAtom>& b_atoms, const std::vector<TermCond>& b_conds,
+    const std::map<VarId, VarId>& seed);
+
+}  // namespace logic
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_LOGIC_HOMOMORPHISM_H_

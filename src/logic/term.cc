@@ -1,0 +1,49 @@
+#include "src/logic/term.h"
+
+namespace mapcomp {
+namespace logic {
+
+bool Term::operator==(const Term& o) const {
+  if (kind != o.kind) return false;
+  switch (kind) {
+    case Kind::kVar:
+      return var == o.var;
+    case Kind::kConst:
+      return CompareValues(constant, o.constant) == 0;
+    case Kind::kFunc:
+      return func == o.func && func_args == o.func_args;
+  }
+  return false;
+}
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case Kind::kVar:
+      return "x" + std::to_string(var);
+    case Kind::kConst:
+      return ValueToString(constant);
+    case Kind::kFunc: {
+      std::string out = func + "(";
+      for (size_t i = 0; i < func_args.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "x" + std::to_string(func_args[i]);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+Term RemapTerm(const Term& t, const std::vector<VarId>& remap) {
+  Term out = t;
+  if (t.kind == Term::Kind::kVar) {
+    out.var = remap[t.var];
+  } else if (t.kind == Term::Kind::kFunc) {
+    for (VarId& a : out.func_args) a = remap[a];
+  }
+  return out;
+}
+
+}  // namespace logic
+}  // namespace mapcomp

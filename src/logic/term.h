@@ -1,0 +1,64 @@
+#ifndef MAPCOMP_LOGIC_TERM_H_
+#define MAPCOMP_LOGIC_TERM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/algebra/condition.h"
+#include "src/algebra/value.h"
+
+namespace mapcomp {
+namespace logic {
+
+/// Variable identifier inside one dependency (0-based, local).
+using VarId = int;
+
+/// A first-order term: a variable, a constant, or a Skolem function applied
+/// to variables. Function arguments are restricted to plain variables — the
+/// right-normalization step only ever builds such terms, and deskolemization
+/// step 2 ("check for cycles") relies on it.
+struct Term {
+  enum class Kind { kVar, kConst, kFunc };
+
+  Kind kind = Kind::kVar;
+  VarId var = 0;
+  Value constant = int64_t{0};
+  std::string func;
+  std::vector<VarId> func_args;
+
+  static Term MakeVar(VarId v) {
+    Term t;
+    t.kind = Kind::kVar;
+    t.var = v;
+    return t;
+  }
+  static Term MakeConst(Value v) {
+    Term t;
+    t.kind = Kind::kConst;
+    t.constant = std::move(v);
+    return t;
+  }
+  static Term MakeFunc(std::string name, std::vector<VarId> args) {
+    Term t;
+    t.kind = Kind::kFunc;
+    t.func = std::move(name);
+    t.func_args = std::move(args);
+    return t;
+  }
+
+  bool IsVar() const { return kind == Kind::kVar; }
+  bool IsConst() const { return kind == Kind::kConst; }
+  bool IsFunc() const { return kind == Kind::kFunc; }
+
+  bool operator==(const Term& o) const;
+  std::string ToString() const;
+};
+
+/// Renames variables by `remap` (applied to var terms and function
+/// arguments).
+Term RemapTerm(const Term& t, const std::vector<VarId>& remap);
+
+}  // namespace logic
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_LOGIC_TERM_H_

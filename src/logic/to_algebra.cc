@@ -1,0 +1,164 @@
+#include "src/logic/to_algebra.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/algebra/builders.h"
+
+namespace mapcomp {
+namespace logic {
+
+namespace {
+
+/// Builds one side of the output constraint: the join of `atoms` filtered by
+/// repeated-variable/constant equalities plus `conds`, projected onto
+/// `exported` (each of which must occur in some atom).
+Result<ExprPtr> BuildSide(const std::vector<LAtom>& atoms,
+                          const std::vector<TermCond>& conds,
+                          const std::vector<VarId>& exported) {
+  if (atoms.empty()) {
+    return Status::Unsupported("cannot build expression from an empty side");
+  }
+  ExprPtr cross;
+  std::map<VarId, int> var_col;
+  std::vector<Condition> selection;
+  int base = 0;
+  for (const LAtom& atom : atoms) {
+    int arity = static_cast<int>(atom.args.size());
+    if (arity == 0) return Status::Unsupported("zero-arity atom");
+    ExprPtr rel = atom.rel == kDomainAtom ? Dom(1) : Rel(atom.rel, arity);
+    cross = cross == nullptr ? rel : Product(cross, rel);
+    for (int i = 0; i < arity; ++i) {
+      const Term& t = atom.args[i];
+      int col = base + i + 1;
+      switch (t.kind) {
+        case Term::Kind::kVar: {
+          auto [it, inserted] = var_col.try_emplace(t.var, col);
+          if (!inserted) {
+            selection.push_back(Condition::AttrCmp(it->second, CmpOp::kEq, col));
+          }
+          break;
+        }
+        case Term::Kind::kConst:
+          selection.push_back(Condition::AttrConst(col, CmpOp::kEq, t.constant));
+          break;
+        case Term::Kind::kFunc:
+          return Status::Unsupported(
+              "dependency still contains Skolem term " + t.ToString());
+      }
+    }
+    base += arity;
+  }
+  auto term_operand = [&var_col](const Term& t) -> Result<CondOperand> {
+    switch (t.kind) {
+      case Term::Kind::kVar: {
+        auto it = var_col.find(t.var);
+        if (it == var_col.end()) {
+          return Status::Unsupported("condition variable has no column");
+        }
+        return CondOperand::Attr(it->second);
+      }
+      case Term::Kind::kConst:
+        return CondOperand::Const(t.constant);
+      case Term::Kind::kFunc:
+        return Status::Unsupported("Skolem term in condition");
+    }
+    return Status::Internal("unknown term kind");
+  };
+  for (const TermCond& c : conds) {
+    MAPCOMP_ASSIGN_OR_RETURN(CondOperand lhs, term_operand(c.lhs));
+    MAPCOMP_ASSIGN_OR_RETURN(CondOperand rhs, term_operand(c.rhs));
+    selection.push_back(Condition::Atom(std::move(lhs), c.op, std::move(rhs)));
+  }
+  ExprPtr result = cross;
+  Condition cond = Condition::AndAll(std::move(selection));
+  if (!cond.IsTrue()) result = Select(std::move(cond), result);
+  std::vector<int> proj;
+  proj.reserve(exported.size());
+  for (VarId v : exported) {
+    auto it = var_col.find(v);
+    if (it == var_col.end()) {
+      return Status::Internal("exported variable has no column");
+    }
+    proj.push_back(it->second);
+  }
+  if (proj.empty()) return Status::Unsupported("no exported variables");
+  if (proj != IdentityIndexes(result->arity())) {
+    result = Project(std::move(proj), result);
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<Constraint> DependencyToConstraint(const Dependency& d) {
+  Dependency dep = d;
+  // A body whose atoms carry only constants has no variables to export;
+  // generalize one constant argument into a fresh variable constrained to
+  // equal it, so the standard construction applies.
+  if (dep.BodyVars().empty() && !dep.body.empty()) {
+    bool rewritten = false;
+    for (LAtom& a : dep.body) {
+      for (Term& t : a.args) {
+        if (t.IsConst()) {
+          Term var = Term::MakeVar(dep.num_vars++);
+          dep.body_conds.push_back(TermCond{CmpOp::kEq, var, t});
+          t = var;
+          rewritten = true;
+          break;
+        }
+      }
+      if (rewritten) break;
+    }
+  }
+  const Dependency& dd = dep;
+  std::set<VarId> body_vars = dd.BodyVars();
+  std::set<VarId> head_vars = dd.HeadVars();
+  std::vector<VarId> exported;
+  for (VarId v : body_vars) {
+    if (head_vars.count(v) > 0) exported.push_back(v);
+  }
+  std::sort(exported.begin(), exported.end());
+
+  std::vector<LAtom> head_atoms = dd.head;
+  if (exported.empty()) {
+    // Tether the two sides through one body variable; the head gains a $D
+    // atom for it (sound: a body variable's value is in the active domain).
+    if (body_vars.empty()) {
+      return Status::Unsupported(
+          "dependency with no variables cannot be rebuilt");
+    }
+    VarId v = *body_vars.begin();
+    exported.push_back(v);
+    head_atoms.push_back(LAtom{kDomainAtom, {Term::MakeVar(v)}});
+  } else {
+    // Exported variables referenced only by head conditions still need a
+    // column on the head side.
+    for (VarId v : exported) {
+      bool in_atom = false;
+      for (const LAtom& a : head_atoms) {
+        for (const Term& t : a.args) {
+          if (t.IsVar() && t.var == v) in_atom = true;
+          if (t.IsFunc()) {
+            for (VarId fa : t.func_args) {
+              if (fa == v) in_atom = true;
+            }
+          }
+        }
+      }
+      if (!in_atom) head_atoms.push_back(LAtom{kDomainAtom, {Term::MakeVar(v)}});
+    }
+  }
+  if (head_atoms.empty()) {
+    return Status::Unsupported("dependency with empty head cannot be rebuilt");
+  }
+
+  MAPCOMP_ASSIGN_OR_RETURN(ExprPtr lhs,
+                           BuildSide(dd.body, dd.body_conds, exported));
+  MAPCOMP_ASSIGN_OR_RETURN(ExprPtr rhs,
+                           BuildSide(head_atoms, dd.head_conds, exported));
+  return Constraint::Contain(std::move(lhs), std::move(rhs));
+}
+
+}  // namespace logic
+}  // namespace mapcomp

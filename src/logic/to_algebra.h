@@ -1,0 +1,25 @@
+#ifndef MAPCOMP_LOGIC_TO_ALGEBRA_H_
+#define MAPCOMP_LOGIC_TO_ALGEBRA_H_
+
+#include "src/common/status.h"
+#include "src/constraints/constraint.h"
+#include "src/logic/dependency.h"
+
+namespace mapcomp {
+namespace logic {
+
+/// Translates a function-free dependency back to an algebraic containment
+/// constraint:
+///
+///   body → ∃ȳ head   becomes   π_x̄(σ(body atoms ×)) ⊆ π_x̄(σ(head atoms ×))
+///
+/// where x̄ are the exported variables (body ∩ head), projected in the same
+/// canonical order on both sides; head-only variables are existential and
+/// simply not projected; `$D` atoms become the active-domain relation D.
+/// Fails on dependencies still containing Skolem terms.
+Result<Constraint> DependencyToConstraint(const Dependency& d);
+
+}  // namespace logic
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_LOGIC_TO_ALGEBRA_H_

@@ -1,0 +1,309 @@
+#include "src/logic/translate.h"
+
+namespace mapcomp {
+namespace logic {
+
+namespace {
+
+/// Substitutes variable `v` by `t` throughout a CQ fragment. Fails if the
+/// substitution would nest a function term inside another function term.
+Status SubstVarInTerm(Term* target, VarId v, const Term& t) {
+  if (target->IsVar() && target->var == v) {
+    *target = t;
+    return Status::OK();
+  }
+  if (target->IsFunc()) {
+    for (VarId& a : target->func_args) {
+      if (a == v) {
+        if (!t.IsVar()) {
+          return Status::Unsupported(
+              "substitution would nest a non-variable inside a Skolem term");
+        }
+        a = t.var;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status SubstVar(CQ* cq, VarId v, const Term& t) {
+  for (LAtom& a : cq->atoms) {
+    for (Term& arg : a.args) MAPCOMP_RETURN_IF_ERROR(SubstVarInTerm(&arg, v, t));
+  }
+  for (TermCond& c : cq->conds) {
+    MAPCOMP_RETURN_IF_ERROR(SubstVarInTerm(&c.lhs, v, t));
+    MAPCOMP_RETURN_IF_ERROR(SubstVarInTerm(&c.rhs, v, t));
+  }
+  for (Term& o : cq->outputs) MAPCOMP_RETURN_IF_ERROR(SubstVarInTerm(&o, v, t));
+  return Status::OK();
+}
+
+/// Unifies two terms inside a CQ. Plain variables are substituted away;
+/// comparisons involving function terms are recorded as conditions.
+/// Sets *dead when the disjunct becomes unsatisfiable (distinct constants).
+Status UnifyTerms(CQ* cq, const Term& a, const Term& b, bool* dead) {
+  if (a == b) return Status::OK();
+  // Function terms are never substituted into atoms here: an equality on a
+  // Skolem value is a "restricting atom" whose fate deskolemization decides.
+  if (a.IsFunc() || b.IsFunc()) {
+    cq->conds.push_back(TermCond{CmpOp::kEq, a, b});
+    return Status::OK();
+  }
+  if (a.IsVar()) return SubstVar(cq, a.var, b);
+  if (b.IsVar()) return SubstVar(cq, b.var, a);
+  if (CompareValues(a.constant, b.constant) != 0) *dead = true;
+  return Status::OK();
+}
+
+/// Flattens a selection condition into term comparisons over the CQ's
+/// outputs. Only conjunctions of atoms are expressible; pure equalities are
+/// unified away.
+Status ApplyCondition(CQ* cq, const Condition& cond, bool* dead) {
+  switch (cond.kind()) {
+    case Condition::Kind::kTrue:
+      return Status::OK();
+    case Condition::Kind::kFalse:
+      *dead = true;
+      return Status::OK();
+    case Condition::Kind::kAnd:
+      for (const Condition& ch : cond.children()) {
+        MAPCOMP_RETURN_IF_ERROR(ApplyCondition(cq, ch, dead));
+        if (*dead) return Status::OK();
+      }
+      return Status::OK();
+    case Condition::Kind::kOr:
+    case Condition::Kind::kNot:
+      return Status::Unsupported(
+          "disjunctive/negated selection conditions are not expressible as "
+          "conjunctive queries");
+    case Condition::Kind::kAtom: {
+      auto operand_term = [cq](const CondOperand& o) -> Result<Term> {
+        if (!o.is_attr) return Term::MakeConst(o.constant);
+        if (o.attr < 1 || o.attr > static_cast<int>(cq->outputs.size())) {
+          return Status::Internal("condition attribute out of range");
+        }
+        return cq->outputs[o.attr - 1];
+      };
+      MAPCOMP_ASSIGN_OR_RETURN(Term lhs, operand_term(cond.lhs()));
+      MAPCOMP_ASSIGN_OR_RETURN(Term rhs, operand_term(cond.rhs()));
+      if (cond.op() == CmpOp::kEq) {
+        return UnifyTerms(cq, lhs, rhs, dead);
+      }
+      if (lhs.IsConst() && rhs.IsConst()) {
+        if (!EvalCmp(cond.op(), lhs.constant, rhs.constant)) *dead = true;
+        return Status::OK();
+      }
+      cq->conds.push_back(TermCond{cond.op(), std::move(lhs), std::move(rhs)});
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown condition kind");
+}
+
+}  // namespace
+
+Result<std::vector<CQ>> ExprToUCQ(const ExprPtr& e, VarAllocator* vars) {
+  switch (e->kind()) {
+    case ExprKind::kRelation: {
+      CQ cq;
+      LAtom atom;
+      atom.rel = e->name();
+      for (int i = 0; i < e->arity(); ++i) {
+        VarId v = vars->Fresh();
+        atom.args.push_back(Term::MakeVar(v));
+        cq.outputs.push_back(Term::MakeVar(v));
+      }
+      cq.atoms.push_back(std::move(atom));
+      return std::vector<CQ>{std::move(cq)};
+    }
+    case ExprKind::kDomain: {
+      CQ cq;
+      for (int i = 0; i < e->arity(); ++i) {
+        VarId v = vars->Fresh();
+        cq.atoms.push_back(LAtom{kDomainAtom, {Term::MakeVar(v)}});
+        cq.outputs.push_back(Term::MakeVar(v));
+      }
+      return std::vector<CQ>{std::move(cq)};
+    }
+    case ExprKind::kEmpty:
+      return std::vector<CQ>{};
+    case ExprKind::kLiteral: {
+      std::vector<CQ> out;
+      for (const Tuple& t : e->tuples()) {
+        CQ cq;
+        for (const Value& v : t) cq.outputs.push_back(Term::MakeConst(v));
+        out.push_back(std::move(cq));
+      }
+      return out;
+    }
+    case ExprKind::kUnion: {
+      MAPCOMP_ASSIGN_OR_RETURN(std::vector<CQ> a,
+                               ExprToUCQ(e->child(0), vars));
+      MAPCOMP_ASSIGN_OR_RETURN(std::vector<CQ> b,
+                               ExprToUCQ(e->child(1), vars));
+      for (CQ& cq : b) a.push_back(std::move(cq));
+      return a;
+    }
+    case ExprKind::kIntersect: {
+      MAPCOMP_ASSIGN_OR_RETURN(std::vector<CQ> a,
+                               ExprToUCQ(e->child(0), vars));
+      std::vector<CQ> out;
+      for (const CQ& ca : a) {
+        // Re-translate the right child per disjunct so variables stay fresh.
+        MAPCOMP_ASSIGN_OR_RETURN(std::vector<CQ> b,
+                                 ExprToUCQ(e->child(1), vars));
+        for (CQ cb : b) {
+          CQ merged = ca;
+          merged.atoms.insert(merged.atoms.end(), cb.atoms.begin(),
+                              cb.atoms.end());
+          merged.conds.insert(merged.conds.end(), cb.conds.begin(),
+                              cb.conds.end());
+          bool dead = false;
+          for (size_t i = 0; i < merged.outputs.size(); ++i) {
+            // Unify in a temporary CQ that also holds cb's outputs so
+            // substitutions reach them.
+            CQ work = merged;
+            work.outputs.insert(work.outputs.end(), cb.outputs.begin(),
+                                cb.outputs.end());
+            MAPCOMP_RETURN_IF_ERROR(UnifyTerms(
+                &work, work.outputs[i], work.outputs[merged.outputs.size() + i],
+                &dead));
+            cb.outputs.assign(work.outputs.begin() + merged.outputs.size(),
+                              work.outputs.end());
+            work.outputs.resize(merged.outputs.size());
+            merged = std::move(work);
+            if (dead) break;
+          }
+          if (!dead) out.push_back(std::move(merged));
+        }
+      }
+      return out;
+    }
+    case ExprKind::kProduct: {
+      MAPCOMP_ASSIGN_OR_RETURN(std::vector<CQ> a,
+                               ExprToUCQ(e->child(0), vars));
+      std::vector<CQ> out;
+      for (const CQ& ca : a) {
+        MAPCOMP_ASSIGN_OR_RETURN(std::vector<CQ> b,
+                                 ExprToUCQ(e->child(1), vars));
+        for (const CQ& cb : b) {
+          CQ merged = ca;
+          merged.atoms.insert(merged.atoms.end(), cb.atoms.begin(),
+                              cb.atoms.end());
+          merged.conds.insert(merged.conds.end(), cb.conds.begin(),
+                              cb.conds.end());
+          merged.outputs.insert(merged.outputs.end(), cb.outputs.begin(),
+                                cb.outputs.end());
+          out.push_back(std::move(merged));
+        }
+      }
+      return out;
+    }
+    case ExprKind::kDifference:
+      return Status::Unsupported(
+          "set difference is not expressible as a conjunctive query");
+    case ExprKind::kSelect: {
+      MAPCOMP_ASSIGN_OR_RETURN(std::vector<CQ> a,
+                               ExprToUCQ(e->child(0), vars));
+      std::vector<CQ> out;
+      for (CQ& cq : a) {
+        bool dead = false;
+        MAPCOMP_RETURN_IF_ERROR(ApplyCondition(&cq, e->condition(), &dead));
+        if (!dead) out.push_back(std::move(cq));
+      }
+      return out;
+    }
+    case ExprKind::kProject: {
+      MAPCOMP_ASSIGN_OR_RETURN(std::vector<CQ> a,
+                               ExprToUCQ(e->child(0), vars));
+      for (CQ& cq : a) {
+        std::vector<Term> picked;
+        picked.reserve(e->indexes().size());
+        for (int i : e->indexes()) picked.push_back(cq.outputs[i - 1]);
+        cq.outputs = std::move(picked);
+      }
+      return a;
+    }
+    case ExprKind::kSkolem: {
+      MAPCOMP_ASSIGN_OR_RETURN(std::vector<CQ> a,
+                               ExprToUCQ(e->child(0), vars));
+      for (CQ& cq : a) {
+        std::vector<VarId> args;
+        args.reserve(e->indexes().size());
+        for (int i : e->indexes()) {
+          const Term& t = cq.outputs[i - 1];
+          if (!t.IsVar()) {
+            return Status::Unsupported(
+                "Skolem argument is not a plain variable (nested or constant "
+                "argument)");
+          }
+          args.push_back(t.var);
+        }
+        cq.outputs.push_back(Term::MakeFunc(e->name(), std::move(args)));
+      }
+      return a;
+    }
+    case ExprKind::kUserOp:
+      return Status::Unsupported("user-defined operator " + e->name() +
+                                 " has no conjunctive-query translation");
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<std::vector<Dependency>> ConstraintToDependencies(const Constraint& c) {
+  if (c.kind != ConstraintKind::kContainment) {
+    return Status::InvalidArgument(
+        "only containment constraints translate to dependencies");
+  }
+  VarAllocator vars;
+  MAPCOMP_ASSIGN_OR_RETURN(std::vector<CQ> lhs, ExprToUCQ(c.lhs, &vars));
+  std::vector<Dependency> out;
+  for (const CQ& body_cq : lhs) {
+    // Translate the rhs fresh for each disjunct so variables don't clash
+    // across dependencies sharing an allocator.
+    MAPCOMP_ASSIGN_OR_RETURN(std::vector<CQ> rhs, ExprToUCQ(c.rhs, &vars));
+    if (rhs.size() != 1) {
+      return Status::Unsupported(
+          "constraint rhs must translate to a single conjunctive query (got " +
+          std::to_string(rhs.size()) + " disjuncts)");
+    }
+    CQ head_cq = std::move(rhs[0]);
+    for (const Term& t : head_cq.outputs) {
+      if (t.IsFunc()) {
+        return Status::Unsupported("Skolem term on constraint rhs");
+      }
+    }
+    Dependency dep;
+    dep.body = body_cq.atoms;
+    dep.body_conds = body_cq.conds;
+    std::vector<TermCond> head_conds = head_cq.conds;
+    // Unify head outputs with body outputs position by position.
+    for (size_t p = 0; p < body_cq.outputs.size(); ++p) {
+      const Term& body_term = body_cq.outputs[p];
+      Term head_term = head_cq.outputs[p];
+      if (head_term.IsVar()) {
+        // Substitute the head variable by the body term throughout the head.
+        CQ work;
+        work.atoms = std::move(head_cq.atoms);
+        work.conds = std::move(head_conds);
+        work.outputs = std::move(head_cq.outputs);
+        MAPCOMP_RETURN_IF_ERROR(SubstVar(&work, head_term.var, body_term));
+        head_cq.atoms = std::move(work.atoms);
+        head_conds = std::move(work.conds);
+        head_cq.outputs = std::move(work.outputs);
+      } else if (!(head_term == body_term)) {
+        // Constant (or already-substituted term) on the head side: record
+        // the forced equality.
+        head_conds.push_back(TermCond{CmpOp::kEq, body_term, head_term});
+      }
+    }
+    dep.head = std::move(head_cq.atoms);
+    dep.head_conds = std::move(head_conds);
+    dep.num_vars = vars.next;
+    out.push_back(dep.Canonicalized());
+  }
+  return out;
+}
+
+}  // namespace logic
+}  // namespace mapcomp

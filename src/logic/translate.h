@@ -1,0 +1,41 @@
+#ifndef MAPCOMP_LOGIC_TRANSLATE_H_
+#define MAPCOMP_LOGIC_TRANSLATE_H_
+
+#include "src/common/status.h"
+#include "src/constraints/constraint.h"
+#include "src/logic/dependency.h"
+
+namespace mapcomp {
+namespace logic {
+
+/// One disjunct of a union of conjunctive queries, with output terms.
+/// {outputs | atoms ∧ conds} under set semantics.
+struct CQ {
+  std::vector<LAtom> atoms;
+  std::vector<TermCond> conds;
+  std::vector<Term> outputs;
+};
+
+/// Allocates dependency-local variable ids.
+struct VarAllocator {
+  int next = 0;
+  VarId Fresh() { return next++; }
+};
+
+/// Translates a relational expression into a union of conjunctive queries.
+/// Supported operators: base relations, D, ∅, literals, ∪, ∩, ×, σ with
+/// conjunctive conditions, π, and Skolem applications whose arguments are
+/// plain variables. Unsupported (difference, user ops, disjunctive or
+/// negated conditions) returns Unsupported — callers treat this as
+/// "deskolemization fails", reverting right compose (paper behaviour).
+Result<std::vector<CQ>> ExprToUCQ(const ExprPtr& e, VarAllocator* vars);
+
+/// Translates a containment constraint into Skolemized tuple-generating
+/// dependencies (one per lhs disjunct). The rhs must translate to a single
+/// conjunctive query with no Skolem terms.
+Result<std::vector<Dependency>> ConstraintToDependencies(const Constraint& c);
+
+}  // namespace logic
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_LOGIC_TRANSLATE_H_

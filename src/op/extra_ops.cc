@@ -1,0 +1,181 @@
+#include "src/op/extra_ops.h"
+
+#include "src/algebra/builders.h"
+#include "src/op/registry.h"
+
+namespace mapcomp {
+namespace op {
+
+const Value& NullValue() {
+  static const Value* kNull = new Value(std::string("<null>"));
+  return *kNull;
+}
+
+namespace {
+
+Result<int> SameBinaryArity(const std::vector<int>& arities) {
+  if (arities.size() != 2) return Status::InvalidArgument("needs 2 args");
+  return arities[0] + arities[1];
+}
+
+Result<int> FirstArgArity(const std::vector<int>& arities) {
+  if (arities.size() != 2) return Status::InvalidArgument("needs 2 args");
+  return arities[0];
+}
+
+Result<int> BinaryRelationArity(const std::vector<int>& arities) {
+  if (arities.size() != 1 || arities[0] != 2) {
+    return Status::InvalidArgument("tc needs one binary argument");
+  }
+  return 2;
+}
+
+bool HasMatch(const Tuple& t1, const std::set<Tuple>& right,
+              const Condition& c) {
+  for (const Tuple& t2 : right) {
+    Tuple joined = t1;
+    joined.insert(joined.end(), t2.begin(), t2.end());
+    if (c.Eval(joined)) return true;
+  }
+  return false;
+}
+
+OperatorDef LeftOuterJoinDef() {
+  OperatorDef def;
+  def.name = "lojoin";
+  def.num_args = 2;
+  def.arity = SameBinaryArity;
+  // Paper §1.3: left outerjoin is monotone in its first argument but not in
+  // its second (adding tuples to E2 may retract padded rows).
+  def.polarity = {Polarity::kMonotone, Polarity::kUnknown};
+  def.simplify = [](const ExprPtr& e) -> ExprPtr {
+    // lojoin[c](∅, E2) = ∅.
+    if (e->child(0)->kind() == ExprKind::kEmpty) return EmptyRel(e->arity());
+    return nullptr;
+  };
+  def.eval = [](const Expr& e, const std::vector<std::set<Tuple>>& kids,
+                const EvalContext&) -> Result<std::set<Tuple>> {
+    std::set<Tuple> out;
+    int r2 = e.child(1)->arity();
+    for (const Tuple& t1 : kids[0]) {
+      bool matched = false;
+      for (const Tuple& t2 : kids[1]) {
+        Tuple joined = t1;
+        joined.insert(joined.end(), t2.begin(), t2.end());
+        if (e.condition().Eval(joined)) {
+          out.insert(std::move(joined));
+          matched = true;
+        }
+      }
+      if (!matched) {
+        Tuple padded = t1;
+        for (int i = 0; i < r2; ++i) padded.push_back(NullValue());
+        out.insert(std::move(padded));
+      }
+    }
+    return out;
+  };
+  return def;
+}
+
+OperatorDef SemiJoinDef() {
+  OperatorDef def;
+  def.name = "semijoin";
+  def.num_args = 2;
+  def.arity = FirstArgArity;
+  def.polarity = {Polarity::kMonotone, Polarity::kMonotone};
+  def.simplify = [](const ExprPtr& e) -> ExprPtr {
+    if (e->child(0)->kind() == ExprKind::kEmpty ||
+        e->child(1)->kind() == ExprKind::kEmpty) {
+      return EmptyRel(e->arity());
+    }
+    return nullptr;
+  };
+  def.eval = [](const Expr& e, const std::vector<std::set<Tuple>>& kids,
+                const EvalContext&) -> Result<std::set<Tuple>> {
+    std::set<Tuple> out;
+    for (const Tuple& t1 : kids[0]) {
+      if (HasMatch(t1, kids[1], e.condition())) out.insert(t1);
+    }
+    return out;
+  };
+  return def;
+}
+
+OperatorDef AntiJoinDef() {
+  OperatorDef def;
+  def.name = "antijoin";
+  def.num_args = 2;
+  def.arity = FirstArgArity;
+  // Paper §1.3: anti-semijoin handled via monotone-in-first,
+  // anti-monotone-in-second.
+  def.polarity = {Polarity::kMonotone, Polarity::kAnti};
+  def.simplify = [](const ExprPtr& e) -> ExprPtr {
+    // antijoin[c](E1, ∅) = E1; antijoin[c](∅, E2) = ∅.
+    if (e->child(1)->kind() == ExprKind::kEmpty) return e->child(0);
+    if (e->child(0)->kind() == ExprKind::kEmpty) return EmptyRel(e->arity());
+    return nullptr;
+  };
+  def.eval = [](const Expr& e, const std::vector<std::set<Tuple>>& kids,
+                const EvalContext&) -> Result<std::set<Tuple>> {
+    std::set<Tuple> out;
+    for (const Tuple& t1 : kids[0]) {
+      if (!HasMatch(t1, kids[1], e.condition())) out.insert(t1);
+    }
+    return out;
+  };
+  return def;
+}
+
+OperatorDef TransitiveClosureDef() {
+  OperatorDef def;
+  def.name = "tc";
+  def.num_args = 1;
+  def.arity = BinaryRelationArity;
+  def.polarity = {Polarity::kMonotone};
+  def.simplify = [](const ExprPtr& e) -> ExprPtr {
+    if (e->child(0)->kind() == ExprKind::kEmpty) return EmptyRel(2);
+    return nullptr;
+  };
+  def.eval = [](const Expr&, const std::vector<std::set<Tuple>>& kids,
+                const EvalContext&) -> Result<std::set<Tuple>> {
+    std::set<Tuple> closure = kids[0];
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      std::vector<Tuple> added;
+      for (const Tuple& a : closure) {
+        for (const Tuple& b : closure) {
+          if (CompareValues(a[1], b[0]) == 0) {
+            Tuple t{a[0], b[1]};
+            if (closure.count(t) == 0) added.push_back(std::move(t));
+          }
+        }
+      }
+      for (Tuple& t : added) {
+        closure.insert(std::move(t));
+        grew = true;
+      }
+    }
+    return closure;
+  };
+  return def;
+}
+
+}  // namespace
+
+void RegisterExtraOps(Registry* registry) {
+  // Registration failures here are programming errors (duplicate names);
+  // surface loudly.
+  for (OperatorDef def : {LeftOuterJoinDef(), SemiJoinDef(), AntiJoinDef(),
+                          TransitiveClosureDef()}) {
+    Status st = registry->Register(std::move(def));
+    if (!st.ok()) {
+      std::cerr << "RegisterExtraOps: " << st.ToString() << "\n";
+      std::abort();
+    }
+  }
+}
+
+}  // namespace op
+}  // namespace mapcomp

@@ -1,0 +1,75 @@
+#include "src/op/registry.h"
+
+#include "src/algebra/builders.h"
+#include "src/op/extra_ops.h"
+
+namespace mapcomp {
+namespace op {
+
+const Registry& Registry::Default() {
+  static const Registry* kDefault = [] {
+    auto* r = new Registry();
+    RegisterExtraOps(r);
+    return r;
+  }();
+  return *kDefault;
+}
+
+Registry Registry::Empty() { return Registry(); }
+
+Status Registry::Register(OperatorDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("operator name must be non-empty");
+  }
+  if (def.num_args < 1) {
+    return Status::InvalidArgument("operator must take at least one argument");
+  }
+  if (!def.polarity.empty() &&
+      static_cast<int>(def.polarity.size()) != def.num_args) {
+    return Status::InvalidArgument(
+        "polarity list size must match argument count for " + def.name);
+  }
+  if (def.polarity.empty()) {
+    def.polarity.assign(def.num_args, Polarity::kUnknown);
+  }
+  if (ops_.count(def.name) > 0) {
+    return Status::InvalidArgument("operator " + def.name +
+                                   " already registered");
+  }
+  ops_.emplace(def.name, std::move(def));
+  return Status::OK();
+}
+
+const OperatorDef* Registry::Find(const std::string& name) const {
+  auto it = ops_.find(name);
+  return it == ops_.end() ? nullptr : &it->second;
+}
+
+Result<ExprPtr> Registry::MakeOp(const std::string& name,
+                                 std::vector<ExprPtr> args, Condition cond,
+                                 std::vector<int> indexes) const {
+  const OperatorDef* def = Find(name);
+  if (def == nullptr) {
+    return Status::NotFound("operator " + name + " not registered");
+  }
+  if (static_cast<int>(args.size()) != def->num_args) {
+    return Status::InvalidArgument(
+        "operator " + name + " expects " + std::to_string(def->num_args) +
+        " arguments, got " + std::to_string(args.size()));
+  }
+  std::vector<int> child_arities;
+  child_arities.reserve(args.size());
+  for (const ExprPtr& a : args) {
+    if (a == nullptr) return Status::InvalidArgument("null operand");
+    child_arities.push_back(a->arity());
+  }
+  if (!def->arity) {
+    return Status::Internal("operator " + name + " has no arity rule");
+  }
+  MAPCOMP_ASSIGN_OR_RETURN(int arity, def->arity(child_arities));
+  return UserOpExpr(name, std::move(args), arity, std::move(cond),
+                    std::move(indexes));
+}
+
+}  // namespace op
+}  // namespace mapcomp

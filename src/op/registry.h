@@ -1,0 +1,90 @@
+#ifndef MAPCOMP_OP_REGISTRY_H_
+#define MAPCOMP_OP_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/algebra/expr.h"
+#include "src/common/status.h"
+#include "src/constraints/constraint.h"
+
+namespace mapcomp {
+namespace op {
+
+/// Monotonicity of a user-defined operator in one of its arguments
+/// (paper §3.3: to support user-defined operators in MONOTONE "we just need
+/// to know the rules regarding the monotonicity of the operator").
+enum class Polarity {
+  kMonotone,  ///< adding tuples to the argument only adds output tuples
+  kAnti,      ///< adding tuples to the argument only removes output tuples
+  kUnknown,   ///< no information — MONOTONE returns 'u' through this argument
+};
+
+/// Evaluation context handed to user-operator evaluators.
+struct EvalContext {
+  /// Active domain of the instance (plus the constraint set's constants).
+  const std::set<Value>* active_domain = nullptr;
+};
+
+/// A rewrite rule used during left/right normalization (§3.4.1, §3.5.1):
+/// given a constraint whose relevant side has this operator on top and
+/// contains the symbol being eliminated, return an equivalent list of
+/// constraints that moves the symbol closer to isolation, or nullopt if the
+/// rule does not apply.
+using NormalizeRule = std::function<std::optional<std::vector<Constraint>>(
+    const Constraint&, const std::string& symbol)>;
+
+/// Everything the composition algorithm may want to know about an operator.
+/// All hooks are optional; a missing hook degrades gracefully (the paper's
+/// "tolerance for unknown or partially known operators").
+struct OperatorDef {
+  std::string name;
+  int num_args = 1;
+  /// Output arity from child arities.
+  std::function<Result<int>(const std::vector<int>&)> arity;
+  /// Per-argument monotonicity; must have num_args entries.
+  std::vector<Polarity> polarity;
+  /// Optional normalization rules.
+  NormalizeRule left_rule;
+  NormalizeRule right_rule;
+  /// Optional D/∅/constant simplification; returns nullptr if no rewrite.
+  std::function<ExprPtr(const ExprPtr&)> simplify;
+  /// Optional set-semantics evaluator: receives the node and its evaluated
+  /// children.
+  std::function<Result<std::set<Tuple>>(
+      const Expr&, const std::vector<std::set<Tuple>>&, const EvalContext&)>
+      eval;
+};
+
+/// Registry of user-defined operators. The composition algorithm is
+/// parameterized by a registry, so adding an operator requires no changes to
+/// the algorithm itself (paper §1.3 "Extensibility and modularity").
+class Registry {
+ public:
+  /// Registry with the library's extension operators (left outerjoin,
+  /// semijoin, antijoin, transitive closure) pre-registered.
+  static const Registry& Default();
+  /// Registry with no operators.
+  static Registry Empty();
+
+  Status Register(OperatorDef def);
+  const OperatorDef* Find(const std::string& name) const;
+
+  /// Builds a kUserOp node, computing its arity through the operator's
+  /// arity rule and checking the argument count.
+  Result<ExprPtr> MakeOp(const std::string& name, std::vector<ExprPtr> args,
+                         Condition cond = Condition::True(),
+                         std::vector<int> indexes = {}) const;
+
+ private:
+  std::map<std::string, OperatorDef> ops_;
+};
+
+}  // namespace op
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_OP_REGISTRY_H_

@@ -1,0 +1,227 @@
+#include "src/parser/lexer.h"
+
+#include <cctype>
+
+namespace mapcomp {
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  int line = 1, column = 1;
+  size_t i = 0;
+  auto make = [&](TokenKind kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.column = column;
+    return t;
+  };
+  auto err = [&](const std::string& msg) {
+    return Status::InvalidArgument(msg + " at line " + std::to_string(line) +
+                                   ", column " + std::to_string(column));
+  };
+  while (i < input.size()) {
+    char c = input[i];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++column;
+      ++i;
+      continue;
+    }
+    // Comment: -- to end of line.
+    if (c == '-' && i + 1 < input.size() && input[i + 1] == '-') {
+      while (i < input.size() && input[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      Token t = make(TokenKind::kIdent);
+      size_t start = i;
+      while (i < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[i])) ||
+              input[i] == '_')) {
+        ++i;
+        ++column;
+      }
+      t.text = input.substr(start, i - start);
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      Token t = make(TokenKind::kInt);
+      int64_t v = 0;
+      while (i < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[i]))) {
+        v = v * 10 + (input[i] - '0');
+        ++i;
+        ++column;
+      }
+      t.int_value = v;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      Token t = make(TokenKind::kString);
+      ++i;
+      ++column;
+      size_t start = i;
+      while (i < input.size() && input[i] != '\'') {
+        if (input[i] == '\n') return err("unterminated string literal");
+        ++i;
+        ++column;
+      }
+      if (i >= input.size()) return err("unterminated string literal");
+      t.text = input.substr(start, i - start);
+      ++i;
+      ++column;
+      out.push_back(std::move(t));
+      continue;
+    }
+    auto single = [&](TokenKind kind) {
+      out.push_back(make(kind));
+      ++i;
+      ++column;
+    };
+    switch (c) {
+      case '(':
+        single(TokenKind::kLParen);
+        continue;
+      case ')':
+        single(TokenKind::kRParen);
+        continue;
+      case '{':
+        single(TokenKind::kLBrace);
+        continue;
+      case '}':
+        single(TokenKind::kRBrace);
+        continue;
+      case '[':
+        single(TokenKind::kLBracket);
+        continue;
+      case ']':
+        single(TokenKind::kRBracket);
+        continue;
+      case ',':
+        single(TokenKind::kComma);
+        continue;
+      case ';':
+        single(TokenKind::kSemi);
+        continue;
+      case '#':
+        single(TokenKind::kHash);
+        continue;
+      case '^':
+        single(TokenKind::kCaret);
+        continue;
+      case '$':
+        single(TokenKind::kDollar);
+        continue;
+      case '+':
+        single(TokenKind::kPlus);
+        continue;
+      case '-':
+        single(TokenKind::kMinus);
+        continue;
+      case '*':
+        single(TokenKind::kStar);
+        continue;
+      case '&':
+        single(TokenKind::kAmp);
+        continue;
+      case '=':
+        single(TokenKind::kEq);
+        continue;
+      case '!':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          out.push_back(make(TokenKind::kNe));
+          i += 2;
+          column += 2;
+          continue;
+        }
+        return err("unexpected '!'");
+      case '<':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          out.push_back(make(TokenKind::kLe));
+          i += 2;
+          column += 2;
+        } else {
+          single(TokenKind::kLt);
+        }
+        continue;
+      case '>':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          out.push_back(make(TokenKind::kGe));
+          i += 2;
+          column += 2;
+        } else {
+          single(TokenKind::kGt);
+        }
+        continue;
+      default:
+        return err(std::string("unexpected character '") + c + "'");
+    }
+  }
+  out.push_back(make(TokenKind::kEnd));
+  return out;
+}
+
+std::string TokenToString(const Token& t) {
+  switch (t.kind) {
+    case TokenKind::kIdent:
+      return "identifier '" + t.text + "'";
+    case TokenKind::kInt:
+      return "integer " + std::to_string(t.int_value);
+    case TokenKind::kString:
+      return "string '" + t.text + "'";
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemi:
+      return "';'";
+    case TokenKind::kHash:
+      return "'#'";
+    case TokenKind::kCaret:
+      return "'^'";
+    case TokenKind::kDollar:
+      return "'$'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kAmp:
+      return "'&'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+  }
+  return "?";
+}
+
+}  // namespace mapcomp

@@ -1,0 +1,57 @@
+#ifndef MAPCOMP_PARSER_LEXER_H_
+#define MAPCOMP_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace mapcomp {
+
+/// Token kinds of the composition-task text format.
+enum class TokenKind {
+  kIdent,    ///< relation / operator / schema names
+  kInt,      ///< nonnegative integer literal
+  kString,   ///< single-quoted string literal
+  kLParen,   ///< (
+  kRParen,   ///< )
+  kLBrace,   ///< {
+  kRBrace,   ///< }
+  kLBracket, ///< [
+  kRBracket, ///< ]
+  kComma,    ///< ,
+  kSemi,     ///< ;
+  kHash,     ///< #
+  kCaret,    ///< ^
+  kDollar,   ///< $
+  kPlus,     ///< +
+  kMinus,    ///< -
+  kStar,     ///< *
+  kAmp,      ///< &
+  kEq,       ///< =
+  kNe,       ///< !=
+  kLt,       ///< <
+  kLe,       ///< <=
+  kGt,       ///< >
+  kGe,       ///< >=
+  kEnd,      ///< end of input
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   ///< identifier or string contents
+  int64_t int_value = 0;
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes `input`. `--` starts a comment to end of line.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+/// Human-readable token description for error messages.
+std::string TokenToString(const Token& t);
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_PARSER_LEXER_H_

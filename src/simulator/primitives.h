@@ -1,0 +1,74 @@
+#ifndef MAPCOMP_SIMULATOR_PRIMITIVES_H_
+#define MAPCOMP_SIMULATOR_PRIMITIVES_H_
+
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/constraints/constraint.h"
+#include "src/simulator/schema.h"
+
+namespace mapcomp {
+namespace sim {
+
+/// The schema evolution primitives of Figure 1. Forward ('f') variants
+/// contain only the constraints defining the outputs in terms of the input;
+/// backward ('b') variants only the reverse; the plain variant contains
+/// both.
+enum class Primitive {
+  kAR,   ///< add relation
+  kDR,   ///< drop relation
+  kAA,   ///< add attribute:            R = π_A(S)
+  kDA,   ///< drop attribute:           π_{A−C}(R) = S
+  kDf,   ///< add default, forward:     R × {c} = S
+  kDb,   ///< add default, backward:    R = π_A(σ_{C=c}(S))
+  kD,    ///< add default, both
+  kHf,   ///< horizontal part., fwd:    σ_{C=cS}(R) = S; σ_{C=cT}(R) = T
+  kHb,   ///< horizontal part., bwd:    R = S ∪ T
+  kH,    ///< horizontal partitioning, all three
+  kVf,   ///< vertical part., fwd:      π_{A,B}(R) = S; π_{A,C}(R) = T
+  kVb,   ///< vertical part., bwd:      R = S ⋈_A T
+  kV,    ///< vertical partitioning, all three (requires a key)
+  kNf,   ///< normalization, fwd:       vertical fwd + π_A(T) ⊆ π_A(S)
+  kNb,   ///< normalization, bwd:       vertical bwd + π_A(T) ⊆ π_A(S)
+  kN,    ///< normalization, all
+  kSub,  ///< subset:                   R ⊆ S
+  kSup,  ///< superset:                 S ⊆ R
+};
+
+const char* PrimitiveName(Primitive p);
+const std::vector<Primitive>& AllPrimitives();
+
+/// Knobs shared by primitive application (paper §4.1).
+struct PrimitiveOptions {
+  int min_arity = 2;
+  int max_arity = 10;
+  bool enable_keys = false;
+  int min_key = 1;
+  int max_key = 3;
+  int constant_pool = 10;  ///< constants drawn from integers 0..pool-1
+};
+
+/// The effect of one edit: the consumed relation (empty for AR), the
+/// relations it produced, and the mapping constraints between them
+/// (including key constraints on keyed outputs when keys are enabled).
+struct EditStep {
+  Primitive primitive = Primitive::kAR;
+  std::string consumed;
+  std::vector<SimRelation> produced;
+  ConstraintSet constraints;
+};
+
+/// Applies `p` to the relation `input` (ignored for AR), allocating fresh
+/// output names. Returns nullopt when the primitive is not applicable
+/// (e.g. DA on a unary relation, V on an unkeyed one).
+std::optional<EditStep> ApplyPrimitive(Primitive p, const SimRelation& input,
+                                       const PrimitiveOptions& options,
+                                       NameAllocator* names,
+                                       std::mt19937_64* rng);
+
+}  // namespace sim
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_SIMULATOR_PRIMITIVES_H_

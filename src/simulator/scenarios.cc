@@ -1,0 +1,183 @@
+#include "src/simulator/scenarios.h"
+
+#include <set>
+
+namespace mapcomp {
+namespace sim {
+
+namespace {
+
+/// State of an accumulated mapping σ0 → σ_current during an edit sequence.
+struct AccumulatedMapping {
+  Signature sigma1;             ///< σ0 plus residual intermediate symbols
+  SimSchema current;            ///< current evolved schema
+  ConstraintSet constraints;    ///< over sigma1 ∪ current
+  std::map<std::string, int> residual_arity;  ///< residual symbol → arity
+};
+
+struct EditLoopResult {
+  AccumulatedMapping mapping;
+  std::map<Primitive, PerPrimitiveStats> per_primitive;
+  int symbols_total = 0;
+  int symbols_eliminated = 0;
+  int blowup_aborts = 0;
+  int residual_recovered = 0;
+  double total_millis = 0.0;
+};
+
+/// Runs `num_edits` edits from `schema0`, composing after each one.
+EditLoopResult RunEditLoop(EvolutionSimulator* simulator,
+                           const SimSchema& schema0, int num_edits,
+                           const ComposeOptions& compose_opts) {
+  EditLoopResult out;
+  AccumulatedMapping m;
+  m.sigma1 = schema0.ToSignature();
+  m.current = schema0;
+
+  for (int k = 0; k < num_edits; ++k) {
+    FullEdit edit = simulator->ApplyRandomEdit(m.current);
+    if (k == 0 && m.constraints.empty()) {
+      // The first edit initializes the accumulated mapping; there is
+      // nothing to compose yet.
+      m.constraints = std::move(edit.constraints);
+      m.current = std::move(edit.new_schema);
+      continue;
+    }
+    CompositionProblem problem;
+    problem.sigma1 = m.sigma1;
+    problem.sigma2 = m.current.ToSignature();
+    problem.sigma3 = edit.new_schema.ToSignature();
+    problem.sigma12 = m.constraints;
+    problem.sigma23 = std::move(edit.constraints);
+
+    CompositionResult res = Compose(problem, compose_opts);
+
+    PerPrimitiveStats& stats = out.per_primitive[edit.primitive];
+    stats.edits += 1;
+    stats.symbols_total += res.total_count;
+    stats.symbols_eliminated += res.eliminated_count;
+    stats.millis += res.total_millis;
+    if (!edit.consumed.empty()) {
+      for (const SymbolStat& s : res.stats) {
+        if (s.symbol == edit.consumed) {
+          stats.consumed_total += 1;
+          if (s.eliminated) stats.consumed_eliminated += 1;
+          break;
+        }
+      }
+    }
+    out.symbols_total += res.total_count;
+    out.symbols_eliminated += res.eliminated_count;
+    out.total_millis += res.total_millis;
+    for (const SymbolStat& s : res.stats) {
+      if (!s.eliminated &&
+          s.failure_reason.find("blowup") != std::string::npos) {
+        ++out.blowup_aborts;
+      }
+    }
+
+    // Retry previously-kept residual symbols against the new constraint
+    // set — later compositions can eliminate them (§4, second-order
+    // constraint note).
+    ConstraintSet current = std::move(res.constraints);
+    for (auto it = m.residual_arity.begin(); it != m.residual_arity.end();) {
+      EliminateOutcome retry = Eliminate(current, it->first, it->second,
+                                         compose_opts.eliminate);
+      if (retry.success) {
+        current = std::move(retry.constraints);
+        if (retry.step != EliminateStep::kNotMentioned) {
+          ++out.residual_recovered;
+        }
+        it = m.residual_arity.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (const std::string& s : res.residual_sigma2) {
+      m.residual_arity[s] = problem.sigma2.ArityOf(s);
+    }
+
+    // New accumulated mapping: σ0 ∪ residuals → new schema.
+    m.sigma1 = schema0.ToSignature();
+    for (const auto& [name, arity] : m.residual_arity) {
+      m.sigma1.AddOrReplaceRelation(name, arity);
+    }
+    m.constraints = std::move(current);
+    m.current = std::move(edit.new_schema);
+  }
+  out.mapping = std::move(m);
+  return out;
+}
+
+}  // namespace
+
+EditingScenarioResult RunEditingScenario(const EditingScenarioOptions& opts) {
+  EvolutionSimulator simulator(opts.simulator, opts.seed);
+  SimSchema schema0 = simulator.RandomSchema(opts.schema_size);
+  EditLoopResult loop =
+      RunEditLoop(&simulator, schema0, opts.num_edits, opts.compose);
+
+  EditingScenarioResult out;
+  out.per_primitive = std::move(loop.per_primitive);
+  out.symbols_total = loop.symbols_total;
+  out.symbols_eliminated = loop.symbols_eliminated;
+  out.blowup_aborts = loop.blowup_aborts;
+  out.total_millis = loop.total_millis;
+  out.residual_symbols =
+      static_cast<int>(loop.mapping.residual_arity.size());
+  out.residual_recovered = loop.residual_recovered;
+  out.final_mapping.input = loop.mapping.sigma1;
+  out.final_mapping.output = loop.mapping.current.ToSignature();
+  out.final_mapping.constraints = std::move(loop.mapping.constraints);
+  return out;
+}
+
+CompositionProblem BuildReconciliationProblem(
+    const ReconciliationScenarioOptions& opts) {
+  EvolutionSimulator simulator(opts.simulator, opts.seed);
+  SimSchema schema0 = simulator.RandomSchema(opts.schema_size);
+
+  // Evolve two independent branches; prefer branches whose editing
+  // compositions eliminated every intermediate symbol (first-order inputs).
+  auto make_branch = [&]() {
+    EditLoopResult branch = RunEditLoop(&simulator, schema0, opts.num_edits,
+                                        opts.compose);
+    for (int attempt = 1; attempt < opts.max_branch_attempts &&
+                          !branch.mapping.residual_arity.empty();
+         ++attempt) {
+      branch = RunEditLoop(&simulator, schema0, opts.num_edits, opts.compose);
+    }
+    return branch;
+  };
+  EditLoopResult branch_a = make_branch();
+  EditLoopResult branch_b = make_branch();
+
+  // Compose inverse(σ0→σA) with (σ0→σB): eliminate the σ0 symbols.
+  CompositionProblem problem;
+  problem.sigma1 = branch_a.mapping.current.ToSignature();
+  for (const auto& [name, arity] : branch_a.mapping.residual_arity) {
+    problem.sigma1.AddOrReplaceRelation(name, arity);
+  }
+  problem.sigma2 = schema0.ToSignature();
+  problem.sigma3 = branch_b.mapping.current.ToSignature();
+  for (const auto& [name, arity] : branch_b.mapping.residual_arity) {
+    problem.sigma3.AddOrReplaceRelation(name, arity);
+  }
+  problem.sigma12 = branch_a.mapping.constraints;
+  problem.sigma23 = branch_b.mapping.constraints;
+  return problem;
+}
+
+ReconciliationScenarioResult RunReconciliationScenario(
+    const ReconciliationScenarioOptions& opts) {
+  CompositionProblem problem = BuildReconciliationProblem(opts);
+  CompositionResult res = Compose(problem, opts.compose);
+  ReconciliationScenarioResult out;
+  out.symbols_total = res.total_count;
+  out.symbols_eliminated = res.eliminated_count;
+  out.compose_millis = res.total_millis;
+  return out;
+}
+
+}  // namespace sim
+}  // namespace mapcomp

@@ -1,0 +1,110 @@
+#ifndef MAPCOMP_SIMULATOR_SCENARIOS_H_
+#define MAPCOMP_SIMULATOR_SCENARIOS_H_
+
+#include <map>
+
+#include "src/compose/compose.h"
+#include "src/simulator/simulator.h"
+
+namespace mapcomp {
+namespace sim {
+
+/// Aggregated outcome of the compositions following edits of one primitive
+/// kind (Figures 2 and 3).
+struct PerPrimitiveStats {
+  int edits = 0;
+  int symbols_total = 0;       ///< σ2 symbols attempted across those edits
+  int symbols_eliminated = 0;
+  /// The consumed (replaced) relation only — the symbol whose constraints
+  /// carry the primitive's shape. This is the discriminating metric of
+  /// Figure 2; the identity copies in symbols_total almost always unfold.
+  int consumed_total = 0;
+  int consumed_eliminated = 0;
+  double millis = 0.0;
+
+  double EliminatedFraction() const {
+    return symbols_total == 0
+               ? 1.0
+               : static_cast<double>(symbols_eliminated) / symbols_total;
+  }
+  double ConsumedEliminatedFraction() const {
+    return consumed_total == 0
+               ? 1.0
+               : static_cast<double>(consumed_eliminated) / consumed_total;
+  }
+  double MillisPerEdit() const { return edits == 0 ? 0.0 : millis / edits; }
+};
+
+struct EditingScenarioOptions {
+  int schema_size = 30;   ///< paper default
+  int num_edits = 100;    ///< paper default
+  SimulatorOptions simulator;
+  ComposeOptions compose;
+  uint64_t seed = 1;
+};
+
+/// Result of one schema-editing run (§4: "the mapping between the original
+/// schema and the current state of the schema is composed with the mapping
+/// produced by each subsequent schema evolution primitive").
+struct EditingScenarioResult {
+  std::map<Primitive, PerPrimitiveStats> per_primitive;
+  int symbols_total = 0;
+  int symbols_eliminated = 0;
+  int blowup_aborts = 0;       ///< eliminations aborted by the size guard
+  double total_millis = 0.0;   ///< composition time only
+  /// Residual (non-eliminated) intermediate symbols still in the mapping.
+  int residual_symbols = 0;
+  /// Final accumulated mapping, original schema → final schema.
+  Mapping final_mapping;
+  /// Count of residual symbols later removed by a subsequent composition.
+  int residual_recovered = 0;
+
+  double EliminatedFraction() const {
+    return symbols_total == 0
+               ? 1.0
+               : static_cast<double>(symbols_eliminated) / symbols_total;
+  }
+};
+
+EditingScenarioResult RunEditingScenario(const EditingScenarioOptions& opts);
+
+struct ReconciliationScenarioOptions {
+  int schema_size = 30;
+  int num_edits = 100;   ///< per branch
+  SimulatorOptions simulator;
+  ComposeOptions compose;
+  uint64_t seed = 1;
+  /// Keep only branch mappings whose editing compositions eliminated every
+  /// symbol ("to obtain first-order input mappings", §4.2). When the budget
+  /// of attempts runs out the last candidate is used regardless.
+  int max_branch_attempts = 8;
+};
+
+/// Result of one reconciliation task (§4.2): evolve σ0 independently into
+/// σA and σB, then compose mA0 ∘ m0B eliminating the σ0 symbols.
+struct ReconciliationScenarioResult {
+  int symbols_total = 0;
+  int symbols_eliminated = 0;
+  double compose_millis = 0.0;
+
+  double EliminatedFraction() const {
+    return symbols_total == 0
+               ? 1.0
+               : static_cast<double>(symbols_eliminated) / symbols_total;
+  }
+};
+
+ReconciliationScenarioResult RunReconciliationScenario(
+    const ReconciliationScenarioOptions& opts);
+
+/// Builds the reconciliation composition problem (two branches evolved from
+/// a shared σ0, to be composed eliminating σ0) without running the final
+/// composition — used by order-invariance experiments that re-compose the
+/// same problem under different symbol orders.
+CompositionProblem BuildReconciliationProblem(
+    const ReconciliationScenarioOptions& opts);
+
+}  // namespace sim
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_SIMULATOR_SCENARIOS_H_

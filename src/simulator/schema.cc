@@ -1,0 +1,33 @@
+#include "src/simulator/schema.h"
+
+namespace mapcomp {
+namespace sim {
+
+std::vector<int> SimRelation::KeyPositions() const {
+  std::vector<int> out;
+  out.reserve(key_size);
+  for (int i = 1; i <= key_size; ++i) out.push_back(i);
+  return out;
+}
+
+Signature SimSchema::ToSignature() const {
+  Signature sig;
+  for (const SimRelation& r : relations) {
+    sig.AddOrReplaceRelation(r.name, r.arity);
+    if (r.key_size > 0) {
+      Status st = sig.SetKey(r.name, r.KeyPositions());
+      (void)st;  // positions are valid by construction
+    }
+  }
+  return sig;
+}
+
+const SimRelation* SimSchema::Find(const std::string& name) const {
+  for (const SimRelation& r : relations) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace sim
+}  // namespace mapcomp

@@ -1,0 +1,46 @@
+#ifndef MAPCOMP_SIMULATOR_SCHEMA_H_
+#define MAPCOMP_SIMULATOR_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/constraints/signature.h"
+
+namespace mapcomp {
+namespace sim {
+
+/// A relation in an evolving schema. Keys, when present, occupy a prefix of
+/// the attribute positions (1..key_size) — a simplification over the paper's
+/// arbitrary key positions that loses no generality for the constraint
+/// shapes exercised.
+struct SimRelation {
+  std::string name;
+  int arity = 0;
+  int key_size = 0;  ///< 0 = no key
+
+  std::vector<int> KeyPositions() const;
+};
+
+/// A snapshot of the evolving schema.
+struct SimSchema {
+  std::vector<SimRelation> relations;
+
+  Signature ToSignature() const;
+  const SimRelation* Find(const std::string& name) const;
+};
+
+/// Allocates globally-fresh relation names (R1, R2, ...) so successive
+/// schema versions have disjoint signatures, as the mapping semantics
+/// requires (paper §2).
+class NameAllocator {
+ public:
+  std::string Fresh() { return "R" + std::to_string(++counter_); }
+
+ private:
+  int counter_ = 0;
+};
+
+}  // namespace sim
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_SIMULATOR_SCHEMA_H_

@@ -1,0 +1,137 @@
+#include "src/simulator/simulator.h"
+
+#include "src/algebra/builders.h"
+
+namespace mapcomp {
+namespace sim {
+
+EventVector EventVector::Default() {
+  EventVector v;
+  for (Primitive p : AllPrimitives()) v.weights[p] = 1.0;
+  v.weights[Primitive::kAA] = 2.0;   // adding attributes twice as frequent
+  v.weights[Primitive::kDR] = 0.2;   // dropping relations 5x less frequent
+  return v;
+}
+
+EventVector EventVector::EqualityOnly() {
+  EventVector v = Default();
+  v.weights[Primitive::kSub] = 0.0;
+  v.weights[Primitive::kSup] = 0.0;
+  return v;
+}
+
+EventVector EventVector::InclusionHeavy() {
+  EventVector v = Default();
+  v.weights[Primitive::kSub] = 4.0;
+  v.weights[Primitive::kSup] = 4.0;
+  return v;
+}
+
+EventVector EventVector::PartitionHeavy() {
+  EventVector v = Default();
+  for (Primitive p : {Primitive::kHf, Primitive::kHb, Primitive::kH,
+                      Primitive::kVf, Primitive::kVb, Primitive::kV,
+                      Primitive::kNf, Primitive::kNb, Primitive::kN}) {
+    v.weights[p] = 3.0;
+  }
+  return v;
+}
+
+EventVector EventVector::WithInclusionProportion(double fraction) const {
+  EventVector v = *this;
+  double rest = 0.0;
+  for (const auto& [p, w] : v.weights) {
+    if (p != Primitive::kSub && p != Primitive::kSup) rest += w;
+  }
+  // Solve (2x) / (rest + 2x) = fraction for the per-primitive weight x.
+  double x = fraction >= 1.0 ? 1e9
+                             : fraction * rest / (2.0 * (1.0 - fraction));
+  v.weights[Primitive::kSub] = x;
+  v.weights[Primitive::kSup] = x;
+  return v;
+}
+
+SimSchema EvolutionSimulator::RandomSchema(int size) {
+  SimSchema schema;
+  std::uniform_int_distribution<int> arity_dist(options_.primitives.min_arity,
+                                                options_.primitives.max_arity);
+  std::uniform_int_distribution<int> key_dist(options_.primitives.min_key,
+                                              options_.primitives.max_key);
+  std::uniform_int_distribution<int> coin(0, 1);
+  for (int i = 0; i < size; ++i) {
+    SimRelation r;
+    r.name = names_.Fresh();
+    r.arity = arity_dist(rng_);
+    if (options_.primitives.enable_keys && coin(rng_) == 1) {
+      r.key_size = std::min(r.arity - 1, key_dist(rng_));
+    }
+    schema.relations.push_back(std::move(r));
+  }
+  return schema;
+}
+
+namespace {
+
+Primitive PickPrimitive(const EventVector& events, std::mt19937_64* rng) {
+  double total = 0.0;
+  for (const auto& [_, w] : events.weights) total += w;
+  std::uniform_real_distribution<double> dist(0.0, total);
+  double roll = dist(*rng);
+  for (const auto& [p, w] : events.weights) {
+    roll -= w;
+    if (roll <= 0.0) return p;
+  }
+  return Primitive::kAA;
+}
+
+}  // namespace
+
+FullEdit EvolutionSimulator::ApplyEdit(const SimSchema& schema, Primitive p) {
+  // Choose a target relation; retry a few times for applicability, then
+  // fall back to AA (always applicable).
+  std::optional<EditStep> step;
+  if (p == Primitive::kAR) {
+    SimRelation dummy;
+    step = ApplyPrimitive(p, dummy, options_.primitives, &names_, &rng_);
+  } else if (!schema.relations.empty()) {
+    std::uniform_int_distribution<int> pick(
+        0, static_cast<int>(schema.relations.size()) - 1);
+    for (int attempt = 0; attempt < 16 && !step.has_value(); ++attempt) {
+      const SimRelation& target = schema.relations[pick(rng_)];
+      step = ApplyPrimitive(p, target, options_.primitives, &names_, &rng_);
+    }
+  }
+  if (!step.has_value()) {
+    std::uniform_int_distribution<int> pick(
+        0, static_cast<int>(schema.relations.size()) - 1);
+    const SimRelation& target = schema.relations[pick(rng_)];
+    step = ApplyPrimitive(Primitive::kAA, target, options_.primitives,
+                          &names_, &rng_);
+  }
+
+  FullEdit edit;
+  edit.primitive = step->primitive;
+  edit.consumed = step->consumed;
+  edit.constraints = step->constraints;
+  // Copy every untouched relation under a fresh name with an identity
+  // equality, so old and new schema versions stay disjoint.
+  for (const SimRelation& r : schema.relations) {
+    if (r.name == step->consumed) continue;
+    SimRelation copy = r;
+    copy.name = names_.Fresh();
+    edit.constraints.push_back(Constraint::Equal(Rel(r.name, r.arity),
+                                                 Rel(copy.name, copy.arity)));
+    edit.new_schema.relations.push_back(std::move(copy));
+  }
+  for (const SimRelation& r : step->produced) {
+    edit.new_schema.relations.push_back(r);
+  }
+  return edit;
+}
+
+FullEdit EvolutionSimulator::ApplyRandomEdit(const SimSchema& schema) {
+  return ApplyEdit(schema, PickPrimitive(options_.events, &rng_));
+}
+
+}  // namespace sim
+}  // namespace mapcomp

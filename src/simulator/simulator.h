@@ -1,0 +1,84 @@
+#ifndef MAPCOMP_SIMULATOR_SIMULATOR_H_
+#define MAPCOMP_SIMULATOR_SIMULATOR_H_
+
+#include <map>
+#include <random>
+
+#include "src/constraints/mapping.h"
+#include "src/simulator/primitives.h"
+
+namespace mapcomp {
+namespace sim {
+
+/// Relative frequencies of the evolution primitives in an edit sequence
+/// (paper §4.1 "Event Vectors").
+struct EventVector {
+  std::map<Primitive, double> weights;
+
+  /// The paper's Default vector: all primitives equally frequent, except AA
+  /// twice as frequent and DR five times less frequent.
+  static EventVector Default();
+  /// No Sub/Sup edits — all mappings stay equalities.
+  static EventVector EqualityOnly();
+  /// Sub/Sup four times more frequent (open-world flavored).
+  static EventVector InclusionHeavy();
+  /// Partitioning primitives (H*, V*, N*) three times more frequent.
+  static EventVector PartitionHeavy();
+
+  /// Returns a copy with the Sub+Sup share of total weight set to
+  /// `fraction` (Figure 5's x-axis).
+  EventVector WithInclusionProportion(double fraction) const;
+};
+
+struct SimulatorOptions {
+  PrimitiveOptions primitives;
+  EventVector events = EventVector::Default();
+};
+
+/// One full edit on the whole schema: the primitive applied to a random
+/// relation, plus an identity copy (fresh name + equality constraint) of
+/// every untouched relation, so the edit is a proper mapping between two
+/// disjoint schema versions.
+struct FullEdit {
+  Primitive primitive = Primitive::kAR;
+  /// The relation the primitive replaced (empty for AR). Experiments track
+  /// this symbol's elimination separately: it is the one whose constraints
+  /// carry the primitive's shape, while the untouched relations only get
+  /// identity copies.
+  std::string consumed;
+  SimSchema new_schema;
+  ConstraintSet constraints;  ///< over old ∪ new signature
+};
+
+/// Drives random schema evolution (the paper's "schema evolution
+/// simulator", §4.1).
+class EvolutionSimulator {
+ public:
+  EvolutionSimulator(SimulatorOptions options, uint64_t seed)
+      : options_(std::move(options)), rng_(seed) {}
+
+  /// A random schema with `size` relations.
+  SimSchema RandomSchema(int size);
+
+  /// Applies one random edit to `schema` (choosing primitive by event
+  /// weight and a random target relation), returning the full mapping.
+  FullEdit ApplyRandomEdit(const SimSchema& schema);
+
+  /// Applies a specific primitive (random target). Falls back to AA when
+  /// the primitive is inapplicable to every relation.
+  FullEdit ApplyEdit(const SimSchema& schema, Primitive p);
+
+  std::mt19937_64* rng() { return &rng_; }
+  NameAllocator* names() { return &names_; }
+  const SimulatorOptions& options() const { return options_; }
+
+ private:
+  SimulatorOptions options_;
+  std::mt19937_64 rng_;
+  NameAllocator names_;
+};
+
+}  // namespace sim
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_SIMULATOR_SIMULATOR_H_

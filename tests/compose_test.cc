@@ -1,0 +1,274 @@
+#include "src/compose/compose.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/algebra/builders.h"
+#include "src/algebra/print.h"
+#include "src/eval/checker.h"
+#include "src/eval/generator.h"
+#include "src/parser/parser.h"
+
+namespace mapcomp {
+namespace {
+
+/// Semantic equivalence of two constraint sets over the same signature,
+/// spot-checked on random instances.
+void ExpectEquivalent(const ConstraintSet& a, const ConstraintSet& b,
+                      const Signature& sig, uint64_t seed, int rounds = 80) {
+  std::mt19937_64 rng(seed);
+  GenOptions gen;
+  gen.domain_size = 3;
+  gen.max_tuples_per_rel = 4;
+  for (int round = 0; round < rounds; ++round) {
+    Instance db = RandomInstance(sig, &rng, gen);
+    auto sat_a = SatisfiesAll(db, a);
+    auto sat_b = SatisfiesAll(db, b);
+    ASSERT_TRUE(sat_a.ok());
+    ASSERT_TRUE(sat_b.ok());
+    EXPECT_EQ(*sat_a, *sat_b)
+        << "disagreement on instance:\n" << db.ToString()
+        << "a:\n" << ConstraintSetToString(a)
+        << "b:\n" << ConstraintSetToString(b);
+  }
+}
+
+TEST(ComposeTest, PaperExample3TransitiveContainment) {
+  // {R ⊆ S, S ⊆ T} over σ2 = {S} composes to {R ⊆ T}.
+  CompositionProblem p;
+  ASSERT_TRUE(p.sigma1.AddRelation("R", 1).ok());
+  ASSERT_TRUE(p.sigma2.AddRelation("S", 1).ok());
+  ASSERT_TRUE(p.sigma3.AddRelation("T", 1).ok());
+  p.sigma12 = {Constraint::Contain(Rel("R", 1), Rel("S", 1))};
+  p.sigma23 = {Constraint::Contain(Rel("S", 1), Rel("T", 1))};
+  CompositionResult res = Compose(p);
+  EXPECT_EQ(res.eliminated_count, 1);
+  ASSERT_EQ(res.constraints.size(), 1u);
+  EXPECT_TRUE(ExprEquals(res.constraints[0].lhs, Rel("R", 1)));
+  EXPECT_TRUE(ExprEquals(res.constraints[0].rhs, Rel("T", 1)));
+  EXPECT_TRUE(res.residual_sigma2.empty());
+}
+
+TEST(ComposeTest, PaperExample1MoviesEndToEnd) {
+  // The introduction's schema-editor scenario, parsed from text.
+  const char* text = R"(
+    schema s1 { Movies(6); }
+    schema s2 { FiveStarMovies(3); }
+    schema s3 { Names(2); Years(2); }
+    map m12 { pi[1,2,3](sel[#4=5](Movies)) <= FiveStarMovies; }
+    map m23 {
+      pi[1,2](FiveStarMovies) <= Names;
+      pi[1,3](FiveStarMovies) <= Years;
+    }
+  )";
+  Parser parser;
+  CompositionProblem p = parser.ParseProblem(text).value();
+  CompositionResult res = Compose(p);
+  EXPECT_EQ(res.eliminated_count, 1);
+  EXPECT_TRUE(res.residual_sigma2.empty());
+
+  // The paper's expected composition:
+  //   π_{1,2}(σ_{4=5}(Movies)) ⊆ Names, π_{1,3}(σ_{4=5}(Movies)) ⊆ Years.
+  Condition five = Condition::AttrConst(4, CmpOp::kEq, int64_t{5});
+  ConstraintSet expected{
+      Constraint::Contain(Project({1, 2}, Select(five, Rel("Movies", 6))),
+                          Rel("Names", 2)),
+      Constraint::Contain(Project({1, 3}, Select(five, Rel("Movies", 6))),
+                          Rel("Years", 2))};
+  Signature sig;
+  ASSERT_TRUE(sig.AddRelation("Movies", 6).ok());
+  ASSERT_TRUE(sig.AddRelation("Names", 2).ok());
+  ASSERT_TRUE(sig.AddRelation("Years", 2).ok());
+  ExpectEquivalent(res.constraints, expected, sig, 211);
+}
+
+TEST(ComposeTest, ViewUnfoldingChain) {
+  // Schema evolution via three renames: composition collapses the chain.
+  CompositionProblem p;
+  ASSERT_TRUE(p.sigma1.AddRelation("A", 2).ok());
+  ASSERT_TRUE(p.sigma2.AddRelation("B", 2).ok());
+  ASSERT_TRUE(p.sigma2.AddRelation("C", 2).ok());
+  ASSERT_TRUE(p.sigma3.AddRelation("E", 2).ok());
+  p.sigma12 = {Constraint::Equal(Rel("A", 2), Rel("B", 2)),
+               Constraint::Equal(Rel("B", 2), Rel("C", 2))};
+  p.sigma23 = {Constraint::Equal(Rel("C", 2), Rel("E", 2))};
+  CompositionResult res = Compose(p);
+  EXPECT_EQ(res.eliminated_count, 2);
+  ASSERT_EQ(res.constraints.size(), 1u);
+  EXPECT_EQ(res.constraints[0].kind, ConstraintKind::kEquality);
+}
+
+TEST(ComposeTest, BestEffortKeepsResidualSymbols) {
+  // S1 is eliminable; S2 is stuck: it sits inside an intersection on a left
+  // side (no left-normalization identity, §3.4.1) and in both operands of a
+  // union on a right side (no right-normalization identity either).
+  CompositionProblem p;
+  ASSERT_TRUE(p.sigma1.AddRelation("R", 2).ok());
+  ASSERT_TRUE(p.sigma1.AddRelation("P", 1).ok());
+  ASSERT_TRUE(p.sigma1.AddRelation("P2", 1).ok());
+  ASSERT_TRUE(p.sigma2.AddRelation("S1", 2).ok());
+  ASSERT_TRUE(p.sigma2.AddRelation("S2", 1).ok());
+  ASSERT_TRUE(p.sigma3.AddRelation("T", 2).ok());
+  ASSERT_TRUE(p.sigma3.AddRelation("Q", 1).ok());
+  p.sigma12 = {
+      Constraint::Contain(Rel("R", 2), Rel("S1", 2)),
+      Constraint::Contain(Intersect(Rel("P", 1), Rel("S2", 1)), Rel("P2", 1))};
+  p.sigma23 = {
+      Constraint::Contain(Rel("S1", 2), Rel("T", 2)),
+      Constraint::Contain(
+          Rel("Q", 1),
+          Union(Rel("S2", 1),
+                Select(Condition::AttrConst(1, CmpOp::kEq, int64_t{1}),
+                       Rel("S2", 1))))};
+  CompositionResult res = Compose(p);
+  EXPECT_EQ(res.total_count, 2);
+  EXPECT_EQ(res.eliminated_count, 1);
+  ASSERT_EQ(res.residual_sigma2.size(), 1u);
+  EXPECT_EQ(res.residual_sigma2[0], "S2");
+  EXPECT_TRUE(res.sigma.Contains("S2"));
+  // Stats carry per-symbol outcomes.
+  ASSERT_EQ(res.stats.size(), 2u);
+  EXPECT_TRUE(res.stats[0].eliminated);
+  EXPECT_FALSE(res.stats[1].eliminated);
+  EXPECT_FALSE(res.stats[1].failure_reason.empty());
+}
+
+TEST(ComposeTest, EliminationOrderMatters) {
+  // The paper's footnote 1: with the Theorem-1 constraints duplicated for
+  // S1, S2, exactly one of them can be eliminated — which one depends on
+  // the order. Emulate with a pair where eliminating one blocks the other:
+  //   R ⊆ S1, S1 ⊆ S2, S2 ⊆ S1 ∩ T  (cyclic dependency between S1 and S2).
+  CompositionProblem p;
+  ASSERT_TRUE(p.sigma1.AddRelation("R", 1).ok());
+  ASSERT_TRUE(p.sigma2.AddRelation("S1", 1).ok());
+  ASSERT_TRUE(p.sigma2.AddRelation("S2", 1).ok());
+  ASSERT_TRUE(p.sigma3.AddRelation("T", 1).ok());
+  p.sigma12 = {Constraint::Contain(Rel("R", 1), Rel("S1", 1))};
+  p.sigma23 = {Constraint::Contain(Rel("S1", 1), Rel("S2", 1)),
+               Constraint::Contain(Rel("S2", 1),
+                                   Intersect(Rel("S1", 1), Rel("T", 1)))};
+  ComposeOptions forward;
+  forward.order = {"S1", "S2"};
+  CompositionResult res_fwd = Compose(p, forward);
+  ComposeOptions backward;
+  backward.order = {"S2", "S1"};
+  CompositionResult res_bwd = Compose(p, backward);
+  // Both orders are best-effort; results may differ in which symbols
+  // survive, but each must eliminate at least one.
+  EXPECT_GE(res_fwd.eliminated_count, 1);
+  EXPECT_GE(res_bwd.eliminated_count, 1);
+}
+
+TEST(ComposeTest, GlavStyleInclusionChain) {
+  // Composing Sub-style inclusion mappings (§4.1): π_{A−C}(R) = S then
+  // S ⊆ T yields π_{A−C}(R) ⊆ T.
+  CompositionProblem p;
+  ASSERT_TRUE(p.sigma1.AddRelation("R", 3).ok());
+  ASSERT_TRUE(p.sigma2.AddRelation("S", 2).ok());
+  ASSERT_TRUE(p.sigma3.AddRelation("T", 2).ok());
+  p.sigma12 = {Constraint::Equal(Project({1, 2}, Rel("R", 3)), Rel("S", 2))};
+  p.sigma23 = {Constraint::Contain(Rel("S", 2), Rel("T", 2))};
+  CompositionResult res = Compose(p);
+  EXPECT_EQ(res.eliminated_count, 1);
+  ConstraintSet expected{
+      Constraint::Contain(Project({1, 2}, Rel("R", 3)), Rel("T", 2))};
+  Signature sig;
+  ASSERT_TRUE(sig.AddRelation("R", 3).ok());
+  ASSERT_TRUE(sig.AddRelation("T", 2).ok());
+  ExpectEquivalent(res.constraints, expected, sig, 223);
+}
+
+TEST(ComposeTest, ReportIsHumanReadable) {
+  CompositionProblem p;
+  ASSERT_TRUE(p.sigma1.AddRelation("R", 1).ok());
+  ASSERT_TRUE(p.sigma2.AddRelation("S", 1).ok());
+  ASSERT_TRUE(p.sigma3.AddRelation("T", 1).ok());
+  p.sigma12 = {Constraint::Contain(Rel("R", 1), Rel("S", 1))};
+  p.sigma23 = {Constraint::Contain(Rel("S", 1), Rel("T", 1))};
+  CompositionResult res = Compose(p);
+  std::string report = res.Report();
+  EXPECT_NE(report.find("eliminated 1/1"), std::string::npos);
+  EXPECT_NE(report.find("S"), std::string::npos);
+}
+
+TEST(ComposeTest, SoundnessOnRandomizedMovieInstances) {
+  // End-to-end soundness of Example 1 composition: every model of
+  // Σ12 ∪ Σ23 is a model of Σ13.
+  const char* text = R"(
+    schema s1 { Movies(4); }
+    schema s2 { FSM(2); }
+    schema s3 { Names(1); Years(1); }
+    map m12 { pi[1,2](sel[#3=1](Movies)) <= FSM; }
+    map m23 { pi[1](FSM) <= Names; pi[2](FSM) <= Years; }
+  )";
+  Parser parser;
+  CompositionProblem p = parser.ParseProblem(text).value();
+  CompositionResult res = Compose(p);
+  ASSERT_EQ(res.eliminated_count, 1);
+
+  Signature all;
+  ASSERT_TRUE(all.AddRelation("Movies", 4).ok());
+  ASSERT_TRUE(all.AddRelation("FSM", 2).ok());
+  ASSERT_TRUE(all.AddRelation("Names", 1).ok());
+  ASSERT_TRUE(all.AddRelation("Years", 1).ok());
+  ConstraintSet input = p.sigma12;
+  input.insert(input.end(), p.sigma23.begin(), p.sigma23.end());
+  std::mt19937_64 rng(227);
+  GenOptions gen;
+  gen.domain_size = 2;
+  gen.max_tuples_per_rel = 3;
+  int checked = 0;
+  for (int round = 0; round < 200 && checked < 20; ++round) {
+    Instance db = RandomInstance(all, &rng, gen);
+    auto sat_in = SatisfiesAll(db, input);
+    ASSERT_TRUE(sat_in.ok());
+    if (!*sat_in) continue;
+    ++checked;
+    auto sat_out = SatisfiesAll(db, res.constraints);
+    ASSERT_TRUE(sat_out.ok());
+    EXPECT_TRUE(*sat_out) << db.ToString();
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(ComposeTest, CompletenessWitnessOnTinyInstances) {
+  // The other half of equivalence (paper §2): a model of Σ13 extends to a
+  // model of Σ12 ∪ Σ23 by choosing S. Checked by bounded search.
+  CompositionProblem p;
+  ASSERT_TRUE(p.sigma1.AddRelation("R", 1).ok());
+  ASSERT_TRUE(p.sigma2.AddRelation("S", 1).ok());
+  ASSERT_TRUE(p.sigma3.AddRelation("T", 1).ok());
+  p.sigma12 = {Constraint::Contain(Rel("R", 1), Rel("S", 1))};
+  p.sigma23 = {Constraint::Contain(Rel("S", 1), Rel("T", 1))};
+  CompositionResult res = Compose(p);
+  ASSERT_EQ(res.eliminated_count, 1);
+
+  ConstraintSet full = p.sigma12;
+  full.insert(full.end(), p.sigma23.begin(), p.sigma23.end());
+  Signature s13;
+  ASSERT_TRUE(s13.AddRelation("R", 1).ok());
+  ASSERT_TRUE(s13.AddRelation("T", 1).ok());
+  Signature extra;
+  ASSERT_TRUE(extra.AddRelation("S", 1).ok());
+
+  std::mt19937_64 rng(229);
+  GenOptions gen;
+  gen.domain_size = 2;
+  gen.max_tuples_per_rel = 2;
+  int checked = 0;
+  for (int round = 0; round < 100 && checked < 10; ++round) {
+    Instance db = RandomInstance(s13, &rng, gen);
+    auto sat = SatisfiesAll(db, res.constraints);
+    ASSERT_TRUE(sat.ok());
+    if (!*sat) continue;
+    ++checked;
+    Result<Instance> witness = FindExtension(db, extra, full);
+    EXPECT_TRUE(witness.ok()) << "no completeness witness for:\n"
+                              << db.ToString();
+  }
+  EXPECT_GT(checked, 0);
+}
+
+}  // namespace
+}  // namespace mapcomp

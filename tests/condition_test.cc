@@ -1,0 +1,138 @@
+#include "src/algebra/condition.h"
+
+#include <gtest/gtest.h>
+
+namespace mapcomp {
+namespace {
+
+Tuple T(std::initializer_list<int64_t> vals) {
+  Tuple t;
+  for (int64_t v : vals) t.push_back(Value(v));
+  return t;
+}
+
+TEST(ConditionTest, TrueFalseEval) {
+  EXPECT_TRUE(Condition::True().Eval(T({})));
+  EXPECT_FALSE(Condition::False().Eval(T({})));
+}
+
+TEST(ConditionTest, AttrAttrComparisons) {
+  Tuple t = T({1, 2, 2});
+  EXPECT_FALSE(Condition::AttrCmp(1, CmpOp::kEq, 2).Eval(t));
+  EXPECT_TRUE(Condition::AttrCmp(2, CmpOp::kEq, 3).Eval(t));
+  EXPECT_TRUE(Condition::AttrCmp(1, CmpOp::kLt, 2).Eval(t));
+  EXPECT_FALSE(Condition::AttrCmp(2, CmpOp::kLt, 3).Eval(t));
+  EXPECT_TRUE(Condition::AttrCmp(2, CmpOp::kLe, 3).Eval(t));
+  EXPECT_TRUE(Condition::AttrCmp(2, CmpOp::kGt, 1).Eval(t));
+  EXPECT_TRUE(Condition::AttrCmp(1, CmpOp::kNe, 2).Eval(t));
+  EXPECT_TRUE(Condition::AttrCmp(3, CmpOp::kGe, 2).Eval(t));
+}
+
+TEST(ConditionTest, AttrConstComparisons) {
+  Tuple t = T({5});
+  EXPECT_TRUE(Condition::AttrConst(1, CmpOp::kEq, int64_t{5}).Eval(t));
+  EXPECT_FALSE(Condition::AttrConst(1, CmpOp::kEq, int64_t{6}).Eval(t));
+  EXPECT_TRUE(Condition::AttrConst(1, CmpOp::kLt, int64_t{9}).Eval(t));
+}
+
+TEST(ConditionTest, MixedTypeOrderIntsBeforeStrings) {
+  Tuple t{Value(int64_t{3}), Value(std::string("a"))};
+  // All integers order before all strings.
+  EXPECT_TRUE(Condition::AttrCmp(1, CmpOp::kLt, 2).Eval(t));
+  EXPECT_FALSE(Condition::AttrCmp(1, CmpOp::kEq, 2).Eval(t));
+}
+
+TEST(ConditionTest, OutOfRangeAttrEvaluatesFalse) {
+  EXPECT_FALSE(Condition::AttrCmp(1, CmpOp::kEq, 5).Eval(T({1})));
+}
+
+TEST(ConditionTest, ConnectiveFolding) {
+  Condition atom = Condition::AttrCmp(1, CmpOp::kEq, 2);
+  EXPECT_EQ(Condition::And(Condition::True(), atom), atom);
+  EXPECT_TRUE(Condition::And(Condition::False(), atom).IsFalse());
+  EXPECT_EQ(Condition::Or(Condition::False(), atom), atom);
+  EXPECT_TRUE(Condition::Or(Condition::True(), atom).IsTrue());
+  EXPECT_TRUE(Condition::Not(Condition::True()).IsFalse());
+  EXPECT_EQ(Condition::Not(Condition::Not(atom)), atom);
+}
+
+TEST(ConditionTest, ConstantAtomFolds) {
+  EXPECT_TRUE(Condition::Atom(CondOperand::Const(int64_t{1}), CmpOp::kLt,
+                              CondOperand::Const(int64_t{2}))
+                  .IsTrue());
+  EXPECT_TRUE(Condition::Atom(CondOperand::Const(int64_t{3}), CmpOp::kEq,
+                              CondOperand::Const(int64_t{2}))
+                  .IsFalse());
+}
+
+TEST(ConditionTest, AndOrEval) {
+  Condition c = Condition::And(Condition::AttrCmp(1, CmpOp::kEq, 2),
+                               Condition::AttrConst(3, CmpOp::kGt, int64_t{0}));
+  EXPECT_TRUE(c.Eval(T({4, 4, 1})));
+  EXPECT_FALSE(c.Eval(T({4, 5, 1})));
+  EXPECT_FALSE(c.Eval(T({4, 4, 0})));
+  Condition d = Condition::Or(Condition::AttrCmp(1, CmpOp::kEq, 2),
+                              Condition::AttrConst(3, CmpOp::kGt, int64_t{0}));
+  EXPECT_TRUE(d.Eval(T({4, 5, 1})));
+  EXPECT_FALSE(d.Eval(T({4, 5, 0})));
+}
+
+TEST(ConditionTest, ShiftAttrs) {
+  Condition c = Condition::AttrCmp(1, CmpOp::kEq, 2).ShiftAttrs(3);
+  EXPECT_TRUE(c.Eval(T({1, 1, 0, 7, 7})));   // compares #4 = #5 now
+  EXPECT_FALSE(c.Eval(T({0, 0, 0, 7, 8})));
+  EXPECT_EQ(c.MaxAttr(), 5);
+}
+
+TEST(ConditionTest, RemapAttrs) {
+  Condition c = Condition::AttrCmp(1, CmpOp::kLt, 2).RemapAttrs([](int i) {
+    return i == 1 ? 2 : 1;
+  });
+  EXPECT_TRUE(c.Eval(T({9, 3})));  // now #2 < #1
+  EXPECT_FALSE(c.Eval(T({3, 9})));
+}
+
+TEST(ConditionTest, MaxAttr) {
+  EXPECT_EQ(Condition::True().MaxAttr(), 0);
+  EXPECT_EQ(Condition::AttrConst(4, CmpOp::kEq, int64_t{0}).MaxAttr(), 4);
+  EXPECT_EQ(Condition::And(Condition::AttrCmp(1, CmpOp::kEq, 7),
+                           Condition::AttrCmp(2, CmpOp::kEq, 3))
+                .MaxAttr(),
+            7);
+}
+
+TEST(ConditionTest, EqualityAndHash) {
+  Condition a = Condition::And(Condition::AttrCmp(1, CmpOp::kEq, 2),
+                               Condition::AttrConst(3, CmpOp::kNe, int64_t{5}));
+  Condition b = Condition::And(Condition::AttrCmp(1, CmpOp::kEq, 2),
+                               Condition::AttrConst(3, CmpOp::kNe, int64_t{5}));
+  Condition c = Condition::And(Condition::AttrCmp(1, CmpOp::kEq, 2),
+                               Condition::AttrConst(3, CmpOp::kNe, int64_t{6}));
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ConditionTest, ToStringRoundtrippableShapes) {
+  EXPECT_EQ(Condition::True().ToString(), "true");
+  EXPECT_EQ(Condition::AttrCmp(1, CmpOp::kEq, 2).ToString(), "#1=#2");
+  EXPECT_EQ(Condition::AttrConst(1, CmpOp::kLe, int64_t{5}).ToString(),
+            "#1<=5");
+  EXPECT_EQ(
+      Condition::AttrConst(2, CmpOp::kEq, std::string("abc")).ToString(),
+      "#2='abc'");
+  EXPECT_EQ(Condition::Not(Condition::AttrCmp(1, CmpOp::kEq, 2)).ToString(),
+            "not #1=#2");
+}
+
+TEST(ConditionTest, FlattenedConjunctions) {
+  Condition c =
+      Condition::And(Condition::And(Condition::AttrCmp(1, CmpOp::kEq, 2),
+                                    Condition::AttrCmp(2, CmpOp::kEq, 3)),
+                     Condition::AttrCmp(3, CmpOp::kEq, 4));
+  ASSERT_EQ(c.kind(), Condition::Kind::kAnd);
+  EXPECT_EQ(c.children().size(), 3u);
+}
+
+}  // namespace
+}  // namespace mapcomp

@@ -1,0 +1,200 @@
+#include "src/eval/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/algebra/builders.h"
+#include "src/eval/checker.h"
+#include "src/eval/generator.h"
+
+namespace mapcomp {
+namespace {
+
+Tuple T(std::initializer_list<int64_t> vals) {
+  Tuple t;
+  for (int64_t v : vals) t.push_back(Value(v));
+  return t;
+}
+
+class EvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.Set("R", {T({1, 2}), T({2, 3})});
+    db_.Set("S", {T({2, 3}), T({4, 5})});
+    db_.Set("U", {T({1}), T({4})});
+  }
+  Instance db_;
+};
+
+TEST_F(EvalTest, BaseRelationAndEmpty) {
+  EXPECT_EQ(Evaluate(Rel("R", 2), db_).value().size(), 2u);
+  EXPECT_TRUE(Evaluate(Rel("Z", 2), db_).value().empty());
+  EXPECT_TRUE(Evaluate(EmptyRel(2), db_).value().empty());
+}
+
+TEST_F(EvalTest, Literal) {
+  auto out = Evaluate(Lit(1, {T({7}), T({8})}), db_).value();
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out.count(T({7})) > 0);
+}
+
+TEST_F(EvalTest, UnionIntersectDifference) {
+  EXPECT_EQ(Evaluate(Union(Rel("R", 2), Rel("S", 2)), db_).value().size(), 3u);
+  auto inter = Evaluate(Intersect(Rel("R", 2), Rel("S", 2)), db_).value();
+  EXPECT_EQ(inter, (std::set<Tuple>{T({2, 3})}));
+  auto diff = Evaluate(Difference(Rel("R", 2), Rel("S", 2)), db_).value();
+  EXPECT_EQ(diff, (std::set<Tuple>{T({1, 2})}));
+}
+
+TEST_F(EvalTest, ProductSelectProject) {
+  auto prod = Evaluate(Product(Rel("U", 1), Rel("U", 1)), db_).value();
+  EXPECT_EQ(prod.size(), 4u);
+  auto sel = Evaluate(Select(Condition::AttrCmp(1, CmpOp::kEq, 2),
+                             Product(Rel("U", 1), Rel("U", 1))),
+                      db_)
+                 .value();
+  EXPECT_EQ(sel.size(), 2u);
+  auto proj = Evaluate(Project({2}, Rel("R", 2)), db_).value();
+  EXPECT_EQ(proj, (std::set<Tuple>{T({2}), T({3})}));
+  auto dup = Evaluate(Project({1, 1}, Rel("U", 1)), db_).value();
+  EXPECT_EQ(dup, (std::set<Tuple>{T({1, 1}), T({4, 4})}));
+}
+
+TEST_F(EvalTest, ActiveDomain) {
+  // adom = {1,2,3,4,5}.
+  auto d1 = Evaluate(Dom(1), db_).value();
+  EXPECT_EQ(d1.size(), 5u);
+  auto d2 = Evaluate(Dom(2), db_).value();
+  EXPECT_EQ(d2.size(), 25u);
+}
+
+TEST_F(EvalTest, DomainIncludesExtraConstants) {
+  EvalOptions opts;
+  opts.extra_constants.insert(Value(int64_t{99}));
+  auto d1 = Evaluate(Dom(1), db_, opts).value();
+  EXPECT_EQ(d1.size(), 6u);
+  EXPECT_TRUE(d1.count(T({99})) > 0);
+}
+
+TEST_F(EvalTest, DomainBlowupGuard) {
+  EvalOptions opts;
+  opts.max_domain_tuples = 10;
+  Result<std::set<Tuple>> r = Evaluate(Dom(2), db_, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(EvalTest, SkolemModes) {
+  ExprPtr sk = SkolemApp("f", {1}, Rel("U", 1));
+  EXPECT_FALSE(Evaluate(sk, db_).ok());
+  EvalOptions opts;
+  opts.skolem_mode = SkolemEvalMode::kInjectiveTerms;
+  auto out = Evaluate(sk, db_, opts).value();
+  EXPECT_EQ(out.size(), 2u);
+  // Injective: distinct inputs get distinct terms.
+  std::set<Value> skolem_values;
+  for (const Tuple& t : out) skolem_values.insert(t[1]);
+  EXPECT_EQ(skolem_values.size(), 2u);
+}
+
+TEST_F(EvalTest, UserOpEval) {
+  // semijoin[#1=#3](R, S): R tuples whose first column appears as S's first.
+  const op::Registry& reg = op::Registry::Default();
+  ExprPtr sj = reg.MakeOp("semijoin", {Rel("R", 2), Rel("S", 2)},
+                          Condition::AttrCmp(1, CmpOp::kEq, 3))
+                   .value();
+  auto out = Evaluate(sj, db_).value();
+  EXPECT_EQ(out, (std::set<Tuple>{T({2, 3})}));
+}
+
+TEST_F(EvalTest, SatisfiesContainmentAndEquality) {
+  // R ⊆ R ∪ S holds; R = S does not.
+  EXPECT_TRUE(Satisfies(db_, Constraint::Contain(
+                                 Rel("R", 2), Union(Rel("R", 2), Rel("S", 2))))
+                  .value());
+  EXPECT_FALSE(Satisfies(db_, Constraint::Equal(Rel("R", 2), Rel("S", 2)))
+                   .value());
+}
+
+TEST_F(EvalTest, SatisfiesAllCollectsConstants) {
+  // Constraint references constant 7, absent from db. {(7)} ⊆ D^1 must hold
+  // because checking adds the constraint's own constants to the domain.
+  ConstraintSet cs{Constraint::Contain(Lit(1, {T({7})}), Dom(1))};
+  EXPECT_TRUE(SatisfiesAll(db_, cs).value());
+}
+
+TEST_F(EvalTest, KeyConstraintSemantics) {
+  // Key constraint from Example 2: first column of a binary relation is a
+  // key.
+  ConstraintSet key = KeyConstraintsFor("K", 2, {1});
+  Instance good;
+  good.Set("K", {T({1, 2}), T({2, 2})});
+  EXPECT_TRUE(SatisfiesAll(good, key).value());
+  Instance bad;
+  bad.Set("K", {T({1, 2}), T({1, 3})});
+  EXPECT_FALSE(SatisfiesAll(bad, key).value());
+}
+
+TEST(InstanceTest, MergeRestrictActiveDomain) {
+  Instance a, b;
+  a.Set("R", {T({1})});
+  b.Set("S", {T({2})});
+  Instance merged = a.MergedWith(b);
+  EXPECT_TRUE(merged.Has("R"));
+  EXPECT_TRUE(merged.Has("S"));
+  Signature sig;
+  ASSERT_TRUE(sig.AddRelation("R", 1).ok());
+  Instance restricted = merged.RestrictedTo(sig);
+  EXPECT_TRUE(restricted.Has("R"));
+  EXPECT_FALSE(restricted.Has("S"));
+  EXPECT_EQ(merged.ActiveDomain().size(), 2u);
+}
+
+TEST(GeneratorTest, RandomInstanceRespectsSignature) {
+  Signature sig;
+  ASSERT_TRUE(sig.AddRelation("A", 2).ok());
+  ASSERT_TRUE(sig.AddRelation("B", 3).ok());
+  std::mt19937_64 rng(42);
+  Instance inst = RandomInstance(sig, &rng);
+  for (const Tuple& t : inst.Get("A")) EXPECT_EQ(t.size(), 2u);
+  for (const Tuple& t : inst.Get("B")) EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(GeneratorTest, RandomInstanceSatisfying) {
+  Signature sig;
+  ASSERT_TRUE(sig.AddRelation("A", 1).ok());
+  ASSERT_TRUE(sig.AddRelation("B", 1).ok());
+  ConstraintSet cs{Constraint::Contain(Rel("A", 1), Rel("B", 1))};
+  std::mt19937_64 rng(7);
+  Result<Instance> inst = RandomInstanceSatisfying(sig, cs, &rng, 200);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_TRUE(SatisfiesAll(*inst, cs).value());
+}
+
+TEST(CheckerTest, FindExtensionWitness) {
+  // base: A = {1}. Extra relation B (unary) must satisfy A ⊆ B.
+  Instance base;
+  base.Set("A", {T({1})});
+  Signature extra;
+  ASSERT_TRUE(extra.AddRelation("B", 1).ok());
+  ConstraintSet cs{Constraint::Contain(Rel("A", 1), Rel("B", 1))};
+  Result<Instance> witness = FindExtension(base, extra, cs);
+  ASSERT_TRUE(witness.ok());
+  EXPECT_TRUE(SatisfiesAll(*witness, cs).value());
+  EXPECT_TRUE(witness->Get("B").count(T({1})) > 0);
+}
+
+TEST(CheckerTest, FindExtensionUnsatisfiable) {
+  // B ⊆ ∅ and A ⊆ B with nonempty A: no extension exists.
+  Instance base;
+  base.Set("A", {T({1})});
+  Signature extra;
+  ASSERT_TRUE(extra.AddRelation("B", 1).ok());
+  ConstraintSet cs{Constraint::Contain(Rel("A", 1), Rel("B", 1)),
+                   Constraint::Contain(Rel("B", 1), EmptyRel(1))};
+  Result<Instance> witness = FindExtension(base, extra, cs);
+  ASSERT_FALSE(witness.ok());
+  EXPECT_EQ(witness.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mapcomp

@@ -1,0 +1,112 @@
+#include "src/compose/monotone.h"
+
+#include <gtest/gtest.h>
+
+#include "src/algebra/builders.h"
+
+namespace mapcomp {
+namespace {
+
+Mono M(const ExprPtr& e, const std::string& s = "S") {
+  return CheckMonotone(e, s);
+}
+
+TEST(MonotoneTest, BaseCases) {
+  EXPECT_EQ(M(Rel("S", 2)), Mono::kMonotone);
+  EXPECT_EQ(M(Rel("T", 2)), Mono::kIndependent);
+  EXPECT_EQ(M(EmptyRel(2)), Mono::kIndependent);
+  EXPECT_EQ(M(Lit(1, {{Value(int64_t{1})}})), Mono::kIndependent);
+  EXPECT_EQ(M(Dom(2)), Mono::kMonotone);  // D grows with every relation
+}
+
+TEST(MonotoneTest, PaperExampleProductIsMonotone) {
+  // §3.3: MONOTONE(S × T, S) = 'm'.
+  EXPECT_EQ(M(Product(Rel("S", 1), Rel("T", 1))), Mono::kMonotone);
+}
+
+TEST(MonotoneTest, PaperExampleSelfDifferenceIsUnknown) {
+  // §3.3: MONOTONE(σ_c1(S) − σ_c2(S), S) = 'u'.
+  ExprPtr e = Difference(
+      Select(Condition::AttrConst(1, CmpOp::kEq, int64_t{1}), Rel("S", 1)),
+      Select(Condition::AttrConst(1, CmpOp::kEq, int64_t{2}), Rel("S", 1)));
+  EXPECT_EQ(M(e), Mono::kUnknown);
+}
+
+TEST(MonotoneTest, SelectProjectPassThrough) {
+  EXPECT_EQ(M(Select(Condition::True(), Rel("S", 2))), Mono::kMonotone);
+  EXPECT_EQ(M(Project({1}, Rel("S", 2))), Mono::kMonotone);
+  EXPECT_EQ(M(Project({1}, Difference(Rel("T", 2), Rel("S", 2)))),
+            Mono::kAnti);
+}
+
+TEST(MonotoneTest, DifferencePolarity) {
+  // R − S: monotone in R, anti-monotone in S (§1.3).
+  ExprPtr e = Difference(Rel("R", 2), Rel("S", 2));
+  EXPECT_EQ(CheckMonotone(e, "R"), Mono::kMonotone);
+  EXPECT_EQ(CheckMonotone(e, "S"), Mono::kAnti);
+  EXPECT_EQ(CheckMonotone(e, "Z"), Mono::kIndependent);
+}
+
+TEST(MonotoneTest, DoubleNegationRestoresMonotone) {
+  // T − (T' − S) is monotone in S.
+  ExprPtr e = Difference(Rel("T", 2), Difference(Rel("U", 2), Rel("S", 2)));
+  EXPECT_EQ(M(e), Mono::kMonotone);
+}
+
+TEST(MonotoneTest, MixedPolarityIsUnknown) {
+  // S ∪ (T − S): 'm' ⊕ 'a' = 'u'.
+  ExprPtr e = Union(Rel("S", 2), Difference(Rel("T", 2), Rel("S", 2)));
+  EXPECT_EQ(M(e), Mono::kUnknown);
+}
+
+TEST(MonotoneTest, SkolemPassThrough) {
+  EXPECT_EQ(M(SkolemApp("f", {1}, Rel("S", 1))), Mono::kMonotone);
+}
+
+TEST(MonotoneTest, UserOpPolarities) {
+  const op::Registry& reg = op::Registry::Default();
+  ExprPtr lo =
+      reg.MakeOp("lojoin", {Rel("S", 2), Rel("T", 2)}, Condition::True())
+          .value();
+  EXPECT_EQ(M(lo), Mono::kMonotone);  // monotone in first argument
+  ExprPtr lo2 =
+      reg.MakeOp("lojoin", {Rel("T", 2), Rel("S", 2)}, Condition::True())
+          .value();
+  EXPECT_EQ(M(lo2), Mono::kUnknown);  // unknown in second argument
+  ExprPtr aj =
+      reg.MakeOp("antijoin", {Rel("T", 2), Rel("S", 2)}, Condition::True())
+          .value();
+  EXPECT_EQ(M(aj), Mono::kAnti);  // anti-monotone in second argument
+  ExprPtr sj =
+      reg.MakeOp("semijoin", {Rel("S", 2), Rel("S", 2)}, Condition::True())
+          .value();
+  EXPECT_EQ(M(sj), Mono::kMonotone);  // monotone in both arguments
+  ExprPtr tc = reg.MakeOp("tc", {Rel("S", 2)}).value();
+  EXPECT_EQ(M(tc), Mono::kMonotone);
+}
+
+TEST(MonotoneTest, UnknownOperatorWithoutRegistry) {
+  // An unregistered operator: 'u' through any argument containing S, 'i'
+  // otherwise (the "tolerance for unknown operators" of §1.3).
+  ExprPtr e = UserOpExpr("mystery", {Rel("S", 2)}, 2);
+  op::Registry empty = op::Registry::Empty();
+  EXPECT_EQ(CheckMonotone(e, "S", &empty), Mono::kUnknown);
+  EXPECT_EQ(CheckMonotone(e, "T", &empty), Mono::kIndependent);
+}
+
+TEST(MonotoneTest, IsMonotoneOrIndependent) {
+  EXPECT_TRUE(IsMonotoneOrIndependent(Rel("S", 1), "S"));
+  EXPECT_TRUE(IsMonotoneOrIndependent(Rel("T", 1), "S"));
+  EXPECT_FALSE(
+      IsMonotoneOrIndependent(Difference(Rel("T", 1), Rel("S", 1)), "S"));
+}
+
+TEST(MonotoneTest, MonoToChar) {
+  EXPECT_EQ(MonoToChar(Mono::kMonotone), 'm');
+  EXPECT_EQ(MonoToChar(Mono::kAnti), 'a');
+  EXPECT_EQ(MonoToChar(Mono::kIndependent), 'i');
+  EXPECT_EQ(MonoToChar(Mono::kUnknown), 'u');
+}
+
+}  // namespace
+}  // namespace mapcomp

@@ -1,0 +1,101 @@
+#include "src/simulator/scenarios.h"
+
+#include <gtest/gtest.h>
+
+namespace mapcomp {
+namespace sim {
+namespace {
+
+EditingScenarioOptions SmallEditing(uint64_t seed) {
+  EditingScenarioOptions opts;
+  opts.schema_size = 6;
+  opts.num_edits = 12;
+  opts.seed = seed;
+  return opts;
+}
+
+TEST(EditingScenarioTest, RunsAndEliminatesMostSymbols) {
+  EditingScenarioResult res = RunEditingScenario(SmallEditing(1));
+  EXPECT_GT(res.symbols_total, 0);
+  // The paper reports 50-100% elimination across tasks; identity copies
+  // dominate small runs, so well over half must go.
+  EXPECT_GE(res.EliminatedFraction(), 0.5)
+      << "eliminated " << res.symbols_eliminated << "/" << res.symbols_total;
+  EXPECT_TRUE(res.final_mapping.Validate().ok());
+}
+
+TEST(EditingScenarioTest, PerPrimitiveStatsCoverApppliedEdits) {
+  EditingScenarioResult res = RunEditingScenario(SmallEditing(2));
+  int edits = 0;
+  for (const auto& [p, stats] : res.per_primitive) {
+    edits += stats.edits;
+    EXPECT_GE(stats.EliminatedFraction(), 0.0);
+    EXPECT_LE(stats.EliminatedFraction(), 1.0);
+  }
+  // First edit initializes, the rest compose.
+  EXPECT_EQ(edits, 11);
+}
+
+TEST(EditingScenarioTest, DisablingUnfoldingWeakensElimination) {
+  EditingScenarioOptions with = SmallEditing(3);
+  EditingScenarioOptions without = SmallEditing(3);
+  without.compose.eliminate.enable_unfold = false;
+  EditingScenarioResult res_with = RunEditingScenario(with);
+  EditingScenarioResult res_without = RunEditingScenario(without);
+  // Identical seeds: disabling a step can only keep or reduce success.
+  EXPECT_LE(res_without.EliminatedFraction(),
+            res_with.EliminatedFraction() + 1e-9);
+}
+
+TEST(EditingScenarioTest, KeysProduceLargerMappings) {
+  EditingScenarioOptions plain = SmallEditing(4);
+  EditingScenarioOptions keyed = SmallEditing(4);
+  keyed.simulator.primitives.enable_keys = true;
+  EditingScenarioResult res_plain = RunEditingScenario(plain);
+  EditingScenarioResult res_keyed = RunEditingScenario(keyed);
+  int plain_ops = OperatorCount(res_plain.final_mapping.constraints);
+  int keyed_ops = OperatorCount(res_keyed.final_mapping.constraints);
+  // Key constraints inflate the mappings (paper: 218 vs 95 constraints).
+  EXPECT_GT(keyed_ops, 0);
+  EXPECT_GT(plain_ops, 0);
+  EXPECT_GE(res_keyed.EliminatedFraction(), 0.0);
+}
+
+TEST(ReconciliationScenarioTest, RunsOnSmallSchemas) {
+  ReconciliationScenarioOptions opts;
+  opts.schema_size = 6;
+  opts.num_edits = 6;
+  opts.seed = 5;
+  opts.max_branch_attempts = 2;
+  ReconciliationScenarioResult res = RunReconciliationScenario(opts);
+  EXPECT_EQ(res.symbols_total, 6);
+  EXPECT_GE(res.symbols_eliminated, 0);
+  EXPECT_LE(res.symbols_eliminated, res.symbols_total);
+}
+
+TEST(ReconciliationScenarioTest, LargerSchemaEliminatesMore) {
+  // Paper Figure 6: a larger intermediate schema makes composition easier
+  // because random edits are less likely to interact. Use aggregate over a
+  // couple of seeds to damp variance.
+  auto fraction_at = [](int size) {
+    double total = 0, elim = 0;
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      ReconciliationScenarioOptions opts;
+      opts.schema_size = size;
+      opts.num_edits = 8;
+      opts.seed = seed;
+      opts.max_branch_attempts = 2;
+      ReconciliationScenarioResult res = RunReconciliationScenario(opts);
+      total += res.symbols_total;
+      elim += res.symbols_eliminated;
+    }
+    return elim / total;
+  };
+  double small = fraction_at(4);
+  double large = fraction_at(16);
+  EXPECT_GE(large, small - 0.25);  // trend holds modulo sampling noise
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace mapcomp

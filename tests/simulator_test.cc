@@ -1,0 +1,218 @@
+#include "src/simulator/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/constraints/mapping.h"
+
+namespace mapcomp {
+namespace sim {
+namespace {
+
+PrimitiveOptions SmallOptions() {
+  PrimitiveOptions opts;
+  opts.min_arity = 2;
+  opts.max_arity = 4;
+  return opts;
+}
+
+SimRelation MakeRel(const std::string& name, int arity, int key = 0) {
+  SimRelation r;
+  r.name = name;
+  r.arity = arity;
+  r.key_size = key;
+  return r;
+}
+
+class PrimitiveShapeTest : public ::testing::Test {
+ protected:
+  PrimitiveOptions opts_ = SmallOptions();
+  NameAllocator names_;
+  std::mt19937_64 rng_{7};
+};
+
+TEST_F(PrimitiveShapeTest, AddAttribute) {
+  EditStep step =
+      *ApplyPrimitive(Primitive::kAA, MakeRel("X", 3), opts_, &names_, &rng_);
+  ASSERT_EQ(step.produced.size(), 1u);
+  EXPECT_EQ(step.produced[0].arity, 4);
+  ASSERT_EQ(step.constraints.size(), 1u);
+  // R = π_{1..3}(S).
+  EXPECT_EQ(step.constraints[0].kind, ConstraintKind::kEquality);
+  EXPECT_EQ(step.constraints[0].rhs->kind(), ExprKind::kProject);
+}
+
+TEST_F(PrimitiveShapeTest, DropAttribute) {
+  EditStep step =
+      *ApplyPrimitive(Primitive::kDA, MakeRel("X", 3), opts_, &names_, &rng_);
+  EXPECT_EQ(step.produced[0].arity, 2);
+  EXPECT_EQ(step.constraints[0].lhs->kind(), ExprKind::kProject);
+}
+
+TEST_F(PrimitiveShapeTest, DropAttributeInapplicableOnUnary) {
+  EXPECT_FALSE(ApplyPrimitive(Primitive::kDA, MakeRel("X", 1), opts_,
+                              &names_, &rng_)
+                   .has_value());
+}
+
+TEST_F(PrimitiveShapeTest, DefaultVariants) {
+  EditStep f =
+      *ApplyPrimitive(Primitive::kDf, MakeRel("X", 2), opts_, &names_, &rng_);
+  ASSERT_EQ(f.constraints.size(), 1u);
+  // R × {c} = S.
+  EXPECT_EQ(f.constraints[0].lhs->kind(), ExprKind::kProduct);
+  EXPECT_EQ(f.constraints[0].lhs->child(1)->kind(), ExprKind::kLiteral);
+
+  EditStep b =
+      *ApplyPrimitive(Primitive::kDb, MakeRel("X", 2), opts_, &names_, &rng_);
+  ASSERT_EQ(b.constraints.size(), 1u);
+  // R = π(σ_{C=c}(S)).
+  EXPECT_EQ(b.constraints[0].rhs->kind(), ExprKind::kProject);
+  EXPECT_EQ(b.constraints[0].rhs->child(0)->kind(), ExprKind::kSelect);
+
+  EditStep both =
+      *ApplyPrimitive(Primitive::kD, MakeRel("X", 2), opts_, &names_, &rng_);
+  EXPECT_EQ(both.constraints.size(), 2u);
+}
+
+TEST_F(PrimitiveShapeTest, HorizontalPartitioning) {
+  EditStep h =
+      *ApplyPrimitive(Primitive::kH, MakeRel("X", 2), opts_, &names_, &rng_);
+  EXPECT_EQ(h.produced.size(), 2u);
+  EXPECT_EQ(h.constraints.size(), 3u);  // two selections + union
+  EditStep hb =
+      *ApplyPrimitive(Primitive::kHb, MakeRel("X", 2), opts_, &names_, &rng_);
+  ASSERT_EQ(hb.constraints.size(), 1u);
+  EXPECT_EQ(hb.constraints[0].rhs->kind(), ExprKind::kUnion);
+}
+
+TEST_F(PrimitiveShapeTest, VerticalRequiresKey) {
+  EXPECT_FALSE(ApplyPrimitive(Primitive::kV, MakeRel("X", 4, 0), opts_,
+                              &names_, &rng_)
+                   .has_value());
+  EditStep v = *ApplyPrimitive(Primitive::kV, MakeRel("X", 4, 1), opts_,
+                               &names_, &rng_);
+  EXPECT_EQ(v.produced.size(), 2u);
+  // Key is replicated to both outputs.
+  EXPECT_EQ(v.produced[0].key_size, 1);
+  EXPECT_EQ(v.produced[1].key_size, 1);
+  EXPECT_EQ(v.constraints.size(), 3u);  // two π defs + join def
+}
+
+TEST_F(PrimitiveShapeTest, NormalizationAddsInclusion) {
+  EditStep n =
+      *ApplyPrimitive(Primitive::kN, MakeRel("X", 4), opts_, &names_, &rng_);
+  EXPECT_EQ(n.constraints.size(), 4u);  // vertical + π_A(T) ⊆ π_A(S)
+  EXPECT_EQ(n.constraints.back().kind, ConstraintKind::kContainment);
+}
+
+TEST_F(PrimitiveShapeTest, SubAndSup) {
+  EditStep sub =
+      *ApplyPrimitive(Primitive::kSub, MakeRel("X", 2), opts_, &names_, &rng_);
+  ASSERT_EQ(sub.constraints.size(), 1u);
+  EXPECT_EQ(sub.constraints[0].kind, ConstraintKind::kContainment);
+  EXPECT_TRUE(ContainsRelation(sub.constraints[0].lhs, "X"));
+  EditStep sup =
+      *ApplyPrimitive(Primitive::kSup, MakeRel("X", 2), opts_, &names_, &rng_);
+  EXPECT_TRUE(ContainsRelation(sup.constraints[0].rhs, "X"));
+}
+
+TEST_F(PrimitiveShapeTest, KeyConstraintsEmittedWhenEnabled) {
+  PrimitiveOptions keyed = opts_;
+  keyed.enable_keys = true;
+  EditStep step = *ApplyPrimitive(Primitive::kAA, MakeRel("X", 3, 1), keyed,
+                                  &names_, &rng_);
+  // 1 mapping constraint + key constraints for the 3 non-key columns of the
+  // 4-ary output.
+  EXPECT_EQ(step.constraints.size(), 1u + 3u);
+}
+
+TEST(EventVectorTest, DefaultWeights) {
+  EventVector v = EventVector::Default();
+  EXPECT_DOUBLE_EQ(v.weights[Primitive::kAA], 2.0);
+  EXPECT_DOUBLE_EQ(v.weights[Primitive::kDR], 0.2);
+  EXPECT_DOUBLE_EQ(v.weights[Primitive::kHf], 1.0);
+}
+
+TEST(EventVectorTest, InclusionProportion) {
+  EventVector v = EventVector::Default().WithInclusionProportion(0.2);
+  double total = 0.0, incl = 0.0;
+  for (const auto& [p, w] : v.weights) {
+    total += w;
+    if (p == Primitive::kSub || p == Primitive::kSup) incl += w;
+  }
+  EXPECT_NEAR(incl / total, 0.2, 1e-9);
+}
+
+TEST(SimulatorTest, RandomSchemaRespectsOptions) {
+  SimulatorOptions opts;
+  opts.primitives.min_arity = 2;
+  opts.primitives.max_arity = 5;
+  opts.primitives.enable_keys = true;
+  EvolutionSimulator simulator(opts, 11);
+  SimSchema schema = simulator.RandomSchema(20);
+  EXPECT_EQ(schema.relations.size(), 20u);
+  for (const SimRelation& r : schema.relations) {
+    EXPECT_GE(r.arity, 2);
+    EXPECT_LE(r.arity, 5);
+    EXPECT_LT(r.key_size, r.arity);
+  }
+}
+
+TEST(SimulatorTest, FullEditIsAValidDisjointMapping) {
+  SimulatorOptions opts;
+  EvolutionSimulator simulator(opts, 13);
+  SimSchema schema = simulator.RandomSchema(8);
+  for (int i = 0; i < 30; ++i) {
+    FullEdit edit = simulator.ApplyRandomEdit(schema);
+    Mapping m;
+    m.input = schema.ToSignature();
+    m.output = edit.new_schema.ToSignature();
+    m.constraints = edit.constraints;
+    ASSERT_TRUE(m.Validate().ok())
+        << PrimitiveName(edit.primitive) << ": " << m.Validate().ToString();
+    schema = edit.new_schema;
+  }
+}
+
+TEST(SimulatorTest, IdentityCopiesLinkUntouchedRelations) {
+  SimulatorOptions opts;
+  EvolutionSimulator simulator(opts, 17);
+  SimSchema schema = simulator.RandomSchema(5);
+  FullEdit edit = simulator.ApplyEdit(schema, Primitive::kSub);
+  // 4 identity copies + 1 Sub constraint.
+  int equalities = 0, containments = 0;
+  for (const Constraint& c : edit.constraints) {
+    (c.kind == ConstraintKind::kEquality ? equalities : containments)++;
+  }
+  EXPECT_EQ(equalities, 4);
+  EXPECT_EQ(containments, 1);
+  EXPECT_EQ(edit.new_schema.relations.size(), 5u);
+}
+
+TEST(SimulatorTest, DropRelationShrinksSchema) {
+  SimulatorOptions opts;
+  EvolutionSimulator simulator(opts, 19);
+  SimSchema schema = simulator.RandomSchema(5);
+  FullEdit edit = simulator.ApplyEdit(schema, Primitive::kDR);
+  EXPECT_EQ(edit.new_schema.relations.size(), 4u);
+}
+
+TEST(SimulatorTest, FreshNamesNeverCollide) {
+  SimulatorOptions opts;
+  EvolutionSimulator simulator(opts, 23);
+  SimSchema schema = simulator.RandomSchema(5);
+  std::set<std::string> seen;
+  for (const SimRelation& r : schema.relations) seen.insert(r.name);
+  for (int i = 0; i < 10; ++i) {
+    FullEdit edit = simulator.ApplyRandomEdit(schema);
+    for (const SimRelation& r : edit.new_schema.relations) {
+      EXPECT_EQ(seen.count(r.name), 0u) << r.name;
+      seen.insert(r.name);
+    }
+    schema = edit.new_schema;
+  }
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace mapcomp

@@ -1,0 +1,89 @@
+// mapcompc — command-line mapping composer.
+//
+// Reads a composition task in the library's text format (from a file or
+// stdin) and prints the composed mapping plus per-symbol statistics.
+//
+// Usage:
+//   mapcompc [options] [task-file]
+//     --no-unfold          disable view unfolding (§3.2)
+//     --no-left            disable left compose (§3.4)
+//     --no-right           disable right compose (§3.5)
+//     --no-simplify        skip output simplification
+//     --blowup N           abort a symbol when output exceeds N x input
+//                          operator count (default 100, paper §4)
+//     --quiet              print only the composed constraints
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/compose/compose.h"
+#include "src/parser/parser.h"
+
+int main(int argc, char** argv) {
+  mapcomp::ComposeOptions options;
+  bool quiet = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--no-unfold") == 0) {
+      options.eliminate.enable_unfold = false;
+    } else if (std::strcmp(arg, "--no-left") == 0) {
+      options.eliminate.enable_left_compose = false;
+    } else if (std::strcmp(arg, "--no-right") == 0) {
+      options.eliminate.enable_right_compose = false;
+    } else if (std::strcmp(arg, "--no-simplify") == 0) {
+      options.simplify_output = false;
+    } else if (std::strcmp(arg, "--blowup") == 0 && i + 1 < argc) {
+      options.eliminate.max_blowup_factor = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg);
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+
+  std::string text;
+  if (path.empty()) {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+
+  mapcomp::Parser parser;
+  mapcomp::Result<mapcomp::CompositionProblem> problem =
+      parser.ParseProblem(text);
+  if (!problem.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 problem.status().ToString().c_str());
+    return 1;
+  }
+  mapcomp::CompositionResult result = mapcomp::Compose(*problem, options);
+  if (!quiet) {
+    std::printf("%s\n", result.Report().c_str());
+    if (!result.residual_sigma2.empty()) {
+      std::printf("residual sigma2 symbols:");
+      for (const std::string& s : result.residual_sigma2) {
+        std::printf(" %s", s.c_str());
+      }
+      std::printf("\n\n");
+    }
+  }
+  std::printf("%s", mapcomp::ConstraintSetToString(result.constraints).c_str());
+  return result.residual_sigma2.empty() ? 0 : 3;
+}
