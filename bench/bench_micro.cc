@@ -5,6 +5,8 @@
 #include <benchmark/benchmark.h>
 
 #include "src/algebra/builders.h"
+#include "src/algebra/simplify.h"
+#include "src/algebra/substitute.h"
 #include "src/compose/compose.h"
 #include "src/compose/monotone.h"
 #include "src/compose/normalize_left.h"
@@ -95,6 +97,52 @@ void BM_ComposeLiteratureSuite(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ComposeLiteratureSuite);
+
+/// Builds a tree of 2^depth separately-constructed copies of the same
+/// subexpression — the shape COMPOSE's substitution steps produce when an
+/// eliminated symbol occurs many times. Structural work that cannot exploit
+/// sharing is exponential in `depth` on this input.
+ExprPtr DuplicatedTree(int depth) {
+  if (depth == 0) {
+    return Select(Condition::AttrCmp(1, CmpOp::kEq, 3),
+                  Product(Rel("R", 2), Rel("S", 2)));
+  }
+  return Intersect(DuplicatedTree(depth - 1), DuplicatedTree(depth - 1));
+}
+
+void BM_ExprEqualsDuplicatedTree(benchmark::State& state) {
+  ExprPtr a = DuplicatedTree(8);
+  ExprPtr b = DuplicatedTree(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExprEquals(a, b));
+  }
+}
+BENCHMARK(BM_ExprEqualsDuplicatedTree);
+
+void BM_OperatorCountDuplicatedTree(benchmark::State& state) {
+  ExprPtr e = DuplicatedTree(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OperatorCount(e));
+  }
+}
+BENCHMARK(BM_OperatorCountDuplicatedTree);
+
+void BM_SimplifyDuplicatedTree(benchmark::State& state) {
+  ExprPtr e = Union(DuplicatedTree(7), EmptyRel(4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimplifyExpr(e));
+  }
+}
+BENCHMARK(BM_SimplifyDuplicatedTree);
+
+void BM_SubstituteDuplicatedTree(benchmark::State& state) {
+  ExprPtr e = DuplicatedTree(8);
+  ExprPtr replacement = Project({1, 2}, Rel("T", 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SubstituteRelation(e, "R", replacement));
+  }
+}
+BENCHMARK(BM_SubstituteDuplicatedTree);
 
 void BM_SimulatorEdit(benchmark::State& state) {
   sim::SimulatorOptions opts;

@@ -238,6 +238,7 @@ bool Condition::operator==(const Condition& other) const {
 }
 
 size_t Condition::Hash() const {
+  if (hash_cache_ != 0) return hash_cache_;
   size_t seed = static_cast<size_t>(kind_);
   switch (kind_) {
     case Kind::kTrue:
@@ -253,6 +254,8 @@ size_t Condition::Hash() const {
     default:
       for (const Condition& ch : children_) HashCombine(&seed, ch.Hash());
   }
+  if (seed == 0) seed = 1;  // keep 0 free as the "not computed" marker
+  hash_cache_ = seed;
   return seed;
 }
 

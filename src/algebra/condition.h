@@ -98,6 +98,8 @@ class Condition {
   int MaxAttr() const;
 
   bool operator==(const Condition& other) const;
+  /// Structural hash, cached after the first call (Expr interning hashes
+  /// each node's condition on every Expr::Make).
   size_t Hash() const;
 
   /// Text syntax: `#1=#2 and not (#3<5 or false)`.
@@ -108,6 +110,9 @@ class Condition {
   CmpOp op_ = CmpOp::kEq;
   CondOperand lhs_, rhs_;
   std::vector<Condition> children_;
+  // Lazy hash cache; 0 doubles as "not computed" (computed hashes are
+  // nudged off 0).
+  mutable size_t hash_cache_ = 0;
 };
 
 }  // namespace mapcomp

@@ -1,105 +1,116 @@
 #include "src/algebra/expr.h"
 
 #include <algorithm>
+#include <functional>
+#include <limits>
+#include <unordered_set>
+
+#include "src/algebra/interner.h"
 
 namespace mapcomp {
+
+uint64_t Expr::NameBit(const std::string& name) {
+  return uint64_t{1} << (std::hash<std::string>()(name) & 63);
+}
 
 ExprPtr Expr::Make(ExprKind kind, std::string name,
                    std::vector<ExprPtr> children, Condition condition,
                    std::vector<int> indexes, int arity,
                    std::vector<Tuple> tuples) {
-  auto e = std::shared_ptr<Expr>(new Expr());
-  e->kind_ = kind;
-  e->name_ = std::move(name);
-  e->children_ = std::move(children);
-  e->condition_ = std::move(condition);
-  e->indexes_ = std::move(indexes);
-  e->arity_ = arity;
-  e->tuples_ = std::move(tuples);
-  return e;
+  return ExprInterner::Global().Intern(kind, std::move(name),
+                                       std::move(children),
+                                       std::move(condition), std::move(indexes),
+                                       arity, std::move(tuples));
 }
 
 bool ExprEquals(const ExprPtr& a, const ExprPtr& b) {
-  if (a == b) return true;
-  if (a == nullptr || b == nullptr) return false;
-  if (a->kind() != b->kind() || a->arity() != b->arity()) return false;
-  if (a->name() != b->name()) return false;
-  if (a->indexes() != b->indexes()) return false;
-  if (!(a->condition() == b->condition())) return false;
-  if (a->children().size() != b->children().size()) return false;
-  for (size_t i = 0; i < a->children().size(); ++i) {
-    if (!ExprEquals(a->children()[i], b->children()[i])) return false;
-  }
-  if (a->kind() == ExprKind::kLiteral) {
-    if (a->tuples().size() != b->tuples().size()) return false;
-    for (size_t i = 0; i < a->tuples().size(); ++i) {
-      if (a->tuples()[i].size() != b->tuples()[i].size()) return false;
-      for (size_t j = 0; j < a->tuples()[i].size(); ++j) {
-        if (CompareValues(a->tuples()[i][j], b->tuples()[i][j]) != 0) {
-          return false;
-        }
-      }
-    }
-  }
-  return true;
+  // Interning canonicalizes structurally equal nodes to one object.
+  return a == b;
 }
 
 size_t ExprHash(const ExprPtr& e) {
   if (e == nullptr) return 0;
-  size_t seed = static_cast<size_t>(e->kind());
-  HashCombine(&seed, std::hash<std::string>()(e->name()));
-  HashCombine(&seed, static_cast<size_t>(e->arity()));
-  for (int i : e->indexes()) HashCombine(&seed, static_cast<size_t>(i));
-  HashCombine(&seed, e->condition().Hash());
-  for (const ExprPtr& c : e->children()) HashCombine(&seed, ExprHash(c));
-  for (const Tuple& t : e->tuples()) HashCombine(&seed, HashTuple(t));
-  return seed;
+  return e->hash();
 }
 
 int OperatorCount(const ExprPtr& e) {
   if (e == nullptr) return 0;
-  int n = 1;
-  for (const ExprPtr& c : e->children()) n += OperatorCount(c);
-  return n;
+  int64_t n = e->op_count();
+  return n > std::numeric_limits<int>::max()
+             ? std::numeric_limits<int>::max()
+             : static_cast<int>(n);
 }
+
+namespace {
+
+/// `bit` is NameBit(name), hashed once per query rather than per node.
+/// `seen` (used above kSharedSubtreeThreshold) keeps mask false positives
+/// from revisiting shared subtrees of a large DAG.
+bool ContainsRelationImpl(const Expr& e, const std::string& name,
+                          uint64_t bit,
+                          std::unordered_set<const Expr*>* seen) {
+  if ((e.relation_mask() & bit) == 0) return false;
+  if (e.kind() == ExprKind::kRelation && e.name() == name) return true;
+  if (seen != nullptr && !seen->insert(&e).second) return false;
+  for (const ExprPtr& c : e.children()) {
+    if (ContainsRelationImpl(*c, name, bit, seen)) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 bool ContainsRelation(const ExprPtr& e, const std::string& name) {
   if (e == nullptr) return false;
-  if (e->kind() == ExprKind::kRelation && e->name() == name) return true;
-  for (const ExprPtr& c : e->children()) {
-    if (ContainsRelation(c, name)) return true;
+  uint64_t bit = Expr::NameBit(name);
+  if (e->op_count() <= kSharedSubtreeThreshold) {
+    return ContainsRelationImpl(*e, name, bit, nullptr);
   }
-  return false;
+  std::unordered_set<const Expr*> seen;
+  return ContainsRelationImpl(*e, name, bit, &seen);
 }
 
+namespace {
+
+/// Shared-subtree-aware collector: visits each interned node once, pruning
+/// subtrees whose mask proves the target absent.
+template <typename Mask, typename Visit>
+void CollectUnique(const ExprPtr& e, std::unordered_set<const Expr*>* seen,
+                   const Mask& has_any, const Visit& visit) {
+  if (e == nullptr || !has_any(*e)) return;
+  if (!seen->insert(e.get()).second) return;
+  visit(*e);
+  for (const ExprPtr& c : e->children()) {
+    CollectUnique(c, seen, has_any, visit);
+  }
+}
+
+}  // namespace
+
 void CollectRelations(const ExprPtr& e, std::set<std::string>* out) {
-  if (e == nullptr) return;
-  if (e->kind() == ExprKind::kRelation) out->insert(e->name());
-  for (const ExprPtr& c : e->children()) CollectRelations(c, out);
+  std::unordered_set<const Expr*> seen;
+  CollectUnique(
+      e, &seen, [](const Expr& n) { return n.relation_mask() != 0; },
+      [out](const Expr& n) {
+        if (n.kind() == ExprKind::kRelation) out->insert(n.name());
+      });
 }
 
 bool ContainsSkolem(const ExprPtr& e) {
-  if (e == nullptr) return false;
-  if (e->kind() == ExprKind::kSkolem) return true;
-  for (const ExprPtr& c : e->children()) {
-    if (ContainsSkolem(c)) return true;
-  }
-  return false;
+  return e != nullptr && e->contains_skolem();
 }
 
 void CollectSkolems(const ExprPtr& e, std::set<std::string>* out) {
-  if (e == nullptr) return;
-  if (e->kind() == ExprKind::kSkolem) out->insert(e->name());
-  for (const ExprPtr& c : e->children()) CollectSkolems(c, out);
+  std::unordered_set<const Expr*> seen;
+  CollectUnique(
+      e, &seen, [](const Expr& n) { return n.contains_skolem(); },
+      [out](const Expr& n) {
+        if (n.kind() == ExprKind::kSkolem) out->insert(n.name());
+      });
 }
 
 bool ContainsDomain(const ExprPtr& e) {
-  if (e == nullptr) return false;
-  if (e->kind() == ExprKind::kDomain) return true;
-  for (const ExprPtr& c : e->children()) {
-    if (ContainsDomain(c)) return true;
-  }
-  return false;
+  return e != nullptr && e->contains_domain();
 }
 
 Status ValidateExpr(const ExprPtr& e) {

@@ -1,0 +1,169 @@
+#include "src/algebra/interner.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+namespace mapcomp {
+
+namespace {
+
+constexpr size_t kMinCapacity = 1024;
+
+/// Structural hash of a node-to-be, combining children by their cached
+/// hashes. Field order matches the pre-interning ExprHash recipe so hashes
+/// stay stable across the refactor.
+size_t ShallowHash(ExprKind kind, const std::string& name,
+                   const std::vector<ExprPtr>& children,
+                   const Condition& condition, const std::vector<int>& indexes,
+                   int arity, const std::vector<Tuple>& tuples) {
+  size_t seed = static_cast<size_t>(kind);
+  HashCombine(&seed, std::hash<std::string>()(name));
+  HashCombine(&seed, static_cast<size_t>(arity));
+  for (int i : indexes) HashCombine(&seed, static_cast<size_t>(i));
+  HashCombine(&seed, condition.Hash());
+  for (const ExprPtr& c : children) HashCombine(&seed, c->hash());
+  for (const Tuple& t : tuples) HashCombine(&seed, HashTuple(t));
+  return seed;
+}
+
+bool TuplesEqual(const std::vector<Tuple>& a, const std::vector<Tuple>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      if (CompareValues(a[i][j], b[i][j]) != 0) return false;
+    }
+  }
+  return true;
+}
+
+/// Shallow structural equality against an existing interned node. Children
+/// are compared by pointer: they are interned, so pointer equality is
+/// structural equality.
+bool ShallowEquals(const Expr& e, ExprKind kind, const std::string& name,
+                   const std::vector<ExprPtr>& children,
+                   const Condition& condition, const std::vector<int>& indexes,
+                   int arity, const std::vector<Tuple>& tuples) {
+  if (e.kind() != kind || e.arity() != arity) return false;
+  if (e.name() != name) return false;
+  if (e.indexes() != indexes) return false;
+  if (e.children().size() != children.size()) return false;
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (e.children()[i].get() != children[i].get()) return false;
+  }
+  if (!(e.condition() == condition)) return false;
+  return TuplesEqual(e.tuples(), tuples);
+}
+
+size_t NextPow2(size_t n) {
+  size_t p = kMinCapacity;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ExprInterner& ExprInterner::Global() {
+  static ExprInterner* interner = new ExprInterner();
+  return *interner;
+}
+
+ExprInterner::ExprInterner()
+    : slots_(kMinCapacity),
+      mask_(kMinCapacity - 1),
+      rebuild_at_(kMinCapacity / 2) {}
+
+size_t ExprInterner::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+void ExprInterner::Sweep() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Run to a fixpoint: dropping a parent releases its children, which then
+  // also become table-only.
+  size_t before = count_ + 1;
+  while (count_ < before) {
+    before = count_;
+    RehashLocked();
+  }
+}
+
+void ExprInterner::RehashLocked() {
+  size_t live = 0;
+  for (const Slot& s : slots_) {
+    live += s.node != nullptr && s.node.use_count() > 1;
+  }
+  size_t capacity = NextPow2(live * 4);
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(capacity, Slot{});
+  mask_ = capacity - 1;
+  count_ = 0;
+  for (Slot& s : old) {
+    // use_count()==1 means the table holds the only reference: the node is
+    // unreachable from outside and is dropped with the old vector. Children
+    // it releases become table-only and are caught by the next rebuild.
+    if (s.node == nullptr || s.node.use_count() == 1) continue;
+    size_t idx = s.hash & mask_;
+    while (slots_[idx].node != nullptr) idx = (idx + 1) & mask_;
+    slots_[idx].hash = s.hash;
+    slots_[idx].node = std::move(s.node);
+    ++count_;
+  }
+  // Rebuild again once the occupancy doubles relative to the live set; this
+  // bounds both garbage retention and the probe working set to a small
+  // multiple of the live expressions.
+  rebuild_at_ = std::max<size_t>(kMinCapacity / 2, count_ * 2);
+}
+
+ExprPtr ExprInterner::Intern(ExprKind kind, std::string name,
+                             std::vector<ExprPtr> children,
+                             Condition condition, std::vector<int> indexes,
+                             int arity, std::vector<Tuple> tuples) {
+  size_t hash = ShallowHash(kind, name, children, condition, indexes, arity,
+                            tuples);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t idx = hash & mask_;
+  while (slots_[idx].node != nullptr) {
+    if (slots_[idx].hash == hash &&
+        ShallowEquals(*slots_[idx].node, kind, name, children, condition,
+                      indexes, arity, tuples)) {
+      return slots_[idx].node;
+    }
+    idx = (idx + 1) & mask_;
+  }
+
+  Expr* e = new Expr();
+  e->kind_ = kind;
+  e->name_ = std::move(name);
+  e->children_ = std::move(children);
+  e->condition_ = std::move(condition);
+  e->indexes_ = std::move(indexes);
+  e->arity_ = arity;
+  e->tuples_ = std::move(tuples);
+  e->hash_ = hash;
+  e->op_count_ = 1;
+  e->contains_skolem_ = kind == ExprKind::kSkolem;
+  e->contains_domain_ = kind == ExprKind::kDomain;
+  e->relation_mask_ = kind == ExprKind::kRelation ? Expr::NameBit(e->name_) : 0;
+  // Interned DAGs can denote trees exponentially larger than their physical
+  // node count, so the tree-size accumulation must saturate, not overflow.
+  constexpr int64_t kOpCountCap = std::numeric_limits<int64_t>::max();
+  for (const ExprPtr& c : e->children_) {
+    e->op_count_ = c->op_count() >= kOpCountCap - e->op_count_
+                       ? kOpCountCap
+                       : e->op_count_ + c->op_count();
+    e->contains_skolem_ = e->contains_skolem_ || c->contains_skolem();
+    e->contains_domain_ = e->contains_domain_ || c->contains_domain();
+    e->relation_mask_ |= c->relation_mask();
+  }
+  ExprPtr published(e);
+  slots_[idx].hash = hash;
+  slots_[idx].node = published;
+  if (++count_ >= rebuild_at_) RehashLocked();
+  return published;
+}
+
+}  // namespace mapcomp

@@ -1,0 +1,68 @@
+#ifndef MAPCOMP_ALGEBRA_INTERNER_H_
+#define MAPCOMP_ALGEBRA_INTERNER_H_
+
+#include <mutex>
+#include <vector>
+
+#include "src/algebra/expr.h"
+
+namespace mapcomp {
+
+/// Hash-consing table behind `Expr::Make`. Structurally equal nodes are
+/// canonicalized to a single object, which makes ExprPtr pointer equality
+/// coincide with structural equality and lets per-node analyses be computed
+/// once at interning time.
+///
+/// Because every Expr is built through Make, children of a candidate node
+/// are already interned, so the table only ever compares nodes *shallowly*:
+/// scalar fields by value and children by pointer.
+///
+/// Storage is a flat open-addressing table (linear probing, power-of-two
+/// capacity, load factor <= 1/2) keyed by the full structural hash. The
+/// table holds strong references; garbage is reclaimed when the table
+/// rebuilds: entries whose only remaining reference is the table itself are
+/// dropped during every rehash. Entries are never erased outside a rebuild,
+/// so the probe sequence needs no tombstones. This keeps both node creation
+/// and node destruction free of per-node bookkeeping beyond one probe, at
+/// the cost of retaining dead nodes until the next rebuild.
+class ExprInterner {
+ public:
+  /// The process-wide interner used by Expr::Make. Intentionally leaked so
+  /// expressions held in static storage can be destroyed safely at exit.
+  static ExprInterner& Global();
+
+  ExprInterner();
+
+  /// Returns the canonical node for the given structure, creating and
+  /// caching it if no structurally equal node is cached.
+  ExprPtr Intern(ExprKind kind, std::string name, std::vector<ExprPtr> children,
+                 Condition condition, std::vector<int> indexes, int arity,
+                 std::vector<Tuple> tuples);
+
+  /// Number of cached nodes, including garbage not yet reclaimed (for tests
+  /// and diagnostics).
+  size_t size() const;
+
+  /// Immediately drops every cached node not referenced outside the table.
+  void Sweep();
+
+ private:
+  struct Slot {
+    size_t hash = 0;
+    ExprPtr node;  ///< null = empty slot
+  };
+
+  /// Rebuilds sized to the live entries, dropping table-only ones. Called
+  /// under mu_.
+  void RehashLocked();
+
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;        ///< capacity - 1 (capacity is a power of two)
+  size_t count_ = 0;       ///< occupied slots
+  size_t rebuild_at_ = 0;  ///< occupancy that triggers the next rebuild
+};
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_ALGEBRA_INTERNER_H_

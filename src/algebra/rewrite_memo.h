@@ -1,0 +1,40 @@
+#ifndef MAPCOMP_ALGEBRA_REWRITE_MEMO_H_
+#define MAPCOMP_ALGEBRA_REWRITE_MEMO_H_
+
+#include <unordered_map>
+#include <utility>
+
+#include "src/algebra/expr.h"
+
+namespace mapcomp {
+
+/// Memo table for structural rewrites ExprPtr → ExprPtr. Keys are node
+/// identities, which interning makes equivalent to structural equality, so
+/// one entry serves every occurrence of a shared subexpression and a
+/// rewrite pass does linear work in the number of *distinct* subtrees.
+///
+/// Only valid for rewrites whose result depends on the node alone (not on
+/// its position in the enclosing expression) — which is true of the
+/// bottom-up passes in simplify.cc and substitute.cc.
+class RewriteMemo {
+ public:
+  /// The memoized result for `e`, or nullptr if not recorded yet. The
+  /// pointer is invalidated by the next Insert.
+  const ExprPtr* Find(const ExprPtr& e) const {
+    auto it = map_.find(e.get());
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  void Insert(const ExprPtr& e, ExprPtr result) {
+    map_.emplace(e.get(), std::move(result));
+  }
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<const Expr*, ExprPtr> map_;
+};
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_ALGEBRA_REWRITE_MEMO_H_

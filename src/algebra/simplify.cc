@@ -4,6 +4,7 @@
 #include <set>
 
 #include "src/algebra/builders.h"
+#include "src/algebra/rewrite_memo.h"
 
 namespace mapcomp {
 
@@ -182,13 +183,23 @@ ExprPtr RewriteNode(const ExprPtr& e, const SimplifyHook& hook) {
   return nullptr;
 }
 
+/// One bottom-up pass. Interning makes node identity equal structural
+/// equality, so the memo (when non-null) rewrites every occurrence of a
+/// shared subtree exactly once per pass, and pointer inequality of the
+/// result signals a structural change.
 ExprPtr SimplifyOnce(const ExprPtr& e, const SimplifyHook& hook,
-                     bool* changed) {
+                     RewriteMemo* memo, bool* changed) {
+  if (memo != nullptr) {
+    if (const ExprPtr* hit = memo->Find(e)) {
+      *changed = *changed || *hit != e;
+      return *hit;
+    }
+  }
   bool child_changed = false;
   std::vector<ExprPtr> new_children;
   new_children.reserve(e->children().size());
   for (const ExprPtr& c : e->children()) {
-    ExprPtr nc = SimplifyOnce(c, hook, &child_changed);
+    ExprPtr nc = SimplifyOnce(c, hook, memo, &child_changed);
     new_children.push_back(std::move(nc));
   }
   ExprPtr node = e;
@@ -197,12 +208,11 @@ ExprPtr SimplifyOnce(const ExprPtr& e, const SimplifyHook& hook,
                       e->condition(), e->indexes(), e->arity(), e->tuples());
   }
   ExprPtr rewritten = RewriteNode(node, hook);
-  if (rewritten != nullptr) {
-    *changed = true;
-    return rewritten;
-  }
-  *changed = *changed || child_changed;
-  return node;
+  ExprPtr result = rewritten != nullptr ? std::move(rewritten)
+                                        : std::move(node);
+  if (memo != nullptr) memo->Insert(e, result);
+  *changed = *changed || result != e;
+  return result;
 }
 
 }  // namespace
@@ -214,7 +224,12 @@ ExprPtr SimplifyExpr(const ExprPtr& e, const SimplifyHook& hook) {
   // far more than any chain of the above rules requires.
   for (int i = 0; i < 16; ++i) {
     bool changed = false;
-    cur = SimplifyOnce(cur, hook, &changed);
+    if (cur->op_count() > kSharedSubtreeThreshold) {
+      RewriteMemo memo;
+      cur = SimplifyOnce(cur, hook, &memo, &changed);
+    } else {
+      cur = SimplifyOnce(cur, hook, nullptr, &changed);
+    }
     if (!changed) break;
   }
   return cur;

@@ -1,44 +1,73 @@
 #include "src/algebra/substitute.h"
 
+#include "src/algebra/rewrite_memo.h"
+
 namespace mapcomp {
 
-ExprPtr SubstituteRelation(const ExprPtr& e, const std::string& name,
-                           const ExprPtr& replacement) {
-  if (e == nullptr) return e;
-  if (e->kind() == ExprKind::kRelation && e->name() == name) {
-    return replacement;
+namespace {
+
+/// Memoized bottom-up rewrite of kRelation leaves, shared by substitution
+/// and renaming. `leaf` returns the replacement for a relation node, or
+/// nullptr to keep it. Pure node-local, so a RewriteMemo keyed on node
+/// identity rewrites each distinct subtree once, and the cached relation
+/// mask (`bit` = NameBit of the target) skips whole subtrees that cannot
+/// mention it.
+template <typename LeafFn>
+ExprPtr RewriteRelationLeaves(const ExprPtr& e, uint64_t bit,
+                              const LeafFn& leaf, RewriteMemo* memo) {
+  if ((e->relation_mask() & bit) == 0) return e;
+  if (e->kind() == ExprKind::kRelation) {
+    ExprPtr replaced = leaf(*e);
+    return replaced != nullptr ? replaced : e;
+  }
+  if (memo != nullptr) {
+    if (const ExprPtr* hit = memo->Find(e)) return *hit;
   }
   bool changed = false;
   std::vector<ExprPtr> new_children;
   new_children.reserve(e->children().size());
   for (const ExprPtr& c : e->children()) {
-    ExprPtr nc = SubstituteRelation(c, name, replacement);
+    ExprPtr nc = RewriteRelationLeaves(c, bit, leaf, memo);
     changed = changed || nc != c;
     new_children.push_back(std::move(nc));
   }
-  if (!changed) return e;
-  return Expr::Make(e->kind(), e->name(), std::move(new_children),
-                    e->condition(), e->indexes(), e->arity(), e->tuples());
+  ExprPtr result =
+      changed ? Expr::Make(e->kind(), e->name(), std::move(new_children),
+                           e->condition(), e->indexes(), e->arity(),
+                           e->tuples())
+              : e;
+  if (memo != nullptr) memo->Insert(e, result);
+  return result;
+}
+
+template <typename LeafFn>
+ExprPtr RewriteRelationLeaves(const ExprPtr& e, const std::string& name,
+                              const LeafFn& leaf) {
+  if (e == nullptr) return e;
+  uint64_t bit = Expr::NameBit(name);
+  if (e->op_count() <= kSharedSubtreeThreshold) {
+    return RewriteRelationLeaves(e, bit, leaf, nullptr);
+  }
+  RewriteMemo memo;
+  return RewriteRelationLeaves(e, bit, leaf, &memo);
+}
+
+}  // namespace
+
+ExprPtr SubstituteRelation(const ExprPtr& e, const std::string& name,
+                           const ExprPtr& replacement) {
+  return RewriteRelationLeaves(e, name, [&](const Expr& n) -> ExprPtr {
+    return n.name() == name ? replacement : nullptr;
+  });
 }
 
 ExprPtr RenameRelation(const ExprPtr& e, const std::string& from,
                        const std::string& to) {
-  if (e == nullptr) return e;
-  if (e->kind() == ExprKind::kRelation && e->name() == from) {
+  return RewriteRelationLeaves(e, from, [&](const Expr& n) -> ExprPtr {
+    if (n.name() != from) return nullptr;
     return Expr::Make(ExprKind::kRelation, to, {}, Condition::True(), {},
-                      e->arity(), {});
-  }
-  bool changed = false;
-  std::vector<ExprPtr> new_children;
-  new_children.reserve(e->children().size());
-  for (const ExprPtr& c : e->children()) {
-    ExprPtr nc = RenameRelation(c, from, to);
-    changed = changed || nc != c;
-    new_children.push_back(std::move(nc));
-  }
-  if (!changed) return e;
-  return Expr::Make(e->kind(), e->name(), std::move(new_children),
-                    e->condition(), e->indexes(), e->arity(), e->tuples());
+                      n.arity(), {});
+  });
 }
 
 }  // namespace mapcomp

@@ -1,8 +1,14 @@
 #include "src/compose/monotone.h"
 
+#include <unordered_map>
+
 namespace mapcomp {
 
 namespace {
+
+Mono CheckMonotoneNode(const ExprPtr& e, const std::string& symbol,
+                       uint64_t bit, const op::Registry* registry,
+                       std::unordered_map<const Expr*, Mono>* memo);
 
 /// Combination table for operators that are monotone in all arguments
 /// (∪, ∩, ×): 'i' is the identity, equal values persist, opposite
@@ -25,24 +31,30 @@ Mono Flip(Mono m) {
   }
 }
 
-}  // namespace
-
-char MonoToChar(Mono m) {
-  switch (m) {
-    case Mono::kMonotone:
-      return 'm';
-    case Mono::kAnti:
-      return 'a';
-    case Mono::kIndependent:
-      return 'i';
-    case Mono::kUnknown:
-      return 'u';
+/// `bit` is NameBit(symbol), hashed once per query rather than per node.
+/// `memo` (used above kSharedSubtreeThreshold) keeps the walk linear in the
+/// physical node count of a shared DAG.
+Mono CheckMonotoneImpl(const ExprPtr& e, const std::string& symbol,
+                       uint64_t bit, const op::Registry* registry,
+                       std::unordered_map<const Expr*, Mono>* memo) {
+  // O(1) fast path via the interner's cached analyses: a subtree that
+  // provably mentions neither `symbol` nor D is independent of `symbol`
+  // under every operator's polarity rule.
+  if ((e->relation_mask() & bit) == 0 && !e->contains_domain()) {
+    return Mono::kIndependent;
   }
-  return '?';
+  if (memo != nullptr) {
+    auto it = memo->find(e.get());
+    if (it != memo->end()) return it->second;
+  }
+  Mono result = CheckMonotoneNode(e, symbol, bit, registry, memo);
+  if (memo != nullptr) memo->emplace(e.get(), result);
+  return result;
 }
 
-Mono CheckMonotone(const ExprPtr& e, const std::string& symbol,
-                   const op::Registry* registry) {
+Mono CheckMonotoneNode(const ExprPtr& e, const std::string& symbol,
+                       uint64_t bit, const op::Registry* registry,
+                       std::unordered_map<const Expr*, Mono>* memo) {
   switch (e->kind()) {
     case ExprKind::kRelation:
       return e->name() == symbol ? Mono::kMonotone : Mono::kIndependent;
@@ -56,21 +68,24 @@ Mono CheckMonotone(const ExprPtr& e, const std::string& symbol,
     case ExprKind::kUnion:
     case ExprKind::kIntersect:
     case ExprKind::kProduct:
-      return Combine(CheckMonotone(e->child(0), symbol, registry),
-                     CheckMonotone(e->child(1), symbol, registry));
+      return Combine(
+          CheckMonotoneImpl(e->child(0), symbol, bit, registry, memo),
+          CheckMonotoneImpl(e->child(1), symbol, bit, registry, memo));
     case ExprKind::kDifference:
-      return Combine(CheckMonotone(e->child(0), symbol, registry),
-                     Flip(CheckMonotone(e->child(1), symbol, registry)));
+      return Combine(
+          CheckMonotoneImpl(e->child(0), symbol, bit, registry, memo),
+          Flip(CheckMonotoneImpl(e->child(1), symbol, bit, registry, memo)));
     case ExprKind::kSelect:
     case ExprKind::kProject:
     case ExprKind::kSkolem:
-      return CheckMonotone(e->child(0), symbol, registry);
+      return CheckMonotoneImpl(e->child(0), symbol, bit, registry, memo);
     case ExprKind::kUserOp: {
       const op::OperatorDef* def =
           registry != nullptr ? registry->Find(e->name()) : nullptr;
       Mono acc = Mono::kIndependent;
       for (size_t i = 0; i < e->children().size(); ++i) {
-        Mono child = CheckMonotone(e->children()[i], symbol, registry);
+        Mono child =
+            CheckMonotoneImpl(e->children()[i], symbol, bit, registry, memo);
         op::Polarity pol =
             def != nullptr && i < def->polarity.size()
                 ? def->polarity[i]
@@ -94,6 +109,32 @@ Mono CheckMonotone(const ExprPtr& e, const std::string& symbol,
     }
   }
   return Mono::kUnknown;
+}
+
+}  // namespace
+
+char MonoToChar(Mono m) {
+  switch (m) {
+    case Mono::kMonotone:
+      return 'm';
+    case Mono::kAnti:
+      return 'a';
+    case Mono::kIndependent:
+      return 'i';
+    case Mono::kUnknown:
+      return 'u';
+  }
+  return '?';
+}
+
+Mono CheckMonotone(const ExprPtr& e, const std::string& symbol,
+                   const op::Registry* registry) {
+  uint64_t bit = Expr::NameBit(symbol);
+  if (e->op_count() <= kSharedSubtreeThreshold) {
+    return CheckMonotoneImpl(e, symbol, bit, registry, nullptr);
+  }
+  std::unordered_map<const Expr*, Mono> memo;
+  return CheckMonotoneImpl(e, symbol, bit, registry, &memo);
 }
 
 bool IsMonotoneOrIndependent(const ExprPtr& e, const std::string& symbol,

@@ -11,8 +11,12 @@
 //     --no-simplify        skip output simplification
 //     --blowup N           abort a symbol when output exceeds N x input
 //                          operator count (default 100, paper §4)
+//     --order s1,s2,...    eliminate the sigma2 symbols in this order
+//                          (the paper's user-specified ordering, §3.1);
+//                          overrides a task file's `order` directive
 //     --quiet              print only the composed constraints
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,6 +43,24 @@ int main(int argc, char** argv) {
       options.simplify_output = false;
     } else if (std::strcmp(arg, "--blowup") == 0 && i + 1 < argc) {
       options.eliminate.max_blowup_factor = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--order") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--order expects a comma-separated symbol list\n");
+        return 2;
+      }
+      std::string list = argv[++i];
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        std::string symbol = list.substr(start, comma - start);
+        if (!symbol.empty()) options.order.push_back(std::move(symbol));
+        start = comma + 1;
+      }
+      if (options.order.empty()) {
+        std::fprintf(stderr, "--order expects a comma-separated symbol list\n");
+        return 2;
+      }
     } else if (std::strcmp(arg, "--quiet") == 0) {
       quiet = true;
     } else if (arg[0] == '-') {
@@ -72,6 +94,31 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "parse error: %s\n",
                  problem.status().ToString().c_str());
     return 1;
+  }
+  if (!options.order.empty()) {
+    // Every --order symbol must exist in sigma2, and sigma2 symbols left
+    // out are appended in declaration order — otherwise they would silently
+    // never be attempted yet not show up as residual either.
+    std::vector<std::string> sigma2 = problem->sigma2.names();
+    for (size_t i = 0; i < options.order.size(); ++i) {
+      const std::string& s = options.order[i];
+      if (std::find(sigma2.begin(), sigma2.end(), s) == sigma2.end()) {
+        std::fprintf(stderr, "--order: '%s' is not a sigma2 symbol\n",
+                     s.c_str());
+        return 2;
+      }
+      if (std::find(options.order.begin(), options.order.begin() + i, s) !=
+          options.order.begin() + i) {
+        std::fprintf(stderr, "--order: '%s' listed twice\n", s.c_str());
+        return 2;
+      }
+    }
+    for (const std::string& s : sigma2) {
+      if (std::find(options.order.begin(), options.order.end(), s) ==
+          options.order.end()) {
+        options.order.push_back(s);
+      }
+    }
   }
   mapcomp::CompositionResult result = mapcomp::Compose(*problem, options);
   if (!quiet) {
