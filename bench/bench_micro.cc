@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/algebra/builders.h"
+#include "src/algebra/interner.h"
 #include "src/algebra/simplify.h"
 #include "src/algebra/substitute.h"
 #include "src/compose/compose.h"
@@ -143,6 +144,43 @@ void BM_SubstituteDuplicatedTree(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SubstituteDuplicatedTree);
+
+/// Fresh-construction workload with the occurrence pattern of simulator
+/// edits and compose substitutions: many distinct constraints that keep
+/// re-mentioning a small set of relation leaves. `iter` varies the literal
+/// so consecutive benchmark iterations cannot just hit the interner with
+/// the whole tree.
+ExprPtr BuildEditShapedExpr(int iter, int i) {
+  ExprPtr base = Product(Rel("E" + std::to_string(i % 8), 1),
+                         Rel("F" + std::to_string(i % 5), 1));
+  ExprPtr sel = Select(Condition::AttrConst(1, CmpOp::kEq, int64_t{iter}),
+                       base);
+  return Union(Project({1, 2}, sel),
+               Intersect(base, Rel("G" + std::to_string(i % 3), 2)));
+}
+
+void BM_FreshConstructionNoBatch(benchmark::State& state) {
+  int iter = 0;
+  for (auto _ : state) {
+    ++iter;
+    for (int i = 0; i < 64; ++i) {
+      benchmark::DoNotOptimize(BuildEditShapedExpr(iter, i));
+    }
+  }
+}
+BENCHMARK(BM_FreshConstructionNoBatch);
+
+void BM_FreshConstructionBatched(benchmark::State& state) {
+  int iter = 0;
+  for (auto _ : state) {
+    ++iter;
+    ExprBuilder batch;
+    for (int i = 0; i < 64; ++i) {
+      benchmark::DoNotOptimize(BuildEditShapedExpr(iter, i));
+    }
+  }
+}
+BENCHMARK(BM_FreshConstructionBatched);
 
 void BM_SimulatorEdit(benchmark::State& state) {
   sim::SimulatorOptions opts;

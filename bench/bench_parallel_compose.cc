@@ -1,0 +1,126 @@
+// Multithreaded batch-compose throughput: the scaling baseline for the
+// parallel runtime (ComposeMany + sharded interner). Composes a batch of
+// independent problems — literature-suite replicas plus paper-scale
+// simulator edits — at 1/2/4/8 worker lanes and reports problems/second
+// per lane count as JSON (redirect stdout to BENCH_parallel.json).
+//
+// Determinism is checked, not assumed: every parallel run's per-problem
+// CompositionResult::Fingerprint must equal the jobs=1 baseline.
+//
+// Usage: bench_parallel_compose [lit-replicas (default 6)] [sim-problems
+// (default 24)] — scale both up on big machines for steadier numbers.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/parser/parser.h"
+#include "src/runtime/compose_many.h"
+#include "src/runtime/thread_pool.h"
+#include "src/simulator/simulator.h"
+#include "src/testdata/literature_suite.h"
+
+using namespace mapcomp;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::vector<CompositionProblem> BuildWorkload(int lit_replicas,
+                                              int sim_problems) {
+  std::vector<CompositionProblem> problems;
+  Parser parser;
+  for (int rep = 0; rep < lit_replicas; ++rep) {
+    for (const testdata::LiteratureProblem& prob :
+         testdata::LiteratureSuite()) {
+      problems.push_back(parser.ParseProblem(prob.text).value());
+    }
+  }
+  // Paper-scale (§4.1) schema-evolution compositions, one per seed, so the
+  // batch also carries heavy problems with little cross-problem sharing.
+  for (int seed = 0; seed < sim_problems; ++seed) {
+    sim::SimulatorOptions opts;
+    sim::EvolutionSimulator simulator(opts, 1000 + seed);
+    sim::SimSchema schema0 = simulator.RandomSchema(30);
+    sim::FullEdit e1 = simulator.ApplyRandomEdit(schema0);
+    sim::FullEdit e2 = simulator.ApplyRandomEdit(e1.new_schema);
+    CompositionProblem p;
+    p.name = "sim-seed-" + std::to_string(seed);
+    p.sigma1 = schema0.ToSignature();
+    p.sigma2 = e1.new_schema.ToSignature();
+    p.sigma3 = e2.new_schema.ToSignature();
+    p.sigma12 = e1.constraints;
+    p.sigma23 = e2.constraints;
+    problems.push_back(std::move(p));
+  }
+  return problems;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int lit_replicas = argc > 1 ? std::atoi(argv[1]) : 6;
+  int sim_problems = argc > 2 ? std::atoi(argv[2]) : 24;
+  constexpr int kReps = 3;
+  const std::vector<int> kJobs = {1, 2, 4, 8};
+
+  std::vector<CompositionProblem> problems =
+      BuildWorkload(lit_replicas, sim_problems);
+
+  // Warm-up: populates the interner and faults in the working set, so every
+  // lane count sees the same steady-state table.
+  std::vector<CompositionResult> baseline =
+      runtime::ComposeMany(problems, ComposeOptions{}, 1);
+
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"bench_parallel_compose\",\n");
+  std::printf("  \"hardware_threads\": %d,\n",
+              runtime::ThreadPool::HardwareThreads());
+  std::printf("  \"problems\": %zu,\n", problems.size());
+  std::printf("  \"lit_replicas\": %d,\n", lit_replicas);
+  std::printf("  \"sim_problems\": %d,\n", sim_problems);
+  std::printf("  \"reps\": %d,\n", kReps);
+  std::printf("  \"results\": [\n");
+
+  double base_throughput = 0.0;
+  for (size_t j = 0; j < kJobs.size(); ++j) {
+    int jobs = kJobs[j];
+    double best_seconds = -1.0;
+    bool deterministic = true;
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto start = std::chrono::steady_clock::now();
+      std::vector<CompositionResult> results =
+          runtime::ComposeMany(problems, ComposeOptions{}, jobs);
+      double elapsed = Seconds(start);
+      if (best_seconds < 0.0 || elapsed < best_seconds) {
+        best_seconds = elapsed;
+      }
+      for (size_t i = 0; i < results.size(); ++i) {
+        if (results[i].Fingerprint() != baseline[i].Fingerprint()) {
+          deterministic = false;
+          std::fprintf(stderr,
+                       "NONDETERMINISM: problem %zu differs at jobs=%d\n", i,
+                       jobs);
+        }
+      }
+    }
+    double throughput = static_cast<double>(problems.size()) / best_seconds;
+    if (jobs == 1) base_throughput = throughput;
+    std::printf(
+        "    {\"jobs\": %d, \"best_seconds\": %.6f, "
+        "\"problems_per_sec\": %.1f, \"speedup_vs_jobs1\": %.3f, "
+        "\"deterministic_vs_jobs1\": %s}%s\n",
+        jobs, best_seconds, throughput, throughput / base_throughput,
+        deterministic ? "true" : "false",
+        j + 1 < kJobs.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

@@ -8,7 +8,7 @@ namespace mapcomp {
 
 namespace {
 
-constexpr size_t kMinCapacity = 1024;
+constexpr size_t kMinCapacity = 256;
 
 /// Structural hash of a node-to-be, combining children by their cached
 /// hashes. Field order matches the pre-interning ExprHash recipe so hashes
@@ -62,77 +62,172 @@ size_t NextPow2(size_t n) {
   return p;
 }
 
+thread_local ExprBuilder* g_current_builder = nullptr;
+
 }  // namespace
+
+// ------------------------------------------------------------ InternerStats
+
+size_t InternerStats::entries() const {
+  size_t n = 0;
+  for (const ShardStats& s : shards) n += s.entries;
+  return n;
+}
+
+uint64_t InternerStats::hits() const {
+  uint64_t n = 0;
+  for (const ShardStats& s : shards) n += s.hits;
+  return n;
+}
+
+uint64_t InternerStats::misses() const {
+  uint64_t n = 0;
+  for (const ShardStats& s : shards) n += s.misses;
+  return n;
+}
+
+uint64_t InternerStats::sweeps() const {
+  uint64_t n = 0;
+  for (const ShardStats& s : shards) n += s.sweeps;
+  return n;
+}
+
+std::string InternerStats::ToString() const {
+  std::string out = "interner: " + std::to_string(entries()) + " entries, " +
+                    std::to_string(hits()) + " hits, " +
+                    std::to_string(misses()) + " misses, " +
+                    std::to_string(builder_hits) + " builder hits, " +
+                    std::to_string(sweeps()) + " sweeps\n";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const ShardStats& s = shards[i];
+    out += "  shard " + std::to_string(i) + ": " +
+           std::to_string(s.entries) + "/" + std::to_string(s.capacity) +
+           " entries, " + std::to_string(s.hits) + " hits, " +
+           std::to_string(s.misses) + " misses, " +
+           std::to_string(s.sweeps) + " sweeps\n";
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- ExprInterner
 
 ExprInterner& ExprInterner::Global() {
   static ExprInterner* interner = new ExprInterner();
   return *interner;
 }
 
-ExprInterner::ExprInterner()
-    : slots_(kMinCapacity),
-      mask_(kMinCapacity - 1),
-      rebuild_at_(kMinCapacity / 2) {}
+ExprInterner::ExprInterner() {
+  for (Shard& shard : shards_) {
+    shard.slots.assign(kMinCapacity, Slot{});
+    shard.mask = kMinCapacity - 1;
+    shard.rebuild_at = kMinCapacity / 2;
+  }
+}
 
 size_t ExprInterner::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return count_;
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.count;
+  }
+  return total;
 }
 
 void ExprInterner::Sweep() {
-  std::lock_guard<std::mutex> lock(mu_);
-  // Run to a fixpoint: dropping a parent releases its children, which then
-  // also become table-only.
-  size_t before = count_ + 1;
-  while (count_ < before) {
-    before = count_;
-    RehashLocked();
+  // Run to a global fixpoint: dropping a parent releases its children, which
+  // then also become table-only — possibly in a different shard.
+  size_t before = std::numeric_limits<size_t>::max();
+  for (;;) {
+    size_t after = 0;
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      RehashLocked(shard);
+      after += shard.count;
+    }
+    if (after >= before) break;
+    before = after;
   }
 }
 
-void ExprInterner::RehashLocked() {
+void ExprInterner::Reserve(size_t expected_new_nodes) {
+  // Assume an even hash spread; pad one shard's share by 2x for skew.
+  size_t per_shard = expected_new_nodes / kNumShards + 1;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    size_t extra = 2 * per_shard;
+    if (shard.count + extra < shard.rebuild_at) continue;
+    // One ordinary garbage-dropping rebuild, sized with headroom for the
+    // expected insertions, so the batch itself triggers no rebuild.
+    RehashLocked(shard, extra);
+  }
+}
+
+InternerStats ExprInterner::Stats() const {
+  InternerStats out;
+  out.shards.reserve(kNumShards);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    InternerStats::ShardStats s;
+    s.entries = shard.count;
+    s.capacity = shard.slots.size();
+    s.hits = shard.hits;
+    s.misses = shard.misses;
+    s.sweeps = shard.sweeps;
+    out.shards.push_back(s);
+  }
+  out.builder_hits = builder_hits_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ExprInterner::RehashLocked(Shard& shard, size_t extra_headroom) {
   size_t live = 0;
-  for (const Slot& s : slots_) {
+  for (const Slot& s : shard.slots) {
     live += s.node != nullptr && s.node.use_count() > 1;
   }
-  size_t capacity = NextPow2(live * 4);
-  std::vector<Slot> old = std::move(slots_);
-  slots_.assign(capacity, Slot{});
-  mask_ = capacity - 1;
-  count_ = 0;
+  size_t capacity = NextPow2(std::max(live * 4, (live + extra_headroom) * 2));
+  std::vector<Slot> old = std::move(shard.slots);
+  shard.slots.assign(capacity, Slot{});
+  shard.mask = capacity - 1;
+  shard.count = 0;
   for (Slot& s : old) {
     // use_count()==1 means the table holds the only reference: the node is
     // unreachable from outside and is dropped with the old vector. Children
     // it releases become table-only and are caught by the next rebuild.
     if (s.node == nullptr || s.node.use_count() == 1) continue;
-    size_t idx = s.hash & mask_;
-    while (slots_[idx].node != nullptr) idx = (idx + 1) & mask_;
-    slots_[idx].hash = s.hash;
-    slots_[idx].node = std::move(s.node);
-    ++count_;
+    size_t idx = s.hash & shard.mask;
+    while (shard.slots[idx].node != nullptr) idx = (idx + 1) & shard.mask;
+    shard.slots[idx].hash = s.hash;
+    shard.slots[idx].node = std::move(s.node);
+    ++shard.count;
   }
-  // Rebuild again once the occupancy doubles relative to the live set; this
-  // bounds both garbage retention and the probe working set to a small
-  // multiple of the live expressions.
-  rebuild_at_ = std::max<size_t>(kMinCapacity / 2, count_ * 2);
+  // Rebuild again once the occupancy doubles relative to the live set (or
+  // once the reserved headroom is spent); this bounds both garbage
+  // retention and the probe working set to a small multiple of the live
+  // expressions, and never exceeds the 1/2 load factor (capacity covers
+  // both terms by construction).
+  shard.rebuild_at = std::max<size_t>(
+      kMinCapacity / 2,
+      std::max(shard.count * 2, shard.count + extra_headroom));
+  ++shard.sweeps;
 }
 
-ExprPtr ExprInterner::Intern(ExprKind kind, std::string name,
-                             std::vector<ExprPtr> children,
-                             Condition condition, std::vector<int> indexes,
-                             int arity, std::vector<Tuple> tuples) {
-  size_t hash = ShallowHash(kind, name, children, condition, indexes, arity,
-                            tuples);
-
-  std::lock_guard<std::mutex> lock(mu_);
-  size_t idx = hash & mask_;
-  while (slots_[idx].node != nullptr) {
-    if (slots_[idx].hash == hash &&
-        ShallowEquals(*slots_[idx].node, kind, name, children, condition,
+ExprPtr ExprInterner::InternWithHash(size_t hash, ExprKind kind,
+                                     std::string name,
+                                     std::vector<ExprPtr> children,
+                                     Condition condition,
+                                     std::vector<int> indexes, int arity,
+                                     std::vector<Tuple> tuples) {
+  Shard& shard = shards_[ShardIndex(hash)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  size_t idx = hash & shard.mask;
+  while (shard.slots[idx].node != nullptr) {
+    if (shard.slots[idx].hash == hash &&
+        ShallowEquals(*shard.slots[idx].node, kind, name, children, condition,
                       indexes, arity, tuples)) {
-      return slots_[idx].node;
+      ++shard.hits;
+      return shard.slots[idx].node;
     }
-    idx = (idx + 1) & mask_;
+    idx = (idx + 1) & shard.mask;
   }
 
   Expr* e = new Expr();
@@ -160,10 +255,100 @@ ExprPtr ExprInterner::Intern(ExprKind kind, std::string name,
     e->relation_mask_ |= c->relation_mask();
   }
   ExprPtr published(e);
-  slots_[idx].hash = hash;
-  slots_[idx].node = published;
-  if (++count_ >= rebuild_at_) RehashLocked();
+  shard.slots[idx].hash = hash;
+  shard.slots[idx].node = published;
+  ++shard.misses;
+  if (++shard.count >= shard.rebuild_at) RehashLocked(shard);
   return published;
 }
+
+ExprPtr ExprInterner::Intern(ExprKind kind, std::string name,
+                             std::vector<ExprPtr> children,
+                             Condition condition, std::vector<int> indexes,
+                             int arity, std::vector<Tuple> tuples) {
+  size_t hash = ShallowHash(kind, name, children, condition, indexes, arity,
+                            tuples);
+
+  ExprBuilder* builder = g_current_builder;
+  ExprBuilder::Entry* slot = nullptr;
+  if (builder != nullptr && builder->interner_ == this) {
+    slot = &builder->cache_[hash & (ExprBuilder::kCacheSize - 1)];
+    if (slot->node != nullptr && slot->hash == hash &&
+        ShallowEquals(*slot->node, kind, name, children, condition, indexes,
+                      arity, tuples)) {
+      ++builder->local_hits_;
+      return slot->node;
+    }
+  }
+
+  ExprPtr node = InternWithHash(hash, kind, std::move(name),
+                                std::move(children), std::move(condition),
+                                std::move(indexes), arity, std::move(tuples));
+  if (slot != nullptr) {
+    // Direct-mapped: the latest node for this cache line wins. A line that
+    // was empty becomes owned by (and is later released by) this builder.
+    if (slot->node == nullptr) {
+      builder->owned_lines_.push_back(
+          static_cast<uint32_t>(hash & (ExprBuilder::kCacheSize - 1)));
+    }
+    slot->hash = hash;
+    slot->node = node;
+  }
+  return node;
+}
+
+// -------------------------------------------------------------- ExprBuilder
+
+namespace {
+
+/// Reusable per-thread cache storage, so opening a batch scope allocates
+/// and zeroes nothing. All entries verify structurally before reuse, so the
+/// only state that must be kept coherent is which interner the cached nodes
+/// are canonical in.
+struct TlsBuilderCache {
+  ExprInterner* owner = nullptr;
+  std::vector<ExprBuilder::Entry> entries;
+};
+
+TlsBuilderCache& BuilderCacheForThread() {
+  static thread_local TlsBuilderCache cache;
+  return cache;
+}
+
+}  // namespace
+
+ExprBuilder::ExprBuilder(ExprInterner* interner)
+    : interner_(interner), parent_(g_current_builder) {
+  TlsBuilderCache& tls = BuilderCacheForThread();
+  if (tls.entries.empty()) tls.entries.resize(kCacheSize);
+  if (tls.owner != interner) {
+    // Nodes cached for another interner are not canonical in this one.
+    for (Entry& e : tls.entries) e = Entry{};
+    tls.owner = interner;
+  }
+  cache_ = tls.entries.data();
+  g_current_builder = this;
+}
+
+ExprBuilder::~ExprBuilder() {
+  g_current_builder = parent_;
+  if (parent_ != nullptr && parent_->interner_ != interner_) {
+    // The resuming scope interns into a different table; nothing cached
+    // during this scope is canonical there. Wipe everything (the parent's
+    // pre-nesting lines were already wiped by this scope's constructor)
+    // and hand the owner tag back so the parent's writes are tagged
+    // correctly for any builder that follows.
+    TlsBuilderCache& tls = BuilderCacheForThread();
+    for (Entry& e : tls.entries) e = Entry{};
+    tls.owner = parent_->interner_;
+  } else {
+    // Release exactly the lines this builder populated; lines it merely
+    // overwrote belong to an enclosing builder, which releases them later.
+    for (uint32_t line : owned_lines_) cache_[line] = Entry{};
+  }
+  interner_->builder_hits_.fetch_add(local_hits_, std::memory_order_relaxed);
+}
+
+ExprBuilder* ExprBuilder::Current() { return g_current_builder; }
 
 }  // namespace mapcomp

@@ -1,7 +1,9 @@
 #include "src/compose/compose.h"
 
+#include <algorithm>
 #include <chrono>
 
+#include "src/algebra/interner.h"
 #include "src/compose/simplify_constraints.h"
 
 namespace mapcomp {
@@ -17,16 +19,49 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
 std::string CompositionResult::Report() const {
   std::string out = "eliminated " + std::to_string(eliminated_count) + "/" +
                     std::to_string(total_count) + " symbols in " +
-                    std::to_string(total_millis) + " ms\n";
+                    std::to_string(total_millis) + " ms";
+  if (rounds.size() > 1) {
+    out += " over " + std::to_string(rounds.size()) + " rounds";
+  }
+  out += "\n";
   for (const SymbolStat& s : stats) {
     out += "  " + s.symbol + ": ";
     out += s.eliminated ? std::string("eliminated via ") +
                               EliminateStepName(s.step)
                         : "kept (" + s.failure_reason + ")";
+    if (s.round > 1) out += " [round " + std::to_string(s.round) + "]";
     out += " [" + std::to_string(s.size_before) + " -> " +
            std::to_string(s.size_after) + " ops, " +
            std::to_string(s.millis) + " ms]\n";
   }
+  for (const std::string& w : warnings) {
+    out += "  warning: " + w + "\n";
+  }
+  return out;
+}
+
+std::string CompositionResult::Fingerprint() const {
+  std::string out;
+  out += "sigma{" + sigma.ToString() + "}\n";
+  out += "residual{";
+  for (const std::string& s : residual_sigma2) out += s + ",";
+  out += "}\n";
+  out += "constraints{\n" + ConstraintSetToString(constraints) + "}\n";
+  out += "counts{" + std::to_string(eliminated_count) + "/" +
+         std::to_string(total_count) + "}\n";
+  for (const SymbolStat& s : stats) {
+    out += "stat{" + s.symbol + " r" + std::to_string(s.round) + " " +
+           (s.eliminated ? std::string(EliminateStepName(s.step))
+                         : "kept:" + s.failure_reason) +
+           " " + std::to_string(s.size_before) + "->" +
+           std::to_string(s.size_after) + "}\n";
+  }
+  for (const RoundStat& r : rounds) {
+    out += "round{" + std::to_string(r.round) + " " +
+           std::to_string(r.eliminated) + "/" + std::to_string(r.attempted) +
+           "}\n";
+  }
+  for (const std::string& w : warnings) out += "warning{" + w + "}\n";
   return out;
 }
 
@@ -34,6 +69,10 @@ CompositionResult Compose(const CompositionProblem& problem,
                           const ComposeOptions& options) {
   auto total_start = std::chrono::steady_clock::now();
   CompositionResult result;
+  // One batch scope for the whole composition: the substitution/simplify
+  // rewrites rebuild the same small nodes constantly, which the builder's
+  // local cache absorbs without touching the shared shards.
+  ExprBuilder batch;
 
   // Σ := Σ12 ∪ Σ23.
   ConstraintSet sigma = problem.sigma12;
@@ -57,30 +96,71 @@ CompositionResult Compose(const CompositionProblem& problem,
           ? options.order
           : (!problem.elimination_order.empty() ? problem.elimination_order
                                                 : problem.sigma2.names());
+  result.total_count = static_cast<int>(order.size());
 
-  std::vector<std::string> residual;
-  for (const std::string& symbol : order) {
-    auto start = std::chrono::steady_clock::now();
-    SymbolStat stat;
-    stat.symbol = symbol;
-    stat.size_before = OperatorCount(sigma);
-    EliminateOutcome outcome = Eliminate(sigma, symbol,
-                                         problem.sigma2.ArityOf(symbol),
-                                         opts.eliminate);
-    stat.eliminated = outcome.success;
-    stat.step = outcome.step;
-    stat.failure_reason = outcome.failure_reason;
-    if (outcome.success) {
-      sigma = std::move(outcome.constraints);
-      ++result.eliminated_count;
-    } else {
-      residual.push_back(symbol);
+  // Multi-round fixpoint: each round sweeps the still-pending symbols in
+  // order; a symbol that fails stays pending for the next round, where the
+  // eliminations that happened after it may have removed its occurrences or
+  // both-sides conflicts. ELIMINATE is deterministic, so retrying a symbol
+  // against an unchanged Σ must fail identically — `sigma_version` counts
+  // successful eliminations, and a pending symbol is only re-attempted once
+  // Σ has changed since it last failed. Stops when everything is
+  // eliminated, no pending symbol has a fresher Σ to try, or max_rounds is
+  // reached.
+  struct PendingSymbol {
+    std::string symbol;
+    int failed_at = -1;  ///< sigma_version at the last failed attempt
+  };
+  std::vector<PendingSymbol> pending;
+  pending.reserve(order.size());
+  for (std::string& s : order) pending.push_back({std::move(s), -1});
+
+  int sigma_version = 0;
+  int max_rounds = std::max(1, options.max_rounds);
+  for (int round = 1; round <= max_rounds && !pending.empty(); ++round) {
+    auto round_start = std::chrono::steady_clock::now();
+    RoundStat round_stat;
+    round_stat.round = round;
+    std::vector<PendingSymbol> still_pending;
+    for (PendingSymbol& p : pending) {
+      if (p.failed_at == sigma_version) {
+        // Σ is exactly what this symbol already failed against.
+        still_pending.push_back(std::move(p));
+        continue;
+      }
+      auto start = std::chrono::steady_clock::now();
+      SymbolStat stat;
+      stat.symbol = p.symbol;
+      stat.round = round;
+      stat.size_before = OperatorCount(sigma);
+      EliminateOutcome outcome = Eliminate(sigma, p.symbol,
+                                           problem.sigma2.ArityOf(p.symbol),
+                                           opts.eliminate);
+      stat.eliminated = outcome.success;
+      stat.step = outcome.step;
+      stat.failure_reason = outcome.failure_reason;
+      if (outcome.success) {
+        sigma = std::move(outcome.constraints);
+        ++sigma_version;
+        ++result.eliminated_count;
+        ++round_stat.eliminated;
+      } else {
+        p.failed_at = sigma_version;
+        still_pending.push_back(std::move(p));
+      }
+      stat.size_after = OperatorCount(sigma);
+      stat.millis = MillisSince(start);
+      result.stats.push_back(std::move(stat));
+      ++round_stat.attempted;
     }
-    stat.size_after = OperatorCount(sigma);
-    stat.millis = MillisSince(start);
-    result.stats.push_back(std::move(stat));
-    ++result.total_count;
+    round_stat.millis = MillisSince(round_start);
+    pending = std::move(still_pending);
+    if (round_stat.attempted == 0) break;  // every retry was provably futile
+    result.rounds.push_back(round_stat);
   }
+  std::vector<std::string> residual;
+  residual.reserve(pending.size());
+  for (PendingSymbol& p : pending) residual.push_back(std::move(p.symbol));
 
   if (options.simplify_output) {
     sigma = SimplifyConstraintSet(std::move(sigma), opts.eliminate.registry);
@@ -93,10 +173,17 @@ CompositionResult Compose(const CompositionProblem& problem,
     auto key = problem.sigma2.KeyOf(s);
     if (key.has_value()) {
       Status st = out_sig.SetKey(s, *key);
-      (void)st;  // key positions were validated at declaration
+      if (!st.ok()) {
+        result.warnings.push_back("dropping key of residual symbol " + s +
+                                  ": " + st.ToString());
+      }
     }
   }
   Result<Signature> merged = Signature::Merge(out_sig, problem.sigma3);
+  if (!merged.ok()) {
+    result.warnings.push_back("cannot merge sigma3 into output signature: " +
+                              merged.status().ToString());
+  }
   result.sigma = merged.ok() ? *merged : out_sig;
   result.residual_sigma2 = std::move(residual);
   result.constraints = std::move(sigma);

@@ -17,17 +17,34 @@ struct ComposeOptions {
   std::vector<std::string> order;
   /// Run the final constraint-set simplification pass.
   bool simplify_output = true;
+  /// Maximum elimination rounds. Round 1 is the paper's single best-effort
+  /// pass; later rounds retry only the symbols that failed, because a later
+  /// elimination can shrink Σ enough (fewer occurrences, no more
+  /// both-sides conflicts) for an earlier failure to succeed. The loop
+  /// stops early as soon as a round eliminates nothing, so raising this is
+  /// cheap on inputs where one pass already suffices. Must be >= 1.
+  int max_rounds = 4;
 };
 
-/// Per-symbol elimination record.
+/// Per-attempt elimination record. A symbol that fails in one round and is
+/// retried later has one entry per attempt, distinguished by `round`.
 struct SymbolStat {
   std::string symbol;
+  int round = 1;
   bool eliminated = false;
   EliminateStep step = EliminateStep::kNone;
   std::string failure_reason;
   double millis = 0.0;
   int size_before = 0;  ///< operator count before this symbol's elimination
   int size_after = 0;
+};
+
+/// Aggregate of one elimination round.
+struct RoundStat {
+  int round = 1;
+  int attempted = 0;   ///< symbols tried in this round
+  int eliminated = 0;  ///< of those, how many succeeded
+  double millis = 0.0;
 };
 
 /// Result of composing two mappings. Best-effort (§3.1): `residual_sigma2`
@@ -38,8 +55,13 @@ struct CompositionResult {
   std::vector<std::string> residual_sigma2;
   ConstraintSet constraints;
   std::vector<SymbolStat> stats;
-  int eliminated_count = 0;
-  int total_count = 0;
+  std::vector<RoundStat> rounds;
+  /// Non-fatal problems hit while assembling the result (e.g. residual key
+  /// metadata inconsistent with the residual relation's arity, or a σ3
+  /// signature merge conflict). Empty on a clean composition.
+  std::vector<std::string> warnings;
+  int eliminated_count = 0;  ///< distinct σ2 symbols eliminated
+  int total_count = 0;       ///< distinct σ2 symbols attempted
   double total_millis = 0.0;
 
   double EliminatedFraction() const {
@@ -48,12 +70,22 @@ struct CompositionResult {
                : static_cast<double>(eliminated_count) / total_count;
   }
   std::string Report() const;
+
+  /// Canonical serialization of everything deterministic in the result:
+  /// signature, residuals, constraints, per-attempt and per-round stats
+  /// (in order), warnings and counters — but no wall-clock timings. Two
+  /// compositions of the same problem with the same options produce equal
+  /// fingerprints regardless of thread count or machine load; the
+  /// ComposeMany determinism tests and the parallel benchmark compare these.
+  std::string Fingerprint() const;
 };
 
-/// Procedure COMPOSE (§3.1): eliminates σ2 symbols one at a time in the
-/// given order, keeping whatever cannot be eliminated. Key information from
-/// all three schemas feeds Skolem-argument minimization automatically
-/// unless options.eliminate.keys is preset.
+/// Procedure COMPOSE (§3.1), upgraded to a multi-round fixpoint: eliminates
+/// σ2 symbols one at a time in the given order, then retries the failures
+/// for up to options.max_rounds rounds while progress is made, keeping
+/// whatever still cannot be eliminated. Key information from all three
+/// schemas feeds Skolem-argument minimization automatically unless
+/// options.eliminate.keys is preset.
 CompositionResult Compose(const CompositionProblem& problem,
                           const ComposeOptions& options = {});
 

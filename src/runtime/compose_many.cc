@@ -1,0 +1,50 @@
+#include "src/runtime/compose_many.h"
+
+#include <algorithm>
+
+#include "src/algebra/interner.h"
+#include "src/runtime/thread_pool.h"
+
+namespace mapcomp {
+namespace runtime {
+
+std::vector<CompositionResult> ComposeMany(
+    const std::vector<CompositionProblem>& problems,
+    const ComposeOptions& options, int jobs) {
+  std::vector<CompositionResult> results(problems.size());
+  if (problems.empty()) return results;
+
+  // Pre-size the interner shards once for the whole batch (input operator
+  // count is a reasonable node-count proxy), so workers do not pay for
+  // table rebuilds mid-flight.
+  size_t expected_nodes = 0;
+  for (const CompositionProblem& p : problems) {
+    expected_nodes += static_cast<size_t>(OperatorCount(p.sigma12)) +
+                      static_cast<size_t>(OperatorCount(p.sigma23));
+  }
+  ExprInterner::Global().Reserve(expected_nodes);
+
+  auto compose_one = [&](int64_t i) {
+    results[static_cast<size_t>(i)] = Compose(problems[static_cast<size_t>(i)],
+                                              options);
+  };
+
+  if (jobs <= 1 || problems.size() == 1) {
+    for (int64_t i = 0; i < static_cast<int64_t>(problems.size()); ++i) {
+      compose_one(i);
+    }
+    return results;
+  }
+
+  // The calling thread participates in ParallelFor, so jobs lanes total —
+  // but never more lanes than problems, so an oversized --jobs cannot
+  // spawn idle threads (or blow up std::thread construction).
+  int helpers = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(jobs), problems.size()) - 1);
+  ThreadPool pool(helpers);
+  ParallelFor(&pool, static_cast<int64_t>(problems.size()), compose_one);
+  return results;
+}
+
+}  // namespace runtime
+}  // namespace mapcomp

@@ -1,0 +1,113 @@
+#include "src/runtime/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace mapcomp {
+namespace runtime {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+int ThreadPool::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+    }
+    all_done_.notify_all();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, int64_t n,
+                 const std::function<void(int64_t)>& body) {
+  if (n <= 0) return;
+  if (pool == nullptr || n == 1) {
+    for (int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<int64_t> next{0};
+    std::mutex mu;
+    std::exception_ptr first_error;
+    int64_t first_error_index = -1;
+  } shared;
+
+  auto drain = [&shared, n, &body] {
+    for (;;) {
+      int64_t i = shared.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared.mu);
+        if (shared.first_error == nullptr ||
+            i < shared.first_error_index) {
+          shared.first_error = std::current_exception();
+          shared.first_error_index = i;
+        }
+        // Stop claiming further iterations everywhere.
+        shared.next.store(n, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  // The calling thread participates, so a pool of k threads gives k+1 lanes
+  // and ParallelFor never deadlocks even if the pool is busy elsewhere.
+  int helpers = pool->thread_count();
+  for (int t = 0; t < helpers; ++t) pool->Submit(drain);
+  drain();
+  pool->Wait();
+
+  if (shared.first_error != nullptr) {
+    std::rethrow_exception(shared.first_error);
+  }
+}
+
+}  // namespace runtime
+}  // namespace mapcomp

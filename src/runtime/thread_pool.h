@@ -1,0 +1,70 @@
+#ifndef MAPCOMP_RUNTIME_THREAD_POOL_H_
+#define MAPCOMP_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mapcomp {
+namespace runtime {
+
+/// A fixed-size worker pool with a FIFO task queue. Tasks are plain
+/// `void()` closures; error handling is the closure's job (the library is
+/// Status-based — see ParallelFor for how exceptions from task bodies are
+/// surfaced). The destructor drains nothing: it waits for already-submitted
+/// tasks to finish, then joins the workers.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Never blocks (unbounded queue).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished executing.
+  void Wait();
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency with a >= 1 floor.
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  int64_t in_flight_ = 0;  ///< queued + currently executing tasks
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `body(i)` for every i in [0, n), spreading iterations across the
+/// pool's workers plus the calling thread. Iterations are claimed from a
+/// shared atomic counter, so scheduling is dynamic but the set of executed
+/// iterations is exactly [0, n) regardless of thread count — callers that
+/// write only to per-index state get thread-count-independent results.
+/// Blocks until all iterations finish. With a null pool iterations run
+/// inline, in order, on the calling thread; with a pool of k workers there
+/// are k+1 lanes.
+///
+/// If any iteration throws, the first exception (in claim order) is
+/// rethrown on the calling thread after all workers stop claiming new
+/// iterations; remaining claimed iterations still complete.
+void ParallelFor(ThreadPool* pool, int64_t n,
+                 const std::function<void(int64_t)>& body);
+
+}  // namespace runtime
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_RUNTIME_THREAD_POOL_H_

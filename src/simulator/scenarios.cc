@@ -1,5 +1,6 @@
 #include "src/simulator/scenarios.h"
 
+#include <map>
 #include <set>
 
 namespace mapcomp {
@@ -58,22 +59,34 @@ EditLoopResult RunEditLoop(EvolutionSimulator* simulator,
     stats.symbols_eliminated += res.eliminated_count;
     stats.millis += res.total_millis;
     if (!edit.consumed.empty()) {
+      // Stats are per-attempt under the multi-round driver: a symbol may
+      // fail in one round and be eliminated in a later one, so scan every
+      // record for the consumed symbol.
+      bool attempted = false, eliminated = false;
       for (const SymbolStat& s : res.stats) {
         if (s.symbol == edit.consumed) {
-          stats.consumed_total += 1;
-          if (s.eliminated) stats.consumed_eliminated += 1;
-          break;
+          attempted = true;
+          eliminated = eliminated || s.eliminated;
         }
       }
+      stats.consumed_total += attempted;
+      stats.consumed_eliminated += eliminated;
     }
     out.symbols_total += res.total_count;
     out.symbols_eliminated += res.eliminated_count;
     out.total_millis += res.total_millis;
-    for (const SymbolStat& s : res.stats) {
-      if (!s.eliminated &&
-          s.failure_reason.find("blowup") != std::string::npos) {
-        ++out.blowup_aborts;
+    // Count symbols (not attempts) whose *final* outcome was a blowup
+    // abort; earlier blowup failures of a symbol that a later round
+    // eliminated — or that last failed for a different reason — do not
+    // count. Stats are chronological, so the last record per symbol wins.
+    {
+      std::map<std::string, bool> final_blowup;
+      for (const SymbolStat& s : res.stats) {
+        final_blowup[s.symbol] =
+            !s.eliminated &&
+            s.failure_reason.find("blowup") != std::string::npos;
       }
+      for (const auto& [_, blown] : final_blowup) out.blowup_aborts += blown;
     }
 
     // Retry previously-kept residual symbols against the new constraint

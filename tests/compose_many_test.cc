@@ -1,0 +1,156 @@
+// Tests for the parallel batch-compose driver and the multi-round
+// elimination fixpoint: jobs=1 and jobs=8 must produce identical results
+// (including stats ordering), multi-round composition never eliminates
+// fewer symbols than the paper's single pass, and result-assembly failures
+// surface as warnings instead of being dropped.
+
+#include <gtest/gtest.h>
+
+#include "src/algebra/builders.h"
+#include "src/parser/parser.h"
+#include "src/runtime/compose_many.h"
+#include "src/testdata/literature_suite.h"
+
+namespace mapcomp {
+namespace {
+
+std::vector<CompositionProblem> ParsedLiteratureSuite() {
+  Parser parser;
+  std::vector<CompositionProblem> problems;
+  for (const testdata::LiteratureProblem& prob :
+       testdata::LiteratureSuite()) {
+    Result<CompositionProblem> parsed = parser.ParseProblem(prob.text);
+    EXPECT_TRUE(parsed.ok()) << prob.name;
+    if (parsed.ok()) problems.push_back(std::move(*parsed));
+  }
+  return problems;
+}
+
+TEST(ComposeManyTest, ResultsComeBackInInputOrder) {
+  std::vector<CompositionProblem> problems = ParsedLiteratureSuite();
+  std::vector<CompositionResult> results =
+      runtime::ComposeMany(problems, ComposeOptions{}, 4);
+  ASSERT_EQ(results.size(), problems.size());
+  for (size_t i = 0; i < problems.size(); ++i) {
+    // Each slot holds the composition of *its* problem: every σ2 symbol is
+    // accounted for as eliminated or residual.
+    EXPECT_EQ(results[i].total_count, problems[i].sigma2.size()) << i;
+    EXPECT_EQ(results[i].eliminated_count +
+                  static_cast<int>(results[i].residual_sigma2.size()),
+              results[i].total_count)
+        << i;
+  }
+}
+
+TEST(ComposeManyTest, DeterministicAcrossJobCounts) {
+  // Replicate the suite so the batch is larger than any worker count and
+  // slots interleave arbitrarily.
+  std::vector<CompositionProblem> problems;
+  for (int copy = 0; copy < 3; ++copy) {
+    for (CompositionProblem& p : ParsedLiteratureSuite()) {
+      problems.push_back(std::move(p));
+    }
+  }
+  std::vector<CompositionResult> sequential =
+      runtime::ComposeMany(problems, ComposeOptions{}, 1);
+  std::vector<CompositionResult> parallel =
+      runtime::ComposeMany(problems, ComposeOptions{}, 8);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    // Fingerprint covers signature, constraints, residuals, per-attempt
+    // stats (in order) and per-round aggregates — everything but timings.
+    EXPECT_EQ(sequential[i].Fingerprint(), parallel[i].Fingerprint())
+        << "problem " << i;
+  }
+  // And a second parallel run is stable too (no hidden global state).
+  std::vector<CompositionResult> parallel2 =
+      runtime::ComposeMany(problems, ComposeOptions{}, 8);
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].Fingerprint(), parallel2[i].Fingerprint());
+  }
+}
+
+TEST(ComposeManyTest, MultiRoundNeverEliminatesFewerThanSinglePass) {
+  ComposeOptions single;
+  single.max_rounds = 1;
+  ComposeOptions multi;  // default: fixpoint retries
+  for (const CompositionProblem& p : ParsedLiteratureSuite()) {
+    CompositionResult one = Compose(p, single);
+    CompositionResult many = Compose(p, multi);
+    EXPECT_GE(many.EliminatedFraction(), one.EliminatedFraction())
+        << p.name;
+    EXPECT_EQ(one.total_count, many.total_count) << p.name;
+  }
+}
+
+TEST(ComposeManyTest, SecondRoundEliminatesWhatFirstPassCannot) {
+  // With the order S2, S1: S2 occurs only inside S1's defining equality, in
+  // a non-monotone position (R - S2), so every ELIMINATE step fails for it
+  // in round 1. Unfolding S1 then *deletes* that defining constraint — S1
+  // occurs nowhere else — leaving S2 unmentioned, and round 2 eliminates it
+  // trivially. A single pass keeps S2 residual.
+  const char* text = R"(
+      schema s1 { R(2); }
+      schema s2 { S1(2); S2(2); }
+      schema s3 { T(2); }
+      map m12 { S1 = R - S2; }
+      map m23 { T <= T; }
+      order S2, S1;
+  )";
+  Parser parser;
+  Result<CompositionProblem> problem = parser.ParseProblem(text);
+  ASSERT_TRUE(problem.ok()) << problem.status().ToString();
+
+  ComposeOptions single;
+  single.max_rounds = 1;
+  CompositionResult one = Compose(*problem, single);
+  CompositionResult many = Compose(*problem);
+
+  EXPECT_GT(many.eliminated_count, one.eliminated_count)
+      << "single pass:\n" << one.Report() << "multi round:\n" << many.Report();
+  EXPECT_TRUE(many.residual_sigma2.empty()) << many.Report();
+  ASSERT_GE(many.rounds.size(), 2u);
+  EXPECT_GT(many.rounds[1].eliminated, 0);
+}
+
+TEST(ComposeManyTest, SetKeyFailureOnResidualSymbolBecomesWarning) {
+  // sigma2 carries key metadata that is inconsistent with the relation's
+  // final arity (keys are not cleared by AddOrReplaceRelation), and the
+  // symbol stays residual — the old driver silently discarded the SetKey
+  // status when rebuilding the residual signature.
+  CompositionProblem p;
+  ASSERT_TRUE(p.sigma1.AddRelation("R", 2).ok());
+  ASSERT_TRUE(p.sigma2.AddRelation("S", 3).ok());
+  ASSERT_TRUE(p.sigma2.SetKey("S", {3}).ok());
+  p.sigma2.AddOrReplaceRelation("S", 2);  // key {3} now out of range
+  ASSERT_TRUE(p.sigma3.AddRelation("T", 2).ok());
+  p.sigma12 = {Constraint::Contain(Difference(Rel("R", 2), Rel("S", 2)),
+                                   Rel("S", 2))};
+  p.sigma23 = {Constraint::Contain(Rel("S", 2), Rel("T", 2))};
+
+  CompositionResult res = Compose(p);
+  ASSERT_EQ(res.residual_sigma2.size(), 1u);
+  EXPECT_EQ(res.residual_sigma2[0], "S");
+  ASSERT_EQ(res.warnings.size(), 1u);
+  EXPECT_NE(res.warnings[0].find("key"), std::string::npos) << res.warnings[0];
+  EXPECT_NE(res.Report().find("warning:"), std::string::npos);
+  EXPECT_NE(res.Fingerprint().find("warning{"), std::string::npos);
+  // The residual signature still carries S, just without the bogus key.
+  EXPECT_TRUE(res.sigma.Contains("S"));
+  EXPECT_FALSE(res.sigma.KeyOf("S").has_value());
+}
+
+TEST(ComposeManyTest, EmptyBatchAndSingleProblemEdgeCases) {
+  EXPECT_TRUE(runtime::ComposeMany({}, ComposeOptions{}, 8).empty());
+  std::vector<CompositionProblem> one(1, ParsedLiteratureSuite()[0]);
+  std::vector<CompositionResult> r1 =
+      runtime::ComposeMany(one, ComposeOptions{}, 1);
+  std::vector<CompositionResult> r8 =
+      runtime::ComposeMany(one, ComposeOptions{}, 8);
+  ASSERT_EQ(r1.size(), 1u);
+  ASSERT_EQ(r8.size(), 1u);
+  EXPECT_EQ(r1[0].Fingerprint(), r8[0].Fingerprint());
+}
+
+}  // namespace
+}  // namespace mapcomp

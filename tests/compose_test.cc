@@ -127,11 +127,18 @@ TEST(ComposeTest, BestEffortKeepsResidualSymbols) {
   ASSERT_EQ(res.residual_sigma2.size(), 1u);
   EXPECT_EQ(res.residual_sigma2[0], "S2");
   EXPECT_TRUE(res.sigma.Contains("S2"));
-  // Stats carry per-symbol outcomes.
+  // Stats carry one record per attempt. S2 fails *after* S1's elimination,
+  // so Σ cannot have changed since its failure and the multi-round driver
+  // proves a retry futile: exactly one attempt each, one round.
   ASSERT_EQ(res.stats.size(), 2u);
   EXPECT_TRUE(res.stats[0].eliminated);
+  EXPECT_EQ(res.stats[0].round, 1);
   EXPECT_FALSE(res.stats[1].eliminated);
   EXPECT_FALSE(res.stats[1].failure_reason.empty());
+  EXPECT_EQ(res.stats[1].round, 1);
+  ASSERT_EQ(res.rounds.size(), 1u);
+  EXPECT_EQ(res.rounds[0].attempted, 2);
+  EXPECT_EQ(res.rounds[0].eliminated, 1);
 }
 
 TEST(ComposeTest, EliminationOrderMatters) {

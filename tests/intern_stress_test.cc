@@ -1,0 +1,189 @@
+// Concurrency stress tests for the sharded Expr interner: the canonical
+// pointer-equality invariant must hold when many threads intern the same
+// structures simultaneously, with and without ExprBuilder batch scopes, and
+// while Sweep runs concurrently. Run under ThreadSanitizer in CI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "src/algebra/builders.h"
+#include "src/algebra/interner.h"
+
+namespace mapcomp {
+namespace {
+
+/// Deterministic tree #k — every thread building tree k must end up with
+/// the exact same canonical node. Mixes shared leaves (few names) with
+/// per-k literals so the trees exercise both hit and miss paths.
+ExprPtr BuildTree(int k) {
+  std::mt19937_64 rng(static_cast<uint64_t>(k) * 2654435761u + 1);
+  std::uniform_int_distribution<int> pick(0, 3);
+  ExprPtr e = Rel("R" + std::to_string(k % 7), 2);
+  for (int depth = 0; depth < 8; ++depth) {
+    switch (pick(rng)) {
+      case 0:
+        e = Union(e, Rel("S" + std::to_string(depth % 5), 2));
+        break;
+      case 1:
+        e = Intersect(e, Lit(2, {{Value(int64_t{k}), Value(int64_t{depth})}}));
+        break;
+      case 2:
+        e = Select(Condition::AttrConst(1, CmpOp::kEq, int64_t{k % 11}), e);
+        break;
+      default:
+        e = Difference(e, Project({1, 2}, Product(Rel("T", 1), Rel("U", 1))));
+        break;
+    }
+  }
+  return e;
+}
+
+TEST(InternStressTest, PointerEqualityHoldsAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kTrees = 200;
+
+  // Strong references, so nothing can be swept while we compare.
+  std::vector<std::vector<ExprPtr>> built(kThreads);
+  std::atomic<int> start_gate{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &built, &start_gate] {
+      // Odd threads construct inside a batch scope, even ones without, so
+      // the local-cache fast path and the shard path race against each
+      // other on identical structures.
+      std::unique_ptr<ExprBuilder> batch;
+      if (t % 2 == 1) batch = std::make_unique<ExprBuilder>();
+      start_gate.fetch_add(1);
+      while (start_gate.load() < kThreads) std::this_thread::yield();
+      built[t].reserve(kTrees);
+      for (int k = 0; k < kTrees; ++k) built[t].push_back(BuildTree(k));
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  for (int t = 1; t < kThreads; ++t) {
+    ASSERT_EQ(built[0].size(), built[t].size());
+    for (int k = 0; k < kTrees; ++k) {
+      EXPECT_EQ(built[0][k].get(), built[t][k].get())
+          << "tree " << k << " canonicalized differently on thread " << t;
+    }
+  }
+}
+
+TEST(InternStressTest, ConcurrentSweepPreservesCanonicalization) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 60;
+  std::atomic<bool> stop{false};
+
+  // A sweeper hammers reclamation while builders intern; live nodes held by
+  // builders must never be dropped or duplicated.
+  std::thread sweeper([&stop] {
+    while (!stop.load()) ExprInterner::Global().Sweep();
+  });
+
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &mismatches] {
+      for (int round = 0; round < kRounds; ++round) {
+        ExprPtr a = BuildTree(round);
+        ExprPtr b = BuildTree(round);  // second build: must hit, not fork
+        if (a.get() != b.get()) ++mismatches[t];
+        // Drop both; the sweeper may reclaim before the next round rebuilds.
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  stop.store(true);
+  sweeper.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
+  // The table must still answer correctly after the dust settles.
+  EXPECT_EQ(BuildTree(0).get(), BuildTree(0).get());
+}
+
+TEST(InternStressTest, StatsCountHitsAndMisses) {
+  InternerStats before = ExprInterner::Global().Stats();
+  ExprPtr fresh = Rel("stats_probe_unique_name", 5);
+  ExprPtr again = Rel("stats_probe_unique_name", 5);
+  EXPECT_EQ(fresh.get(), again.get());
+  InternerStats after = ExprInterner::Global().Stats();
+  EXPECT_EQ(after.shards.size(), ExprInterner::kNumShards);
+  EXPECT_GE(after.misses(), before.misses() + 1);
+  EXPECT_GE(after.hits(), before.hits() + 1);
+  EXPECT_GT(after.entries(), 0u);
+  EXPECT_NE(after.ToString().find("interner:"), std::string::npos);
+}
+
+TEST(InternStressTest, BuilderScopeCountsLocalHits) {
+  uint64_t hits;
+  {
+    ExprBuilder batch;
+    batch.Reserve(64);
+    ExprPtr a = Union(Rel("builder_probe", 2), Rel("builder_probe2", 2));
+    ExprPtr b = Union(Rel("builder_probe", 2), Rel("builder_probe2", 2));
+    EXPECT_EQ(a.get(), b.get());
+    hits = batch.local_hits();
+    EXPECT_EQ(ExprBuilder::Current(), &batch);
+  }
+  EXPECT_EQ(ExprBuilder::Current(), nullptr);
+  // The second Union plus its two leaves repeat identically: at least the
+  // repeated leaves and the repeated union must come from the local cache.
+  EXPECT_GE(hits, 3u);
+  InternerStats stats = ExprInterner::Global().Stats();
+  EXPECT_GE(stats.builder_hits, hits);
+}
+
+TEST(InternStressTest, NestedBuildersOnDifferentInternersKeepCachesCoherent) {
+  // Scope nesting across interners: outer builds against the global
+  // interner, a nested scope targets a private one, and after it unwinds
+  // the outer scope's constructions must be tagged for the *global* table
+  // again — otherwise a later private-interner scope could serve a
+  // global-canonical node as if it were canonical in the private table.
+  ExprInterner local;
+  auto intern_local = [&local] {
+    return local.Intern(ExprKind::kRelation, "owner_probe", {},
+                        Condition::True(), {}, 2, {});
+  };
+  ExprBuilder outer;  // global interner
+  {
+    ExprBuilder inner(&local);
+  }
+  ExprPtr global_node = Rel("owner_probe", 2);  // cached under the outer scope
+  {
+    ExprBuilder again(&local);
+    ExprPtr local_node = intern_local();
+    EXPECT_NE(local_node.get(), global_node.get())
+        << "global-canonical node leaked into the private interner";
+    EXPECT_EQ(local_node.get(), intern_local().get());
+  }
+  EXPECT_EQ(global_node.get(), Rel("owner_probe", 2).get());
+}
+
+TEST(InternStressTest, SweepReclaimsDroppedNodesAcrossShards) {
+  ExprInterner& interner = ExprInterner::Global();
+  interner.Sweep();
+  size_t baseline = interner.size();
+  {
+    std::vector<ExprPtr> garbage;
+    for (int i = 0; i < 500; ++i) {
+      garbage.push_back(
+          Select(Condition::AttrConst(1, CmpOp::kEq, int64_t{i + 100000}),
+                 Rel("sweep_probe", 3)));
+    }
+    EXPECT_GE(interner.size(), baseline + 500);
+  }
+  interner.Sweep();
+  // Everything dropped above is reclaimable; only the shared leaf may stay
+  // if something else still references it (it does not).
+  EXPECT_LE(interner.size(), baseline + 2);
+}
+
+}  // namespace
+}  // namespace mapcomp

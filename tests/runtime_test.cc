@@ -1,0 +1,109 @@
+// Unit tests for the runtime layer: ThreadPool task execution and
+// draining, ParallelFor coverage/exception semantics, and the inline
+// fallback. Run under ThreadSanitizer in CI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "src/runtime/thread_pool.h"
+
+namespace mapcomp {
+namespace runtime {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+  // The pool stays usable after a Wait.
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 101);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ThreadCountIsClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1);
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+TEST(ParallelForTest, CoversExactlyTheRange) {
+  ThreadPool pool(3);
+  std::vector<int> hits(1000, 0);
+  ParallelFor(&pool, static_cast<int64_t>(hits.size()),
+              [&hits](int64_t i) { hits[static_cast<size_t>(i)] += 1; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, NullPoolRunsInlineInOrder) {
+  std::vector<int64_t> order;
+  ParallelFor(nullptr, 10, [&order](int64_t i) { order.push_back(i); });
+  std::vector<int64_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, EmptyAndNegativeRangesAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelFor(&pool, 0, [&calls](int64_t) { ++calls; });
+  ParallelFor(&pool, -5, [&calls](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, RethrowsFirstExceptionByIndex) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    ParallelFor(&pool, 100, [&completed](int64_t i) {
+      if (i == 7) throw std::runtime_error("iteration 7 failed");
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "iteration 7 failed");
+  }
+  // Not every iteration ran (claiming stopped), but the pool is intact.
+  EXPECT_LT(completed.load(), 100);
+  std::atomic<int> after{0};
+  ParallelFor(&pool, 10, [&after](int64_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ParallelForTest, PerIndexWritesAreThreadCountIndependent) {
+  auto run = [](int pool_threads) {
+    std::vector<int64_t> out(500);
+    ThreadPool pool(pool_threads);
+    ParallelFor(&pool, static_cast<int64_t>(out.size()), [&out](int64_t i) {
+      out[static_cast<size_t>(i)] = i * i;
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(7));
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace mapcomp

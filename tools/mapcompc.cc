@@ -1,10 +1,13 @@
 // mapcompc — command-line mapping composer.
 //
-// Reads a composition task in the library's text format (from a file or
-// stdin) and prints the composed mapping plus per-symbol statistics.
+// Reads one or more composition tasks in the library's text format (from
+// files or stdin) and prints the composed mappings plus per-symbol
+// statistics. With several task files the compositions are independent and
+// can be fanned across worker threads with --jobs; output order and content
+// stay identical whatever the thread count.
 //
 // Usage:
-//   mapcompc [options] [task-file]
+//   mapcompc [options] [task-file...]
 //     --no-unfold          disable view unfolding (§3.2)
 //     --no-left            disable left compose (§3.4)
 //     --no-right           disable right compose (§3.5)
@@ -14,6 +17,11 @@
 //     --order s1,s2,...    eliminate the sigma2 symbols in this order
 //                          (the paper's user-specified ordering, §3.1);
 //                          overrides a task file's `order` directive
+//                          (single-task mode only)
+//     --rounds N           retry residual symbols for up to N elimination
+//                          rounds (default 4; 1 = the paper's single pass)
+//     --jobs N             compose N tasks concurrently (default 1)
+//     --intern-stats       print expression-interner statistics to stderr
 //     --quiet              print only the composed constraints
 
 #include <algorithm>
@@ -23,14 +31,52 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "src/algebra/interner.h"
 #include "src/compose/compose.h"
 #include "src/parser/parser.h"
+#include "src/runtime/compose_many.h"
+
+namespace {
+
+bool ReadInput(const std::string& path, std::string* text) {
+  if (path == "-") {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    *text = buffer.str();
+    return true;
+  }
+  std::ifstream file(path);
+  if (!file) return false;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  *text = buffer.str();
+  return true;
+}
+
+void PrintResult(const mapcomp::CompositionResult& result, bool quiet) {
+  if (!quiet) {
+    std::printf("%s\n", result.Report().c_str());
+    if (!result.residual_sigma2.empty()) {
+      std::printf("residual sigma2 symbols:");
+      for (const std::string& s : result.residual_sigma2) {
+        std::printf(" %s", s.c_str());
+      }
+      std::printf("\n\n");
+    }
+  }
+  std::printf("%s", mapcomp::ConstraintSetToString(result.constraints).c_str());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   mapcomp::ComposeOptions options;
   bool quiet = false;
-  std::string path;
+  bool intern_stats = false;
+  int jobs = 1;
+  std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--no-unfold") == 0) {
@@ -43,6 +89,20 @@ int main(int argc, char** argv) {
       options.simplify_output = false;
     } else if (std::strcmp(arg, "--blowup") == 0 && i + 1 < argc) {
       options.eliminate.max_blowup_factor = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--rounds") == 0 && i + 1 < argc) {
+      options.max_rounds = std::atoi(argv[++i]);
+      if (options.max_rounds < 1) {
+        std::fprintf(stderr, "--rounds expects an integer >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+      if (jobs < 1) {
+        std::fprintf(stderr, "--jobs expects an integer >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--intern-stats") == 0) {
+      intern_stats = true;
     } else if (std::strcmp(arg, "--order") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--order expects a comma-separated symbol list\n");
@@ -63,43 +123,46 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--quiet") == 0) {
       quiet = true;
-    } else if (arg[0] == '-') {
+    } else if (arg[0] == '-' && std::strcmp(arg, "-") != 0) {
       std::fprintf(stderr, "unknown option %s\n", arg);
       return 2;
     } else {
-      path = arg;
+      paths.push_back(arg);
     }
   }
-
-  std::string text;
-  if (path.empty()) {
-    std::stringstream buffer;
-    buffer << std::cin.rdbuf();
-    text = buffer.str();
-  } else {
-    std::ifstream file(path);
-    if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", path.c_str());
-      return 2;
-    }
-    std::stringstream buffer;
-    buffer << file.rdbuf();
-    text = buffer.str();
+  if (paths.empty()) paths.push_back("-");  // read a single task from stdin
+  if (paths.size() > 1 && !options.order.empty()) {
+    std::fprintf(stderr,
+                 "--order applies to a single task; it cannot be combined "
+                 "with multiple task files\n");
+    return 2;
   }
 
   mapcomp::Parser parser;
-  mapcomp::Result<mapcomp::CompositionProblem> problem =
-      parser.ParseProblem(text);
-  if (!problem.ok()) {
-    std::fprintf(stderr, "parse error: %s\n",
-                 problem.status().ToString().c_str());
-    return 1;
+  std::vector<mapcomp::CompositionProblem> problems;
+  problems.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::string text;
+    if (!ReadInput(path, &text)) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 2;
+    }
+    mapcomp::Result<mapcomp::CompositionProblem> problem =
+        parser.ParseProblem(text);
+    if (!problem.ok()) {
+      std::fprintf(stderr, "%s: parse error: %s\n",
+                   path == "-" ? "<stdin>" : path.c_str(),
+                   problem.status().ToString().c_str());
+      return 1;
+    }
+    problems.push_back(std::move(*problem));
   }
+
   if (!options.order.empty()) {
     // Every --order symbol must exist in sigma2, and sigma2 symbols left
     // out are appended in declaration order — otherwise they would silently
     // never be attempted yet not show up as residual either.
-    std::vector<std::string> sigma2 = problem->sigma2.names();
+    std::vector<std::string> sigma2 = problems[0].sigma2.names();
     for (size_t i = 0; i < options.order.size(); ++i) {
       const std::string& s = options.order[i];
       if (std::find(sigma2.begin(), sigma2.end(), s) == sigma2.end()) {
@@ -120,17 +183,22 @@ int main(int argc, char** argv) {
       }
     }
   }
-  mapcomp::CompositionResult result = mapcomp::Compose(*problem, options);
-  if (!quiet) {
-    std::printf("%s\n", result.Report().c_str());
-    if (!result.residual_sigma2.empty()) {
-      std::printf("residual sigma2 symbols:");
-      for (const std::string& s : result.residual_sigma2) {
-        std::printf(" %s", s.c_str());
-      }
-      std::printf("\n\n");
+
+  std::vector<mapcomp::CompositionResult> results =
+      mapcomp::runtime::ComposeMany(problems, options, jobs);
+
+  bool any_residual = false;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (results.size() > 1) {
+      std::printf("%s== %s ==\n", i == 0 ? "" : "\n", paths[i].c_str());
     }
+    PrintResult(results[i], quiet);
+    any_residual = any_residual || !results[i].residual_sigma2.empty();
   }
-  std::printf("%s", mapcomp::ConstraintSetToString(result.constraints).c_str());
-  return result.residual_sigma2.empty() ? 0 : 3;
+
+  if (intern_stats) {
+    std::fprintf(stderr, "%s",
+                 mapcomp::ExprInterner::Global().Stats().ToString().c_str());
+  }
+  return any_residual ? 3 : 0;
 }
