@@ -81,8 +81,13 @@ int main(int argc, char** argv) {
 
   std::printf("{\n");
   std::printf("  \"benchmark\": \"bench_parallel_compose\",\n");
-  std::printf("  \"hardware_threads\": %d,\n",
-              runtime::ThreadPool::HardwareThreads());
+  // Self-describing recording environment: a 1-core box cannot show
+  // parallel speedup, so scaling numbers carry an explicit health flag
+  // instead of relying on the reader to notice hardware_concurrency.
+  int hardware = runtime::ThreadPool::HardwareThreads();
+  std::printf("  \"hardware_concurrency\": %d,\n", hardware);
+  std::printf("  \"single_core_warning\": %s,\n",
+              hardware <= 1 ? "true" : "false");
   std::printf("  \"problems\": %zu,\n", problems.size());
   std::printf("  \"lit_replicas\": %d,\n", lit_replicas);
   std::printf("  \"sim_problems\": %d,\n", sim_problems);

@@ -4,7 +4,9 @@
 #include <chrono>
 
 #include "src/algebra/interner.h"
+#include "src/compose/schedule.h"
 #include "src/compose/simplify_constraints.h"
+#include "src/runtime/thread_pool.h"
 
 namespace mapcomp {
 
@@ -14,6 +16,16 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
              std::chrono::steady_clock::now() - start)
       .count();
 }
+
+/// A σ2 symbol not yet eliminated. `order_index` is its position in the
+/// user-specified order, used to restore that order between rounds (wave
+/// scheduling pulls symbols out of sequence within a round).
+struct PendingSymbol {
+  std::string symbol;
+  int order_index = 0;
+  int failed_at = -1;  ///< sigma_version at the last failed attempt
+};
+
 }  // namespace
 
 std::string CompositionResult::Report() const {
@@ -59,7 +71,12 @@ std::string CompositionResult::Fingerprint() const {
   for (const RoundStat& r : rounds) {
     out += "round{" + std::to_string(r.round) + " " +
            std::to_string(r.eliminated) + "/" + std::to_string(r.attempted) +
-           "}\n";
+           " waves[";
+    for (size_t i = 0; i < r.wave_widths.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(r.wave_widths[i]);
+    }
+    out += "]}\n";
   }
   for (const std::string& w : warnings) out += "warning{" + w + "}\n";
   return out;
@@ -98,22 +115,25 @@ CompositionResult Compose(const CompositionProblem& problem,
                                                 : problem.sigma2.names());
   result.total_count = static_cast<int>(order.size());
 
-  // Multi-round fixpoint: each round sweeps the still-pending symbols in
-  // order; a symbol that fails stays pending for the next round, where the
-  // eliminations that happened after it may have removed its occurrences or
-  // both-sides conflicts. ELIMINATE is deterministic, so retrying a symbol
-  // against an unchanged Σ must fail identically — `sigma_version` counts
-  // successful eliminations, and a pending symbol is only re-attempted once
-  // Σ has changed since it last failed. Stops when everything is
-  // eliminated, no pending symbol has a fresher Σ to try, or max_rounds is
-  // reached.
-  struct PendingSymbol {
-    std::string symbol;
-    int failed_at = -1;  ///< sigma_version at the last failed attempt
-  };
+  int elim_jobs = std::max(1, options.elim_jobs);
+  runtime::ThreadPool* pool =
+      elim_jobs > 1 ? runtime::GlobalPool() : nullptr;
+
+  // Multi-round fixpoint over a wave scheduler. Each round repeatedly
+  // plans one wave of constraint-disjoint pending symbols against the
+  // *current* Σ and executes it; a symbol that fails stays pending for the
+  // next round. ELIMINATE is deterministic and only reads the constraints
+  // mentioning its symbol, so retrying a symbol against a Σ that has not
+  // changed since its last failure must fail identically —
+  // `sigma_version` counts successful eliminations, and a pending symbol
+  // is only re-attempted once Σ has changed since it last failed. Stops
+  // when everything is eliminated, no pending symbol has a fresher Σ to
+  // try, or max_rounds is reached.
   std::vector<PendingSymbol> pending;
   pending.reserve(order.size());
-  for (std::string& s : order) pending.push_back({std::move(s), -1});
+  for (size_t i = 0; i < order.size(); ++i) {
+    pending.push_back({std::move(order[i]), static_cast<int>(i), -1});
+  }
 
   int sigma_version = 0;
   int max_rounds = std::max(1, options.max_rounds);
@@ -121,43 +141,208 @@ CompositionResult Compose(const CompositionProblem& problem,
     auto round_start = std::chrono::steady_clock::now();
     RoundStat round_stat;
     round_stat.round = round;
-    std::vector<PendingSymbol> still_pending;
-    for (PendingSymbol& p : pending) {
-      if (p.failed_at == sigma_version) {
-        // Σ is exactly what this symbol already failed against.
-        still_pending.push_back(std::move(p));
+    std::vector<PendingSymbol> next_pending;
+    std::vector<PendingSymbol> unprocessed = std::move(pending);
+    pending.clear();
+
+    while (!unprocessed.empty()) {
+      // --- Plan one wave against the current Σ. Futile symbols (Σ is
+      // exactly what they already failed against) are skipped but stay in
+      // the pool: a later wave's success can revive them this round.
+      std::vector<int> candidates;  // non-futile, in order
+      candidates.reserve(unprocessed.size());
+      for (size_t i = 0; i < unprocessed.size(); ++i) {
+        if (unprocessed[i].failed_at != sigma_version) {
+          candidates.push_back(static_cast<int>(i));
+        }
+      }
+      if (candidates.empty()) {
+        // Every remaining symbol is provably futile against this Σ.
+        for (PendingSymbol& p : unprocessed) {
+          next_pending.push_back(std::move(p));
+        }
+        break;
+      }
+      // Occurrence sets only for the candidates — futile symbols are by
+      // definition mentioned in Σ, so scanning them would do exact walks
+      // whose results nobody reads.
+      std::vector<std::string> names;
+      names.reserve(candidates.size());
+      for (int i : candidates) {
+        names.push_back(unprocessed[static_cast<size_t>(i)].symbol);
+      }
+      std::vector<std::vector<int>> occ =
+          OccurrenceSets(sigma, names, options.exact_conflicts);
+      std::vector<int> wave_local =  // indices into candidates/occ
+          PlanWaveFromOccurrences(occ, sigma.size());
+
+      std::vector<char> in_wave(unprocessed.size(), 0);
+      std::vector<PendingSymbol> wave;
+      std::vector<std::vector<int>> wave_occ;  // planning rows, wave order
+      wave.reserve(wave_local.size());
+      wave_occ.reserve(wave_local.size());
+      for (int w : wave_local) {
+        size_t i = static_cast<size_t>(candidates[static_cast<size_t>(w)]);
+        in_wave[i] = 1;
+        wave.push_back(std::move(unprocessed[i]));
+        wave_occ.push_back(std::move(occ[static_cast<size_t>(w)]));
+      }
+      std::vector<PendingSymbol> rest;
+      rest.reserve(unprocessed.size() - wave.size());
+      for (size_t i = 0; i < unprocessed.size(); ++i) {
+        if (!in_wave[i]) rest.push_back(std::move(unprocessed[i]));
+      }
+      unprocessed = std::move(rest);
+      round_stat.wave_widths.push_back(static_cast<int>(wave.size()));
+      round_stat.attempted += static_cast<int>(wave.size());
+
+      if (wave.size() == 1) {
+        // Singleton wave: eliminate from the full Σ, exactly like the
+        // original one-at-a-time driver.
+        PendingSymbol& p = wave[0];
+        auto start = std::chrono::steady_clock::now();
+        SymbolStat stat;
+        stat.symbol = p.symbol;
+        stat.round = round;
+        stat.size_before = OperatorCount(sigma);
+        EliminateOutcome outcome =
+            Eliminate(sigma, p.symbol, problem.sigma2.ArityOf(p.symbol),
+                      opts.eliminate);
+        stat.eliminated = outcome.success;
+        stat.step = outcome.step;
+        stat.failure_reason = outcome.failure_reason;
+        if (outcome.success) {
+          sigma = std::move(outcome.constraints);
+          ++sigma_version;
+          ++result.eliminated_count;
+          ++round_stat.eliminated;
+        } else {
+          p.failed_at = sigma_version;
+          next_pending.push_back(std::move(p));
+        }
+        stat.size_after = OperatorCount(sigma);
+        stat.millis = MillisSince(start);
+        result.stats.push_back(std::move(stat));
         continue;
       }
-      auto start = std::chrono::steady_clock::now();
-      SymbolStat stat;
-      stat.symbol = p.symbol;
-      stat.round = round;
-      stat.size_before = OperatorCount(sigma);
-      EliminateOutcome outcome = Eliminate(sigma, p.symbol,
-                                           problem.sigma2.ArityOf(p.symbol),
-                                           opts.eliminate);
-      stat.eliminated = outcome.success;
-      stat.step = outcome.step;
-      stat.failure_reason = outcome.failure_reason;
-      if (outcome.success) {
-        sigma = std::move(outcome.constraints);
-        ++sigma_version;
-        ++result.eliminated_count;
-        ++round_stat.eliminated;
-      } else {
-        p.failed_at = sigma_version;
-        still_pending.push_back(std::move(p));
+
+      // --- Wider wave: partition Σ into per-symbol groups (the exact
+      // occurrence sets, pairwise disjoint by construction) plus the
+      // untouched remainder, eliminate every group concurrently against
+      // the wave snapshot, then merge deterministically in symbol order.
+      const size_t width = wave.size();
+      const int size_before_wave = OperatorCount(sigma);
+      const int snapshot_version = sigma_version;
+      std::vector<std::string> wave_names;
+      wave_names.reserve(width);
+      for (const PendingSymbol& p : wave) wave_names.push_back(p.symbol);
+      // Execution always partitions by exact occurrence; the planning rows
+      // already are exact unless Bloom-only planning was requested, in
+      // which case they are recomputed (an exact subset of disjoint Bloom
+      // sets is still disjoint).
+      std::vector<std::vector<int>> exec_occ =
+          options.exact_conflicts
+              ? std::move(wave_occ)
+              : OccurrenceSets(sigma, wave_names, /*exact=*/true);
+
+      std::vector<int> owner(sigma.size(), -1);
+      std::vector<ConstraintSet> groups(width);
+      for (size_t wi = 0; wi < width; ++wi) {
+        for (int c : exec_occ[wi]) {
+          owner[static_cast<size_t>(c)] = static_cast<int>(wi);
+          groups[wi].push_back(sigma[static_cast<size_t>(c)]);
+        }
       }
-      stat.size_after = OperatorCount(sigma);
-      stat.millis = MillisSince(start);
-      result.stats.push_back(std::move(stat));
-      ++round_stat.attempted;
+
+      // The paper's blowup guard stays relative to the full Σ, not the
+      // (much smaller) per-symbol group.
+      EliminateOptions wave_opts = opts.eliminate;
+      wave_opts.blowup_baseline_ops = std::max(1, size_before_wave);
+
+      std::vector<EliminateOutcome> outcomes(width);
+      std::vector<double> member_millis(width, 0.0);
+      runtime::ParallelFor(
+          pool, static_cast<int64_t>(width),
+          [&](int64_t wi) {
+            // Pool workers have no batch scope open; one per elimination
+            // keeps their node churn off the shared shards (nests fine on
+            // the calling thread's lane).
+            ExprBuilder wave_batch;
+            auto start = std::chrono::steady_clock::now();
+            outcomes[wi] = Eliminate(
+                groups[wi], wave_names[static_cast<size_t>(wi)],
+                problem.sigma2.ArityOf(wave_names[static_cast<size_t>(wi)]),
+                wave_opts);
+            member_millis[wi] = MillisSince(start);
+          },
+          elim_jobs - 1);
+
+      // Merge: untouched constraints and failed groups keep their
+      // positions; each success's rewritten group is appended in wave
+      // (= user) order. Group contents can only mention names that already
+      // occurred in the group, so a success never re-introduces another
+      // wave symbol and the merged occurrence structure of a failed symbol
+      // is unchanged — which is what makes failed_at below sound.
+      ConstraintSet merged;
+      merged.reserve(sigma.size());
+      for (size_t c = 0; c < sigma.size(); ++c) {
+        if (owner[c] < 0 || !outcomes[static_cast<size_t>(owner[c])].success) {
+          merged.push_back(std::move(sigma[c]));
+        }
+      }
+      int running = size_before_wave;
+      for (size_t wi = 0; wi < width; ++wi) {
+        PendingSymbol& p = wave[wi];
+        EliminateOutcome& outcome = outcomes[wi];
+        SymbolStat stat;
+        stat.symbol = p.symbol;
+        stat.round = round;
+        stat.eliminated = outcome.success;
+        stat.step = outcome.step;
+        stat.failure_reason = outcome.failure_reason;
+        stat.size_before = running;
+        if (outcome.success) {
+          running += OperatorCount(outcome.constraints) -
+                     OperatorCount(groups[wi]);
+          merged.insert(merged.end(),
+                        std::make_move_iterator(outcome.constraints.begin()),
+                        std::make_move_iterator(outcome.constraints.end()));
+          ++sigma_version;
+          ++result.eliminated_count;
+          ++round_stat.eliminated;
+        }
+        stat.size_after = running;
+        stat.millis = member_millis[wi];
+        result.stats.push_back(std::move(stat));
+      }
+      sigma = std::move(merged);
+      // A failure in this wave saw only its own group, which no other wave
+      // member touched, so it would fail identically against the merged Σ
+      // — record the post-merge version and let the futility check skip it
+      // until Σ changes again. The exception is a blowup-limited failure:
+      // the budget is measured against the *global* snapshot size, which
+      // sibling successes just changed, so such a failure is only known
+      // futile against the snapshot it actually saw.
+      for (size_t wi = 0; wi < width; ++wi) {
+        if (outcomes[wi].success) continue;
+        wave[wi].failed_at =
+            outcomes[wi].blowup_limited ? snapshot_version : sigma_version;
+        next_pending.push_back(std::move(wave[wi]));
+      }
     }
+
     round_stat.millis = MillisSince(round_start);
-    pending = std::move(still_pending);
+    pending = std::move(next_pending);
+    // Wave scheduling pulls symbols out of sequence; retries and residuals
+    // follow the user-specified order.
+    std::sort(pending.begin(), pending.end(),
+              [](const PendingSymbol& a, const PendingSymbol& b) {
+                return a.order_index < b.order_index;
+              });
     if (round_stat.attempted == 0) break;  // every retry was provably futile
-    result.rounds.push_back(round_stat);
+    result.rounds.push_back(std::move(round_stat));
   }
+
   std::vector<std::string> residual;
   residual.reserve(pending.size());
   for (PendingSymbol& p : pending) residual.push_back(std::move(p.symbol));

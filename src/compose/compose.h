@@ -24,6 +24,19 @@ struct ComposeOptions {
   /// stops early as soon as a round eliminates nothing, so raising this is
   /// cheap on inputs where one pass already suffices. Must be >= 1.
   int max_rounds = 4;
+  /// Intra-problem parallelism: each elimination round is partitioned into
+  /// waves of symbols whose occurrence sets share no constraint (see
+  /// src/compose/schedule.h), and a wave's symbols are eliminated
+  /// concurrently on up to `elim_jobs` lanes of the process-wide pool.
+  /// Wave planning and the merge order never depend on this value, only
+  /// the execution does, so results — including Fingerprint() — are
+  /// byte-identical for any elim_jobs. 1 = run waves sequentially.
+  int elim_jobs = 1;
+  /// Confirm Bloom-mask occurrence candidates with an exact walk during
+  /// wave planning. When false, planning trusts the mask alone: false
+  /// positives add spurious conflict edges, which can only merge waves
+  /// (over-serialize) — never co-schedule two truly conflicting symbols.
+  bool exact_conflicts = true;
 };
 
 /// Per-attempt elimination record. A symbol that fails in one round and is
@@ -44,6 +57,10 @@ struct RoundStat {
   int round = 1;
   int attempted = 0;   ///< symbols tried in this round
   int eliminated = 0;  ///< of those, how many succeeded
+  /// Width of each scheduler wave executed in this round, in execution
+  /// order; sums to `attempted`. All-1 means the conflict graph serialized
+  /// everything (the pre-scheduler behavior).
+  std::vector<int> wave_widths;
   double millis = 0.0;
 };
 
@@ -80,11 +97,19 @@ struct CompositionResult {
   std::string Fingerprint() const;
 };
 
-/// Procedure COMPOSE (§3.1), upgraded to a multi-round fixpoint: eliminates
-/// σ2 symbols one at a time in the given order, then retries the failures
-/// for up to options.max_rounds rounds while progress is made, keeping
-/// whatever still cannot be eliminated. Key information from all three
-/// schemas feeds Skolem-argument minimization automatically unless
+/// Procedure COMPOSE (§3.1), upgraded to a multi-round fixpoint with a
+/// dependency-aware scheduler: each round partitions the pending σ2
+/// symbols into waves of constraint-disjoint symbols (conflict graph over
+/// occurrence sets, src/compose/schedule.h). A singleton wave eliminates
+/// from the full Σ exactly like the original one-at-a-time driver; a wider
+/// wave hands each symbol only the constraints that mention it, runs the
+/// eliminations concurrently (options.elim_jobs lanes) against the same
+/// snapshot, and merges outcomes in the user-specified order — untouched
+/// constraints keep their positions, each success's rewritten group is
+/// appended in order, failures leave their group in place. Failures are
+/// retried for up to options.max_rounds rounds while Σ keeps changing,
+/// keeping whatever still cannot be eliminated. Key information from all
+/// three schemas feeds Skolem-argument minimization automatically unless
 /// options.eliminate.keys is preset.
 CompositionResult Compose(const CompositionProblem& problem,
                           const ComposeOptions& options = {});

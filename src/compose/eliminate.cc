@@ -198,7 +198,9 @@ EliminateOutcome Eliminate(const ConstraintSet& cs, const std::string& symbol,
     return out;
   }
 
-  int input_size = OperatorCount(cs);
+  int input_size = options.blowup_baseline_ops > 0
+                       ? options.blowup_baseline_ops
+                       : OperatorCount(cs);
   auto blown_up = [&](const ConstraintSet& result) {
     return OperatorCount(result) >
            options.max_blowup_factor * std::max(input_size, 1);
@@ -209,6 +211,7 @@ EliminateOutcome Eliminate(const ConstraintSet& cs, const std::string& symbol,
     Result<ConstraintSet> r = TryUnfold(cs, symbol, options.registry);
     if (r.ok() && blown_up(*r)) {
       reasons += "[unfold] result exceeds blowup budget; ";
+      out.blowup_limited = true;
     } else if (r.ok()) {
       out.success = true;
       out.step = EliminateStep::kUnfold;
@@ -222,6 +225,7 @@ EliminateOutcome Eliminate(const ConstraintSet& cs, const std::string& symbol,
     Result<ConstraintSet> r = TryLeftCompose(cs, symbol, arity, options);
     if (r.ok() && blown_up(*r)) {
       reasons += "[left] result exceeds blowup budget; ";
+      out.blowup_limited = true;
     } else if (r.ok()) {
       out.success = true;
       out.step = EliminateStep::kLeftCompose;
@@ -235,6 +239,7 @@ EliminateOutcome Eliminate(const ConstraintSet& cs, const std::string& symbol,
     Result<ConstraintSet> r = TryRightCompose(cs, symbol, arity, options);
     if (r.ok() && blown_up(*r)) {
       reasons += "[right] result exceeds blowup budget; ";
+      out.blowup_limited = true;
     } else if (r.ok()) {
       out.success = true;
       out.step = EliminateStep::kRightCompose;

@@ -33,6 +33,12 @@ struct EliminateOptions {
   /// Abort when the working constraint set exceeds this multiple of the
   /// input size (operator count); the paper aborts at 100 (§4).
   int max_blowup_factor = 100;
+  /// When > 0, the blowup guard measures growth against this operator
+  /// count instead of the input set's own size. The wave scheduler passes
+  /// the full Σ snapshot size here when eliminating from a per-symbol
+  /// partition, so a symbol's budget does not shrink merely because it was
+  /// handed only the constraints that mention it.
+  int blowup_baseline_ops = 0;
 };
 
 /// Outcome of eliminating one symbol.
@@ -41,6 +47,12 @@ struct EliminateOutcome {
   EliminateStep step = EliminateStep::kNone;
   ConstraintSet constraints;  ///< new set on success; the input on failure
   std::string failure_reason; ///< set when !success
+  /// True when at least one step failed only by exceeding the blowup
+  /// budget. Unlike every other failure mode — which depends solely on the
+  /// constraints mentioning the symbol — a blowup abort depends on the
+  /// *global* baseline size, so the wave scheduler must not treat such a
+  /// failure as reproducible across Σ changes.
+  bool blowup_limited = false;
 };
 
 /// The ELIMINATE procedure (§3.1): tries view unfolding, then left compose,

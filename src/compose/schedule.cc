@@ -1,0 +1,82 @@
+#include "src/compose/schedule.h"
+
+namespace mapcomp {
+
+std::vector<std::vector<int>> OccurrenceSets(
+    const ConstraintSet& sigma, const std::vector<std::string>& symbols,
+    bool exact) {
+  std::vector<uint64_t> bits;
+  bits.reserve(symbols.size());
+  for (const std::string& s : symbols) bits.push_back(Expr::NameBit(s));
+
+  std::vector<std::vector<int>> occ(symbols.size());
+  for (size_t c = 0; c < sigma.size(); ++c) {
+    uint64_t mask = sigma[c].lhs->relation_mask() | sigma[c].rhs->relation_mask();
+    for (size_t s = 0; s < symbols.size(); ++s) {
+      if ((mask & bits[s]) == 0) continue;  // clear bit proves absence
+      if (exact && !ConstraintContainsRelation(sigma[c], symbols[s])) continue;
+      occ[s].push_back(static_cast<int>(c));
+    }
+  }
+  return occ;
+}
+
+std::vector<int> PlanWaveFromOccurrences(
+    const std::vector<std::vector<int>>& occ, size_t num_constraints) {
+  std::vector<int> wave;
+  std::vector<char> claimed(num_constraints, 0);
+  for (size_t s = 0; s < occ.size(); ++s) {
+    bool conflict = false;
+    for (int c : occ[s]) {
+      if (claimed[static_cast<size_t>(c)]) {
+        conflict = true;
+        break;
+      }
+    }
+    if (conflict) continue;
+    for (int c : occ[s]) claimed[static_cast<size_t>(c)] = 1;
+    wave.push_back(static_cast<int>(s));
+  }
+  return wave;
+}
+
+std::vector<int> PlanWave(const ConstraintSet& sigma,
+                          const std::vector<std::string>& symbols,
+                          bool exact) {
+  return PlanWaveFromOccurrences(OccurrenceSets(sigma, symbols, exact),
+                                 sigma.size());
+}
+
+std::vector<std::vector<int>> PlanAllWaves(
+    const ConstraintSet& sigma, const std::vector<std::string>& symbols,
+    bool exact) {
+  std::vector<std::vector<int>> waves;
+  std::vector<int> remaining(symbols.size());
+  for (size_t i = 0; i < symbols.size(); ++i) remaining[i] = static_cast<int>(i);
+  std::vector<std::vector<int>> occ = OccurrenceSets(sigma, symbols, exact);
+
+  while (!remaining.empty()) {
+    std::vector<std::vector<int>> rem_occ;
+    rem_occ.reserve(remaining.size());
+    for (int i : remaining) rem_occ.push_back(occ[static_cast<size_t>(i)]);
+    std::vector<int> wave_local = PlanWaveFromOccurrences(rem_occ, sigma.size());
+
+    std::vector<int> wave;
+    std::vector<char> in_wave(remaining.size(), 0);
+    wave.reserve(wave_local.size());
+    for (int i : wave_local) {
+      in_wave[static_cast<size_t>(i)] = 1;
+      wave.push_back(remaining[static_cast<size_t>(i)]);
+    }
+    std::vector<int> rest;
+    rest.reserve(remaining.size() - wave.size());
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      if (!in_wave[i]) rest.push_back(remaining[i]);
+    }
+    waves.push_back(std::move(wave));
+    remaining = std::move(rest);
+  }
+  return waves;
+}
+
+}  // namespace mapcomp

@@ -60,6 +60,19 @@ Status Mapping::Validate() const {
   return CheckConstraints(constraints, {&input, &output});
 }
 
+std::string CompositionProblem::Fingerprint() const {
+  std::string out;
+  out += "sigma1{" + sigma1.ToString() + "}\n";
+  out += "sigma2{" + sigma2.ToString() + "}\n";
+  out += "sigma3{" + sigma3.ToString() + "}\n";
+  out += "sigma12{\n" + ConstraintSetToString(sigma12) + "}\n";
+  out += "sigma23{\n" + ConstraintSetToString(sigma23) + "}\n";
+  out += "order{";
+  for (const std::string& s : elimination_order) out += s + ",";
+  out += "}\n";
+  return out;
+}
+
 Status CompositionProblem::Validate() const {
   if (!Signature::Disjoint(sigma1, sigma2) ||
       !Signature::Disjoint(sigma2, sigma3) ||

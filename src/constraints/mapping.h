@@ -37,6 +37,13 @@ struct CompositionProblem {
   std::vector<std::string> elimination_order;
 
   Status Validate() const;
+
+  /// Canonical serialization of everything Compose() reads: the three
+  /// signatures (with keys), both constraint sets, and the elimination
+  /// order — but not `name`, which is display-only. Two problems with
+  /// equal fingerprints are composed identically under equal options;
+  /// ComposeService uses this as its result-cache key.
+  std::string Fingerprint() const;
 };
 
 }  // namespace mapcomp

@@ -1,7 +1,5 @@
 #include "src/runtime/compose_many.h"
 
-#include <algorithm>
-
 #include "src/algebra/interner.h"
 #include "src/runtime/thread_pool.h"
 
@@ -36,13 +34,13 @@ std::vector<CompositionResult> ComposeMany(
     return results;
   }
 
-  // The calling thread participates in ParallelFor, so jobs lanes total —
-  // but never more lanes than problems, so an oversized --jobs cannot
-  // spawn idle threads (or blow up std::thread construction).
-  int helpers = static_cast<int>(
-      std::min<size_t>(static_cast<size_t>(jobs), problems.size()) - 1);
-  ThreadPool pool(helpers);
-  ParallelFor(&pool, static_cast<int64_t>(problems.size()), compose_one);
+  // The calling thread participates in ParallelFor, so jobs lanes total.
+  // Workers come from the shared process-wide pool — constructing and
+  // joining a pool per batch cost a thread spawn/join round-trip on every
+  // call and over-subscribed the machine when batches overlapped; `jobs`
+  // still caps this call's parallelism via max_helpers.
+  ParallelFor(GlobalPool(), static_cast<int64_t>(problems.size()),
+              compose_one, jobs - 1);
   return results;
 }
 

@@ -1,0 +1,132 @@
+#include "src/runtime/compose_service.h"
+
+#include "src/runtime/thread_pool.h"
+
+namespace mapcomp {
+namespace runtime {
+
+std::string ServiceStats::ToString() const {
+  std::string out = "compose-service: ";
+  out += std::to_string(hits) + " hits, " + std::to_string(misses) +
+         " misses (" + std::to_string(HitRate() * 100.0) + "% hit rate), " +
+         std::to_string(evictions) + " evictions, " +
+         std::to_string(cache_entries) + " cached, " +
+         std::to_string(in_flight) + " in flight, " +
+         std::to_string(completed) + " completed\n";
+  out += "scheduler: " + std::to_string(waves_executed) +
+         " waves executed, max width " + std::to_string(max_wave_width) + "\n";
+  return out;
+}
+
+ComposeService::ComposeService(ComposeServiceOptions options)
+    : options_(std::move(options)) {}
+
+ComposeService::~ComposeService() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ComposeService::RecordCompletion(const CompositionResult* result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --stats_.in_flight;
+  if (result != nullptr) {
+    ++stats_.completed;
+    for (const RoundStat& r : result->rounds) {
+      stats_.waves_executed += r.wave_widths.size();
+      for (int w : r.wave_widths) {
+        if (w > stats_.max_wave_width) stats_.max_wave_width = w;
+      }
+    }
+  }
+}
+
+void ComposeService::ReleaseOutstanding() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --outstanding_;
+  idle_.notify_all();
+}
+
+void ComposeService::EvictFailed(const std::string& key, uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it == cache_.end() || it->second.id != id) return;
+  lru_.erase(it->second.lru_it);
+  cache_.erase(it);
+  stats_.cache_entries = cache_.size();
+}
+
+ComposeService::Handle ComposeService::Submit(CompositionProblem problem) {
+  const bool caching = options_.cache_capacity > 0;
+  std::string key = caching ? problem.Fingerprint() : std::string();
+
+  auto promise = std::make_shared<std::promise<ResultPtr>>();
+  uint64_t entry_id = 0;
+  Handle handle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (caching) {
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // touch
+        handle.future_ = it->second.future;
+        handle.cache_hit_ = true;
+        return handle;
+      }
+    }
+    ++stats_.misses;
+    ++stats_.in_flight;
+    ++outstanding_;
+    entry_id = ++next_entry_id_;
+    handle.future_ = promise->get_future().share();
+    if (caching) {
+      lru_.push_front(key);
+      cache_.emplace(key, CacheEntry{handle.future_, lru_.begin(), entry_id});
+      // Evicting an entry still in flight is allowed (its handles stay
+      // valid; only the dedup/memo reference is lost), so a capacity
+      // smaller than the concurrent working set degrades to recomputation,
+      // never to blocking.
+      while (cache_.size() > options_.cache_capacity) {
+        ++stats_.evictions;
+        cache_.erase(lru_.back());
+        lru_.pop_back();
+      }
+      stats_.cache_entries = cache_.size();
+    }
+  }
+
+  GlobalPool()->Submit(
+      [this, promise, caching, entry_id, key,
+       problem = std::move(problem)]() mutable {
+        ResultPtr result;
+        try {
+          result = std::make_shared<CompositionResult>(
+              Compose(problem, options_.compose));
+        } catch (...) {
+          // The exception reaches every handle already joined to this
+          // computation, but must not be served to future submitters.
+          if (caching) EvictFailed(key, entry_id);
+          RecordCompletion(nullptr);
+          promise->set_exception(std::current_exception());
+          ReleaseOutstanding();
+          return;
+        }
+        // Ordering matters twice: stats before fulfillment (a client that
+        // just Wait()ed must see itself counted as completed, not in
+        // flight), and the outstanding release after it (the destructor
+        // may return the moment outstanding_ hits zero, and by then every
+        // handle must already be Ready).
+        RecordCompletion(result.get());
+        promise->set_value(std::move(result));
+        ReleaseOutstanding();
+      });
+  return handle;
+}
+
+ServiceStats ComposeService::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace runtime
+}  // namespace mapcomp

@@ -1,0 +1,133 @@
+#ifndef MAPCOMP_RUNTIME_COMPOSE_SERVICE_H_
+#define MAPCOMP_RUNTIME_COMPOSE_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/compose/compose.h"
+
+namespace mapcomp {
+namespace runtime {
+
+/// Point-in-time counters of a ComposeService. Wave fields aggregate the
+/// scheduler behavior of every composition the service completed.
+struct ServiceStats {
+  uint64_t hits = 0;        ///< Submits answered by the cache (incl. joining
+                            ///< a computation already in flight)
+  uint64_t misses = 0;      ///< Submits that started a computation
+  uint64_t evictions = 0;   ///< cache entries dropped by the LRU bound
+  int64_t in_flight = 0;    ///< computations started but not yet finished
+  uint64_t completed = 0;   ///< computations finished
+  uint64_t cache_entries = 0;  ///< entries currently cached
+  uint64_t waves_executed = 0; ///< scheduler waves across completed results
+  int max_wave_width = 0;      ///< widest elimination wave observed
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+  std::string ToString() const;
+};
+
+struct ComposeServiceOptions {
+  /// Options applied to every composition. Fixed for the service lifetime:
+  /// the result cache is keyed by CompositionProblem::Fingerprint() alone,
+  /// which identifies the result only under fixed options.
+  ComposeOptions compose;
+  /// Completed results retained, least-recently-submitted evicted first.
+  /// 0 disables caching (every Submit computes).
+  size_t cache_capacity = 128;
+};
+
+/// A long-lived composition server: clients Submit CompositionProblems and
+/// get async handles; results are computed on the process-wide GlobalPool()
+/// and memoized in an LRU cache keyed by the problem fingerprint, so a hot
+/// problem is composed once and served from memory afterwards. Concurrent
+/// submissions of the same problem join the in-flight computation instead
+/// of duplicating it. Thread-safe; one instance is meant to outlive many
+/// client requests (the ROADMAP's serving path).
+///
+/// Do not call Handle::Wait from inside a GlobalPool task: a worker
+/// blocking on work that needs a worker can starve a small pool. Clients —
+/// CLI loops, benchmark drivers, request threads — wait; pool tasks don't.
+class ComposeService {
+ public:
+  using ResultPtr = std::shared_ptr<const CompositionResult>;
+
+  /// Async handle for one submission. Copyable; all copies share the same
+  /// eventual result. Valid independently of cache eviction.
+  class Handle {
+   public:
+    Handle() = default;
+
+    /// Blocks until the composition finishes; rethrows if it threw.
+    const CompositionResult& Wait() const { return *future_.get(); }
+    /// Shared ownership of the result (blocks like Wait).
+    ResultPtr Result() const { return future_.get(); }
+    /// True once the result is available without blocking.
+    bool Ready() const {
+      return future_.wait_for(std::chrono::seconds(0)) ==
+             std::future_status::ready;
+    }
+    /// True when Submit answered from the cache (ready or in flight)
+    /// rather than starting a new computation.
+    bool cache_hit() const { return cache_hit_; }
+
+   private:
+    friend class ComposeService;
+    std::shared_future<ResultPtr> future_;
+    bool cache_hit_ = false;
+  };
+
+  explicit ComposeService(ComposeServiceOptions options = {});
+  /// Blocks until every in-flight computation has finished.
+  ~ComposeService();
+
+  ComposeService(const ComposeService&) = delete;
+  ComposeService& operator=(const ComposeService&) = delete;
+
+  /// Enqueues the problem (or joins/serves a cached computation). Never
+  /// blocks on composition work.
+  Handle Submit(CompositionProblem problem);
+
+  ServiceStats Stats() const;
+
+ private:
+  struct CacheEntry {
+    std::shared_future<ResultPtr> future;
+    std::list<std::string>::iterator lru_it;
+    /// Distinguishes this entry from a later one under the same key (the
+    /// original may be evicted and the key recomputed while the original
+    /// computation is still running).
+    uint64_t id = 0;
+  };
+
+  void RecordCompletion(const CompositionResult* result);
+  void ReleaseOutstanding();
+  /// Drops the cache entry `key` if it still is the one created with
+  /// `id` — called when a computation throws, so the failure is handed to
+  /// the waiting handles but never served to future submitters.
+  void EvictFailed(const std::string& key, uint64_t id);
+
+  const ComposeServiceOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable idle_;
+  ServiceStats stats_;
+  int64_t outstanding_ = 0;  ///< tasks submitted to the pool, not finished
+  uint64_t next_entry_id_ = 0;
+  /// LRU order, most recent first; `cache_` values point into it.
+  std::list<std::string> lru_;
+  std::unordered_map<std::string, CacheEntry> cache_;
+};
+
+}  // namespace runtime
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_RUNTIME_COMPOSE_SERVICE_H_

@@ -1,7 +1,9 @@
 #include "src/runtime/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 
 namespace mapcomp {
 namespace runtime {
@@ -43,6 +45,16 @@ int ThreadPool::HardwareThreads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
+ThreadPool* GlobalPool() {
+  // Leaked like the global interner: worker threads must never be joined
+  // from a static destructor racing other teardown. The pool's queue is
+  // empty whenever no ParallelFor/Submit caller is active, so leaking it
+  // leaks only idle threads.
+  static ThreadPool* pool =
+      new ThreadPool(std::max(1, ThreadPool::HardwareThreads() - 1));
+  return pool;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -63,49 +75,90 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ParallelFor(ThreadPool* pool, int64_t n,
-                 const std::function<void(int64_t)>& body) {
+                 const std::function<void(int64_t)>& body, int max_helpers) {
   if (n <= 0) return;
-  if (pool == nullptr || n == 1) {
+  if (pool == nullptr || n == 1 || max_helpers == 0) {
     for (int64_t i = 0; i < n; ++i) body(i);
     return;
   }
 
+  // Heap-shared because helper tasks may still sit in the pool queue after
+  // this call returns (they find nothing left to claim and exit); the
+  // closures keep the state — including the body copy — alive. The hot
+  // path is lock-free: claims come from one relaxed counter, retirements
+  // decrement another (acq_rel, so the last decrement has seen every
+  // lane's writes), and the mutex is touched only to record an error and
+  // for the final notify handshake. An erroring lane atomically exchanges
+  // the claim counter to n and retires the never-to-be-claimed tail in
+  // one step (exchange makes the tail size exact even against racing
+  // claims). The caller waits for remaining == 0 without ever touching
+  // ThreadPool::Wait — which is what makes nested calls on a shared pool
+  // deadlock-free.
   struct Shared {
-    std::atomic<int64_t> next{0};
     std::mutex mu;
+    std::condition_variable done;
+    std::function<void(int64_t)> body;
+    int64_t n = 0;
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> remaining{0};
     std::exception_ptr first_error;
     int64_t first_error_index = -1;
-  } shared;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->body = body;
+  shared->n = n;
+  shared->remaining.store(n, std::memory_order_relaxed);
 
-  auto drain = [&shared, n, &body] {
+  auto retire = [](const std::shared_ptr<Shared>& s, int64_t count) {
+    if (s->remaining.fetch_sub(count, std::memory_order_acq_rel) == count) {
+      // Last retirement: pair with the waiter's mutex so the notify
+      // cannot slip between its predicate check and its sleep.
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->done.notify_all();
+    }
+  };
+  auto drain = [shared, retire]() {
     for (;;) {
-      int64_t i = shared.next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      int64_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= shared->n) return;
       try {
-        body(i);
+        shared->body(i);
+        retire(shared, 1);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(shared.mu);
-        if (shared.first_error == nullptr ||
-            i < shared.first_error_index) {
-          shared.first_error = std::current_exception();
-          shared.first_error_index = i;
+        // Stop claiming everywhere; `prev` counts the claims that did
+        // happen, so exactly the unclaimed tail [min(prev,n), n) is
+        // retired here — claimed iterations on other lanes still run and
+        // retire themselves.
+        int64_t prev =
+            shared->next.exchange(shared->n, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(shared->mu);
+          if (shared->first_error == nullptr ||
+              i < shared->first_error_index) {
+            shared->first_error = std::current_exception();
+            shared->first_error_index = i;
+          }
         }
-        // Stop claiming further iterations everywhere.
-        shared.next.store(n, std::memory_order_relaxed);
-        return;
+        retire(shared, 1 + (shared->n - std::min(prev, shared->n)));
       }
     }
   };
 
-  // The calling thread participates, so a pool of k threads gives k+1 lanes
-  // and ParallelFor never deadlocks even if the pool is busy elsewhere.
   int helpers = pool->thread_count();
+  if (max_helpers >= 0) helpers = std::min(helpers, max_helpers);
+  helpers = static_cast<int>(
+      std::min<int64_t>(helpers, n - 1));  // no lane without an iteration
   for (int t = 0; t < helpers; ++t) pool->Submit(drain);
-  drain();
-  pool->Wait();
 
-  if (shared.first_error != nullptr) {
-    std::rethrow_exception(shared.first_error);
+  drain();
+  {
+    std::unique_lock<std::mutex> lock(shared->mu);
+    shared->done.wait(lock, [&shared] {
+      return shared->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (shared->first_error != nullptr) {
+    std::rethrow_exception(shared->first_error);
   }
 }
 

@@ -30,6 +30,10 @@ class ThreadPool {
   void Submit(std::function<void()> task);
 
   /// Blocks until every task submitted so far has finished executing.
+  /// Must not be called from a pool worker (a task waiting for its own
+  /// pool to drain counts itself as in flight and never returns) — tasks
+  /// that need to join sub-work should use ParallelFor, which tracks its
+  /// own completion.
   void Wait();
 
   int thread_count() const { return static_cast<int>(workers_.size()); }
@@ -49,20 +53,38 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
-/// Runs `body(i)` for every i in [0, n), spreading iterations across the
-/// pool's workers plus the calling thread. Iterations are claimed from a
-/// shared atomic counter, so scheduling is dynamic but the set of executed
-/// iterations is exactly [0, n) regardless of thread count — callers that
-/// write only to per-index state get thread-count-independent results.
-/// Blocks until all iterations finish. With a null pool iterations run
-/// inline, in order, on the calling thread; with a pool of k workers there
-/// are k+1 lanes.
+/// The lazily-created process-wide pool, sized so that one helper per
+/// remaining hardware thread is available to whoever asks first
+/// (HardwareThreads() - 1 workers, floor 1). Shared by ComposeMany, the
+/// intra-problem elimination scheduler and ComposeService — per-call
+/// parallelism is capped by each caller's `jobs` via ParallelFor's
+/// `max_helpers`, so sharing one pool never over-subscribes the machine
+/// the way one pool per batch did. Never destroyed before exit; safe to
+/// call from any thread, including the pool's own workers (nested
+/// ParallelFor is supported, see below).
+ThreadPool* GlobalPool();
+
+/// Runs `body(i)` for every i in [0, n), spreading iterations across up to
+/// `max_helpers` of the pool's workers (all of them when < 0) plus the
+/// calling thread. Iterations are claimed from a shared counter, so
+/// scheduling is dynamic but the set of executed iterations is exactly
+/// [0, n) regardless of thread count — callers that write only to
+/// per-index state get thread-count-independent results. Blocks until all
+/// iterations finish. With a null pool iterations run inline, in order, on
+/// the calling thread; with k helpers there are up to k+1 lanes.
 ///
-/// If any iteration throws, the first exception (in claim order) is
-/// rethrown on the calling thread after all workers stop claiming new
-/// iterations; remaining claimed iterations still complete.
+/// Completion is tracked per call (not via ThreadPool::Wait), so nesting a
+/// ParallelFor inside a pool task — e.g. per-wave elimination inside a
+/// batch-compose worker on the shared GlobalPool() — cannot deadlock: the
+/// inner call's helpers are opportunistic, and its calling lane drains
+/// every iteration itself if no helper is free.
+///
+/// If any iteration throws, the lowest-index exception is rethrown on the
+/// calling thread after all lanes stop claiming new iterations; remaining
+/// claimed iterations still complete.
 void ParallelFor(ThreadPool* pool, int64_t n,
-                 const std::function<void(int64_t)>& body);
+                 const std::function<void(int64_t)>& body,
+                 int max_helpers = -1);
 
 }  // namespace runtime
 }  // namespace mapcomp

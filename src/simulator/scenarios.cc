@@ -3,6 +3,8 @@
 #include <map>
 #include <set>
 
+#include "src/algebra/builders.h"
+
 namespace mapcomp {
 namespace sim {
 
@@ -179,6 +181,27 @@ CompositionProblem BuildReconciliationProblem(
   problem.sigma12 = branch_a.mapping.constraints;
   problem.sigma23 = branch_b.mapping.constraints;
   return problem;
+}
+
+CompositionProblem BuildFanoutProblem(int width, bool chain_overlap) {
+  CompositionProblem p;
+  p.name = (chain_overlap ? "chain-overlap-" : "fanout-") +
+           std::to_string(width);
+  for (int i = 1; i <= width; ++i) {
+    std::string r = "R" + std::to_string(i);
+    std::string s = "S" + std::to_string(i);
+    std::string t = "T" + std::to_string(i);
+    p.sigma1.AddOrReplaceRelation(r, 2);
+    p.sigma2.AddOrReplaceRelation(s, 2);
+    p.sigma3.AddOrReplaceRelation(t, 2);
+    ExprPtr def = Rel(r, 2);
+    if (chain_overlap && i > 1) {
+      def = Union(Rel("S" + std::to_string(i - 1), 2), std::move(def));
+    }
+    p.sigma12.push_back(Constraint::Equal(Rel(s, 2), std::move(def)));
+    p.sigma23.push_back(Constraint::Contain(Rel(s, 2), Rel(t, 2)));
+  }
+  return p;
 }
 
 ReconciliationScenarioResult RunReconciliationScenario(

@@ -1,0 +1,199 @@
+// Tests for the long-lived ComposeService: fingerprint-keyed result cache
+// (hits, misses, eviction, in-flight dedup), async handles, stats
+// aggregation, and a concurrent multi-client stress run (executed under
+// ThreadSanitizer in CI).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/parser/parser.h"
+#include "src/runtime/compose_service.h"
+#include "src/simulator/scenarios.h"
+#include "src/testdata/literature_suite.h"
+
+namespace mapcomp {
+namespace runtime {
+namespace {
+
+std::vector<CompositionProblem> ParsedLiteratureSuite() {
+  Parser parser;
+  std::vector<CompositionProblem> problems;
+  for (const testdata::LiteratureProblem& prob :
+       testdata::LiteratureSuite()) {
+    Result<CompositionProblem> parsed = parser.ParseProblem(prob.text);
+    EXPECT_TRUE(parsed.ok()) << prob.name;
+    if (parsed.ok()) problems.push_back(std::move(*parsed));
+  }
+  return problems;
+}
+
+TEST(ProblemFingerprintTest, IdentifiesTheProblemNotItsName) {
+  CompositionProblem a = sim::BuildFanoutProblem(3);
+  CompositionProblem b = sim::BuildFanoutProblem(3);
+  b.name = "same-problem-different-label";
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+
+  CompositionProblem c = sim::BuildFanoutProblem(4);
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+
+  CompositionProblem d = sim::BuildFanoutProblem(3);
+  d.elimination_order = {"S3", "S2", "S1"};
+  EXPECT_NE(a.Fingerprint(), d.Fingerprint());
+}
+
+TEST(ComposeServiceTest, SecondSubmitIsACacheHit) {
+  ComposeService service;
+  ComposeService::Handle h1 = service.Submit(sim::BuildFanoutProblem(4));
+  const CompositionResult& first = h1.Wait();
+  EXPECT_FALSE(h1.cache_hit());
+
+  ComposeService::Handle h2 = service.Submit(sim::BuildFanoutProblem(4));
+  EXPECT_TRUE(h2.cache_hit());
+  // Same object, not an equal recomputation.
+  EXPECT_EQ(&h2.Wait(), &first);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.in_flight, 0);
+  EXPECT_EQ(stats.cache_entries, 1u);
+}
+
+TEST(ComposeServiceTest, ConcurrentSubmitsOfOneProblemShareComputation) {
+  ComposeService service;
+  std::vector<ComposeService::Handle> handles;
+  for (int i = 0; i < 16; ++i) {
+    handles.push_back(service.Submit(sim::BuildFanoutProblem(6)));
+  }
+  const CompositionResult* result = &handles[0].Wait();
+  for (ComposeService::Handle& h : handles) {
+    EXPECT_EQ(&h.Wait(), result);
+  }
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.misses, 1u);  // one computation, 15 joins
+  EXPECT_EQ(stats.hits, 15u);
+}
+
+TEST(ComposeServiceTest, LruEvictionDropsOldestAndRecounts) {
+  ComposeServiceOptions options;
+  options.cache_capacity = 2;
+  ComposeService service(options);
+
+  service.Submit(sim::BuildFanoutProblem(2)).Wait();
+  service.Submit(sim::BuildFanoutProblem(3)).Wait();
+  // Touch problem 2 so problem 3 is the LRU victim.
+  EXPECT_TRUE(service.Submit(sim::BuildFanoutProblem(2)).cache_hit());
+  service.Submit(sim::BuildFanoutProblem(4)).Wait();  // evicts problem 3
+
+  EXPECT_EQ(service.Stats().evictions, 1u);
+  EXPECT_TRUE(service.Submit(sim::BuildFanoutProblem(2)).cache_hit());
+  EXPECT_TRUE(service.Submit(sim::BuildFanoutProblem(4)).cache_hit());
+  EXPECT_FALSE(service.Submit(sim::BuildFanoutProblem(3)).cache_hit());
+  EXPECT_EQ(service.Stats().cache_entries, 2u);
+}
+
+TEST(ComposeServiceTest, ZeroCapacityDisablesCaching) {
+  ComposeServiceOptions options;
+  options.cache_capacity = 0;
+  ComposeService service(options);
+  service.Submit(sim::BuildFanoutProblem(3)).Wait();
+  service.Submit(sim::BuildFanoutProblem(3)).Wait();
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST(ComposeServiceTest, ResultsMatchDirectComposition) {
+  ComposeServiceOptions options;
+  options.compose.elim_jobs = 4;
+  ComposeService service(options);
+  for (const CompositionProblem& p : ParsedLiteratureSuite()) {
+    CompositionResult direct = Compose(p, options.compose);
+    EXPECT_EQ(service.Submit(p).Wait().Fingerprint(), direct.Fingerprint())
+        << p.name;
+  }
+}
+
+TEST(ComposeServiceTest, AggregatesSchedulerWaveStats) {
+  ComposeServiceOptions options;
+  options.compose.elim_jobs = 4;
+  ComposeService service(options);
+  service.Submit(sim::BuildFanoutProblem(8)).Wait();
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.max_wave_width, 8);
+  EXPECT_GE(stats.waves_executed, 1u);
+  EXPECT_NE(stats.ToString().find("max width 8"), std::string::npos);
+}
+
+TEST(ComposeServiceTest, ConcurrentClientsMixedHitsAndMisses) {
+  // >= 8 client threads hammering one service with overlapping problem
+  // sets: every result must equal the single-threaded baseline, and the
+  // counters must balance. Run under TSan in CI.
+  std::vector<CompositionProblem> problems = ParsedLiteratureSuite();
+  problems.push_back(sim::BuildFanoutProblem(8));
+  problems.push_back(sim::BuildFanoutProblem(8, /*chain_overlap=*/true));
+
+  ComposeServiceOptions options;
+  options.compose.elim_jobs = 2;
+  options.cache_capacity = 1024;  // no eviction: misses == distinct problems
+  ComposeService service(options);
+
+  std::vector<std::string> baselines;
+  baselines.reserve(problems.size());
+  for (const CompositionProblem& p : problems) {
+    baselines.push_back(Compose(p, options.compose).Fingerprint());
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 3;
+  std::vector<std::string> errors(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      // Stagger starting offsets so threads race on different keys.
+      for (int rep = 0; rep < kRequestsPerClient; ++rep) {
+        for (size_t i = 0; i < problems.size(); ++i) {
+          size_t slot = (i + static_cast<size_t>(t) * 3) % problems.size();
+          const CompositionResult& res =
+              service.Submit(problems[slot]).Wait();
+          if (res.Fingerprint() != baselines[slot]) {
+            errors[t] = "fingerprint mismatch on problem " +
+                        std::to_string(slot);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  for (const std::string& e : errors) EXPECT_EQ(e, "");
+
+  ServiceStats stats = service.Stats();
+  uint64_t total = static_cast<uint64_t>(kClients) * kRequestsPerClient *
+                   problems.size();
+  EXPECT_EQ(stats.hits + stats.misses, total);
+  EXPECT_EQ(stats.misses, problems.size());  // dedup + no eviction
+  EXPECT_EQ(stats.in_flight, 0);
+  EXPECT_EQ(stats.completed, stats.misses);
+}
+
+TEST(ComposeServiceTest, DestructorWaitsForInFlightWork) {
+  // Submit without waiting, then destroy: the service must block until
+  // the pool task finished (TSan would flag a use-after-free otherwise).
+  ComposeService::Handle handle;
+  {
+    ComposeService service;
+    handle = service.Submit(sim::BuildFanoutProblem(6));
+  }
+  EXPECT_TRUE(handle.Ready());
+  EXPECT_EQ(handle.Wait().eliminated_count, 6);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace mapcomp

@@ -92,6 +92,63 @@ TEST(ParallelForTest, RethrowsFirstExceptionByIndex) {
   EXPECT_EQ(after.load(), 10);
 }
 
+TEST(ParallelForTest, MaxHelpersZeroRunsInlineInOrder) {
+  ThreadPool pool(3);
+  std::vector<int64_t> order;
+  ParallelFor(&pool, 10, [&order](int64_t i) { order.push_back(i); },
+              /*max_helpers=*/0);
+  std::vector<int64_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, MaxHelpersCapsLanesButCoversRange) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  ParallelFor(&pool, 200, [&count](int64_t) { count.fetch_add(1); },
+              /*max_helpers=*/1);
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ParallelForTest, NestedOnTheSamePoolDoesNotDeadlock) {
+  // The intra-problem elimination scheduler runs ParallelFor inside
+  // ComposeMany workers, all on the shared global pool — completion must
+  // be tracked per call, not per pool, or the inner call waits forever
+  // for its own enclosing task to retire.
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  ParallelFor(&pool, 4, [&pool, &count](int64_t) {
+    ParallelFor(&pool, 8, [&count](int64_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ParallelForTest, NestedExceptionPropagatesThroughBothLevels) {
+  ThreadPool pool(2);
+  try {
+    ParallelFor(&pool, 3, [&pool](int64_t outer) {
+      ParallelFor(&pool, 3, [outer](int64_t inner) {
+        if (outer == 1 && inner == 1) {
+          throw std::runtime_error("inner failure");
+        }
+      });
+    });
+    FAIL() << "expected the inner exception to surface";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "inner failure");
+  }
+}
+
+TEST(GlobalPoolTest, IsASingletonWithWorkers) {
+  ThreadPool* pool = GlobalPool();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool, GlobalPool());
+  EXPECT_GE(pool->thread_count(), 1);
+  std::atomic<int> count{0};
+  ParallelFor(pool, 50, [&count](int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50);
+}
+
 TEST(ParallelForTest, PerIndexWritesAreThreadCountIndependent) {
   auto run = [](int pool_threads) {
     std::vector<int64_t> out(500);

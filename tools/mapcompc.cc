@@ -21,6 +21,16 @@
 //     --rounds N           retry residual symbols for up to N elimination
 //                          rounds (default 4; 1 = the paper's single pass)
 //     --jobs N             compose N tasks concurrently (default 1)
+//     --elim-jobs N        within each task, eliminate independent sigma2
+//                          symbols on up to N lanes (conflict-graph waves;
+//                          results are identical for any N; default 1)
+//     --serve-demo N       serve every task through a resident
+//                          ComposeService for N passes (pass 2+ hits the
+//                          fingerprint-keyed result cache) and print
+//                          ServiceStats to stderr; --jobs caps in-flight
+//                          submissions
+//     --fail-on-warnings   print composition warnings to stderr and exit 4
+//                          when any result carries one
 //     --intern-stats       print expression-interner statistics to stderr
 //     --quiet              print only the composed constraints
 
@@ -37,6 +47,7 @@
 #include "src/compose/compose.h"
 #include "src/parser/parser.h"
 #include "src/runtime/compose_many.h"
+#include "src/runtime/compose_service.h"
 
 namespace {
 
@@ -75,7 +86,9 @@ int main(int argc, char** argv) {
   mapcomp::ComposeOptions options;
   bool quiet = false;
   bool intern_stats = false;
+  bool fail_on_warnings = false;
   int jobs = 1;
+  int serve_passes = 0;  // 0 = no --serve-demo
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -101,6 +114,20 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--jobs expects an integer >= 1\n");
         return 2;
       }
+    } else if (std::strcmp(arg, "--elim-jobs") == 0 && i + 1 < argc) {
+      options.elim_jobs = std::atoi(argv[++i]);
+      if (options.elim_jobs < 1) {
+        std::fprintf(stderr, "--elim-jobs expects an integer >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--serve-demo") == 0 && i + 1 < argc) {
+      serve_passes = std::atoi(argv[++i]);
+      if (serve_passes < 1) {
+        std::fprintf(stderr, "--serve-demo expects an integer >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--fail-on-warnings") == 0) {
+      fail_on_warnings = true;
     } else if (std::strcmp(arg, "--intern-stats") == 0) {
       intern_stats = true;
     } else if (std::strcmp(arg, "--order") == 0) {
@@ -184,21 +211,58 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<mapcomp::CompositionResult> results =
-      mapcomp::runtime::ComposeMany(problems, options, jobs);
+  std::vector<mapcomp::CompositionResult> results;
+  if (serve_passes > 0) {
+    // Loop mode: a resident ComposeService composes every task once and
+    // serves passes 2..N from its fingerprint-keyed cache — same output,
+    // and the stats printed at the end show the hit/miss split.
+    mapcomp::runtime::ComposeServiceOptions service_options;
+    service_options.compose = options;
+    mapcomp::runtime::ComposeService service(service_options);
+    std::vector<mapcomp::runtime::ComposeService::Handle> handles;
+    for (int pass = 0; pass < serve_passes; ++pass) {
+      handles.clear();
+      handles.reserve(problems.size());
+      for (size_t i = 0; i < problems.size(); ++i) {
+        // --jobs caps serve-mode concurrency too: at most `jobs`
+        // submissions in flight (a sliding window, since the service
+        // itself fans out across the whole global pool).
+        if (i >= static_cast<size_t>(jobs)) {
+          handles[i - static_cast<size_t>(jobs)].Wait();
+        }
+        handles.push_back(service.Submit(problems[i]));
+      }
+      for (const auto& h : handles) h.Wait();
+    }
+    results.reserve(problems.size());
+    for (const auto& h : handles) results.push_back(h.Wait());
+    std::fprintf(stderr, "%s", service.Stats().ToString().c_str());
+  } else {
+    results = mapcomp::runtime::ComposeMany(problems, options, jobs);
+  }
 
   bool any_residual = false;
+  bool any_warning = false;
   for (size_t i = 0; i < results.size(); ++i) {
     if (results.size() > 1) {
       std::printf("%s== %s ==\n", i == 0 ? "" : "\n", paths[i].c_str());
     }
     PrintResult(results[i], quiet);
     any_residual = any_residual || !results[i].residual_sigma2.empty();
+    if (fail_on_warnings) {
+      for (const std::string& w : results[i].warnings) {
+        any_warning = true;
+        std::fprintf(stderr, "%s: warning: %s\n",
+                     paths[i] == "-" ? "<stdin>" : paths[i].c_str(),
+                     w.c_str());
+      }
+    }
   }
 
   if (intern_stats) {
     std::fprintf(stderr, "%s",
                  mapcomp::ExprInterner::Global().Stats().ToString().c_str());
   }
+  if (any_warning) return 4;
   return any_residual ? 3 : 0;
 }
