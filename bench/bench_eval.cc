@@ -1,0 +1,239 @@
+// Parallel sharded-evaluator throughput + compose-soundness harness bench.
+// Three workloads at 1/2/4/8 evaluation lanes, each cross-checked for
+// byte-identical fingerprints against the jobs=1 baseline:
+//
+//   domain_d3    D^3 enumeration over a wide active domain (the evaluator's
+//                pure enumeration path, sharded on the first coordinate)
+//   join_select  π σ (R × S) over random binary relations (the sharded
+//                per-tuple transform path)
+//   suite_check  CheckComposition over the 22-problem literature suite
+//                (the end-to-end semantic soundness harness)
+//
+// plus a memoization witness on a duplicated-subtree DAG. Emits JSON
+// (redirect stdout to BENCH_eval.json). Exits non-zero on any determinism
+// or soundness failure, so CI's bench smoke step doubles as a correctness
+// gate. `--smoke` shrinks every size for a seconds-long CI run.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/algebra/builders.h"
+#include "src/compose/compose.h"
+#include "src/eval/soundness.h"
+#include "src/parser/parser.h"
+#include "src/runtime/thread_pool.h"
+#include "src/testdata/literature_suite.h"
+
+using namespace mapcomp;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+Instance RandomBinary(int tuples, int domain, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> val(0, domain - 1);
+  Instance db;
+  std::set<Tuple> r, s;
+  for (int i = 0; i < tuples; ++i) {
+    r.insert(Tuple{Value(val(rng)), Value(val(rng))});
+    s.insert(Tuple{Value(val(rng)), Value(val(rng))});
+  }
+  db.Set("R", std::move(r));
+  db.Set("S", std::move(s));
+  return db;
+}
+
+struct LaneRow {
+  int jobs;
+  double best_seconds;
+  bool deterministic;
+};
+
+bool g_failed = false;
+
+/// Times `run(jobs)` (returning a fingerprint) at each lane count and
+/// checks every fingerprint against jobs=1.
+template <typename Run>
+std::vector<LaneRow> Sweep(const std::vector<int>& lanes, int reps,
+                           const Run& run) {
+  std::vector<LaneRow> rows;
+  std::string base;
+  for (int jobs : lanes) {
+    LaneRow row{jobs, -1.0, true};
+    for (int rep = 0; rep < reps; ++rep) {
+      auto start = std::chrono::steady_clock::now();
+      std::string fp = run(jobs);
+      double elapsed = Seconds(start);
+      if (row.best_seconds < 0.0 || elapsed < row.best_seconds) {
+        row.best_seconds = elapsed;
+      }
+      if (jobs == 1 && rep == 0) base = fp;
+      if (fp != base) {
+        row.deterministic = false;
+        g_failed = true;
+        std::fprintf(stderr, "NONDETERMINISM at jobs=%d\n", jobs);
+      }
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void PrintRows(const std::vector<LaneRow>& rows, int64_t work_tuples) {
+  double base = rows.empty() ? 1.0 : rows[0].best_seconds;
+  std::printf("    \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const LaneRow& r = rows[i];
+    std::printf(
+        "      {\"jobs\": %d, \"best_seconds\": %.6f, "
+        "\"tuples_per_sec\": %.0f, \"speedup_vs_jobs1\": %.3f, "
+        "\"deterministic_vs_jobs1\": %s}%s\n",
+        r.jobs, r.best_seconds,
+        static_cast<double>(work_tuples) / r.best_seconds,
+        base / r.best_seconds, r.deterministic ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("    ]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::vector<int> kLanes = {1, 2, 4, 8};
+  const int reps = smoke ? 1 : 3;
+  const int domain_values = smoke ? 18 : 60;
+  const int join_tuples = smoke ? 60 : 600;
+  const int check_instances = smoke ? 3 : 30;
+
+  int hardware = runtime::ThreadPool::HardwareThreads();
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"bench_eval\",\n");
+  std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::printf("  \"hardware_concurrency\": %d,\n", hardware);
+  std::printf("  \"single_core_warning\": %s,\n",
+              hardware <= 1 ? "true" : "false");
+  std::printf("  \"workloads\": [\n");
+
+  // ---- domain_d3: D^3 over `domain_values` active-domain values. ----
+  {
+    Instance db;
+    std::set<Tuple> u;
+    for (int i = 0; i < domain_values; ++i) u.insert(Tuple{Value(int64_t{i})});
+    db.Set("U", std::move(u));
+    ExprPtr dom3 = Dom(3);
+    int64_t work = static_cast<int64_t>(domain_values) * domain_values *
+                   domain_values;
+    auto rows = Sweep(kLanes, reps, [&](int jobs) {
+      EvalOptions opts;
+      opts.jobs = jobs;
+      opts.max_domain_tuples = work + 1;
+      return EvaluateFull(dom3, db, opts).value().Fingerprint();
+    });
+    std::printf("    {\"name\": \"domain_d3\", \"domain_values\": %d, "
+                "\"work_tuples\": %lld,\n",
+                domain_values, static_cast<long long>(work));
+    PrintRows(rows, work);
+    std::printf("    },\n");
+  }
+
+  // ---- join_select: π[1,4] σ[#2=#3] (R × S). ----
+  {
+    Instance db = RandomBinary(join_tuples, 200, 1234);
+    ExprPtr join = Project(
+        {1, 4}, Select(Condition::AttrCmp(2, CmpOp::kEq, 3),
+                       Product(Rel("R", 2), Rel("S", 2))));
+    int64_t work = static_cast<int64_t>(db.Get("R").size()) *
+                   static_cast<int64_t>(db.Get("S").size());
+    auto rows = Sweep(kLanes, reps, [&](int jobs) {
+      EvalOptions opts;
+      opts.jobs = jobs;
+      return EvaluateFull(join, db, opts).value().Fingerprint();
+    });
+    std::printf("    {\"name\": \"join_select\", \"relation_tuples\": %d, "
+                "\"work_tuples\": %lld,\n",
+                join_tuples, static_cast<long long>(work));
+    PrintRows(rows, work);
+    std::printf("    },\n");
+  }
+
+  // ---- suite_check: the semantic soundness harness over the suite. ----
+  {
+    Parser parser;
+    std::vector<CompositionProblem> problems;
+    std::vector<CompositionResult> composed;
+    for (const testdata::LiteratureProblem& lit :
+         testdata::LiteratureSuite()) {
+      problems.push_back(parser.ParseProblem(lit.text).value());
+      composed.push_back(Compose(problems.back()));
+    }
+    bool all_sound = true;
+    int64_t checked_instances = 0;
+    auto rows = Sweep(kLanes, reps, [&](int jobs) {
+      CompositionCheckOptions options;
+      options.eval.jobs = jobs;
+      options.eval.parallel_threshold = 256;
+      std::string fp;
+      for (size_t i = 0; i < problems.size(); ++i) {
+        Result<CompositionCheck> check = CheckComposition(
+            problems[i], composed[i], 4242, check_instances, options);
+        if (!check.ok()) {
+          std::fprintf(stderr, "check failed: %s\n",
+                       check.status().ToString().c_str());
+          g_failed = true;
+          continue;
+        }
+        all_sound = all_sound && check->sound;
+        if (jobs == 1) checked_instances += check->instances;
+        fp += check->Report();
+      }
+      return fp;
+    });
+    if (!all_sound) g_failed = true;
+    std::printf("    {\"name\": \"suite_check\", \"problems\": %zu, "
+                "\"instances_per_problem\": %d, \"all_sound\": %s,\n",
+                problems.size(), check_instances,
+                all_sound ? "true" : "false");
+    PrintRows(rows, checked_instances / reps);
+    std::printf("    }\n");
+  }
+
+  std::printf("  ],\n");
+
+  // ---- memoization witness: duplicated-subtree DAG. ----
+  {
+    Instance db = RandomBinary(smoke ? 40 : 200, 50, 77);
+    ExprPtr join = Project(
+        {1, 4}, Select(Condition::AttrCmp(2, CmpOp::kEq, 3),
+                       Product(Rel("R", 2), Rel("S", 2))));
+    ExprPtr dag = join;
+    for (int i = 0; i < 10; ++i) dag = Union(dag, dag);
+    auto start = std::chrono::steady_clock::now();
+    Result<EvalResult> out = EvaluateFull(dag, db);
+    double elapsed = Seconds(start);
+    if (!out.ok()) g_failed = true;
+    std::printf("  \"memo\": {\"dag_unions\": 10, \"tree_ops\": %d, "
+                "\"nodes_evaluated\": %lld, \"memo_hits\": %lld, "
+                "\"seconds\": %.6f},\n",
+                OperatorCount(dag),
+                static_cast<long long>(out.ok() ? out->stats.nodes_evaluated
+                                                : -1),
+                static_cast<long long>(out.ok() ? out->stats.memo_hits : -1),
+                elapsed);
+  }
+
+  std::printf("  \"failed\": %s\n}\n", g_failed ? "true" : "false");
+  return g_failed ? 1 : 0;
+}

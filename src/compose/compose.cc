@@ -52,6 +52,40 @@ std::string CompositionResult::Report() const {
   return out;
 }
 
+std::string ComposeOptions::Fingerprint() const {
+  std::string out = "opts{";
+  out += "unfold=" + std::to_string(eliminate.enable_unfold);
+  out += ",left=" + std::to_string(eliminate.enable_left_compose);
+  out += ",right=" + std::to_string(eliminate.enable_right_compose);
+  out += ",blowup=" + std::to_string(eliminate.max_blowup_factor);
+  out += ",baseline=" + std::to_string(eliminate.blowup_baseline_ops);
+  // A preset key signature is serialized by content (names, arities, key
+  // columns); a non-default registry by its never-reused uid — unlike a
+  // pointer address, an id cannot alias a later registry allocated where a
+  // destroyed one lived.
+  out += ",keys=";
+  out += eliminate.keys == nullptr
+             ? "auto"
+             : "{" + eliminate.keys->Fingerprint() + "}";
+  out += ",registry=";
+  if (eliminate.registry == &op::Registry::Default()) {
+    out += "default";
+  } else {
+    out += std::to_string(eliminate.registry->uid());
+  }
+  out += ",simplify=" + std::to_string(simplify_output);
+  out += ",rounds=" + std::to_string(max_rounds);
+  out += ",exact=" + std::to_string(exact_conflicts);
+  out += ",order=";
+  // Length-prefixed: symbol names are unrestricted, so a bare separator
+  // could make distinct orders serialize identically.
+  for (const std::string& s : order) {
+    out += std::to_string(s.size()) + ":" + s + ",";
+  }
+  out += "}";
+  return out;
+}
+
 std::string CompositionResult::Fingerprint() const {
   std::string out;
   out += "sigma{" + sigma.ToString() + "}\n";

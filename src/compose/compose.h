@@ -37,6 +37,17 @@ struct ComposeOptions {
   /// positives add spurious conflict edges, which can only merge waves
   /// (over-serialize) — never co-schedule two truly conflicting symbols.
   bool exact_conflicts = true;
+
+  /// Canonical serialization of every option that can change a
+  /// CompositionResult: the eliminate switches and budgets, the order, the
+  /// simplify/rounds/exact_conflicts knobs. `elim_jobs` is excluded by
+  /// design (results are byte-identical at any lane count). A preset
+  /// `eliminate.keys` is serialized by content; a non-default registry by
+  /// its process-unique, never-reused `op::Registry::uid()`.
+  /// ComposeService combines this with CompositionProblem::Fingerprint()
+  /// so one service can host mixed-options traffic without serving stale
+  /// variants.
+  std::string Fingerprint() const;
 };
 
 /// Per-attempt elimination record. A symbol that fails in one round and is

@@ -62,13 +62,17 @@ Status Mapping::Validate() const {
 
 std::string CompositionProblem::Fingerprint() const {
   std::string out;
-  out += "sigma1{" + sigma1.ToString() + "}\n";
-  out += "sigma2{" + sigma2.ToString() + "}\n";
-  out += "sigma3{" + sigma3.ToString() + "}\n";
+  out += "sigma1{" + sigma1.Fingerprint() + "}\n";
+  out += "sigma2{" + sigma2.Fingerprint() + "}\n";
+  out += "sigma3{" + sigma3.Fingerprint() + "}\n";
   out += "sigma12{\n" + ConstraintSetToString(sigma12) + "}\n";
   out += "sigma23{\n" + ConstraintSetToString(sigma23) + "}\n";
   out += "order{";
-  for (const std::string& s : elimination_order) out += s + ",";
+  // Length-prefixed: symbol names are unrestricted, so a bare separator
+  // could make distinct orders serialize identically.
+  for (const std::string& s : elimination_order) {
+    out += std::to_string(s.size()) + ":" + s + ",";
+  }
   out += "}\n";
   return out;
 }

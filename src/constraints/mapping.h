@@ -42,7 +42,12 @@ struct CompositionProblem {
   /// signatures (with keys), both constraint sets, and the elimination
   /// order — but not `name`, which is display-only. Two problems with
   /// equal fingerprints are composed identically under equal options;
-  /// ComposeService uses this as its result-cache key.
+  /// ComposeService uses this as its result-cache key. Signature names and
+  /// the order list are length-prefixed (collision-proof for arbitrary
+  /// names); the constraint sets are rendered in the parser's text syntax,
+  /// which is unambiguous for parser-shaped relation names — programmatic
+  /// callers inventing names that contain expression syntax must key their
+  /// own caches.
   std::string Fingerprint() const;
 };
 

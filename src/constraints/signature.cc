@@ -103,6 +103,25 @@ std::string Signature::ToString() const {
   return out;
 }
 
+std::string Signature::Fingerprint() const {
+  std::string out;
+  for (const std::string& n : order_) {
+    out += std::to_string(n.size()) + ":" + n + "(" +
+           std::to_string(ArityOf(n)) + ")";
+    auto key = KeyOf(n);
+    if (key.has_value()) {
+      out += "key(";
+      for (size_t i = 0; i < key->size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string((*key)[i]);
+      }
+      out += ")";
+    }
+    out += ";";
+  }
+  return out;
+}
+
 ConstraintSet KeyConstraintsFor(const std::string& name, int arity,
                                 const std::vector<int>& key) {
   ConstraintSet out;

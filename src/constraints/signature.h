@@ -44,6 +44,12 @@ class Signature {
 
   std::string ToString() const;
 
+  /// Canonical serialization for cache keys: like ToString, but every
+  /// relation name is length-prefixed, so unrestricted names can never make
+  /// two different signatures serialize identically (e.g. one relation
+  /// named "A(1); B" vs relations "A" and "B").
+  std::string Fingerprint() const;
+
  private:
   std::vector<std::string> order_;
   std::map<std::string, int> arity_;

@@ -45,29 +45,36 @@ std::set<Value> CollectConstants(const ConstraintSet& cs) {
 }
 
 Result<bool> Satisfies(const Instance& instance, const Constraint& c,
-                       const EvalOptions& options) {
-  MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> lhs,
-                           Evaluate(c.lhs, instance, options));
-  MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> rhs,
-                           Evaluate(c.rhs, instance, options));
+                       const EvalOptions& options, EvalStats* stats) {
+  // One memo across both sides: the composer's outputs frequently repeat a
+  // join subtree on the two sides of a constraint, which then evaluates
+  // once.
+  MAPCOMP_ASSIGN_OR_RETURN(std::vector<EvalResult> sides,
+                           EvaluateMany({c.lhs, c.rhs}, instance, options));
+  const EvalResult& lhs = sides[0];
+  const EvalResult& rhs = sides[1];
+  if (stats != nullptr) {
+    stats->MergeFrom(lhs.stats);
+    stats->MergeFrom(rhs.stats);
+  }
   bool lhs_in_rhs = true;
-  for (const Tuple& t : lhs) {
-    if (rhs.count(t) == 0) {
+  for (const Tuple& t : lhs.tuples) {
+    if (rhs.tuples.count(t) == 0) {
       lhs_in_rhs = false;
       break;
     }
   }
   if (c.kind == ConstraintKind::kContainment) return lhs_in_rhs;
-  return lhs_in_rhs && lhs.size() == rhs.size();
+  return lhs_in_rhs && lhs.tuples.size() == rhs.tuples.size();
 }
 
 Result<bool> SatisfiesAll(const Instance& instance, const ConstraintSet& cs,
-                          const EvalOptions& options) {
+                          const EvalOptions& options, EvalStats* stats) {
   EvalOptions opts = options;
   std::set<Value> consts = CollectConstants(cs);
   opts.extra_constants.insert(consts.begin(), consts.end());
   for (const Constraint& c : cs) {
-    MAPCOMP_ASSIGN_OR_RETURN(bool sat, Satisfies(instance, c, opts));
+    MAPCOMP_ASSIGN_OR_RETURN(bool sat, Satisfies(instance, c, opts, stats));
     if (!sat) return false;
   }
   return true;

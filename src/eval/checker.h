@@ -14,13 +14,17 @@ namespace mapcomp {
 std::set<Value> CollectConstants(const ConstraintSet& cs);
 
 /// A ⊨ ξ (paper §2). For equality constraints checks both containments.
+/// When `stats` is non-null the evaluation counters of both sides are
+/// accumulated into it.
 Result<bool> Satisfies(const Instance& instance, const Constraint& c,
-                       const EvalOptions& options = {});
+                       const EvalOptions& options = {},
+                       EvalStats* stats = nullptr);
 
 /// A ⊨ Σ. Automatically adds CollectConstants(cs) to the options' extra
-/// constants.
+/// constants. Accumulates evaluation counters into `stats` when non-null.
 Result<bool> SatisfiesAll(const Instance& instance, const ConstraintSet& cs,
-                          const EvalOptions& options = {});
+                          const EvalOptions& options = {},
+                          EvalStats* stats = nullptr);
 
 /// Searches for an extension of `base` by relations of `extra` (tuples drawn
 /// from base's active domain plus `fresh_values` new values) satisfying

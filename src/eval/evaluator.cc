@@ -1,117 +1,231 @@
 #include "src/eval/evaluator.h"
 
 #include <cmath>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/runtime/sharding.h"
+#include "src/runtime/thread_pool.h"
 
 namespace mapcomp {
 
 namespace {
 
+/// Node results are shared, not copied: the memo table and every parent
+/// hold the same set. Treated as immutable everywhere (the pointee type
+/// stays non-const only so EvaluateFull can move the root set out when it
+/// is the last owner).
+using TupleSetPtr = std::shared_ptr<std::set<Tuple>>;
+
+/// Upper bound on chunks per sharded node. Chunk boundaries are a pure
+/// function of the work size and this constant — never of the lane count —
+/// which is what keeps results and stats identical at any `jobs`.
+constexpr int64_t kMaxShards = 32;
+
 struct EvalState {
   const Instance* instance;
   const EvalOptions* options;
-  std::set<Value> domain;  // active domain + extra constants
+  std::set<Value> domain;       ///< active domain + extra constants
+  std::vector<Value> domain_vec;  ///< same values, indexable (set order)
+  runtime::ThreadPool* pool = nullptr;  ///< null ⇔ jobs <= 1
+  int max_helpers = 0;                  ///< jobs - 1
+  std::unordered_map<const Expr*, TupleSetPtr> memo;
+  EvalStats stats;
 };
 
-Result<std::set<Tuple>> EvalRec(const ExprPtr& e, EvalState* st);
+TupleSetPtr Own(std::set<Tuple> s) {
+  return std::make_shared<std::set<Tuple>>(std::move(s));
+}
 
-Result<std::set<Tuple>> EvalDomain(int arity, EvalState* st) {
-  double size = std::pow(static_cast<double>(st->domain.size()),
-                         static_cast<double>(arity));
-  if (size > static_cast<double>(st->options->max_domain_tuples)) {
-    return Status::ResourceExhausted(
-        "enumerating D^" + std::to_string(arity) + " over " +
-        std::to_string(st->domain.size()) + " values is too large");
+/// Applies `emit(t, out)` to every tuple of `in`. `work` is the number of
+/// candidate tuples the node will enumerate (|in| for unary transforms,
+/// |in|·|other| for products); when it crosses the threshold the input is
+/// split into ≤ kMaxShards contiguous chunks enumerated concurrently, and
+/// the per-chunk sets are merged in chunk order. The merged content is a
+/// set, so it is identical whatever the chunking or lane count.
+template <typename Emit>
+std::set<Tuple> TransformSet(EvalState* st, const std::set<Tuple>& in,
+                             int64_t work, const Emit& emit) {
+  int64_t n = static_cast<int64_t>(in.size());
+  bool eligible = work >= st->options->parallel_threshold;
+  if (eligible) ++st->stats.sharded_nodes;
+  if (!eligible || st->pool == nullptr || n <= 1) {
+    std::set<Tuple> out;
+    for (const Tuple& t : in) emit(t, &out);
+    return out;
   }
+  std::vector<const Tuple*> refs;
+  refs.reserve(in.size());
+  for (const Tuple& t : in) refs.push_back(&t);
+  int64_t chunk = (n + kMaxShards - 1) / kMaxShards;
+  std::vector<std::set<Tuple>> chunks =
+      runtime::ShardedTransform<std::set<Tuple>>(
+          st->pool, n, chunk, st->max_helpers,
+          [&refs, &emit](int64_t begin, int64_t end) {
+            std::set<Tuple> local;
+            for (int64_t i = begin; i < end; ++i) emit(*refs[i], &local);
+            return local;
+          });
   std::set<Tuple> out;
-  Tuple current;
-  // Iterative r-fold cross product of the domain.
-  std::vector<std::set<Value>::const_iterator> iters(arity, st->domain.begin());
-  if (st->domain.empty()) return out;
-  while (true) {
-    Tuple t;
-    t.reserve(arity);
-    for (int i = 0; i < arity; ++i) t.push_back(*iters[i]);
-    out.insert(std::move(t));
-    int pos = arity - 1;
-    while (pos >= 0) {
-      ++iters[pos];
-      if (iters[pos] != st->domain.end()) break;
-      iters[pos] = st->domain.begin();
-      --pos;
-    }
-    if (pos < 0) break;
-  }
+  for (std::set<Tuple>& c : chunks) out.merge(c);
   return out;
 }
 
-Result<std::set<Tuple>> EvalRec(const ExprPtr& e, EvalState* st) {
+/// Enumerates the r-fold product of `vals` whose first coordinate index
+/// lies in [first_begin, first_end), in lexicographic order, into `out`.
+void EnumerateDomainRange(const std::vector<Value>& vals, int r,
+                          int64_t first_begin, int64_t first_end,
+                          std::set<Tuple>* out) {
+  if (first_begin >= first_end) return;
+  std::vector<int64_t> idx(static_cast<size_t>(r), 0);
+  idx[0] = first_begin;
+  int64_t d = static_cast<int64_t>(vals.size());
+  for (;;) {
+    Tuple t;
+    t.reserve(r);
+    for (int i = 0; i < r; ++i) t.push_back(vals[idx[i]]);
+    out->insert(out->end(), std::move(t));  // hint: enumeration is sorted
+    int pos = r - 1;
+    while (pos >= 0) {
+      ++idx[pos];
+      int64_t limit = pos == 0 ? first_end : d;
+      if (idx[pos] < limit) break;
+      if (pos == 0) return;
+      idx[pos] = 0;
+      --pos;
+    }
+  }
+}
+
+Result<TupleSetPtr> EvalRec(const ExprPtr& e, EvalState* st);
+
+Result<TupleSetPtr> EvalDomain(int arity, EvalState* st) {
+  const std::vector<Value>& vals = st->domain_vec;
+  int64_t d = static_cast<int64_t>(vals.size());
+  double size = std::pow(static_cast<double>(d), static_cast<double>(arity));
+  // Guard before any enumeration: an oversized D^r fails fast instead of
+  // grinding (or fanning a hopeless enumeration across lanes).
+  if (size > static_cast<double>(st->options->max_domain_tuples)) {
+    return Status::ResourceExhausted(
+        "enumerating D^" + std::to_string(arity) + " over " +
+        std::to_string(d) + " values is too large");
+  }
+  if (arity == 0) return Own(std::set<Tuple>{Tuple{}});
+  if (d == 0) return Own(std::set<Tuple>{});
+  bool eligible = size >= static_cast<double>(st->options->parallel_threshold);
+  if (eligible) ++st->stats.sharded_nodes;
+  if (!eligible || st->pool == nullptr || d <= 1) {
+    std::set<Tuple> out;
+    EnumerateDomainRange(vals, arity, 0, d, &out);
+    return Own(std::move(out));
+  }
+  // Shard over the first coordinate: chunk c enumerates the suffix product
+  // under first coordinates [c·chunk, (c+1)·chunk). Chunks are disjoint and
+  // lexicographically ordered, so the chunk-ordered merge is the sorted set.
+  int64_t chunk = (d + kMaxShards - 1) / kMaxShards;
+  std::vector<std::set<Tuple>> chunks =
+      runtime::ShardedTransform<std::set<Tuple>>(
+          st->pool, d, chunk, st->max_helpers,
+          [&vals, arity](int64_t begin, int64_t end) {
+            std::set<Tuple> local;
+            EnumerateDomainRange(vals, arity, begin, end, &local);
+            return local;
+          });
+  std::set<Tuple> out;
+  for (std::set<Tuple>& c : chunks) out.merge(c);
+  return Own(std::move(out));
+}
+
+Result<TupleSetPtr> EvalNode(const ExprPtr& e, EvalState* st) {
   switch (e->kind()) {
     case ExprKind::kRelation:
-      return st->instance->Get(e->name());
+      // Aliased, non-owning view of the instance's own set (the instance
+      // outlives the evaluation); base relations are never copied. The
+      // const_cast is never written through: the only mutation anywhere is
+      // EvaluateFull's final move-out, gated on use_count() == 1, which a
+      // non-owning aliased pointer (use_count 0) can never satisfy.
+      return TupleSetPtr(
+          TupleSetPtr{},
+          const_cast<std::set<Tuple>*>(&st->instance->Get(e->name())));
     case ExprKind::kDomain:
       return EvalDomain(e->arity(), st);
     case ExprKind::kEmpty:
-      return std::set<Tuple>{};
+      return Own(std::set<Tuple>{});
     case ExprKind::kLiteral: {
       std::set<Tuple> out;
       for (const Tuple& t : e->tuples()) out.insert(t);
-      return out;
+      return Own(std::move(out));
     }
     case ExprKind::kUnion: {
-      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> a, EvalRec(e->child(0), st));
-      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> b, EvalRec(e->child(1), st));
-      a.insert(b.begin(), b.end());
-      return a;
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr a, EvalRec(e->child(0), st));
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr b, EvalRec(e->child(1), st));
+      // Results are shared immutably, so a subsumed side means the union
+      // IS the other side — no copy. Union(x, x), the memo-witness shape,
+      // and the feed loop's re-unions all take these exits.
+      if (a->empty()) return b;
+      if (b->empty() || a == b) return a;
+      // Shard the filter "b minus a" (the only per-tuple work); the final
+      // insert of the disjoint remainder is a cheap sequential splice.
+      std::set<Tuple> extra = TransformSet(
+          st, *b, static_cast<int64_t>(b->size()),
+          [&a](const Tuple& t, std::set<Tuple>* out) {
+            if (a->count(t) == 0) out->insert(t);
+          });
+      if (extra.empty()) return a;  // b ⊆ a
+      std::set<Tuple> out = *a;
+      out.merge(extra);
+      return Own(std::move(out));
     }
     case ExprKind::kIntersect: {
-      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> a, EvalRec(e->child(0), st));
-      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> b, EvalRec(e->child(1), st));
-      std::set<Tuple> out;
-      for (const Tuple& t : a) {
-        if (b.count(t) > 0) out.insert(t);
-      }
-      return out;
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr a, EvalRec(e->child(0), st));
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr b, EvalRec(e->child(1), st));
+      return Own(TransformSet(st, *a, static_cast<int64_t>(a->size()),
+                              [&b](const Tuple& t, std::set<Tuple>* out) {
+                                if (b->count(t) > 0) out->insert(t);
+                              }));
     }
     case ExprKind::kDifference: {
-      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> a, EvalRec(e->child(0), st));
-      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> b, EvalRec(e->child(1), st));
-      std::set<Tuple> out;
-      for (const Tuple& t : a) {
-        if (b.count(t) == 0) out.insert(t);
-      }
-      return out;
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr a, EvalRec(e->child(0), st));
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr b, EvalRec(e->child(1), st));
+      return Own(TransformSet(st, *a, static_cast<int64_t>(a->size()),
+                              [&b](const Tuple& t, std::set<Tuple>* out) {
+                                if (b->count(t) == 0) out->insert(t);
+                              }));
     }
     case ExprKind::kProduct: {
-      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> a, EvalRec(e->child(0), st));
-      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> b, EvalRec(e->child(1), st));
-      std::set<Tuple> out;
-      for (const Tuple& ta : a) {
-        for (const Tuple& tb : b) {
-          Tuple t = ta;
-          t.insert(t.end(), tb.begin(), tb.end());
-          out.insert(std::move(t));
-        }
-      }
-      return out;
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr a, EvalRec(e->child(0), st));
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr b, EvalRec(e->child(1), st));
+      int64_t work = static_cast<int64_t>(a->size()) *
+                     static_cast<int64_t>(b->size());
+      return Own(TransformSet(st, *a, work,
+                              [&b](const Tuple& ta, std::set<Tuple>* out) {
+                                for (const Tuple& tb : *b) {
+                                  Tuple t = ta;
+                                  t.insert(t.end(), tb.begin(), tb.end());
+                                  out->insert(std::move(t));
+                                }
+                              }));
     }
     case ExprKind::kSelect: {
-      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> a, EvalRec(e->child(0), st));
-      std::set<Tuple> out;
-      for (const Tuple& t : a) {
-        if (e->condition().Eval(t)) out.insert(t);
-      }
-      return out;
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr a, EvalRec(e->child(0), st));
+      const Condition& cond = e->condition();
+      return Own(TransformSet(st, *a, static_cast<int64_t>(a->size()),
+                              [&cond](const Tuple& t, std::set<Tuple>* out) {
+                                if (cond.Eval(t)) out->insert(t);
+                              }));
     }
     case ExprKind::kProject: {
-      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> a, EvalRec(e->child(0), st));
-      std::set<Tuple> out;
-      for (const Tuple& t : a) {
-        Tuple p;
-        p.reserve(e->indexes().size());
-        for (int i : e->indexes()) p.push_back(t[i - 1]);
-        out.insert(std::move(p));
-      }
-      return out;
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr a, EvalRec(e->child(0), st));
+      const std::vector<int>& indexes = e->indexes();
+      return Own(TransformSet(st, *a, static_cast<int64_t>(a->size()),
+                              [&indexes](const Tuple& t,
+                                         std::set<Tuple>* out) {
+                                Tuple p;
+                                p.reserve(indexes.size());
+                                for (int i : indexes) p.push_back(t[i - 1]);
+                                out->insert(std::move(p));
+                              }));
     }
     case ExprKind::kSkolem: {
       if (st->options->skolem_mode == SkolemEvalMode::kError) {
@@ -119,20 +233,22 @@ Result<std::set<Tuple>> EvalRec(const ExprPtr& e, EvalState* st) {
             "cannot evaluate Skolem function " + e->name() +
             " without an interpretation (SkolemEvalMode::kError)");
       }
-      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> a, EvalRec(e->child(0), st));
-      std::set<Tuple> out;
-      for (const Tuple& t : a) {
-        std::string term = e->name() + "(";
-        for (size_t i = 0; i < e->indexes().size(); ++i) {
-          if (i > 0) term += ",";
-          term += ValueToString(t[e->indexes()[i] - 1]);
-        }
-        term += ")";
-        Tuple extended = t;
-        extended.push_back(Value(std::move(term)));
-        out.insert(std::move(extended));
-      }
-      return out;
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr a, EvalRec(e->child(0), st));
+      const std::string& name = e->name();
+      const std::vector<int>& indexes = e->indexes();
+      return Own(TransformSet(
+          st, *a, static_cast<int64_t>(a->size()),
+          [&name, &indexes](const Tuple& t, std::set<Tuple>* out) {
+            std::string term = name + "(";
+            for (size_t i = 0; i < indexes.size(); ++i) {
+              if (i > 0) term += ",";
+              term += ValueToString(t[indexes[i] - 1]);
+            }
+            term += ")";
+            Tuple extended = t;
+            extended.push_back(Value(std::move(term)));
+            out->insert(std::move(extended));
+          }));
     }
     case ExprKind::kUserOp: {
       const op::OperatorDef* def =
@@ -141,32 +257,138 @@ Result<std::set<Tuple>> EvalRec(const ExprPtr& e, EvalState* st) {
       if (def == nullptr || !def->eval) {
         return Status::Unsupported("no evaluator for operator " + e->name());
       }
-      std::vector<std::set<Tuple>> kids;
+      // Child results are borrowed, never copied: the shared_ptrs keep
+      // them alive (and the memo may serve them to other parents).
+      std::vector<TupleSetPtr> owners;
+      std::vector<const std::set<Tuple>*> kids;
+      owners.reserve(e->children().size());
       kids.reserve(e->children().size());
       for (const ExprPtr& c : e->children()) {
-        MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> k, EvalRec(c, st));
-        kids.push_back(std::move(k));
+        MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr k, EvalRec(c, st));
+        kids.push_back(k.get());
+        owners.push_back(std::move(k));
       }
       op::EvalContext ctx;
       ctx.active_domain = &st->domain;
-      return def->eval(*e, kids, ctx);
+      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> out, def->eval(*e, kids, ctx));
+      return Own(std::move(out));
     }
   }
   return Status::Internal("unknown expression kind");
 }
 
+Result<TupleSetPtr> EvalRec(const ExprPtr& e, EvalState* st) {
+  // Interned nodes make the memo exact: pointer equality ⇔ structural
+  // equality, so a subtree shared k times in the DAG is computed once.
+  auto it = st->memo.find(e.get());
+  if (it != st->memo.end()) {
+    ++st->stats.memo_hits;
+    return it->second;
+  }
+  MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr out, EvalNode(e, st));
+  ++st->stats.nodes_evaluated;
+  st->stats.tuples_produced += static_cast<int64_t>(out->size());
+  st->memo.emplace(e.get(), out);
+  return out;
+}
+
 }  // namespace
 
-Result<std::set<Tuple>> Evaluate(const ExprPtr& e, const Instance& instance,
-                                 const EvalOptions& options) {
-  if (e == nullptr) return Status::InvalidArgument("null expression");
+void EvalStats::MergeFrom(const EvalStats& other) {
+  nodes_evaluated += other.nodes_evaluated;
+  memo_hits += other.memo_hits;
+  sharded_nodes += other.sharded_nodes;
+  tuples_produced += other.tuples_produced;
+}
+
+EvalStats EvalStats::DiffFrom(const EvalStats& before) const {
+  EvalStats out;
+  out.nodes_evaluated = nodes_evaluated - before.nodes_evaluated;
+  out.memo_hits = memo_hits - before.memo_hits;
+  out.sharded_nodes = sharded_nodes - before.sharded_nodes;
+  out.tuples_produced = tuples_produced - before.tuples_produced;
+  return out;
+}
+
+std::string EvalStats::ToString() const {
+  return "eval: " + std::to_string(nodes_evaluated) + " nodes, " +
+         std::to_string(memo_hits) + " memo hits, " +
+         std::to_string(sharded_nodes) + " sharded, " +
+         std::to_string(tuples_produced) + " tuples";
+}
+
+std::string EvalResult::Fingerprint() const {
+  // Canonical, not pretty: string values are length-prefixed (a quote or
+  // comma inside a value must never make two different tuple sets
+  // serialize identically — this string is the determinism oracle).
+  std::string out = "eval{arity=" + std::to_string(arity) +
+                    ";n=" + std::to_string(tuples.size()) + ";";
+  for (const Tuple& t : tuples) {
+    out += "t" + std::to_string(t.size()) + ":";
+    for (const Value& v : t) {
+      if (const int64_t* i = std::get_if<int64_t>(&v)) {
+        out += "i" + std::to_string(*i) + ";";
+      } else {
+        const std::string& s = std::get<std::string>(v);
+        out += "s" + std::to_string(s.size()) + ":" + s + ";";
+      }
+    }
+  }
+  out += "}";
+  return out;
+}
+
+Result<std::vector<EvalResult>> EvaluateMany(const std::vector<ExprPtr>& roots,
+                                             const Instance& instance,
+                                             const EvalOptions& options) {
   EvalState st;
   st.instance = &instance;
   st.options = &options;
   st.domain = instance.ActiveDomain();
   st.domain.insert(options.extra_constants.begin(),
                    options.extra_constants.end());
-  return EvalRec(e, &st);
+  st.domain_vec.assign(st.domain.begin(), st.domain.end());
+  if (options.jobs > 1) {
+    st.pool = runtime::GlobalPool();
+    st.max_helpers = options.jobs - 1;
+  }
+  std::vector<EvalResult> results(roots.size());
+  std::vector<TupleSetPtr> ptrs;
+  ptrs.reserve(roots.size());
+  for (size_t i = 0; i < roots.size(); ++i) {
+    if (roots[i] == nullptr) return Status::InvalidArgument("null expression");
+    EvalStats before = st.stats;
+    MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr tuples, EvalRec(roots[i], &st));
+    results[i].arity = roots[i]->arity();
+    results[i].stats = st.stats.DiffFrom(before);
+    ptrs.push_back(std::move(tuples));
+  }
+  // Dropping the memo usually leaves each root set uniquely owned here, so
+  // it is moved, not copied (a base-relation root is a non-owning alias
+  // into the instance, and duplicate roots share one set — both copy).
+  st.memo.clear();
+  for (size_t i = 0; i < roots.size(); ++i) {
+    if (ptrs[i].use_count() == 1) {
+      results[i].tuples = std::move(*ptrs[i]);
+    } else {
+      results[i].tuples = *ptrs[i];
+    }
+  }
+  return results;
+}
+
+Result<EvalResult> EvaluateFull(const ExprPtr& e, const Instance& instance,
+                                const EvalOptions& options) {
+  MAPCOMP_ASSIGN_OR_RETURN(std::vector<EvalResult> results,
+                           EvaluateMany({e}, instance, options));
+  return std::move(results[0]);
+}
+
+Result<std::set<Tuple>> Evaluate(const ExprPtr& e, const Instance& instance,
+                                 const EvalOptions& options) {
+  MAPCOMP_ASSIGN_OR_RETURN(EvalResult result,
+                           EvaluateFull(e, instance, options));
+  return std::move(result.tuples);
 }
 
 }  // namespace mapcomp

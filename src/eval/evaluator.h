@@ -1,7 +1,10 @@
 #ifndef MAPCOMP_EVAL_EVALUATOR_H_
 #define MAPCOMP_EVAL_EVALUATOR_H_
 
+#include <cstdint>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "src/algebra/expr.h"
 #include "src/common/status.h"
@@ -31,13 +34,76 @@ struct EvalOptions {
   SkolemEvalMode skolem_mode = SkolemEvalMode::kError;
   const op::Registry* registry = &op::Registry::Default();
   /// Guard on enumerating D^r: evaluation fails with ResourceExhausted when
-  /// |adom|^r would exceed this.
+  /// |adom|^r would exceed this. Checked before any tuple is enumerated, so
+  /// an oversized domain surfaces as an error, never as a hang — also under
+  /// parallel lanes.
   long long max_domain_tuples = 2'000'000;
+  /// Parallel lanes for sharded node enumeration. 1 (the default) runs
+  /// fully sequential on the calling thread; k > 1 runs large nodes on up
+  /// to k lanes (k-1 helpers from runtime::GlobalPool() plus the caller).
+  /// Results and Fingerprint() are byte-identical for any value: sharding
+  /// only decides who enumerates which slice, never what the set contains.
+  int jobs = 1;
+  /// Minimum per-node work (candidate tuples enumerated) before a node is
+  /// sharded across lanes. Eligibility depends only on the data, never on
+  /// `jobs`, so EvalStats is lane-count-independent too.
+  int64_t parallel_threshold = 4096;
+};
+
+/// Counters of one evaluation. Deterministic for a fixed expression,
+/// instance and options — including `jobs` (sharding eligibility is counted,
+/// not actual lane usage), so stats can be compared across lane counts.
+struct EvalStats {
+  int64_t nodes_evaluated = 0;  ///< distinct DAG nodes computed
+  int64_t memo_hits = 0;        ///< node visits answered by the memo table
+  int64_t sharded_nodes = 0;    ///< nodes whose work crossed parallel_threshold
+  int64_t tuples_produced = 0;  ///< sum of output sizes over computed nodes
+
+  void MergeFrom(const EvalStats& other);
+  /// Counter-wise `this - before` (the work added since the `before`
+  /// snapshot); inverse of MergeFrom so the field list lives in one place.
+  EvalStats DiffFrom(const EvalStats& before) const;
+  std::string ToString() const;
+};
+
+/// A fully evaluated expression: the resulting relation plus evaluation
+/// counters.
+struct EvalResult {
+  std::set<Tuple> tuples;
+  int arity = 0;
+  EvalStats stats;
+
+  /// Canonical serialization of the *semantic* result (arity + tuples in
+  /// set order). Stats are excluded: two evaluations of the same expression
+  /// over the same instance produce equal fingerprints at any job count.
+  std::string Fingerprint() const;
 };
 
 /// Evaluates a relational expression against an instance under standard set
 /// semantics (paper §2). `D` denotes the instance's active domain plus
 /// `options.extra_constants`.
+///
+/// The engine is DAG-aware: results are memoized per interned node (pointer
+/// equality ⇔ structural equality), so a subtree shared k times evaluates
+/// once and hits the memo k-1 times. Large enumerations — D^r, selections,
+/// projections, products, set operations — are sharded across
+/// `options.jobs` lanes with a deterministic chunk-ordered merge
+/// (runtime::ShardedTransform), so the result set is byte-identical at any
+/// lane count.
+Result<EvalResult> EvaluateFull(const ExprPtr& e, const Instance& instance,
+                                const EvalOptions& options = {});
+
+/// Evaluates several roots against one instance under ONE shared memo
+/// table, so subtrees shared *across* roots — e.g. the two sides of a
+/// constraint emitted by the composer, which frequently reuse the same
+/// join — also evaluate exactly once. Results come back in root order;
+/// each root's stats cover the work its evaluation added (a subtree a
+/// later root found memoized counts as that root's memo hit).
+Result<std::vector<EvalResult>> EvaluateMany(const std::vector<ExprPtr>& roots,
+                                             const Instance& instance,
+                                             const EvalOptions& options = {});
+
+/// Convenience wrapper returning only the tuple set.
 Result<std::set<Tuple>> Evaluate(const ExprPtr& e, const Instance& instance,
                                  const EvalOptions& options = {});
 

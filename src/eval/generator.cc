@@ -1,13 +1,15 @@
 #include "src/eval/generator.h"
 
 #include "src/eval/checker.h"
+#include "src/eval/materialize.h"
 
 namespace mapcomp {
 
-Instance RandomInstance(const Signature& sig, std::mt19937_64* rng,
-                        const GenOptions& options) {
+namespace {
+
+void FillRandom(const Signature& sig, std::mt19937_64* rng,
+                const GenOptions& options, Instance* out) {
   static const char* kStrings[] = {"a", "b", "c"};
-  Instance out;
   std::uniform_int_distribution<int> count_dist(0,
                                                 options.max_tuples_per_rel);
   std::uniform_int_distribution<int> val_dist(0, options.domain_size - 1);
@@ -22,14 +24,32 @@ Instance RandomInstance(const Signature& sig, std::mt19937_64* rng,
       t.reserve(r);
       for (int j = 0; j < r; ++j) {
         if (options.include_strings && kind_dist(*rng) == 0) {
-          t.push_back(Value(std::string(kStrings[str_dist(*rng)])));
+          t.emplace_back(std::in_place_type<std::string>,
+                         kStrings[str_dist(*rng)]);
         } else {
-          t.push_back(Value(int64_t{val_dist(*rng)}));
+          t.emplace_back(std::in_place_type<int64_t>, val_dist(*rng));
         }
       }
       tuples.insert(std::move(t));
     }
-    out.Set(name, std::move(tuples));
+    out->Set(name, std::move(tuples));
+  }
+}
+
+}  // namespace
+
+Instance RandomInstance(const Signature& sig, std::mt19937_64* rng,
+                        const GenOptions& options) {
+  Instance out;
+  FillRandom(sig, rng, options, &out);
+  return out;
+}
+
+Instance RandomInstanceOver(const std::vector<const Signature*>& sigs,
+                            std::mt19937_64* rng, const GenOptions& options) {
+  Instance out;
+  for (const Signature* sig : sigs) {
+    if (sig != nullptr) FillRandom(*sig, rng, options, &out);
   }
   return out;
 }
@@ -44,6 +64,22 @@ Result<Instance> RandomInstanceSatisfying(const Signature& sig,
     if (sat) return candidate;
   }
   return Status::NotFound("no satisfying instance within attempt budget");
+}
+
+Instance RepairTowards(const Instance& instance, const ConstraintSet& cs,
+                       const EvalOptions& options, int max_iterations) {
+  // Every bare receiving side is a feed; an equality with a bare side
+  // *defines* that relation, so the repair assigns it (random extra tuples
+  // would break S ⊆ E forever) while containments only grow their target.
+  std::vector<RelationFeed> feeds =
+      CollectFeeds(cs, /*keep=*/nullptr, /*assign_equalities=*/true);
+  EvalOptions opts = options;
+  std::set<Value> consts = CollectConstants(cs);
+  opts.extra_constants.insert(consts.begin(), consts.end());
+
+  Instance out = instance;
+  RunFeedFixpoint(&out, feeds, opts, max_iterations, /*stats=*/nullptr);
+  return out;
 }
 
 }  // namespace mapcomp

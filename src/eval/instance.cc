@@ -29,6 +29,14 @@ std::vector<std::string> Instance::RelationNames() const {
   return out;
 }
 
+int64_t Instance::TotalTuples() const {
+  int64_t out = 0;
+  for (const auto& [_, tuples] : relations_) {
+    out += static_cast<int64_t>(tuples.size());
+  }
+  return out;
+}
+
 std::set<Value> Instance::ActiveDomain() const {
   std::set<Value> out;
   for (const auto& [_, tuples] : relations_) {

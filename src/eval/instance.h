@@ -26,6 +26,9 @@ class Instance {
   bool Has(const std::string& name) const;
   std::vector<std::string> RelationNames() const;
 
+  /// Total tuple count across all relations (workload sizing, reports).
+  int64_t TotalTuples() const;
+
   /// Set of values appearing anywhere in the instance (paper §2).
   std::set<Value> ActiveDomain() const;
 

@@ -6,6 +6,65 @@
 
 namespace mapcomp {
 
+std::vector<RelationFeed> CollectFeeds(
+    const ConstraintSet& cs,
+    const std::function<bool(const std::string&)>& keep,
+    bool assign_equalities) {
+  auto kept = [&keep](const ExprPtr& e) {
+    return e->kind() == ExprKind::kRelation &&
+           (keep == nullptr || keep(e->name()));
+  };
+  std::vector<RelationFeed> feeds;
+  for (const Constraint& c : cs) {
+    bool equality = c.kind == ConstraintKind::kEquality;
+    if (kept(c.rhs)) {
+      feeds.push_back(
+          RelationFeed{c.rhs->name(), c.lhs, equality && assign_equalities});
+    }
+    if (equality && kept(c.lhs)) {
+      feeds.push_back(RelationFeed{c.lhs->name(), c.rhs, assign_equalities});
+    }
+  }
+  return feeds;
+}
+
+int RunFeedFixpoint(Instance* instance, const std::vector<RelationFeed>& feeds,
+                    const EvalOptions& options, int max_iterations,
+                    EvalStats* stats) {
+  int iterations = 0;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    iterations = iter + 1;
+    bool changed = false;
+    for (const RelationFeed& feed : feeds) {
+      Result<EvalResult> value = EvaluateFull(feed.source, *instance,
+                                              options);
+      if (!value.ok()) {
+        // A feed we cannot evaluate (e.g. Skolem without interpretation)
+        // simply contributes nothing; the caller's satisfaction check
+        // reports the truth.
+        continue;
+      }
+      if (stats != nullptr) stats->MergeFrom(value->stats);
+      if (feed.assign) {
+        if (instance->Get(feed.target) != value->tuples) {
+          instance->Set(feed.target, std::move(value->tuples));
+          changed = true;
+        }
+        continue;
+      }
+      const std::set<Tuple>& current = instance->Get(feed.target);
+      for (const Tuple& t : value->tuples) {
+        if (current.count(t) == 0) {
+          instance->Add(feed.target, t);
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return iterations;
+}
+
 Result<MaterializeResult> PopulateResiduals(
     const Instance& input, const ConstraintSet& constraints,
     const std::vector<std::string>& residuals, const EvalOptions& options,
@@ -13,53 +72,24 @@ Result<MaterializeResult> PopulateResiduals(
   MaterializeResult out;
   out.instance = input;
   std::set<std::string> residual_set(residuals.begin(), residuals.end());
-
-  // Collect, per residual symbol, the expressions that feed it.
-  struct Feed {
-    std::string target;
-    ExprPtr source;
-  };
-  std::vector<Feed> feeds;
-  for (const Constraint& c : constraints) {
-    auto bare = [&](const ExprPtr& e) {
-      return e->kind() == ExprKind::kRelation &&
-             residual_set.count(e->name()) > 0;
-    };
-    if (bare(c.rhs)) feeds.push_back(Feed{c.rhs->name(), c.lhs});
-    if (c.kind == ConstraintKind::kEquality && bare(c.lhs)) {
-      feeds.push_back(Feed{c.lhs->name(), c.rhs});
-    }
-  }
+  // Grow-only even for equalities: starting from empty residuals this
+  // computes the least population for constraints monotone in them.
+  std::vector<RelationFeed> feeds = CollectFeeds(
+      constraints,
+      [&residual_set](const std::string& name) {
+        return residual_set.count(name) > 0;
+      },
+      /*assign_equalities=*/false);
 
   EvalOptions opts = options;
   std::set<Value> consts = CollectConstants(constraints);
   opts.extra_constants.insert(consts.begin(), consts.end());
 
-  for (int iter = 0; iter < max_iterations; ++iter) {
-    out.iterations = iter + 1;
-    bool grew = false;
-    for (const Feed& feed : feeds) {
-      Result<std::set<Tuple>> value = Evaluate(feed.source, out.instance,
-                                               opts);
-      if (!value.ok()) {
-        // A feed we cannot evaluate (e.g. Skolem without interpretation)
-        // simply contributes nothing; the final satisfaction check reports
-        // the truth.
-        continue;
-      }
-      const std::set<Tuple>& current = out.instance.Get(feed.target);
-      for (const Tuple& t : *value) {
-        if (current.count(t) == 0) {
-          out.instance.Add(feed.target, t);
-          grew = true;
-        }
-      }
-    }
-    if (!grew) break;
-  }
-
+  out.iterations = RunFeedFixpoint(&out.instance, feeds, opts,
+                                   max_iterations, &out.eval_stats);
   MAPCOMP_ASSIGN_OR_RETURN(out.satisfied,
-                           SatisfiesAll(out.instance, constraints, opts));
+                           SatisfiesAll(out.instance, constraints, opts,
+                                        &out.eval_stats));
   return out;
 }
 

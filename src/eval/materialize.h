@@ -1,6 +1,7 @@
 #ifndef MAPCOMP_EVAL_MATERIALIZE_H_
 #define MAPCOMP_EVAL_MATERIALIZE_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -9,11 +10,42 @@
 
 namespace mapcomp {
 
+/// One feeding edge of the evaluate-and-feed fixpoint shared by
+/// PopulateResiduals and RepairTowards: a constraint side that is a bare
+/// relation symbol receives the evaluation of the other side. With
+/// `assign` the target is replaced (an equality *defines* it); otherwise
+/// it only grows.
+struct RelationFeed {
+  std::string target;
+  ExprPtr source;
+  bool assign = false;
+};
+
+/// Collects the feeds of `cs`: every containment E ⊆ R with bare R, and
+/// both directions of an equality with a bare side. `keep` filters by
+/// target name (null keeps all); `assign_equalities` marks equality feeds
+/// as assignments instead of growths.
+std::vector<RelationFeed> CollectFeeds(
+    const ConstraintSet& cs,
+    const std::function<bool(const std::string&)>& keep,
+    bool assign_equalities);
+
+/// Runs the feed loop on `instance` until a fixpoint or `max_iterations`:
+/// each pass evaluates every feed's source against the current instance
+/// and grows (or assigns) its target. Feeds that fail to evaluate (e.g.
+/// Skolem without an interpretation) contribute nothing. Returns the
+/// number of passes used; accumulates evaluation counters into `stats`
+/// when non-null.
+int RunFeedFixpoint(Instance* instance, const std::vector<RelationFeed>& feeds,
+                    const EvalOptions& options, int max_iterations,
+                    EvalStats* stats);
+
 /// Outcome of populating residual intermediate relations.
 struct MaterializeResult {
   Instance instance;       ///< input plus populated residuals
   bool satisfied = false;  ///< whether the full constraint set now holds
   int iterations = 0;      ///< fixpoint rounds used
+  EvalStats eval_stats;    ///< aggregated over every feed evaluation
 };
 
 /// Implements the paper's §1.3 usage note for best-effort composition: "to

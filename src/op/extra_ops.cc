@@ -53,13 +53,13 @@ OperatorDef LeftOuterJoinDef() {
     if (e->child(0)->kind() == ExprKind::kEmpty) return EmptyRel(e->arity());
     return nullptr;
   };
-  def.eval = [](const Expr& e, const std::vector<std::set<Tuple>>& kids,
+  def.eval = [](const Expr& e, const std::vector<const std::set<Tuple>*>& kids,
                 const EvalContext&) -> Result<std::set<Tuple>> {
     std::set<Tuple> out;
     int r2 = e.child(1)->arity();
-    for (const Tuple& t1 : kids[0]) {
+    for (const Tuple& t1 : (*kids[0])) {
       bool matched = false;
-      for (const Tuple& t2 : kids[1]) {
+      for (const Tuple& t2 : (*kids[1])) {
         Tuple joined = t1;
         joined.insert(joined.end(), t2.begin(), t2.end());
         if (e.condition().Eval(joined)) {
@@ -91,11 +91,11 @@ OperatorDef SemiJoinDef() {
     }
     return nullptr;
   };
-  def.eval = [](const Expr& e, const std::vector<std::set<Tuple>>& kids,
+  def.eval = [](const Expr& e, const std::vector<const std::set<Tuple>*>& kids,
                 const EvalContext&) -> Result<std::set<Tuple>> {
     std::set<Tuple> out;
-    for (const Tuple& t1 : kids[0]) {
-      if (HasMatch(t1, kids[1], e.condition())) out.insert(t1);
+    for (const Tuple& t1 : (*kids[0])) {
+      if (HasMatch(t1, (*kids[1]), e.condition())) out.insert(t1);
     }
     return out;
   };
@@ -116,11 +116,11 @@ OperatorDef AntiJoinDef() {
     if (e->child(0)->kind() == ExprKind::kEmpty) return EmptyRel(e->arity());
     return nullptr;
   };
-  def.eval = [](const Expr& e, const std::vector<std::set<Tuple>>& kids,
+  def.eval = [](const Expr& e, const std::vector<const std::set<Tuple>*>& kids,
                 const EvalContext&) -> Result<std::set<Tuple>> {
     std::set<Tuple> out;
-    for (const Tuple& t1 : kids[0]) {
-      if (!HasMatch(t1, kids[1], e.condition())) out.insert(t1);
+    for (const Tuple& t1 : (*kids[0])) {
+      if (!HasMatch(t1, (*kids[1]), e.condition())) out.insert(t1);
     }
     return out;
   };
@@ -137,9 +137,9 @@ OperatorDef TransitiveClosureDef() {
     if (e->child(0)->kind() == ExprKind::kEmpty) return EmptyRel(2);
     return nullptr;
   };
-  def.eval = [](const Expr&, const std::vector<std::set<Tuple>>& kids,
+  def.eval = [](const Expr&, const std::vector<const std::set<Tuple>*>& kids,
                 const EvalContext&) -> Result<std::set<Tuple>> {
-    std::set<Tuple> closure = kids[0];
+    std::set<Tuple> closure = (*kids[0]);
     bool grew = true;
     while (grew) {
       grew = false;

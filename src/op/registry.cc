@@ -1,10 +1,17 @@
 #include "src/op/registry.h"
 
+#include <atomic>
+
 #include "src/algebra/builders.h"
 #include "src/op/extra_ops.h"
 
 namespace mapcomp {
 namespace op {
+
+uint64_t Registry::NextUid() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 const Registry& Registry::Default() {
   static const Registry* kDefault = [] {
@@ -37,6 +44,9 @@ Status Registry::Register(OperatorDef def) {
                                    " already registered");
   }
   ops_.emplace(def.name, std::move(def));
+  // The operator set changed: refresh the state id so fingerprints taken
+  // before this mutation can never match ones taken after.
+  uid_ = NextUid();
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef MAPCOMP_OP_REGISTRY_H_
 #define MAPCOMP_OP_REGISTRY_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
@@ -53,10 +54,13 @@ struct OperatorDef {
   NormalizeRule right_rule;
   /// Optional D/∅/constant simplification; returns nullptr if no rewrite.
   std::function<ExprPtr(const ExprPtr&)> simplify;
-  /// Optional set-semantics evaluator: receives the node and its evaluated
-  /// children.
+  /// Optional set-semantics evaluator: receives the node and pointers to
+  /// its evaluated children (borrowed — the DAG evaluator shares child
+  /// results between parents and its memo table, so they are never copied
+  /// into the callback).
   std::function<Result<std::set<Tuple>>(
-      const Expr&, const std::vector<std::set<Tuple>>&, const EvalContext&)>
+      const Expr&, const std::vector<const std::set<Tuple>*>&,
+      const EvalContext&)>
       eval;
 };
 
@@ -80,8 +84,37 @@ class Registry {
                          Condition cond = Condition::True(),
                          std::vector<int> indexes = {}) const;
 
+  /// Process-unique, never-reused identity of this registry *state*. Every
+  /// construction — including copies, which may diverge afterwards — gets
+  /// a fresh id, and every successful Register() bumps it, so caches keyed
+  /// on it (ComposeOptions::Fingerprint) can never alias two different
+  /// operator sets the way a reused pointer address or a mutated-in-place
+  /// object can. Assignment refreshes the target's id too. Always the safe
+  /// direction: at worst a spurious cache miss, never a stale hit.
+  uint64_t uid() const { return uid_; }
+
+  Registry(const Registry& other) : ops_(other.ops_) {}
+  Registry(Registry&& other) noexcept : ops_(std::move(other.ops_)) {
+    other.uid_ = NextUid();  // the gutted source is a new (empty) state
+  }
+  Registry& operator=(const Registry& other) {
+    ops_ = other.ops_;
+    uid_ = NextUid();
+    return *this;
+  }
+  Registry& operator=(Registry&& other) noexcept {
+    ops_ = std::move(other.ops_);
+    uid_ = NextUid();
+    other.uid_ = NextUid();
+    return *this;
+  }
+  Registry() = default;
+
  private:
+  static uint64_t NextUid();
+
   std::map<std::string, OperatorDef> ops_;
+  uint64_t uid_ = NextUid();
 };
 
 }  // namespace op

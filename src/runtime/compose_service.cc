@@ -56,8 +56,18 @@ void ComposeService::EvictFailed(const std::string& key, uint64_t id) {
 }
 
 ComposeService::Handle ComposeService::Submit(CompositionProblem problem) {
+  return Submit(std::move(problem), options_.compose);
+}
+
+ComposeService::Handle ComposeService::Submit(CompositionProblem problem,
+                                              const ComposeOptions& options) {
   const bool caching = options_.cache_capacity > 0;
-  std::string key = caching ? problem.Fingerprint() : std::string();
+  // The options fingerprint joins the key so mixed-options traffic on one
+  // service can never be answered with a variant computed under different
+  // options (the ROADMAP stale-variant hazard).
+  std::string key = caching
+                        ? options.Fingerprint() + "\n" + problem.Fingerprint()
+                        : std::string();
 
   auto promise = std::make_shared<std::promise<ResultPtr>>();
   uint64_t entry_id = 0;
@@ -95,13 +105,23 @@ ComposeService::Handle ComposeService::Submit(CompositionProblem problem) {
     }
   }
 
+  // A preset key signature is copied into the task: Submit returns
+  // immediately, and a caller's stack-allocated Signature must be free to
+  // die before the pool ever runs the composition.
+  std::shared_ptr<const Signature> keys_copy;
+  ComposeOptions task_options = options;
+  if (task_options.eliminate.keys != nullptr) {
+    keys_copy = std::make_shared<Signature>(*task_options.eliminate.keys);
+    task_options.eliminate.keys = keys_copy.get();
+  }
   GlobalPool()->Submit(
-      [this, promise, caching, entry_id, key,
+      [this, promise, caching, entry_id, key, keys_copy,
+       options = std::move(task_options),
        problem = std::move(problem)]() mutable {
         ResultPtr result;
         try {
           result = std::make_shared<CompositionResult>(
-              Compose(problem, options_.compose));
+              Compose(problem, options));
         } catch (...) {
           // The exception reaches every handle already joined to this
           // computation, but must not be served to future submitters.

@@ -37,9 +37,11 @@ struct ServiceStats {
 };
 
 struct ComposeServiceOptions {
-  /// Options applied to every composition. Fixed for the service lifetime:
-  /// the result cache is keyed by CompositionProblem::Fingerprint() alone,
-  /// which identifies the result only under fixed options.
+  /// Options applied to submissions that don't carry their own. The result
+  /// cache is keyed by ComposeOptions::Fingerprint() *and*
+  /// CompositionProblem::Fingerprint(), so one service can host
+  /// mixed-options traffic (see the two-argument Submit) without serving a
+  /// result computed under different options.
   ComposeOptions compose;
   /// Completed results retained, least-recently-submitted evicted first.
   /// 0 disables caching (every Submit computes).
@@ -93,9 +95,20 @@ class ComposeService {
   ComposeService(const ComposeService&) = delete;
   ComposeService& operator=(const ComposeService&) = delete;
 
-  /// Enqueues the problem (or joins/serves a cached computation). Never
-  /// blocks on composition work.
+  /// Enqueues the problem (or joins/serves a cached computation) under the
+  /// service's default ComposeOptions. Never blocks on composition work.
   Handle Submit(CompositionProblem problem);
+
+  /// Same, but composes under `options` instead of the service default.
+  /// Cache entries are keyed by (options fingerprint, problem fingerprint),
+  /// so the same problem submitted under different options is computed and
+  /// cached per variant — never served stale across option sets (a mutated
+  /// registry counts as a new variant via its state uid). A preset
+  /// `options.eliminate.keys` signature is copied into the computation, so
+  /// it may die the moment Submit returns; a non-default
+  /// `options.eliminate.registry` is borrowed and must outlive the
+  /// computation (registries are long-lived by design).
+  Handle Submit(CompositionProblem problem, const ComposeOptions& options);
 
   ServiceStats Stats() const;
 

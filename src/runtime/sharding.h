@@ -1,0 +1,47 @@
+#ifndef MAPCOMP_RUNTIME_SHARDING_H_
+#define MAPCOMP_RUNTIME_SHARDING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/runtime/thread_pool.h"
+
+namespace mapcomp {
+namespace runtime {
+
+/// Deterministic sharded map: splits [0, n) into contiguous chunks of
+/// `chunk` items, runs `body(begin, end)` for each chunk on up to
+/// `max_helpers` pool workers plus the calling thread, and returns the
+/// per-chunk results *in chunk order*. Chunk boundaries depend only on `n`
+/// and `chunk` — never on the lane count or on which worker ran what — so a
+/// caller that folds the returned vector left-to-right gets a byte-identical
+/// reduction at any parallelism level. This is the sharded-reduce discipline
+/// the parallel evaluator shares with ComposeMany: parallelism decides who
+/// computes a slot, never what lands in it.
+///
+/// Exceptions thrown by `body` propagate through ParallelFor (lowest chunk
+/// index wins). A null pool runs every chunk inline on the calling thread.
+template <typename T>
+std::vector<T> ShardedTransform(
+    ThreadPool* pool, int64_t n, int64_t chunk, int max_helpers,
+    const std::function<T(int64_t begin, int64_t end)>& body) {
+  if (n <= 0) return {};
+  if (chunk < 1) chunk = 1;
+  int64_t shards = (n + chunk - 1) / chunk;
+  std::vector<T> out(static_cast<size_t>(shards));
+  ParallelFor(
+      pool, shards,
+      [&](int64_t s) {
+        int64_t begin = s * chunk;
+        int64_t end = std::min(n, begin + chunk);
+        out[static_cast<size_t>(s)] = body(begin, end);
+      },
+      max_helpers);
+  return out;
+}
+
+}  // namespace runtime
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_RUNTIME_SHARDING_H_

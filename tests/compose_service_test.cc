@@ -107,6 +107,81 @@ TEST(ComposeServiceTest, ZeroCapacityDisablesCaching) {
   EXPECT_EQ(stats.misses, 2u);
 }
 
+TEST(ComposeOptionsFingerprintTest, SeparatesResultChangingKnobs) {
+  ComposeOptions a;
+  ComposeOptions b;
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  // elim_jobs never changes results, so it must not split the cache.
+  b.elim_jobs = 8;
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  b.simplify_output = false;
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  ComposeOptions c;
+  c.max_rounds = 1;
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+  ComposeOptions d;
+  d.order = {"S2", "S1"};
+  EXPECT_NE(a.Fingerprint(), d.Fingerprint());
+  ComposeOptions e;
+  e.eliminate.enable_right_compose = false;
+  EXPECT_NE(a.Fingerprint(), e.Fingerprint());
+  // Preset key signatures are serialized by content, so two different key
+  // sets never collide on one cache key.
+  Signature k1, k2;
+  ASSERT_TRUE(k1.AddRelation("R", 2).ok());
+  ASSERT_TRUE(k1.SetKey("R", {1}).ok());
+  ASSERT_TRUE(k2.AddRelation("R", 2).ok());
+  ASSERT_TRUE(k2.SetKey("R", {2}).ok());
+  ComposeOptions f, g;
+  f.eliminate.keys = &k1;
+  g.eliminate.keys = &k2;
+  EXPECT_NE(f.Fingerprint(), a.Fingerprint());
+  EXPECT_NE(f.Fingerprint(), g.Fingerprint());
+  // A non-default registry is distinguished by identity.
+  op::Registry custom = op::Registry::Empty();
+  ComposeOptions h;
+  h.eliminate.registry = &custom;
+  EXPECT_NE(h.Fingerprint(), a.Fingerprint());
+}
+
+TEST(ComposeServiceTest, MixedOptionsTrafficNeverServesStaleVariants) {
+  // One service, one problem, two option sets that produce different
+  // results: each variant must be computed and cached separately, and
+  // resubmitting a variant must hit its own entry.
+  ComposeService service;
+  CompositionProblem problem = sim::BuildFanoutProblem(4);
+  ComposeOptions simplified;  // the default
+  ComposeOptions raw;  // every ELIMINATE step disabled: nothing eliminates
+  raw.eliminate.enable_unfold = false;
+  raw.eliminate.enable_left_compose = false;
+  raw.eliminate.enable_right_compose = false;
+
+  ComposeService::Handle h1 = service.Submit(problem, simplified);
+  ComposeService::Handle h2 = service.Submit(problem, raw);
+  EXPECT_FALSE(h1.cache_hit());
+  EXPECT_FALSE(h2.cache_hit());  // different options ⇒ its own computation
+  EXPECT_EQ(h1.Wait().Fingerprint(),
+            Compose(problem, simplified).Fingerprint());
+  EXPECT_EQ(h2.Wait().Fingerprint(), Compose(problem, raw).Fingerprint());
+  EXPECT_NE(h1.Wait().Fingerprint(), h2.Wait().Fingerprint());
+
+  ComposeService::Handle h3 = service.Submit(problem, simplified);
+  ComposeService::Handle h4 = service.Submit(problem, raw);
+  EXPECT_TRUE(h3.cache_hit());
+  EXPECT_TRUE(h4.cache_hit());
+  EXPECT_EQ(&h3.Wait(), &h1.Wait());
+  EXPECT_EQ(&h4.Wait(), &h2.Wait());
+
+  // The plain Submit uses the service default options and shares their
+  // cache entry.
+  ComposeService::Handle h5 = service.Submit(problem);
+  EXPECT_TRUE(h5.cache_hit());
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 3u);
+}
+
 TEST(ComposeServiceTest, ResultsMatchDirectComposition) {
   ComposeServiceOptions options;
   options.compose.elim_jobs = 4;

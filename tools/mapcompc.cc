@@ -31,6 +31,12 @@
 //                          submissions
 //     --fail-on-warnings   print composition warnings to stderr and exit 4
 //                          when any result carries one
+//     --check-eval N       semantic soundness harness: evaluate the composed
+//                          vs. original mapping over N generated finite
+//                          instances per task (paper §2 set semantics;
+//                          evaluation shards across --jobs lanes) and print
+//                          the verdict to stderr; exit 5 on any violation
+//     --check-seed S       RNG seed for --check-eval instances (default 42)
 //     --intern-stats       print expression-interner statistics to stderr
 //     --quiet              print only the composed constraints
 
@@ -45,6 +51,7 @@
 
 #include "src/algebra/interner.h"
 #include "src/compose/compose.h"
+#include "src/eval/soundness.h"
 #include "src/parser/parser.h"
 #include "src/runtime/compose_many.h"
 #include "src/runtime/compose_service.h"
@@ -89,6 +96,8 @@ int main(int argc, char** argv) {
   bool fail_on_warnings = false;
   int jobs = 1;
   int serve_passes = 0;  // 0 = no --serve-demo
+  int check_eval = 0;    // 0 = no --check-eval
+  uint64_t check_seed = 42;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -124,6 +133,20 @@ int main(int argc, char** argv) {
       serve_passes = std::atoi(argv[++i]);
       if (serve_passes < 1) {
         std::fprintf(stderr, "--serve-demo expects an integer >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--check-eval") == 0 && i + 1 < argc) {
+      check_eval = std::atoi(argv[++i]);
+      if (check_eval < 1) {
+        std::fprintf(stderr, "--check-eval expects an integer >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--check-seed") == 0 && i + 1 < argc) {
+      const char* text = argv[++i];
+      char* end = nullptr;
+      check_seed = static_cast<uint64_t>(std::strtoull(text, &end, 10));
+      if (end == text || *end != '\0') {
+        std::fprintf(stderr, "--check-seed expects an unsigned integer\n");
         return 2;
       }
     } else if (std::strcmp(arg, "--fail-on-warnings") == 0) {
@@ -259,10 +282,35 @@ int main(int argc, char** argv) {
     }
   }
 
+  bool any_violation = false;
+  bool any_check_error = false;
+  if (check_eval > 0) {
+    mapcomp::CompositionCheckOptions check_options;
+    check_options.eval.jobs = jobs;
+    for (size_t i = 0; i < results.size(); ++i) {
+      mapcomp::Result<mapcomp::CompositionCheck> check =
+          mapcomp::CheckComposition(problems[i], results[i], check_seed,
+                                    check_eval, check_options);
+      const char* label = paths[i] == "-" ? "<stdin>" : paths[i].c_str();
+      if (!check.ok()) {
+        // Keep checking the remaining tasks — their verdicts (and a
+        // possible exit-5 violation) matter even when one check errors.
+        std::fprintf(stderr, "%s: check-eval error: %s\n", label,
+                     check.status().ToString().c_str());
+        any_check_error = true;
+        continue;
+      }
+      std::fprintf(stderr, "%s: %s", label, check->Report().c_str());
+      any_violation = any_violation || !check->sound;
+    }
+  }
+
   if (intern_stats) {
     std::fprintf(stderr, "%s",
                  mapcomp::ExprInterner::Global().Stats().ToString().c_str());
   }
+  if (any_violation) return 5;
+  if (any_check_error) return 1;
   if (any_warning) return 4;
   return any_residual ? 3 : 0;
 }
