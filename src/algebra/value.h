@@ -36,6 +36,12 @@ inline void HashCombine(size_t* seed, size_t v) {
 size_t HashValue(const Value& v);
 size_t HashTuple(const Tuple& t);
 
+/// Functor form of HashValue for unordered containers keyed by Value
+/// (e.g. the evaluator's per-evaluation value dictionary).
+struct ValueHash {
+  size_t operator()(const Value& v) const { return HashValue(v); }
+};
+
 }  // namespace mapcomp
 
 #endif  // MAPCOMP_ALGEBRA_VALUE_H_

@@ -48,24 +48,11 @@ Result<bool> Satisfies(const Instance& instance, const Constraint& c,
                        const EvalOptions& options, EvalStats* stats) {
   // One memo across both sides: the composer's outputs frequently repeat a
   // join subtree on the two sides of a constraint, which then evaluates
-  // once.
-  MAPCOMP_ASSIGN_OR_RETURN(std::vector<EvalResult> sides,
-                           EvaluateMany({c.lhs, c.rhs}, instance, options));
-  const EvalResult& lhs = sides[0];
-  const EvalResult& rhs = sides[1];
-  if (stats != nullptr) {
-    stats->MergeFrom(lhs.stats);
-    stats->MergeFrom(rhs.stats);
-  }
-  bool lhs_in_rhs = true;
-  for (const Tuple& t : lhs.tuples) {
-    if (rhs.tuples.count(t) == 0) {
-      lhs_in_rhs = false;
-      break;
-    }
-  }
-  if (c.kind == ConstraintKind::kContainment) return lhs_in_rhs;
-  return lhs_in_rhs && lhs.tuples.size() == rhs.tuples.size();
+  // once. The containment itself runs inside the evaluator — on the kernel
+  // path a linear merge walk over two columnar tables, never decoded.
+  return EvaluateContainment(c.lhs, c.rhs,
+                             c.kind == ConstraintKind::kEquality, instance,
+                             options, stats);
 }
 
 Result<bool> SatisfiesAll(const Instance& instance, const ConstraintSet& cs,

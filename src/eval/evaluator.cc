@@ -1,10 +1,14 @@
 #include "src/eval/evaluator.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "src/eval/join.h"
+#include "src/eval/tuple_table.h"
+#include "src/eval/value_dict.h"
 #include "src/runtime/sharding.h"
 #include "src/runtime/thread_pool.h"
 
@@ -12,31 +16,151 @@ namespace mapcomp {
 
 namespace {
 
-/// Node results are shared, not copied: the memo table and every parent
-/// hold the same set. Treated as immutable everywhere (the pointee type
-/// stays non-const only so EvaluateFull can move the root set out when it
-/// is the last owner).
-using TupleSetPtr = std::shared_ptr<std::set<Tuple>>;
+using eval_internal::CompiledCond;
+using eval_internal::DomainSelectPlan;
+using eval_internal::JoinPlan;
 
-/// Upper bound on chunks per sharded node. Chunk boundaries are a pure
-/// function of the work size and this constant — never of the lane count —
-/// which is what keeps results and stats identical at any `jobs`.
-constexpr int64_t kMaxShards = 32;
+/// Node results are shared, not copied: the memo table and every parent
+/// hold the same set/table. Treated as immutable everywhere (the pointee
+/// types stay non-const only so EvaluateMany can move a root set out when
+/// it is the last owner).
+using TupleSetPtr = std::shared_ptr<std::set<Tuple>>;
+using TablePtr = std::shared_ptr<TupleTable>;
+
+/// Chunk boundaries are a pure function of the work size and the shared
+/// runtime::kMaxShardChunks — never of the lane count — which is what
+/// keeps results and stats identical at any `jobs`.
+constexpr int64_t kMaxShards = runtime::kMaxShardChunks;
+
+/// Per-node DAG bookkeeping for memo dropping: `remaining` counts the
+/// parent edges (plus root occurrences) that have not consumed this node's
+/// result yet; when it reaches zero the memo entry is dropped. `evaluated`
+/// distinguishes computed nodes from planned-around ones (a product the
+/// join planner bypassed) whose child edges must cascade on release.
+struct NodeUse {
+  int64_t remaining = 0;
+  bool evaluated = false;
+};
 
 struct EvalState {
   const Instance* instance;
   const EvalOptions* options;
-  std::set<Value> domain;       ///< active domain + extra constants
-  std::vector<Value> domain_vec;  ///< same values, indexable (set order)
+  bool kernel = true;             ///< false ⇔ force_nested_loop
+  std::set<Value> domain;         ///< active domain + extra constants
+  std::vector<Value> domain_vec;  ///< legacy path: same values, set order
+  ValueDict dict;                 ///< kernel path: per-evaluation interning
+  std::vector<ValueId> domain_ids;  ///< kernel: domain ids, ascending
   runtime::ThreadPool* pool = nullptr;  ///< null ⇔ jobs <= 1
   int max_helpers = 0;                  ///< jobs - 1
-  std::unordered_map<const Expr*, TupleSetPtr> memo;
+  std::unordered_map<const Expr*, TupleSetPtr> memo_sets;    ///< legacy
+  std::unordered_map<const Expr*, TablePtr> memo_tables;     ///< kernel
+  /// Kernel: decoded child sets served to user-operator evaluators.
+  std::unordered_map<const Expr*, TupleSetPtr> decoded;
+  std::unordered_map<const Expr*, NodeUse> uses;
   EvalStats stats;
+  int64_t memo_bytes_live = 0;
 };
 
 TupleSetPtr Own(std::set<Tuple> s) {
   return std::make_shared<std::set<Tuple>>(std::move(s));
 }
+
+TablePtr OwnTable(TupleTable t) {
+  return std::make_shared<TupleTable>(std::move(t));
+}
+
+/// Deterministic approximate heap footprint of a legacy memo entry.
+/// Base-relation entries are non-owning aliases into the instance and
+/// count 0.
+int64_t ApproxSetBytes(const std::set<Tuple>& s) {
+  int64_t arity = s.empty() ? 0 : static_cast<int64_t>(s.begin()->size());
+  return static_cast<int64_t>(s.size()) *
+         (static_cast<int64_t>(sizeof(Tuple)) +
+          arity * static_cast<int64_t>(sizeof(Value)) + 48);
+}
+
+int64_t EntryBytes(const Expr* e, const EvalState& st) {
+  auto ti = st.memo_tables.find(e);
+  if (ti != st.memo_tables.end()) return ti->second->ApproxBytes();
+  auto si = st.memo_sets.find(e);
+  if (si != st.memo_sets.end()) {
+    return e->kind() == ExprKind::kRelation ? 0 : ApproxSetBytes(*si->second);
+  }
+  return 0;
+}
+
+void AccountInsert(EvalState* st, int64_t bytes) {
+  st->memo_bytes_live += bytes;
+  st->stats.memo_bytes_total += bytes;
+  if (st->memo_bytes_live > st->stats.memo_bytes_peak) {
+    st->stats.memo_bytes_peak = st->memo_bytes_live;
+  }
+}
+
+/// One parent edge (or root occurrence) of `e` is done with its result.
+/// The last consumer drops the memo entry; if `e` was never computed (the
+/// planner bypassed it), its own child edges are released too, so
+/// grandchildren consumed directly by the planner can also be dropped.
+void Consume(const Expr* e, EvalState* st) {
+  NodeUse& u = st->uses[e];
+  if (--u.remaining > 0) return;
+  st->memo_bytes_live -= EntryBytes(e, *st);
+  st->memo_tables.erase(e);
+  st->memo_sets.erase(e);
+  st->decoded.erase(e);
+  if (!u.evaluated) {
+    for (const ExprPtr& c : e->children()) Consume(c.get(), st);
+  }
+}
+
+void CountUses(const ExprPtr& e, EvalState* st,
+               std::set<const Expr*>* visited) {
+  if (!visited->insert(e.get()).second) return;
+  for (const ExprPtr& c : e->children()) {
+    ++st->uses[c.get()].remaining;
+    CountUses(c, st, visited);
+  }
+}
+
+void CollectConditionConstants(const Condition& c, std::set<Value>* out) {
+  switch (c.kind()) {
+    case Condition::Kind::kAtom:
+      if (!c.lhs().is_attr) out->insert(c.lhs().constant);
+      if (!c.rhs().is_attr) out->insert(c.rhs().constant);
+      break;
+    case Condition::Kind::kAnd:
+    case Condition::Kind::kOr:
+    case Condition::Kind::kNot:
+      for (const Condition& child : c.children()) {
+        CollectConditionConstants(child, out);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+/// Every constant a root expression can mention — selection-condition
+/// constants and literal-relation values — goes into the dictionary seed,
+/// so compiled conditions always find their constants interned and the
+/// seeded range stays order-preserving.
+void CollectExprConstants(const ExprPtr& e, std::set<Value>* out,
+                          std::set<const Expr*>* visited) {
+  if (e == nullptr || !visited->insert(e.get()).second) return;
+  CollectConditionConstants(e->condition(), out);
+  for (const Tuple& t : e->tuples()) {
+    for (const Value& v : t) out->insert(v);
+  }
+  for (const ExprPtr& c : e->children()) {
+    CollectExprConstants(c, out, visited);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Legacy nested-loop path (EvalOptions::force_nested_loop) — the kernel's
+// differential oracle. std::set<Tuple> end to end, products as full nested
+// loops with selection applied afterwards, D^r always fully enumerated.
+// --------------------------------------------------------------------------
 
 /// Applies `emit(t, out)` to every tuple of `in`. `work` is the number of
 /// candidate tuples the node will enumerate (|in| for unary transforms,
@@ -98,19 +222,25 @@ void EnumerateDomainRange(const std::vector<Value>& vals, int r,
   }
 }
 
-Result<TupleSetPtr> EvalRec(const ExprPtr& e, EvalState* st);
+Result<TupleSetPtr> LegacyRec(const ExprPtr& e, EvalState* st);
 
-Result<TupleSetPtr> EvalDomain(int arity, EvalState* st) {
-  const std::vector<Value>& vals = st->domain_vec;
-  int64_t d = static_cast<int64_t>(vals.size());
-  double size = std::pow(static_cast<double>(d), static_cast<double>(arity));
-  // Guard before any enumeration: an oversized D^r fails fast instead of
-  // grinding (or fanning a hopeless enumeration across lanes).
-  if (size > static_cast<double>(st->options->max_domain_tuples)) {
+/// Shared guard on enumerating D^r: fails fast before any tuple is
+/// enumerated, so an oversized domain surfaces as an error, never a hang.
+Status CheckDomainGuard(int arity, int64_t d, double work,
+                        const EvalOptions& options) {
+  if (work > static_cast<double>(options.max_domain_tuples)) {
     return Status::ResourceExhausted(
         "enumerating D^" + std::to_string(arity) + " over " +
         std::to_string(d) + " values is too large");
   }
+  return Status::OK();
+}
+
+Result<TupleSetPtr> LegacyEvalDomain(int arity, EvalState* st) {
+  const std::vector<Value>& vals = st->domain_vec;
+  int64_t d = static_cast<int64_t>(vals.size());
+  double size = std::pow(static_cast<double>(d), static_cast<double>(arity));
+  MAPCOMP_RETURN_IF_ERROR(CheckDomainGuard(arity, d, size, *st->options));
   if (arity == 0) return Own(std::set<Tuple>{Tuple{}});
   if (d == 0) return Own(std::set<Tuple>{});
   bool eligible = size >= static_cast<double>(st->options->parallel_threshold);
@@ -137,19 +267,19 @@ Result<TupleSetPtr> EvalDomain(int arity, EvalState* st) {
   return Own(std::move(out));
 }
 
-Result<TupleSetPtr> EvalNode(const ExprPtr& e, EvalState* st) {
+Result<TupleSetPtr> LegacyEvalNode(const ExprPtr& e, EvalState* st) {
   switch (e->kind()) {
     case ExprKind::kRelation:
       // Aliased, non-owning view of the instance's own set (the instance
       // outlives the evaluation); base relations are never copied. The
       // const_cast is never written through: the only mutation anywhere is
-      // EvaluateFull's final move-out, gated on use_count() == 1, which a
+      // EvaluateMany's final move-out, gated on use_count() == 1, which a
       // non-owning aliased pointer (use_count 0) can never satisfy.
       return TupleSetPtr(
           TupleSetPtr{},
           const_cast<std::set<Tuple>*>(&st->instance->Get(e->name())));
     case ExprKind::kDomain:
-      return EvalDomain(e->arity(), st);
+      return LegacyEvalDomain(e->arity(), st);
     case ExprKind::kEmpty:
       return Own(std::set<Tuple>{});
     case ExprKind::kLiteral: {
@@ -158,8 +288,8 @@ Result<TupleSetPtr> EvalNode(const ExprPtr& e, EvalState* st) {
       return Own(std::move(out));
     }
     case ExprKind::kUnion: {
-      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr a, EvalRec(e->child(0), st));
-      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr b, EvalRec(e->child(1), st));
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr a, LegacyRec(e->child(0), st));
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr b, LegacyRec(e->child(1), st));
       // Results are shared immutably, so a subsumed side means the union
       // IS the other side — no copy. Union(x, x), the memo-witness shape,
       // and the feed loop's re-unions all take these exits.
@@ -178,24 +308,25 @@ Result<TupleSetPtr> EvalNode(const ExprPtr& e, EvalState* st) {
       return Own(std::move(out));
     }
     case ExprKind::kIntersect: {
-      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr a, EvalRec(e->child(0), st));
-      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr b, EvalRec(e->child(1), st));
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr a, LegacyRec(e->child(0), st));
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr b, LegacyRec(e->child(1), st));
       return Own(TransformSet(st, *a, static_cast<int64_t>(a->size()),
                               [&b](const Tuple& t, std::set<Tuple>* out) {
                                 if (b->count(t) > 0) out->insert(t);
                               }));
     }
     case ExprKind::kDifference: {
-      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr a, EvalRec(e->child(0), st));
-      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr b, EvalRec(e->child(1), st));
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr a, LegacyRec(e->child(0), st));
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr b, LegacyRec(e->child(1), st));
       return Own(TransformSet(st, *a, static_cast<int64_t>(a->size()),
                               [&b](const Tuple& t, std::set<Tuple>* out) {
                                 if (b->count(t) == 0) out->insert(t);
                               }));
     }
     case ExprKind::kProduct: {
-      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr a, EvalRec(e->child(0), st));
-      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr b, EvalRec(e->child(1), st));
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr a, LegacyRec(e->child(0), st));
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr b, LegacyRec(e->child(1), st));
+      ++st->stats.nested_product_nodes;
       int64_t work = static_cast<int64_t>(a->size()) *
                      static_cast<int64_t>(b->size());
       return Own(TransformSet(st, *a, work,
@@ -208,7 +339,7 @@ Result<TupleSetPtr> EvalNode(const ExprPtr& e, EvalState* st) {
                               }));
     }
     case ExprKind::kSelect: {
-      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr a, EvalRec(e->child(0), st));
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr a, LegacyRec(e->child(0), st));
       const Condition& cond = e->condition();
       return Own(TransformSet(st, *a, static_cast<int64_t>(a->size()),
                               [&cond](const Tuple& t, std::set<Tuple>* out) {
@@ -216,7 +347,7 @@ Result<TupleSetPtr> EvalNode(const ExprPtr& e, EvalState* st) {
                               }));
     }
     case ExprKind::kProject: {
-      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr a, EvalRec(e->child(0), st));
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr a, LegacyRec(e->child(0), st));
       const std::vector<int>& indexes = e->indexes();
       return Own(TransformSet(st, *a, static_cast<int64_t>(a->size()),
                               [&indexes](const Tuple& t,
@@ -233,7 +364,7 @@ Result<TupleSetPtr> EvalNode(const ExprPtr& e, EvalState* st) {
             "cannot evaluate Skolem function " + e->name() +
             " without an interpretation (SkolemEvalMode::kError)");
       }
-      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr a, EvalRec(e->child(0), st));
+      MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr a, LegacyRec(e->child(0), st));
       const std::string& name = e->name();
       const std::vector<int>& indexes = e->indexes();
       return Own(TransformSet(
@@ -264,7 +395,7 @@ Result<TupleSetPtr> EvalNode(const ExprPtr& e, EvalState* st) {
       owners.reserve(e->children().size());
       kids.reserve(e->children().size());
       for (const ExprPtr& c : e->children()) {
-        MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr k, EvalRec(c, st));
+        MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr k, LegacyRec(c, st));
         kids.push_back(k.get());
         owners.push_back(std::move(k));
       }
@@ -277,19 +408,562 @@ Result<TupleSetPtr> EvalNode(const ExprPtr& e, EvalState* st) {
   return Status::Internal("unknown expression kind");
 }
 
-Result<TupleSetPtr> EvalRec(const ExprPtr& e, EvalState* st) {
+Result<TupleSetPtr> LegacyRec(const ExprPtr& e, EvalState* st) {
   // Interned nodes make the memo exact: pointer equality ⇔ structural
   // equality, so a subtree shared k times in the DAG is computed once.
-  auto it = st->memo.find(e.get());
-  if (it != st->memo.end()) {
+  auto it = st->memo_sets.find(e.get());
+  if (it != st->memo_sets.end()) {
     ++st->stats.memo_hits;
     return it->second;
   }
-  MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr out, EvalNode(e, st));
+  MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr out, LegacyEvalNode(e, st));
+  st->uses[e.get()].evaluated = true;
   ++st->stats.nodes_evaluated;
   st->stats.tuples_produced += static_cast<int64_t>(out->size());
-  st->memo.emplace(e.get(), out);
+  st->memo_sets.emplace(e.get(), out);
+  AccountInsert(st, e->kind() == ExprKind::kRelation ? 0
+                                                     : ApproxSetBytes(*out));
+  // This node's computation is the one-and-only traversal of its static
+  // child edges — release them now so fully-consumed children drop out of
+  // the memo.
+  for (const ExprPtr& c : e->children()) Consume(c.get(), st);
   return out;
+}
+
+// --------------------------------------------------------------------------
+// Columnar kernel path: tuples are flat ValueId rows in TupleTables, set
+// operations are linear merge walks over sorted rows, select(product) runs
+// as a planned hash join, and select(D^r) with bound coordinates enumerates
+// only the constraint-pruned space.
+// --------------------------------------------------------------------------
+
+Result<TablePtr> KernelRec(const ExprPtr& e, EvalState* st);
+
+/// Kernel sibling of TransformSet: applies `emit(row, out_data)` — which
+/// appends whole rows of `out_arity` ids — to every row of `in`, sharded
+/// into ≤ kMaxShards contiguous row chunks when `work` crosses the
+/// threshold, concatenated in chunk order. Requires out_arity > 0 (callers
+/// special-case the degenerate arity-0 shapes).
+template <typename Emit>
+TupleTable TransformTable(EvalState* st, const TupleTable& in, int64_t work,
+                          int out_arity, const Emit& emit) {
+  int64_t n = in.size();
+  bool eligible = work >= st->options->parallel_threshold;
+  if (eligible) ++st->stats.sharded_nodes;
+  TupleTable out(out_arity);
+  if (!eligible || st->pool == nullptr || n <= 1) {
+    for (int64_t i = 0; i < n; ++i) emit(in.Row(i), &out.MutableData());
+    out.FinishAppends();
+    return out;
+  }
+  int64_t chunk = (n + kMaxShards - 1) / kMaxShards;
+  std::vector<std::vector<ValueId>> chunks =
+      runtime::ShardedTransform<std::vector<ValueId>>(
+          st->pool, n, chunk, st->max_helpers,
+          [&in, &emit](int64_t begin, int64_t end) {
+            std::vector<ValueId> local;
+            for (int64_t i = begin; i < end; ++i) emit(in.Row(i), &local);
+            return local;
+          });
+  std::vector<ValueId>& data = out.MutableData();
+  for (const std::vector<ValueId>& c : chunks) {
+    data.insert(data.end(), c.begin(), c.end());
+  }
+  out.FinishAppends();
+  return out;
+}
+
+/// Enumerates domain_ids^r with the first coordinate position restricted to
+/// [first_begin, first_end), in lexicographic id order (domain_ids is
+/// ascending, so the output rows are sorted).
+void EnumerateDomainIdRange(const std::vector<ValueId>& ids, int r,
+                            int64_t first_begin, int64_t first_end,
+                            std::vector<ValueId>* out) {
+  if (first_begin >= first_end) return;
+  std::vector<int64_t> idx(static_cast<size_t>(r), 0);
+  idx[0] = first_begin;
+  int64_t d = static_cast<int64_t>(ids.size());
+  for (;;) {
+    for (int i = 0; i < r; ++i) out->push_back(ids[idx[i]]);
+    int pos = r - 1;
+    while (pos >= 0) {
+      ++idx[pos];
+      int64_t limit = pos == 0 ? first_end : d;
+      if (idx[pos] < limit) break;
+      if (pos == 0) return;
+      idx[pos] = 0;
+      --pos;
+    }
+  }
+}
+
+Result<TablePtr> KernelEvalDomain(int arity, EvalState* st) {
+  const std::vector<ValueId>& ids = st->domain_ids;
+  int64_t d = static_cast<int64_t>(ids.size());
+  double size = std::pow(static_cast<double>(d), static_cast<double>(arity));
+  MAPCOMP_RETURN_IF_ERROR(CheckDomainGuard(arity, d, size, *st->options));
+  if (arity == 0) {
+    TupleTable unit(0);
+    unit.AppendRow(nullptr);
+    return OwnTable(std::move(unit));
+  }
+  if (d == 0) return OwnTable(TupleTable(arity));
+  bool eligible = size >= static_cast<double>(st->options->parallel_threshold);
+  if (eligible) ++st->stats.sharded_nodes;
+  TupleTable out(arity);
+  if (!eligible || st->pool == nullptr || d <= 1) {
+    EnumerateDomainIdRange(ids, arity, 0, d, &out.MutableData());
+    out.FinishAppends();
+    return OwnTable(std::move(out));
+  }
+  int64_t chunk = (d + kMaxShards - 1) / kMaxShards;
+  std::vector<std::vector<ValueId>> chunks =
+      runtime::ShardedTransform<std::vector<ValueId>>(
+          st->pool, d, chunk, st->max_helpers,
+          [&ids, arity](int64_t begin, int64_t end) {
+            std::vector<ValueId> local;
+            EnumerateDomainIdRange(ids, arity, begin, end, &local);
+            return local;
+          });
+  std::vector<ValueId>& data = out.MutableData();
+  for (const std::vector<ValueId>& c : chunks) {
+    data.insert(data.end(), c.begin(), c.end());
+  }
+  out.FinishAppends();
+  return OwnTable(std::move(out));
+}
+
+/// select(product(a, b)): pushes single-side conjuncts below the product,
+/// turns cross-side equalities into hash-join keys, and keeps the rest as a
+/// residual filter on joined rows. The product child itself is never
+/// materialized (its memo refcount is released through the bypass cascade).
+Result<TablePtr> KernelSelectOverProduct(const ExprPtr& e, EvalState* st) {
+  const ExprPtr& prod = e->child(0);
+  const int la = prod->child(0)->arity(), ra = prod->child(1)->arity();
+  JoinPlan plan = eval_internal::PlanJoin(e->condition(), la, ra);
+  MAPCOMP_ASSIGN_OR_RETURN(TablePtr a, KernelRec(prod->child(0), st));
+  MAPCOMP_ASSIGN_OR_RETURN(TablePtr b, KernelRec(prod->child(1), st));
+  TablePtr fa = a, fb = b;
+  if (!plan.left_filter.IsTrue()) {
+    CompiledCond cc = CompiledCond::Compile(plan.left_filter, &st->dict);
+    const ValueDict& dict = st->dict;
+    fa = OwnTable(TransformTable(
+        st, *a, a->size(), la,
+        [&cc, &dict, la](const ValueId* row, std::vector<ValueId>* out) {
+          if (cc.Eval(row, la, dict)) out->insert(out->end(), row, row + la);
+        }));
+  }
+  if (!plan.right_filter.IsTrue()) {
+    CompiledCond cc = CompiledCond::Compile(plan.right_filter, &st->dict);
+    const ValueDict& dict = st->dict;
+    fb = OwnTable(TransformTable(
+        st, *b, b->size(), ra,
+        [&cc, &dict, ra](const ValueId* row, std::vector<ValueId>* out) {
+          if (cc.Eval(row, ra, dict)) out->insert(out->end(), row, row + ra);
+        }));
+  }
+  CompiledCond residual = CompiledCond::Compile(plan.residual, &st->dict);
+  const int out_arity = la + ra;
+  if (!plan.keys.empty()) {
+    ++st->stats.hash_join_nodes;
+    // Probe work drives sharding eligibility (the build is linear anyway).
+    bool eligible = std::max(fa->size(), fb->size()) >=
+                    st->options->parallel_threshold;
+    if (eligible) ++st->stats.sharded_nodes;
+    return OwnTable(eval_internal::HashJoin(
+        *fa, *fb, plan.keys, residual, st->dict,
+        eligible ? st->pool : nullptr, st->max_helpers));
+  }
+  // No usable equality keys: nested loop over the *filtered* sides, with
+  // the residual applied during emission (still strictly less work than
+  // materializing the product and selecting afterwards).
+  ++st->stats.nested_product_nodes;
+  if (out_arity == 0) {
+    TupleTable out(0);
+    if (!fa->empty() && !fb->empty() &&
+        (residual.IsTrue() || residual.Eval(nullptr, 0, st->dict))) {
+      out.AppendRow(nullptr);
+    }
+    return OwnTable(std::move(out));
+  }
+  const ValueDict& dict = st->dict;
+  const TupleTable& right = *fb;
+  TupleTable out = TransformTable(
+      st, *fa, fa->size() * fb->size(), out_arity,
+      [&residual, &dict, &right, la, ra, out_arity](
+          const ValueId* lrow, std::vector<ValueId>* out_data) {
+        std::vector<ValueId> combined(static_cast<size_t>(out_arity));
+        std::copy(lrow, lrow + la, combined.begin());
+        for (int64_t j = 0; j < right.size(); ++j) {
+          const ValueId* rrow = right.Row(j);
+          std::copy(rrow, rrow + ra, combined.begin() + la);
+          if (residual.IsTrue() ||
+              residual.Eval(combined.data(), out_arity, dict)) {
+            out_data->insert(out_data->end(), combined.begin(),
+                             combined.end());
+          }
+        }
+      });
+  // (sorted a) × (sorted b) emitted a-major is already sorted, and pairs of
+  // unique rows are unique.
+  return OwnTable(std::move(out));
+}
+
+/// select(D^r) with bound coordinates: enumerates one representative per
+/// equality class (pinned classes contribute a single id), so the guarded
+/// work is |D|^free_classes instead of |D|^r, then applies the full
+/// condition to every candidate row.
+Result<TablePtr> KernelSelectOverDomain(const ExprPtr& e,
+                                        const DomainSelectPlan& plan,
+                                        EvalState* st) {
+  const int r = e->child(0)->arity();
+  const std::vector<ValueId>& ids = st->domain_ids;
+  int64_t d = static_cast<int64_t>(ids.size());
+  std::vector<ValueId> class_id(plan.num_classes, 0);
+  std::vector<bool> class_bound(plan.num_classes, false);
+  std::vector<int> free_slot(plan.num_classes, -1);
+  int free_count = 0;
+  for (int c = 0; c < plan.num_classes; ++c) {
+    if (plan.class_const[c]) {
+      const ValueId* id = st->dict.Find(*plan.class_const[c]);
+      // D^r only contains domain values: a coordinate pinned to a constant
+      // outside D makes the selection empty without enumerating anything.
+      if (id == nullptr ||
+          !std::binary_search(ids.begin(), ids.end(), *id)) {
+        return OwnTable(TupleTable(r));
+      }
+      class_id[c] = *id;
+      class_bound[c] = true;
+    } else {
+      free_slot[c] = free_count++;
+    }
+  }
+  double size = std::pow(static_cast<double>(d),
+                         static_cast<double>(free_count));
+  // The guard measures the *pruned* enumeration — the whole point of the
+  // constraint-driven path (the nested-loop oracle still guards |D|^r) —
+  // and the diagnostic reports that pruned work, not |D|^r.
+  if (size > static_cast<double>(st->options->max_domain_tuples)) {
+    return Status::ResourceExhausted(
+        "constraint-pruned enumeration of sigma(D^" + std::to_string(r) +
+        ") over " + std::to_string(d) + " values still needs " +
+        std::to_string(free_count) +
+        " free coordinate classes — too large");
+  }
+  if (free_count > 0 && d == 0) return OwnTable(TupleTable(r));
+  CompiledCond cc = CompiledCond::Compile(e->condition(), &st->dict);
+  const ValueDict& dict = st->dict;
+
+  // Enumerates assignments whose *first free class* takes ids[begin..end),
+  // odometer over the remaining free classes.
+  auto enumerate = [&](int64_t begin, int64_t end) {
+    std::vector<ValueId> local;
+    std::vector<int64_t> odo(static_cast<size_t>(std::max(free_count, 1)), 0);
+    std::vector<ValueId> row(static_cast<size_t>(r));
+    if (free_count == 0) {
+      for (int k = 0; k < r; ++k) row[k] = class_id[plan.class_of[k]];
+      if (cc.Eval(row.data(), r, dict)) {
+        local.insert(local.end(), row.begin(), row.end());
+      }
+      return local;
+    }
+    if (begin >= end) return local;
+    odo[0] = begin;
+    for (;;) {
+      for (int k = 0; k < r; ++k) {
+        int c = plan.class_of[k];
+        row[k] = class_bound[c] ? class_id[c] : ids[odo[free_slot[c]]];
+      }
+      if (cc.Eval(row.data(), r, dict)) {
+        local.insert(local.end(), row.begin(), row.end());
+      }
+      int pos = free_count - 1;
+      while (pos >= 0) {
+        ++odo[pos];
+        int64_t limit = pos == 0 ? end : d;
+        if (odo[pos] < limit) break;
+        if (pos == 0) return local;
+        odo[pos] = 0;
+        --pos;
+      }
+    }
+  };
+
+  bool eligible = size >= static_cast<double>(st->options->parallel_threshold);
+  if (eligible) ++st->stats.sharded_nodes;
+  TupleTable out(r);
+  if (free_count == 0 || !eligible || st->pool == nullptr || d <= 1) {
+    std::vector<ValueId> rows = enumerate(0, std::max<int64_t>(d, 1));
+    out.MutableData() = std::move(rows);
+  } else {
+    int64_t chunk = (d + kMaxShards - 1) / kMaxShards;
+    std::vector<std::vector<ValueId>> chunks =
+        runtime::ShardedTransform<std::vector<ValueId>>(
+            st->pool, d, chunk, st->max_helpers,
+            [&enumerate](int64_t begin, int64_t end) {
+              return enumerate(begin, end);
+            });
+    std::vector<ValueId>& data = out.MutableData();
+    for (const std::vector<ValueId>& c : chunks) {
+      data.insert(data.end(), c.begin(), c.end());
+    }
+  }
+  out.FinishAppends();
+  // Class-major enumeration is not coordinate-lexicographic; assignments
+  // are distinct, so sorting alone canonicalizes.
+  out.SortRows();
+  return OwnTable(std::move(out));
+}
+
+Result<TablePtr> KernelEvalNode(const ExprPtr& e, EvalState* st) {
+  switch (e->kind()) {
+    case ExprKind::kRelation: {
+      // Encoded once per evaluation (memoized per interned node). The
+      // instance's values are all in the dictionary's seeded range, so the
+      // encode is a linear pass and arrives sorted. A ragged relation (the
+      // instance API never validates arity) is a clean error here, not an
+      // out-of-bounds row read.
+      MAPCOMP_ASSIGN_OR_RETURN(
+          TupleTable t, TupleTable::FromSet(st->instance->Get(e->name()),
+                                            e->arity(), &st->dict));
+      return OwnTable(std::move(t));
+    }
+    case ExprKind::kDomain:
+      return KernelEvalDomain(e->arity(), st);
+    case ExprKind::kEmpty:
+      return OwnTable(TupleTable(e->arity()));
+    case ExprKind::kLiteral: {
+      TupleTable out(e->arity());
+      if (e->arity() == 0) {
+        if (!e->tuples().empty()) out.AppendRow(nullptr);
+        return OwnTable(std::move(out));
+      }
+      std::vector<ValueId>& data = out.MutableData();
+      for (const Tuple& t : e->tuples()) {
+        for (const Value& v : t) data.push_back(st->dict.Intern(v));
+      }
+      out.FinishAppends();
+      out.SortDedupRows();
+      return OwnTable(std::move(out));
+    }
+    case ExprKind::kUnion: {
+      MAPCOMP_ASSIGN_OR_RETURN(TablePtr a, KernelRec(e->child(0), st));
+      MAPCOMP_ASSIGN_OR_RETURN(TablePtr b, KernelRec(e->child(1), st));
+      // Shared immutably: a subsumed side means the union IS the other
+      // side — no copy (Union(x, x) and the feed loop's re-unions).
+      if (a->empty()) return b;
+      if (b->empty() || a == b) return a;
+      TupleTable merged = TupleTable::UnionOf(*a, *b);
+      if (merged.size() == a->size()) return a;  // b ⊆ a
+      if (merged.size() == b->size()) return b;  // a ⊆ b
+      return OwnTable(std::move(merged));
+    }
+    case ExprKind::kIntersect: {
+      MAPCOMP_ASSIGN_OR_RETURN(TablePtr a, KernelRec(e->child(0), st));
+      MAPCOMP_ASSIGN_OR_RETURN(TablePtr b, KernelRec(e->child(1), st));
+      if (a == b) return a;
+      TupleTable merged = TupleTable::IntersectOf(*a, *b);
+      if (merged.size() == a->size()) return a;  // a ⊆ b
+      return OwnTable(std::move(merged));
+    }
+    case ExprKind::kDifference: {
+      MAPCOMP_ASSIGN_OR_RETURN(TablePtr a, KernelRec(e->child(0), st));
+      MAPCOMP_ASSIGN_OR_RETURN(TablePtr b, KernelRec(e->child(1), st));
+      if (a == b) return OwnTable(TupleTable(e->arity()));
+      TupleTable merged = TupleTable::DifferenceOf(*a, *b);
+      if (merged.size() == a->size()) return a;  // disjoint
+      return OwnTable(std::move(merged));
+    }
+    case ExprKind::kProduct: {
+      MAPCOMP_ASSIGN_OR_RETURN(TablePtr a, KernelRec(e->child(0), st));
+      MAPCOMP_ASSIGN_OR_RETURN(TablePtr b, KernelRec(e->child(1), st));
+      ++st->stats.nested_product_nodes;
+      const int la = a->arity(), ra = b->arity();
+      const int out_arity = e->arity();
+      if (out_arity == 0) {
+        TupleTable out(0);
+        if (!a->empty() && !b->empty()) out.AppendRow(nullptr);
+        return OwnTable(std::move(out));
+      }
+      const TupleTable& right = *b;
+      return OwnTable(TransformTable(
+          st, *a, a->size() * b->size(), out_arity,
+          [&right, la, ra](const ValueId* lrow, std::vector<ValueId>* out) {
+            for (int64_t j = 0; j < right.size(); ++j) {
+              out->insert(out->end(), lrow, lrow + la);
+              const ValueId* rrow = right.Row(j);
+              out->insert(out->end(), rrow, rrow + ra);
+            }
+          }));
+      // Sorted by construction: a-major over two sorted inputs.
+    }
+    case ExprKind::kSelect: {
+      const ExprPtr& child = e->child(0);
+      // Plan the join only while the product is unmaterialized: a product
+      // another parent already evaluated (it stays memoized as long as this
+      // select's edge is pending) is cheaper to filter than to re-join —
+      // its children may already have been refcount-dropped.
+      if (child->kind() == ExprKind::kProduct &&
+          st->memo_tables.find(child.get()) == st->memo_tables.end()) {
+        return KernelSelectOverProduct(e, st);
+      }
+      if (child->kind() == ExprKind::kDomain) {
+        DomainSelectPlan plan =
+            eval_internal::PlanDomainSelect(e->condition(), child->arity());
+        if (plan.unsatisfiable) return OwnTable(TupleTable(e->arity()));
+        if (plan.useful) return KernelSelectOverDomain(e, plan, st);
+        // Nothing to prune — evaluate D^r normally so it stays memoized.
+      }
+      MAPCOMP_ASSIGN_OR_RETURN(TablePtr a, KernelRec(child, st));
+      CompiledCond cc = CompiledCond::Compile(e->condition(), &st->dict);
+      const ValueDict& dict = st->dict;
+      const int arity = a->arity();
+      if (arity == 0) {
+        TupleTable out(0);
+        if (!a->empty() && cc.Eval(nullptr, 0, dict)) out.AppendRow(nullptr);
+        return OwnTable(std::move(out));
+      }
+      return OwnTable(TransformTable(
+          st, *a, a->size(), arity,
+          [&cc, &dict, arity](const ValueId* row, std::vector<ValueId>* out) {
+            if (cc.Eval(row, arity, dict)) {
+              out->insert(out->end(), row, row + arity);
+            }
+          }));
+      // Filtering preserves sortedness.
+    }
+    case ExprKind::kProject: {
+      MAPCOMP_ASSIGN_OR_RETURN(TablePtr a, KernelRec(e->child(0), st));
+      const std::vector<int>& indexes = e->indexes();
+      if (indexes.empty()) {
+        TupleTable out(0);
+        if (!a->empty()) out.AppendRow(nullptr);
+        return OwnTable(std::move(out));
+      }
+      const int out_arity = static_cast<int>(indexes.size());
+      TupleTable out = TransformTable(
+          st, *a, a->size(), out_arity,
+          [&indexes](const ValueId* row, std::vector<ValueId>* out_data) {
+            for (int i : indexes) out_data->push_back(row[i - 1]);
+          });
+      out.SortDedupRows();  // projection reorders and may collapse rows
+      return OwnTable(std::move(out));
+    }
+    case ExprKind::kSkolem: {
+      if (st->options->skolem_mode == SkolemEvalMode::kError) {
+        return Status::Unsupported(
+            "cannot evaluate Skolem function " + e->name() +
+            " without an interpretation (SkolemEvalMode::kError)");
+      }
+      MAPCOMP_ASSIGN_OR_RETURN(TablePtr a, KernelRec(e->child(0), st));
+      // Sequential on the calling thread: minting terms interns new ids,
+      // and the dictionary only ever mutates outside sharded emits.
+      const std::vector<int>& indexes = e->indexes();
+      const int in_arity = a->arity();
+      TupleTable out(in_arity + 1);
+      std::vector<ValueId>& data = out.MutableData();
+      data.reserve(static_cast<size_t>(a->size()) * (in_arity + 1));
+      for (int64_t i = 0; i < a->size(); ++i) {
+        const ValueId* row = a->Row(i);
+        std::string term = e->name() + "(";
+        for (size_t k = 0; k < indexes.size(); ++k) {
+          if (k > 0) term += ",";
+          term += ValueToString(st->dict.ValueOf(row[indexes[k] - 1]));
+        }
+        term += ")";
+        data.insert(data.end(), row, row + in_arity);
+        data.push_back(st->dict.Intern(Value(std::move(term))));
+      }
+      out.FinishAppends();
+      out.SortRows();  // appended ids land out of id order; rows stay unique
+      return OwnTable(std::move(out));
+    }
+    case ExprKind::kUserOp: {
+      const op::OperatorDef* def =
+          st->options->registry ? st->options->registry->Find(e->name())
+                                : nullptr;
+      if (def == nullptr || !def->eval) {
+        return Status::Unsupported("no evaluator for operator " + e->name());
+      }
+      // User evaluators speak std::set<Tuple>: decode children at this
+      // boundary (cached per node — a child feeding several user ops
+      // decodes once) and re-encode the result.
+      std::vector<TablePtr> owners;
+      std::vector<const std::set<Tuple>*> kids;
+      owners.reserve(e->children().size());
+      kids.reserve(e->children().size());
+      for (const ExprPtr& c : e->children()) {
+        MAPCOMP_ASSIGN_OR_RETURN(TablePtr k, KernelRec(c, st));
+        TupleSetPtr& cached = st->decoded[c.get()];
+        if (cached == nullptr) cached = Own(k->ToSet(st->dict));
+        kids.push_back(cached.get());
+        owners.push_back(std::move(k));
+      }
+      op::EvalContext ctx;
+      ctx.active_domain = &st->domain;
+      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> out, def->eval(*e, kids, ctx));
+      MAPCOMP_ASSIGN_OR_RETURN(
+          TupleTable t, TupleTable::FromSet(out, e->arity(), &st->dict));
+      return OwnTable(std::move(t));
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<TablePtr> KernelRec(const ExprPtr& e, EvalState* st) {
+  auto it = st->memo_tables.find(e.get());
+  if (it != st->memo_tables.end()) {
+    ++st->stats.memo_hits;
+    return it->second;
+  }
+  MAPCOMP_ASSIGN_OR_RETURN(TablePtr out, KernelEvalNode(e, st));
+  st->uses[e.get()].evaluated = true;
+  ++st->stats.nodes_evaluated;
+  st->stats.tuples_produced += out->size();
+  st->memo_tables.emplace(e.get(), out);
+  AccountInsert(st, out->ApproxBytes());
+  for (const ExprPtr& c : e->children()) Consume(c.get(), st);
+  return out;
+}
+
+Status InitState(EvalState* st, const std::vector<ExprPtr>& roots,
+                 const Instance& instance, const EvalOptions& options) {
+  for (const ExprPtr& root : roots) {
+    if (root == nullptr) return Status::InvalidArgument("null expression");
+  }
+  st->instance = &instance;
+  st->options = &options;
+  st->kernel = !options.force_nested_loop;
+  st->domain = instance.ActiveDomain();
+  st->domain.insert(options.extra_constants.begin(),
+                    options.extra_constants.end());
+  if (st->kernel) {
+    // Seed the dictionary with everything the evaluation can see up front
+    // (domain + every expression constant), sorted — so the id order over
+    // this range is the value order and encodes/enumerations arrive sorted.
+    std::set<Value> universe = st->domain;
+    std::set<const Expr*> visited;
+    for (const ExprPtr& root : roots) {
+      CollectExprConstants(root, &universe, &visited);
+    }
+    st->dict.Seed(universe);
+    st->domain_ids.reserve(st->domain.size());
+    for (const Value& v : st->domain) {
+      st->domain_ids.push_back(*st->dict.Find(v));
+    }
+  } else {
+    st->domain_vec.assign(st->domain.begin(), st->domain.end());
+  }
+  if (options.jobs > 1) {
+    st->pool = runtime::GlobalPool();
+    st->max_helpers = options.jobs - 1;
+  }
+  std::set<const Expr*> counted;
+  for (const ExprPtr& root : roots) {
+    ++st->uses[root.get()].remaining;
+    CountUses(root, st, &counted);
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -299,6 +973,10 @@ void EvalStats::MergeFrom(const EvalStats& other) {
   memo_hits += other.memo_hits;
   sharded_nodes += other.sharded_nodes;
   tuples_produced += other.tuples_produced;
+  hash_join_nodes += other.hash_join_nodes;
+  nested_product_nodes += other.nested_product_nodes;
+  memo_bytes_total += other.memo_bytes_total;
+  memo_bytes_peak = std::max(memo_bytes_peak, other.memo_bytes_peak);
 }
 
 EvalStats EvalStats::DiffFrom(const EvalStats& before) const {
@@ -307,6 +985,11 @@ EvalStats EvalStats::DiffFrom(const EvalStats& before) const {
   out.memo_hits = memo_hits - before.memo_hits;
   out.sharded_nodes = sharded_nodes - before.sharded_nodes;
   out.tuples_produced = tuples_produced - before.tuples_produced;
+  out.hash_join_nodes = hash_join_nodes - before.hash_join_nodes;
+  out.nested_product_nodes =
+      nested_product_nodes - before.nested_product_nodes;
+  out.memo_bytes_total = memo_bytes_total - before.memo_bytes_total;
+  out.memo_bytes_peak = memo_bytes_peak;  // watermark, not a counter
   return out;
 }
 
@@ -314,7 +997,11 @@ std::string EvalStats::ToString() const {
   return "eval: " + std::to_string(nodes_evaluated) + " nodes, " +
          std::to_string(memo_hits) + " memo hits, " +
          std::to_string(sharded_nodes) + " sharded, " +
-         std::to_string(tuples_produced) + " tuples";
+         std::to_string(tuples_produced) + " tuples, " +
+         std::to_string(hash_join_nodes) + " hash joins, " +
+         std::to_string(nested_product_nodes) + " nested products, memo " +
+         std::to_string(memo_bytes_peak) + "B peak / " +
+         std::to_string(memo_bytes_total) + "B total";
 }
 
 std::string EvalResult::Fingerprint() const {
@@ -342,31 +1029,40 @@ Result<std::vector<EvalResult>> EvaluateMany(const std::vector<ExprPtr>& roots,
                                              const Instance& instance,
                                              const EvalOptions& options) {
   EvalState st;
-  st.instance = &instance;
-  st.options = &options;
-  st.domain = instance.ActiveDomain();
-  st.domain.insert(options.extra_constants.begin(),
-                   options.extra_constants.end());
-  st.domain_vec.assign(st.domain.begin(), st.domain.end());
-  if (options.jobs > 1) {
-    st.pool = runtime::GlobalPool();
-    st.max_helpers = options.jobs - 1;
-  }
+  MAPCOMP_RETURN_IF_ERROR(InitState(&st, roots, instance, options));
   std::vector<EvalResult> results(roots.size());
+  if (st.kernel) {
+    std::vector<TablePtr> tables;
+    tables.reserve(roots.size());
+    for (size_t i = 0; i < roots.size(); ++i) {
+      EvalStats before = st.stats;
+      MAPCOMP_ASSIGN_OR_RETURN(TablePtr t, KernelRec(roots[i], &st));
+      results[i].arity = roots[i]->arity();
+      results[i].stats = st.stats.DiffFrom(before);
+      tables.push_back(std::move(t));
+      Consume(roots[i].get(), &st);
+    }
+    // Decode at the boundary: std::set re-sorts by value, so the internal
+    // id order never leaks into results or fingerprints.
+    for (size_t i = 0; i < roots.size(); ++i) {
+      results[i].tuples = tables[i]->ToSet(st.dict);
+    }
+    return results;
+  }
   std::vector<TupleSetPtr> ptrs;
   ptrs.reserve(roots.size());
   for (size_t i = 0; i < roots.size(); ++i) {
-    if (roots[i] == nullptr) return Status::InvalidArgument("null expression");
     EvalStats before = st.stats;
-    MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr tuples, EvalRec(roots[i], &st));
+    MAPCOMP_ASSIGN_OR_RETURN(TupleSetPtr tuples, LegacyRec(roots[i], &st));
     results[i].arity = roots[i]->arity();
     results[i].stats = st.stats.DiffFrom(before);
     ptrs.push_back(std::move(tuples));
+    Consume(roots[i].get(), &st);
   }
-  // Dropping the memo usually leaves each root set uniquely owned here, so
+  // Refcount dropping usually leaves each root set uniquely owned here, so
   // it is moved, not copied (a base-relation root is a non-owning alias
   // into the instance, and duplicate roots share one set — both copy).
-  st.memo.clear();
+  st.memo_sets.clear();
   for (size_t i = 0; i < roots.size(); ++i) {
     if (ptrs[i].use_count() == 1) {
       results[i].tuples = std::move(*ptrs[i]);
@@ -375,6 +1071,41 @@ Result<std::vector<EvalResult>> EvaluateMany(const std::vector<ExprPtr>& roots,
     }
   }
   return results;
+}
+
+Result<bool> EvaluateContainment(const ExprPtr& lhs, const ExprPtr& rhs,
+                                 bool equality, const Instance& instance,
+                                 const EvalOptions& options,
+                                 EvalStats* stats) {
+  if (options.force_nested_loop) {
+    MAPCOMP_ASSIGN_OR_RETURN(std::vector<EvalResult> sides,
+                             EvaluateMany({lhs, rhs}, instance, options));
+    if (stats != nullptr) {
+      stats->MergeFrom(sides[0].stats);
+      stats->MergeFrom(sides[1].stats);
+    }
+    bool contained = true;
+    for (const Tuple& t : sides[0].tuples) {
+      if (sides[1].tuples.count(t) == 0) {
+        contained = false;
+        break;
+      }
+    }
+    if (equality) {
+      contained = contained && sides[0].tuples.size() == sides[1].tuples.size();
+    }
+    return contained;
+  }
+  EvalState st;
+  MAPCOMP_RETURN_IF_ERROR(InitState(&st, {lhs, rhs}, instance, options));
+  MAPCOMP_ASSIGN_OR_RETURN(TablePtr a, KernelRec(lhs, &st));
+  Consume(lhs.get(), &st);
+  MAPCOMP_ASSIGN_OR_RETURN(TablePtr b, KernelRec(rhs, &st));
+  Consume(rhs.get(), &st);
+  if (stats != nullptr) stats->MergeFrom(st.stats);
+  bool contained = TupleTable::SubsetOf(*a, *b);
+  if (equality) contained = contained && a->size() == b->size();
+  return contained;
 }
 
 Result<EvalResult> EvaluateFull(const ExprPtr& e, const Instance& instance,

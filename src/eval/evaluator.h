@@ -48,6 +48,14 @@ struct EvalOptions {
   /// sharded across lanes. Eligibility depends only on the data, never on
   /// `jobs`, so EvalStats is lane-count-independent too.
   int64_t parallel_threshold = 4096;
+  /// Forces the pre-kernel evaluation strategy: tuples as value vectors in
+  /// `std::set`, products materialized as full nested loops with the
+  /// selection applied afterwards, `D^r` always enumerated in full. Kept as
+  /// the columnar kernel's differential oracle — `EvalResult::Fingerprint()`
+  /// must be byte-identical between the two paths (the kernel may *succeed*
+  /// where the nested-loop path exhausts `max_domain_tuples`, since
+  /// constraint-driven `σ(D^r)` enumeration needs only the pruned space).
+  bool force_nested_loop = false;
 };
 
 /// Counters of one evaluation. Deterministic for a fixed expression,
@@ -58,10 +66,24 @@ struct EvalStats {
   int64_t memo_hits = 0;        ///< node visits answered by the memo table
   int64_t sharded_nodes = 0;    ///< nodes whose work crossed parallel_threshold
   int64_t tuples_produced = 0;  ///< sum of output sizes over computed nodes
+  /// `select(product)` nodes the kernel ran as sharded hash joins, vs.
+  /// products it had to materialize as nested loops (bare `kProduct` nodes
+  /// and keyless select-over-product fallbacks). The join-vs-product split
+  /// is the planner's effectiveness metric.
+  int64_t hash_join_nodes = 0;
+  int64_t nested_product_nodes = 0;
+  /// Memo memory accounting: every memoized table's approximate footprint
+  /// is added to `memo_bytes_total`; `memo_bytes_peak` is the high-water
+  /// mark of *live* memo bytes — a node's table is dropped as soon as its
+  /// last DAG parent has consumed it, so on deep chains peak ≪ total.
+  int64_t memo_bytes_total = 0;
+  int64_t memo_bytes_peak = 0;
 
   void MergeFrom(const EvalStats& other);
   /// Counter-wise `this - before` (the work added since the `before`
   /// snapshot); inverse of MergeFrom so the field list lives in one place.
+  /// `memo_bytes_peak` is a watermark, not a counter: MergeFrom takes the
+  /// max, DiffFrom keeps this side's value.
   EvalStats DiffFrom(const EvalStats& before) const;
   std::string ToString() const;
 };
@@ -106,6 +128,16 @@ Result<std::vector<EvalResult>> EvaluateMany(const std::vector<ExprPtr>& roots,
 /// Convenience wrapper returning only the tuple set.
 Result<std::set<Tuple>> Evaluate(const ExprPtr& e, const Instance& instance,
                                  const EvalOptions& options = {});
+
+/// Evaluates both sides of a constraint under one shared memo and reports
+/// `lhs ⊆ rhs` (with `equality` also `|lhs| == |rhs|`) — the checker's hot
+/// path. On the kernel path the subset check is a linear merge walk over
+/// the two columnar tables; nothing is ever decoded back to `std::set`.
+/// Accumulates evaluation counters into `stats` when non-null.
+Result<bool> EvaluateContainment(const ExprPtr& lhs, const ExprPtr& rhs,
+                                 bool equality, const Instance& instance,
+                                 const EvalOptions& options = {},
+                                 EvalStats* stats = nullptr);
 
 }  // namespace mapcomp
 

@@ -2,6 +2,7 @@
 #define MAPCOMP_EVAL_INSTANCE_H_
 
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -16,6 +17,12 @@ namespace mapcomp {
 /// modeled by simply holding both signatures' relations in one Instance.
 class Instance {
  public:
+  Instance() = default;
+  Instance(const Instance& other);
+  Instance(Instance&& other) noexcept;
+  Instance& operator=(const Instance& other);
+  Instance& operator=(Instance&& other) noexcept;
+
   void Set(const std::string& name, std::set<Tuple> tuples);
   void Add(const std::string& name, Tuple t);
   void Clear(const std::string& name);
@@ -29,8 +36,13 @@ class Instance {
   /// Total tuple count across all relations (workload sizing, reports).
   int64_t TotalTuples() const;
 
-  /// Set of values appearing anywhere in the instance (paper §2).
-  std::set<Value> ActiveDomain() const;
+  /// Set of values appearing anywhere in the instance (paper §2). Computed
+  /// lazily and cached — Set/Add/Clear invalidate — so repeated evaluations
+  /// against one instance (the checker runs one per constraint side) pay
+  /// the full scan once. Safe under concurrent readers; the reference stays
+  /// valid until the next mutation, and mutating an instance while another
+  /// thread evaluates against it was never supported.
+  const std::set<Value>& ActiveDomain() const;
 
   /// Merges `other` into a copy of this (union of relations; shared names
   /// take the union of their tuple sets).
@@ -48,6 +60,12 @@ class Instance {
 
  private:
   std::map<std::string, std::set<Tuple>> relations_;
+  // Lazy ActiveDomain cache. The mutex makes concurrent first reads safe
+  // (the 8-thread eval stress shares one instance); mutations only happen
+  // single-threaded, before evaluations start.
+  mutable std::mutex adom_mutex_;
+  mutable bool adom_valid_ = false;
+  mutable std::set<Value> adom_cache_;
 };
 
 }  // namespace mapcomp

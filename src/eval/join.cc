@@ -1,0 +1,318 @@
+#include "src/eval/join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/runtime/sharding.h"
+
+namespace mapcomp {
+namespace eval_internal {
+
+namespace {
+
+/// Chunk boundaries are a pure function of the probe size and the shared
+/// runtime::kMaxShardChunks, never of the lane count.
+constexpr int64_t kMaxShards = runtime::kMaxShardChunks;
+
+void FlattenConjuncts(const Condition& c,
+                      std::vector<const Condition*>* out) {
+  if (c.kind() == Condition::Kind::kAnd) {
+    for (const Condition& child : c.children()) {
+      FlattenConjuncts(child, out);
+    }
+    return;
+  }
+  if (c.IsTrue()) return;
+  out->push_back(&c);
+}
+
+/// Smallest and largest attribute index referenced anywhere in `c`
+/// (min stays INT_MAX / max stays 0 when no attribute occurs).
+void AttrSpan(const Condition& c, int* min_attr, int* max_attr) {
+  switch (c.kind()) {
+    case Condition::Kind::kAtom:
+      if (c.lhs().is_attr) {
+        *min_attr = std::min(*min_attr, c.lhs().attr);
+        *max_attr = std::max(*max_attr, c.lhs().attr);
+      }
+      if (c.rhs().is_attr) {
+        *min_attr = std::min(*min_attr, c.rhs().attr);
+        *max_attr = std::max(*max_attr, c.rhs().attr);
+      }
+      break;
+    case Condition::Kind::kAnd:
+    case Condition::Kind::kOr:
+    case Condition::Kind::kNot:
+      for (const Condition& child : c.children()) {
+        AttrSpan(child, min_attr, max_attr);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+uint64_t HashKeyCols(const ValueId* row, const std::vector<int>& cols) {
+  size_t seed = cols.size();
+  for (int c : cols) HashCombine(&seed, row[c]);
+  return seed;
+}
+
+}  // namespace
+
+CompiledCond CompiledCond::Compile(const Condition& c, ValueDict* dict) {
+  CompiledCond out;
+  out.kind_ = c.kind();
+  switch (c.kind()) {
+    case Condition::Kind::kAtom:
+      out.op_ = c.op();
+      out.lhs_attr_ = c.lhs().is_attr;
+      out.lhs_ = out.lhs_attr_ ? static_cast<uint32_t>(c.lhs().attr - 1)
+                               : dict->Intern(c.lhs().constant);
+      out.rhs_attr_ = c.rhs().is_attr;
+      out.rhs_ = out.rhs_attr_ ? static_cast<uint32_t>(c.rhs().attr - 1)
+                               : dict->Intern(c.rhs().constant);
+      break;
+    case Condition::Kind::kAnd:
+    case Condition::Kind::kOr:
+    case Condition::Kind::kNot:
+      out.children_.reserve(c.children().size());
+      for (const Condition& child : c.children()) {
+        out.children_.push_back(Compile(child, dict));
+      }
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+bool CompiledCond::Eval(const ValueId* row, int arity,
+                        const ValueDict& dict) const {
+  switch (kind_) {
+    case Condition::Kind::kTrue:
+      return true;
+    case Condition::Kind::kFalse:
+      return false;
+    case Condition::Kind::kAtom: {
+      ValueId a, b;
+      if (lhs_attr_) {
+        if (lhs_ >= static_cast<uint32_t>(arity)) return false;
+        a = row[lhs_];
+      } else {
+        a = lhs_;
+      }
+      if (rhs_attr_) {
+        if (rhs_ >= static_cast<uint32_t>(arity)) return false;
+        b = row[rhs_];
+      } else {
+        b = rhs_;
+      }
+      switch (op_) {
+        case CmpOp::kEq:
+          return a == b;
+        case CmpOp::kNe:
+          return a != b;
+        case CmpOp::kLt:
+          return dict.Compare(a, b) < 0;
+        case CmpOp::kLe:
+          return dict.Compare(a, b) <= 0;
+        case CmpOp::kGt:
+          return dict.Compare(a, b) > 0;
+        case CmpOp::kGe:
+          return dict.Compare(a, b) >= 0;
+      }
+      return false;
+    }
+    case Condition::Kind::kAnd:
+      for (const CompiledCond& child : children_) {
+        if (!child.Eval(row, arity, dict)) return false;
+      }
+      return true;
+    case Condition::Kind::kOr:
+      for (const CompiledCond& child : children_) {
+        if (child.Eval(row, arity, dict)) return true;
+      }
+      return false;
+    case Condition::Kind::kNot:
+      return !children_[0].Eval(row, arity, dict);
+  }
+  return false;
+}
+
+JoinPlan PlanJoin(const Condition& cond, int left_arity, int right_arity) {
+  JoinPlan plan;
+  std::vector<const Condition*> conjuncts;
+  FlattenConjuncts(cond, &conjuncts);
+  for (const Condition* c : conjuncts) {
+    int min_attr = INT32_MAX, max_attr = 0;
+    AttrSpan(*c, &min_attr, &max_attr);
+    if (max_attr <= left_arity) {
+      // Also takes attribute-free conjuncts (kFalse, const-vs-const atoms):
+      // a constant-false conjunct empties the left side, which empties the
+      // join — same truth value as filtering afterwards.
+      plan.left_filter = Condition::And(std::move(plan.left_filter), *c);
+      continue;
+    }
+    if (min_attr > left_arity) {
+      plan.right_filter = Condition::And(std::move(plan.right_filter),
+                                         c->ShiftAttrs(-left_arity));
+      continue;
+    }
+    if (c->kind() == Condition::Kind::kAtom && c->op() == CmpOp::kEq &&
+        c->lhs().is_attr && c->rhs().is_attr) {
+      int x = c->lhs().attr, y = c->rhs().attr;
+      if (x > y) std::swap(x, y);
+      if (x >= 1 && x <= left_arity && y > left_arity &&
+          y <= left_arity + right_arity) {
+        plan.keys.emplace_back(x, y - left_arity);
+        continue;
+      }
+    }
+    plan.residual = Condition::And(std::move(plan.residual), *c);
+  }
+  return plan;
+}
+
+DomainSelectPlan PlanDomainSelect(const Condition& cond, int r) {
+  DomainSelectPlan plan;
+  if (r <= 0) return plan;
+  // Union-find over the r coordinates, with an optional pinned constant per
+  // root. Only top-level equality conjuncts are used — anything else is
+  // left to the full-condition filter applied to every enumerated row, so
+  // the plan only ever *shrinks* the candidate set, never changes it.
+  std::vector<int> parent(r);
+  for (int i = 0; i < r; ++i) parent[i] = i;
+  std::function<int(int)> find = [&](int i) {
+    while (parent[i] != i) {
+      parent[i] = parent[parent[i]];
+      i = parent[i];
+    }
+    return i;
+  };
+  std::vector<std::optional<Value>> pin(r);
+  bool merged = false, bound = false;
+
+  std::vector<const Condition*> conjuncts;
+  FlattenConjuncts(cond, &conjuncts);
+  for (const Condition* c : conjuncts) {
+    if (c->kind() != Condition::Kind::kAtom || c->op() != CmpOp::kEq) continue;
+    const CondOperand& l = c->lhs();
+    const CondOperand& rr = c->rhs();
+    auto in_range = [r](const CondOperand& o) {
+      return o.is_attr && o.attr >= 1 && o.attr <= r;
+    };
+    if (in_range(l) && in_range(rr)) {
+      int a = find(l.attr - 1), b = find(rr.attr - 1);
+      if (a == b) continue;
+      if (pin[a] && pin[b] &&
+          CompareValues(*pin[a], *pin[b]) != 0) {
+        plan.unsatisfiable = true;
+        plan.useful = true;
+        return plan;
+      }
+      if (!pin[a] && pin[b]) pin[a] = pin[b];
+      parent[b] = a;
+      merged = true;
+    } else if (in_range(l) != in_range(rr)) {
+      const CondOperand& attr = in_range(l) ? l : rr;
+      const CondOperand& cst = in_range(l) ? rr : l;
+      if (cst.is_attr) continue;  // the other side is an out-of-range attr
+      int a = find(attr.attr - 1);
+      if (pin[a] && CompareValues(*pin[a], cst.constant) != 0) {
+        plan.unsatisfiable = true;
+        plan.useful = true;
+        return plan;
+      }
+      pin[a] = cst.constant;
+      bound = true;
+    }
+  }
+  if (!merged && !bound) return plan;  // nothing to prune
+  plan.useful = true;
+  plan.class_of.assign(r, -1);
+  std::vector<int> class_of_root(r, -1);
+  for (int i = 0; i < r; ++i) {
+    int root = find(i);
+    if (class_of_root[root] < 0) {
+      class_of_root[root] = plan.num_classes++;
+      plan.class_const.push_back(pin[root]);
+    }
+    plan.class_of[i] = class_of_root[root];
+  }
+  return plan;
+}
+
+TupleTable HashJoin(const TupleTable& left, const TupleTable& right,
+                    const std::vector<std::pair<int, int>>& keys,
+                    const CompiledCond& residual, const ValueDict& dict,
+                    runtime::ThreadPool* pool, int max_helpers) {
+  const bool build_left = left.size() <= right.size();
+  const TupleTable& build = build_left ? left : right;
+  const TupleTable& probe = build_left ? right : left;
+  std::vector<int> build_cols, probe_cols;
+  build_cols.reserve(keys.size());
+  probe_cols.reserve(keys.size());
+  for (const auto& [l, r] : keys) {
+    build_cols.push_back(build_left ? l - 1 : r - 1);
+    probe_cols.push_back(build_left ? r - 1 : l - 1);
+  }
+
+  const int la = left.arity(), ra = right.arity();
+  const int out_arity = la + ra;
+  TupleTable out(out_arity);
+  int64_t n = probe.size();
+  if (n == 0 || build.size() == 0) return out;
+
+  std::unordered_multimap<uint64_t, int64_t> index;
+  index.reserve(static_cast<size_t>(build.size()));
+  for (int64_t i = 0; i < build.size(); ++i) {
+    index.emplace(HashKeyCols(build.Row(i), build_cols), i);
+  }
+  int64_t chunk = (n + kMaxShards - 1) / kMaxShards;
+  std::vector<std::vector<ValueId>> chunks =
+      runtime::ShardedTransform<std::vector<ValueId>>(
+          pool, n, chunk, max_helpers,
+          [&](int64_t begin, int64_t end) {
+            std::vector<ValueId> local;
+            std::vector<ValueId> combined(static_cast<size_t>(out_arity));
+            for (int64_t i = begin; i < end; ++i) {
+              const ValueId* prow = probe.Row(i);
+              auto [it, last] =
+                  index.equal_range(HashKeyCols(prow, probe_cols));
+              for (; it != last; ++it) {
+                const ValueId* brow = build.Row(it->second);
+                bool match = true;
+                for (size_t k = 0; k < probe_cols.size(); ++k) {
+                  if (prow[probe_cols[k]] != brow[build_cols[k]]) {
+                    match = false;
+                    break;
+                  }
+                }
+                if (!match) continue;
+                const ValueId* lrow = build_left ? brow : prow;
+                const ValueId* rrow = build_left ? prow : brow;
+                std::copy(lrow, lrow + la, combined.begin());
+                std::copy(rrow, rrow + ra, combined.begin() + la);
+                if (!residual.IsTrue() &&
+                    !residual.Eval(combined.data(), out_arity, dict)) {
+                  continue;
+                }
+                local.insert(local.end(), combined.begin(), combined.end());
+              }
+            }
+            return local;
+          });
+  std::vector<ValueId>& data = out.MutableData();
+  for (const std::vector<ValueId>& c : chunks) {
+    data.insert(data.end(), c.begin(), c.end());
+  }
+  out.FinishAppends();
+  // Left rows and right rows are each unique, so joined pairs are unique:
+  // sorting alone canonicalizes.
+  out.SortRows();
+  return out;
+}
+
+}  // namespace eval_internal
+}  // namespace mapcomp

@@ -1,0 +1,96 @@
+#ifndef MAPCOMP_EVAL_JOIN_H_
+#define MAPCOMP_EVAL_JOIN_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/algebra/condition.h"
+#include "src/eval/tuple_table.h"
+#include "src/eval/value_dict.h"
+#include "src/runtime/thread_pool.h"
+
+namespace mapcomp {
+namespace eval_internal {
+
+/// A selection condition compiled against a ValueDict: attribute references
+/// become 0-based column indexes, constants become interned ValueIds, so
+/// per-row evaluation is integer compares with no variant dispatch. Order
+/// atoms (`<`, `>=`, ...) compare through ValueDict::Compare, which is a
+/// plain id comparison within the seeded order-preserving range.
+/// Semantics mirror Condition::Eval exactly, including "an atom referencing
+/// an out-of-range attribute is false".
+class CompiledCond {
+ public:
+  /// Compiles `c`, interning its constants into `dict` (must run on the
+  /// evaluation thread — never during a sharded emit).
+  static CompiledCond Compile(const Condition& c, ValueDict* dict);
+
+  bool Eval(const ValueId* row, int arity, const ValueDict& dict) const;
+
+  bool IsTrue() const { return kind_ == Condition::Kind::kTrue; }
+
+ private:
+  Condition::Kind kind_ = Condition::Kind::kTrue;
+  CmpOp op_ = CmpOp::kEq;
+  bool lhs_attr_ = false, rhs_attr_ = false;
+  uint32_t lhs_ = 0, rhs_ = 0;  // 0-based column index or ValueId
+  std::vector<CompiledCond> children_;
+};
+
+/// How a `select(product(a, b))` node will run. Produced by PlanJoin from
+/// the selection condition and the two child arities:
+///   - conjuncts touching only the left (or only the right) side are pushed
+///     below the product as side filters,
+///   - equality conjuncts `#i = #j` spanning both sides become hash-join
+///     keys,
+///   - everything else (mixed non-equalities, disjunctions spanning sides)
+///     stays as a residual filter applied to each joined row.
+struct JoinPlan {
+  Condition left_filter = Condition::True();
+  /// Shifted to the right side's local attribute numbering.
+  Condition right_filter = Condition::True();
+  /// (left attr, right-local attr) pairs, 1-based.
+  std::vector<std::pair<int, int>> keys;
+  /// Evaluated against the combined row (original attribute numbering).
+  Condition residual = Condition::True();
+};
+
+JoinPlan PlanJoin(const Condition& cond, int left_arity, int right_arity);
+
+/// Bound-coordinate analysis of `select(D^r, cond)`: equality conjuncts
+/// partition the r coordinates into classes, some pinned to a constant —
+/// then only one representative per unpinned class needs enumerating, so
+/// σ_{#1=c ∧ #2=#3}(D^3) costs |D| candidate rows instead of |D|^3.
+struct DomainSelectPlan {
+  /// False when no conjunct binds or merges anything (the full D^r would be
+  /// enumerated anyway — evaluate the child normally so it stays memoized).
+  bool useful = false;
+  /// Two conjuncts pin one class to different constants: the selection is
+  /// empty without enumerating anything.
+  bool unsatisfiable = false;
+  /// 0-based coordinate → class index (classes numbered by first coord).
+  std::vector<int> class_of;
+  /// Pinned constant per class (nullopt = enumerate the domain).
+  std::vector<std::optional<Value>> class_const;
+  int num_classes = 0;
+};
+
+DomainSelectPlan PlanDomainSelect(const Condition& cond, int r);
+
+/// Sharded hash join of two sorted tables: builds a hash index over the
+/// smaller side's key columns, probes the larger side in parallel row
+/// chunks (deterministic chunk order), emits combined rows in (left, right)
+/// column order filtered by `residual`, and returns the canonically sorted
+/// result. Row content is independent of lane count and probe order — the
+/// final sort makes the table canonical.
+TupleTable HashJoin(const TupleTable& left, const TupleTable& right,
+                    const std::vector<std::pair<int, int>>& keys,
+                    const CompiledCond& residual, const ValueDict& dict,
+                    runtime::ThreadPool* pool, int max_helpers);
+
+}  // namespace eval_internal
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_EVAL_JOIN_H_

@@ -1,0 +1,231 @@
+#include "src/eval/tuple_table.h"
+
+#include <algorithm>
+
+namespace mapcomp {
+
+void TupleTable::AppendRow(const ValueId* row) {
+  data_.insert(data_.end(), row, row + arity_);
+  ++rows_;
+}
+
+void TupleTable::FinishAppends() {
+  // Arity-0 emitters must use AppendRow (a zero-stride row leaves no trace
+  // in data_ to count).
+  if (arity_ > 0) rows_ = static_cast<int64_t>(data_.size()) / arity_;
+}
+
+namespace {
+
+/// Applies a row permutation `perm` (optionally truncated to `keep` rows)
+/// to `data`, row stride `arity`.
+std::vector<ValueId> Permute(const std::vector<ValueId>& data, int arity,
+                             const std::vector<int64_t>& perm, int64_t keep) {
+  std::vector<ValueId> out;
+  out.reserve(static_cast<size_t>(keep) * arity);
+  for (int64_t i = 0; i < keep; ++i) {
+    const ValueId* row = data.data() + perm[i] * arity;
+    out.insert(out.end(), row, row + arity);
+  }
+  return out;
+}
+
+}  // namespace
+
+void TupleTable::SortRows() {
+  if (arity_ == 0 || rows_ < 2) return;
+  std::vector<int64_t> perm(rows_);
+  for (int64_t i = 0; i < rows_; ++i) perm[i] = i;
+  const ValueId* base = data_.data();
+  int arity = arity_;
+  std::sort(perm.begin(), perm.end(), [base, arity](int64_t a, int64_t b) {
+    return CompareRows(base + a * arity, base + b * arity, arity) < 0;
+  });
+  data_ = Permute(data_, arity_, perm, rows_);
+}
+
+void TupleTable::SortDedupRows() {
+  if (arity_ == 0) {
+    rows_ = rows_ > 0 ? 1 : 0;
+    return;
+  }
+  if (rows_ < 2) return;
+  SortRows();
+  // Sorted: compact equal neighbors in place.
+  int64_t keep = 1;
+  for (int64_t i = 1; i < rows_; ++i) {
+    if (CompareRows(Row(i), Row(keep - 1), arity_) != 0) {
+      if (keep != i) {
+        std::copy(Row(i), Row(i) + arity_, data_.begin() + keep * arity_);
+      }
+      ++keep;
+    }
+  }
+  rows_ = keep;
+  data_.resize(static_cast<size_t>(rows_) * arity_);
+}
+
+bool TupleTable::Contains(const ValueId* row) const {
+  if (arity_ == 0) return rows_ > 0;
+  int64_t lo = 0, hi = rows_;
+  while (lo < hi) {
+    int64_t mid = lo + (hi - lo) / 2;
+    int cmp = CompareRows(Row(mid), row, arity_);
+    if (cmp == 0) return true;
+    if (cmp < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return false;
+}
+
+bool TupleTable::SubsetOf(const TupleTable& a, const TupleTable& b) {
+  // Tuples of different arities are never equal, so across a mismatch only
+  // the empty table is a subset (mirrors set-lookup semantics; the public
+  // containment API can be handed two sides of different arities).
+  if (a.arity_ != b.arity_) return a.rows_ == 0;
+  if (a.arity_ == 0) return a.rows_ == 0 || b.rows_ > 0;
+  if (a.rows_ > b.rows_) return false;
+  int64_t i = 0, j = 0;
+  while (i < a.rows_) {
+    if (j >= b.rows_) return false;
+    int cmp = CompareRows(a.Row(i), b.Row(j), a.arity_);
+    if (cmp == 0) {
+      ++i;
+      ++j;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      return false;  // a's row absent from b
+    }
+  }
+  return true;
+}
+
+TupleTable TupleTable::UnionOf(const TupleTable& a, const TupleTable& b) {
+  TupleTable out(a.arity_);
+  if (a.arity_ == 0) {
+    out.rows_ = (a.rows_ > 0 || b.rows_ > 0) ? 1 : 0;
+    return out;
+  }
+  out.data_.reserve(a.data_.size() + b.data_.size());
+  int64_t i = 0, j = 0;
+  while (i < a.rows_ && j < b.rows_) {
+    int cmp = CompareRows(a.Row(i), b.Row(j), a.arity_);
+    if (cmp < 0) {
+      out.AppendRow(a.Row(i++));
+    } else if (cmp > 0) {
+      out.AppendRow(b.Row(j++));
+    } else {
+      out.AppendRow(a.Row(i++));
+      ++j;
+    }
+  }
+  for (; i < a.rows_; ++i) out.AppendRow(a.Row(i));
+  for (; j < b.rows_; ++j) out.AppendRow(b.Row(j));
+  return out;
+}
+
+TupleTable TupleTable::IntersectOf(const TupleTable& a, const TupleTable& b) {
+  TupleTable out(a.arity_);
+  if (a.arity_ == 0) {
+    out.rows_ = (a.rows_ > 0 && b.rows_ > 0) ? 1 : 0;
+    return out;
+  }
+  int64_t i = 0, j = 0;
+  while (i < a.rows_ && j < b.rows_) {
+    int cmp = CompareRows(a.Row(i), b.Row(j), a.arity_);
+    if (cmp < 0) {
+      ++i;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      out.AppendRow(a.Row(i++));
+      ++j;
+    }
+  }
+  return out;
+}
+
+TupleTable TupleTable::DifferenceOf(const TupleTable& a, const TupleTable& b) {
+  TupleTable out(a.arity_);
+  if (a.arity_ == 0) {
+    out.rows_ = (a.rows_ > 0 && b.rows_ == 0) ? 1 : 0;
+    return out;
+  }
+  int64_t i = 0, j = 0;
+  while (i < a.rows_) {
+    if (j >= b.rows_) {
+      out.AppendRow(a.Row(i++));
+      continue;
+    }
+    int cmp = CompareRows(a.Row(i), b.Row(j), a.arity_);
+    if (cmp < 0) {
+      out.AppendRow(a.Row(i++));
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+Result<TupleTable> TupleTable::FromSet(const std::set<Tuple>& s, int arity,
+                                       ValueDict* dict) {
+  TupleTable out(arity);
+  if (arity == 0) {
+    if (!s.empty() && !s.begin()->empty()) {
+      return Status::InvalidArgument("cannot encode non-empty tuples into "
+                                     "an arity-0 relation");
+    }
+    out.rows_ = s.empty() ? 0 : 1;
+    return out;
+  }
+  out.data_.reserve(s.size() * static_cast<size_t>(arity));
+  bool ordered = true;
+  ValueId limit = dict->ordered_limit();
+  for (const Tuple& t : s) {
+    if (static_cast<int>(t.size()) != arity) {
+      return Status::InvalidArgument(
+          "cannot encode a " + std::to_string(t.size()) +
+          "-tuple into an arity-" + std::to_string(arity) + " relation");
+    }
+    for (const Value& v : t) {
+      ValueId id = dict->Intern(v);
+      ordered = ordered && id < limit;
+      out.data_.push_back(id);
+    }
+  }
+  out.rows_ = static_cast<int64_t>(s.size());
+  // Set iteration is ascending value order; within the seeded range that IS
+  // ascending id order, so the table arrives sorted. Values beyond the
+  // seeded range (never the case for instance relations, whose values are
+  // all in the active domain) force an explicit sort.
+  if (!ordered) out.SortDedupRows();
+  return out;
+}
+
+std::set<Tuple> TupleTable::ToSet(const ValueDict& dict) const {
+  std::set<Tuple> out;
+  if (arity_ == 0) {
+    if (rows_ > 0) out.insert(Tuple{});
+    return out;
+  }
+  for (int64_t i = 0; i < rows_; ++i) {
+    const ValueId* row = Row(i);
+    Tuple t;
+    t.reserve(arity_);
+    for (int k = 0; k < arity_; ++k) t.push_back(dict.ValueOf(row[k]));
+    // A sorted table whose ids are all in the seeded range decodes in
+    // ascending value order, so the end hint makes the build linear; with
+    // out-of-order (appended) ids the hint is just ignored.
+    out.insert(out.end(), std::move(t));
+  }
+  return out;
+}
+
+}  // namespace mapcomp

@@ -1,0 +1,96 @@
+#ifndef MAPCOMP_EVAL_TUPLE_TABLE_H_
+#define MAPCOMP_EVAL_TUPLE_TABLE_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/eval/value_dict.h"
+
+namespace mapcomp {
+
+/// A flat, columnar-kernel relation: row-major `ValueId`s with an arity
+/// stride, kept sorted lexicographically by id and deduplicated. Replaces
+/// `std::set<Tuple>` inside the evaluator — inserts are appends, set
+/// operations are linear merge walks, and a row comparison is a handful of
+/// integer compares instead of per-value variant dispatch.
+///
+/// Because one ValueDict serves a whole evaluation, id equality ⇔ value
+/// equality across every table of that evaluation, so any two tables can be
+/// merged/intersected/subset-checked directly. The id *order* need not be
+/// the value order (Skolem terms append out of order); sortedness by id is
+/// only the internal canonical form — ToSet() re-canonicalizes by value.
+class TupleTable {
+ public:
+  explicit TupleTable(int arity = 0) : arity_(arity) {}
+
+  int arity() const { return arity_; }
+  int64_t size() const { return rows_; }
+  bool empty() const { return rows_ == 0; }
+
+  const ValueId* Row(int64_t i) const { return data_.data() + i * arity_; }
+
+  /// Appends one row (`arity()` ids; none for arity 0). Invalidates
+  /// sortedness until SortRows()/SortDedupRows() is called.
+  void AppendRow(const ValueId* row);
+
+  /// Raw row storage for bulk emitters; call FinishAppends() after writing
+  /// whole rows so the row count matches.
+  std::vector<ValueId>& MutableData() { return data_; }
+  void FinishAppends();
+
+  /// Sorts rows lexicographically by id. SortDedupRows also removes
+  /// duplicate rows; use plain SortRows when rows are known distinct.
+  void SortRows();
+  void SortDedupRows();
+
+  /// Binary search in a sorted table.
+  bool Contains(const ValueId* row) const;
+
+  /// a ⊆ b over sorted tables (linear merge walk). Differing arities make
+  /// every row of a absent from b, so only an empty a is a subset then.
+  static bool SubsetOf(const TupleTable& a, const TupleTable& b);
+
+  /// Sorted-merge set operations over sorted tables of equal arity.
+  static TupleTable UnionOf(const TupleTable& a, const TupleTable& b);
+  static TupleTable IntersectOf(const TupleTable& a, const TupleTable& b);
+  static TupleTable DifferenceOf(const TupleTable& a, const TupleTable& b);
+
+  /// Encodes a tuple set. A tuple whose size differs from `arity` is an
+  /// InvalidArgument error — flat rows have a fixed stride, so ragged input
+  /// (a malformed instance, or a user operator returning wrong-arity
+  /// tuples) must be rejected rather than read out of bounds. A std::set
+  /// iterates in ascending value order, so when every value is in the
+  /// dict's seeded range the encoded table is already sorted; otherwise it
+  /// is sorted explicitly.
+  static Result<TupleTable> FromSet(const std::set<Tuple>& s, int arity,
+                                    ValueDict* dict);
+
+  /// Decodes to the boundary representation (canonical value order —
+  /// std::set re-sorts, so id-order vs value-order never leaks out).
+  std::set<Tuple> ToSet(const ValueDict& dict) const;
+
+  /// Deterministic approximate heap footprint (memo accounting).
+  int64_t ApproxBytes() const {
+    return static_cast<int64_t>(data_.size() * sizeof(ValueId)) +
+           static_cast<int64_t>(sizeof(TupleTable));
+  }
+
+ private:
+  int arity_;
+  int64_t rows_ = 0;  ///< explicit so arity-0 tables (D^0 = {()}) work
+  std::vector<ValueId> data_;
+};
+
+/// Three-way lexicographic comparison of two rows of `arity` ids.
+inline int CompareRows(const ValueId* a, const ValueId* b, int arity) {
+  for (int i = 0; i < arity; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_EVAL_TUPLE_TABLE_H_

@@ -1,0 +1,28 @@
+#include "src/eval/value_dict.h"
+
+namespace mapcomp {
+
+void ValueDict::Seed(const std::set<Value>& universe) {
+  values_.assign(universe.begin(), universe.end());
+  index_.reserve(values_.size());
+  for (size_t i = 0; i < values_.size(); ++i) {
+    index_.emplace(values_[i], static_cast<ValueId>(i));
+  }
+  ordered_limit_ = static_cast<ValueId>(values_.size());
+}
+
+ValueId ValueDict::Intern(const Value& v) {
+  auto it = index_.find(v);
+  if (it != index_.end()) return it->second;
+  ValueId id = static_cast<ValueId>(values_.size());
+  values_.push_back(v);
+  index_.emplace(v, id);
+  return id;
+}
+
+const ValueId* ValueDict::Find(const Value& v) const {
+  auto it = index_.find(v);
+  return it == index_.end() ? nullptr : &it->second;
+}
+
+}  // namespace mapcomp

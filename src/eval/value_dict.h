@@ -1,0 +1,67 @@
+#ifndef MAPCOMP_EVAL_VALUE_DICT_H_
+#define MAPCOMP_EVAL_VALUE_DICT_H_
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/algebra/value.h"
+
+namespace mapcomp {
+
+/// Dense per-evaluation value identifier. Tuples become flat rows of these
+/// (see TupleTable), so tuple comparison is integer comparison and rows have
+/// no per-value heap allocation.
+using ValueId = uint32_t;
+
+/// Per-evaluation interning dictionary `Value` → dense `ValueId`.
+///
+/// The dictionary is seeded once with every value the evaluation can see up
+/// front — the instance's active domain, the extra constants, and every
+/// constant mentioned in the expressions — in sorted order, so over the
+/// seeded range **id order is value order** (CompareValues): tables sorted
+/// by id decode to canonically ordered tuple sets, D^r enumerated in id
+/// order is already sorted, and ordered condition atoms (`<`, `>=`, ...)
+/// compare ids directly.
+///
+/// Values minted *during* evaluation (Skolem terms, user-operator outputs)
+/// are appended past the seeded range. Appended ids still satisfy
+/// id equality ⇔ value equality (appends are interned), but not the order
+/// guarantee — Compare() falls back to CompareValues for them. Appending is
+/// not thread-safe; the kernel only interns on the calling thread.
+class ValueDict {
+ public:
+  /// Seeds ids 0..|universe|-1 in ascending value order. Must be called
+  /// once, before any Intern.
+  void Seed(const std::set<Value>& universe);
+
+  /// Returns the id of `v`, appending it (unordered range) when unknown.
+  ValueId Intern(const Value& v);
+
+  /// Returns the id of `v`, or nullptr when `v` was never interned.
+  const ValueId* Find(const Value& v) const;
+
+  const Value& ValueOf(ValueId id) const { return values_[id]; }
+
+  /// Three-way comparison of the denoted values. Pure id comparison within
+  /// the seeded (order-preserving) range; value comparison beyond it.
+  int Compare(ValueId a, ValueId b) const {
+    if (a == b) return 0;
+    if (a < ordered_limit_ && b < ordered_limit_) return a < b ? -1 : 1;
+    return CompareValues(values_[a], values_[b]);
+  }
+
+  size_t size() const { return values_.size(); }
+  /// Ids below this bound are in ascending value order.
+  ValueId ordered_limit() const { return ordered_limit_; }
+
+ private:
+  std::vector<Value> values_;
+  std::unordered_map<Value, ValueId, ValueHash> index_;
+  ValueId ordered_limit_ = 0;
+};
+
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_EVAL_VALUE_DICT_H_

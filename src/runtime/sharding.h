@@ -10,6 +10,13 @@
 namespace mapcomp {
 namespace runtime {
 
+/// Upper bound on chunks per sharded operation. Every caller that promises
+/// lane-count-independent results derives its chunk size from the work
+/// size and this one constant — a second, drifting copy would make chunk
+/// boundaries (and with them any chunk-ordered merge) differ between
+/// subsystems.
+inline constexpr int64_t kMaxShardChunks = 32;
+
 /// Deterministic sharded map: splits [0, n) into contiguous chunks of
 /// `chunk` items, runs `body(begin, end)` for each chunk on up to
 /// `max_helpers` pool workers plus the calling thread, and returns the
@@ -22,10 +29,13 @@ namespace runtime {
 ///
 /// Exceptions thrown by `body` propagate through ParallelFor (lowest chunk
 /// index wins). A null pool runs every chunk inline on the calling thread.
-template <typename T>
-std::vector<T> ShardedTransform(
-    ThreadPool* pool, int64_t n, int64_t chunk, int max_helpers,
-    const std::function<T(int64_t begin, int64_t end)>& body) {
+///
+/// `body` is a template parameter (callable `T(int64_t begin, int64_t end)`)
+/// rather than a std::function so the per-chunk call inlines — the columnar
+/// evaluator runs millions of rows through these bodies.
+template <typename T, typename Body>
+std::vector<T> ShardedTransform(ThreadPool* pool, int64_t n, int64_t chunk,
+                                int max_helpers, const Body& body) {
   if (n <= 0) return {};
   if (chunk < 1) chunk = 1;
   int64_t shards = (n + chunk - 1) / chunk;

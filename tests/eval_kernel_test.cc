@@ -1,0 +1,403 @@
+// Differential coverage of the columnar tuple kernel: every result must be
+// byte-identical to the nested-loop oracle (EvalOptions::force_nested_loop),
+// across the literature suite, adversarial mixed int/string domains that
+// stress ValueId order preservation, and generated hash-join-vs-product
+// property instances. Also pins the join planner's stats, the constraint-
+// driven σ(D^r) enumeration, and memo-byte refcount dropping.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/algebra/builders.h"
+#include "src/compose/compose.h"
+#include "src/eval/checker.h"
+#include "src/eval/evaluator.h"
+#include "src/eval/generator.h"
+#include "src/parser/parser.h"
+#include "src/testdata/literature_suite.h"
+
+namespace mapcomp {
+namespace {
+
+Tuple T(std::initializer_list<int64_t> vals) {
+  Tuple t;
+  for (int64_t v : vals) t.push_back(Value(v));
+  return t;
+}
+
+/// Evaluates `e` on the kernel (at jobs 1 and 8) and on the nested-loop
+/// oracle, and requires byte-identical fingerprints. The kernel may succeed
+/// where the oracle exhausts max_domain_tuples (constraint-driven σ(D^r)
+/// enumeration guards only the pruned space); the reverse — the kernel
+/// failing where the oracle succeeds — is always a bug.
+void ExpectKernelMatchesOracle(const ExprPtr& e, const Instance& db,
+                               EvalOptions base = {}) {
+  EvalOptions oracle_opts = base;
+  oracle_opts.force_nested_loop = true;
+  oracle_opts.jobs = 1;
+  Result<EvalResult> oracle = EvaluateFull(e, db, oracle_opts);
+  for (int jobs : {1, 8}) {
+    EvalOptions kernel_opts = base;
+    kernel_opts.force_nested_loop = false;
+    kernel_opts.jobs = jobs;
+    kernel_opts.parallel_threshold = 4;
+    Result<EvalResult> kernel = EvaluateFull(e, db, kernel_opts);
+    if (!oracle.ok()) {
+      if (kernel.ok()) {
+        EXPECT_EQ(oracle.status().code(), StatusCode::kResourceExhausted)
+            << "kernel succeeded where the oracle failed with a "
+               "non-guard error";
+      }
+      continue;
+    }
+    ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+    EXPECT_EQ(kernel->Fingerprint(), oracle->Fingerprint())
+        << "jobs=" << jobs;
+    EXPECT_EQ(kernel->tuples, oracle->tuples);
+    EXPECT_EQ(kernel->arity, oracle->arity);
+  }
+}
+
+TEST(EvalKernelTest, LiteratureSuiteMatchesNestedLoopOracle) {
+  Parser parser;
+  for (const testdata::LiteratureProblem& lit : testdata::LiteratureSuite()) {
+    CompositionProblem problem = parser.ParseProblem(lit.text).value();
+    CompositionResult composed = Compose(problem);
+    ConstraintSet all = problem.sigma12;
+    all.insert(all.end(), problem.sigma23.begin(), problem.sigma23.end());
+    all.insert(all.end(), composed.constraints.begin(),
+               composed.constraints.end());
+    std::mt19937_64 rng(lit.name[0] + 4242);
+    Instance inst = RepairTowards(
+        RandomInstanceOver(
+            {&problem.sigma1, &problem.sigma2, &problem.sigma3}, &rng),
+        all);
+    EvalOptions base;
+    base.skolem_mode = SkolemEvalMode::kInjectiveTerms;
+    base.extra_constants = CollectConstants(all);
+    for (const Constraint& c : all) {
+      ExpectKernelMatchesOracle(c.lhs, inst, base);
+      ExpectKernelMatchesOracle(c.rhs, inst, base);
+    }
+  }
+}
+
+TEST(EvalKernelTest, AdversarialMixedIntStringDomains) {
+  // Values chosen to punish a dictionary that is not order-preserving:
+  // negative/huge ints, the empty string, strings that *look* numeric, and
+  // strings differing only by a prefix — all interleaved in one domain.
+  Instance db;
+  db.Set("R", {Tuple{Value(int64_t{-5}), Value(std::string(""))},
+               Tuple{Value(int64_t{0}), Value(std::string("0"))},
+               Tuple{Value(int64_t{1'000'000}), Value(std::string("00"))},
+               Tuple{Value(int64_t{-5}), Value(std::string("ab"))},
+               Tuple{Value(int64_t{7}), Value(std::string("abc"))}});
+  db.Set("S", {Tuple{Value(std::string("ab")), Value(int64_t{7})},
+               Tuple{Value(std::string("")), Value(int64_t{-5})},
+               Tuple{Value(std::string("zz")), Value(int64_t{0})}});
+  std::vector<ExprPtr> exprs = {
+      Union(Rel("R", 2), Project({2, 1}, Rel("S", 2))),
+      Difference(Rel("R", 2), Project({2, 1}, Rel("S", 2))),
+      Intersect(Project({2}, Rel("R", 2)), Project({1}, Rel("S", 2))),
+      Dom(2),
+      // Order atoms across the int/string boundary (< spans both types).
+      Select(Condition::AttrCmp(1, CmpOp::kLt, 2), Dom(2)),
+      Select(Condition::AttrConst(2, CmpOp::kGe, Value(std::string("0"))),
+             Rel("R", 2)),
+      // Hash join keyed on a mixed int/string column.
+      Select(Condition::AttrCmp(2, CmpOp::kEq, 3),
+             Product(Rel("R", 2), Project({2, 1}, Rel("S", 2)))),
+      // Skolem terms mint new string values mid-evaluation.
+      SkolemApp("f", {2, 1}, Rel("R", 2)),
+  };
+  EvalOptions base;
+  base.skolem_mode = SkolemEvalMode::kInjectiveTerms;
+  for (const ExprPtr& e : exprs) ExpectKernelMatchesOracle(e, db, base);
+}
+
+TEST(EvalKernelTest, HashJoinVsProductEquivalenceProperty) {
+  // Generated instances and join shapes: every select(product) the planner
+  // turns into a hash join (or pushed-down nested loop) must equal the
+  // product-then-filter oracle.
+  std::mt19937_64 rng(20260730);
+  Signature sig;
+  ASSERT_TRUE(sig.AddRelation("A", 2).ok());
+  ASSERT_TRUE(sig.AddRelation("B", 3).ok());
+  GenOptions gen;
+  gen.domain_size = 5;
+  gen.max_tuples_per_rel = 9;
+  gen.include_strings = true;
+  for (int round = 0; round < 40; ++round) {
+    Instance inst = RandomInstance(sig, &rng);
+    std::uniform_int_distribution<int> left_attr(1, 2), right_attr(3, 5);
+    std::uniform_int_distribution<int> coin(0, 1);
+    // 1-2 cross equalities + optionally a single-side pushdown conjunct and
+    // a cross non-equality residual.
+    Condition cond = Condition::AttrCmp(left_attr(rng), CmpOp::kEq,
+                                        right_attr(rng));
+    if (coin(rng)) {
+      cond = Condition::And(
+          cond, Condition::AttrCmp(left_attr(rng), CmpOp::kEq,
+                                   right_attr(rng)));
+    }
+    if (coin(rng)) {
+      cond = Condition::And(
+          cond, Condition::AttrConst(left_attr(rng), CmpOp::kNe,
+                                     Value(int64_t{2})));
+    }
+    if (coin(rng)) {
+      cond = Condition::And(cond, Condition::AttrCmp(left_attr(rng),
+                                                     CmpOp::kLe,
+                                                     right_attr(rng)));
+    }
+    ExprPtr join = Select(cond, Product(Rel("A", 2), Rel("B", 3)));
+    ExpectKernelMatchesOracle(join, inst);
+    ExpectKernelMatchesOracle(Project({1, 3, 4}, join), inst);
+  }
+}
+
+TEST(EvalKernelTest, JoinPlannerStatsAndBypassedProduct) {
+  Instance db;
+  std::set<Tuple> r, s;
+  for (int64_t i = 0; i < 30; ++i) {
+    r.insert(Tuple{Value(i), Value(i % 7)});
+    s.insert(Tuple{Value(i % 7), Value(i)});
+  }
+  db.Set("R", std::move(r));
+  db.Set("S", std::move(s));
+  ExprPtr join = Select(Condition::AttrCmp(2, CmpOp::kEq, 3),
+                        Product(Rel("R", 2), Rel("S", 2)));
+  EvalResult kernel = EvaluateFull(join, db).value();
+  EXPECT_EQ(kernel.stats.hash_join_nodes, 1);
+  EXPECT_EQ(kernel.stats.nested_product_nodes, 0);
+  // The product child is planned around, never materialized: only R, S and
+  // the select itself count as evaluated nodes.
+  EXPECT_EQ(kernel.stats.nodes_evaluated, 3);
+
+  EvalOptions force;
+  force.force_nested_loop = true;
+  EvalResult oracle = EvaluateFull(join, db, force).value();
+  EXPECT_EQ(oracle.stats.hash_join_nodes, 0);
+  EXPECT_EQ(oracle.stats.nested_product_nodes, 1);
+  EXPECT_EQ(oracle.stats.nodes_evaluated, 4);  // R, S, product, select
+  EXPECT_EQ(kernel.Fingerprint(), oracle.Fingerprint());
+
+  // A keyless cross-side condition falls back to a (filtered) nested loop.
+  ExprPtr keyless = Select(Condition::AttrCmp(2, CmpOp::kLt, 3),
+                           Product(Rel("R", 2), Rel("S", 2)));
+  EvalResult fallback = EvaluateFull(keyless, db).value();
+  EXPECT_EQ(fallback.stats.hash_join_nodes, 0);
+  EXPECT_EQ(fallback.stats.nested_product_nodes, 1);
+  EXPECT_EQ(fallback.Fingerprint(),
+            EvaluateFull(keyless, db, force).value().Fingerprint());
+}
+
+TEST(EvalKernelTest, SelectOverAlreadyMaterializedProductFiltersTheMemo) {
+  // Union(P, select(P)): the union evaluates the shared product first, so
+  // the select must filter the memoized table instead of re-planning a
+  // join — the product's children may already be refcount-dropped, and a
+  // bypass would re-evaluate them from scratch.
+  Instance db;
+  std::set<Tuple> r, s;
+  for (int64_t i = 0; i < 12; ++i) {
+    r.insert(Tuple{Value(i), Value(i % 3)});
+    s.insert(Tuple{Value(i % 3), Value(i)});
+  }
+  db.Set("R", std::move(r));
+  db.Set("S", std::move(s));
+  ExprPtr prod = Product(Rel("R", 2), Rel("S", 2));
+  ExprPtr e = Union(prod, Select(Condition::AttrCmp(2, CmpOp::kEq, 3), prod));
+  EvalResult out = EvaluateFull(e, db).value();
+  // R, S, product, select, union — nothing evaluated twice.
+  EXPECT_EQ(out.stats.nodes_evaluated, 5);
+  EXPECT_EQ(out.stats.memo_hits, 1);  // the select's view of the product
+  EXPECT_EQ(out.stats.hash_join_nodes, 0);
+  EvalOptions force;
+  force.force_nested_loop = true;
+  EXPECT_EQ(out.Fingerprint(),
+            EvaluateFull(e, db, force).value().Fingerprint());
+}
+
+TEST(EvalKernelTest, RaggedRelationIsACleanError) {
+  // The instance API never validates arity; a flat fixed-stride table must
+  // reject ragged tuples instead of reading rows out of bounds.
+  Instance db;
+  db.Set("R", {T({1, 2}), T({7})});
+  Result<std::set<Tuple>> out = Evaluate(Rel("R", 2), db);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EvalKernelTest, DomainSelectEnumeratesOnlyTheBoundSpace) {
+  // adom has 60 values: D^3 = 216000 tuples. With #1 pinned and #2 = #3 the
+  // pruned space is 60 candidates, so a guard of 100 passes on the kernel
+  // while the nested-loop oracle exhausts.
+  Instance db;
+  std::set<Tuple> u;
+  for (int64_t i = 0; i < 60; ++i) u.insert(Tuple{Value(i)});
+  db.Set("U", std::move(u));
+  Condition cond = Condition::And(
+      Condition::AttrConst(1, CmpOp::kEq, Value(int64_t{3})),
+      Condition::AttrCmp(2, CmpOp::kEq, 3));
+  ExprPtr sel = Select(cond, Dom(3));
+
+  EvalOptions tight;
+  tight.max_domain_tuples = 100;
+  EvalResult pruned = EvaluateFull(sel, db, tight).value();
+  EXPECT_EQ(pruned.tuples.size(), 60u);  // (3, v, v) for every domain v
+
+  EvalOptions tight_oracle = tight;
+  tight_oracle.force_nested_loop = true;
+  Result<EvalResult> oracle = EvaluateFull(sel, db, tight_oracle);
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_EQ(oracle.status().code(), StatusCode::kResourceExhausted);
+
+  // With a generous guard both paths agree bit for bit.
+  EvalOptions loose;
+  EvalOptions loose_oracle;
+  loose_oracle.force_nested_loop = true;
+  EXPECT_EQ(EvaluateFull(sel, db, loose).value().Fingerprint(),
+            EvaluateFull(sel, db, loose_oracle).value().Fingerprint());
+
+  // A coordinate pinned to a constant outside the domain empties the
+  // selection without enumerating anything.
+  ExprPtr off_domain = Select(
+      Condition::AttrConst(1, CmpOp::kEq, Value(int64_t{777})), Dom(3));
+  EXPECT_TRUE(EvaluateFull(off_domain, db, tight).value().tuples.empty());
+
+  // Conflicting pins on one equality class are unsatisfiable outright.
+  ExprPtr conflict = Select(
+      Condition::And(
+          Condition::And(
+              Condition::AttrConst(1, CmpOp::kEq, Value(int64_t{1})),
+              Condition::AttrConst(2, CmpOp::kEq, Value(int64_t{2}))),
+          Condition::AttrCmp(1, CmpOp::kEq, 2)),
+      Dom(2));
+  EXPECT_TRUE(EvaluateFull(conflict, db, tight).value().tuples.empty());
+}
+
+TEST(EvalKernelTest, MemoBytesPeakBelowTotalOnDeepChain) {
+  // A 24-deep chain of distinct selects: refcount dropping releases each
+  // intermediate table as soon as its single parent consumed it, so the
+  // live-memo watermark stays far below the sum of all footprints.
+  Instance db;
+  std::set<Tuple> r;
+  for (int64_t i = 0; i < 200; ++i) r.insert(Tuple{Value(i), Value(i + 1)});
+  db.Set("R", std::move(r));
+  ExprPtr e = Rel("R", 2);
+  for (int64_t i = 0; i < 24; ++i) {
+    e = Select(Condition::AttrConst(1, CmpOp::kNe, Value(int64_t{1000 + i})),
+               e);
+  }
+  for (bool force : {false, true}) {
+    EvalOptions opts;
+    opts.force_nested_loop = force;
+    EvalResult out = EvaluateFull(e, db, opts).value();
+    EXPECT_EQ(out.tuples.size(), 200u) << "force=" << force;
+    EXPECT_GT(out.stats.memo_bytes_peak, 0) << "force=" << force;
+    EXPECT_GT(out.stats.memo_bytes_total, 0) << "force=" << force;
+    EXPECT_LT(out.stats.memo_bytes_peak, out.stats.memo_bytes_total)
+        << "force=" << force;
+    // The chain is 25 nodes of ~equal size; the watermark should hold only
+    // a couple of them, not half the chain.
+    EXPECT_LT(out.stats.memo_bytes_peak, out.stats.memo_bytes_total / 4)
+        << "force=" << force;
+  }
+}
+
+TEST(EvalKernelTest, SharedSubtreeSurvivesUntilLastParent) {
+  // shared feeds both sides of an intersect *and* a later root: dropping
+  // must not evict it before the last consumer, and memo hits must agree
+  // with the legacy accounting.
+  Instance db;
+  db.Set("R", {T({1, 2}), T({2, 3}), T({3, 4})});
+  ExprPtr shared = Project({1}, Rel("R", 2));
+  ExprPtr lhs = Intersect(shared, shared);
+  std::vector<EvalResult> out = EvaluateMany({lhs, shared}, db).value();
+  EXPECT_EQ(out[0].stats.nodes_evaluated, 3);  // R, project, intersect
+  EXPECT_EQ(out[0].stats.memo_hits, 1);        // second intersect edge
+  EXPECT_EQ(out[1].stats.nodes_evaluated, 0);
+  EXPECT_EQ(out[1].stats.memo_hits, 1);  // still memoized for the 2nd root
+  EXPECT_EQ(out[1].tuples, (std::set<Tuple>{T({1}), T({2}), T({3})}));
+}
+
+TEST(EvalKernelTest, ContainmentRunsOnTables) {
+  Instance db;
+  std::set<Tuple> r;
+  for (int64_t i = 0; i < 500; ++i) r.insert(Tuple{Value(i), Value(i % 9)});
+  db.Set("R", std::move(r));
+  ExprPtr rel = Rel("R", 2);
+  ExprPtr wide = Union(rel, Project({2, 1}, rel));
+  EvalStats stats;
+  EXPECT_TRUE(
+      EvaluateContainment(rel, wide, /*equality=*/false, db, {}, &stats)
+          .value());
+  EXPECT_FALSE(
+      EvaluateContainment(wide, rel, /*equality=*/false, db, {}).value());
+  EXPECT_FALSE(
+      EvaluateContainment(rel, wide, /*equality=*/true, db, {}).value());
+  EXPECT_TRUE(
+      EvaluateContainment(wide, wide, /*equality=*/true, db, {}).value());
+  EXPECT_GT(stats.nodes_evaluated, 0);
+  // Oracle path agrees.
+  EvalOptions force;
+  force.force_nested_loop = true;
+  EXPECT_TRUE(
+      EvaluateContainment(rel, wide, false, db, force).value());
+  EXPECT_FALSE(
+      EvaluateContainment(wide, rel, false, db, force).value());
+}
+
+TEST(EvalKernelTest, MismatchedArityContainmentIsFalseNotUB) {
+  // Constraint::Contain/Equal never validate arity; tuples of different
+  // arities are never equal, so only an empty lhs is contained — on both
+  // paths, with no out-of-bounds row walk.
+  Instance db;
+  db.Set("R", {T({1, 2, 3})});
+  db.Set("S", {T({1, 2})});
+  for (bool force : {false, true}) {
+    EvalOptions opts;
+    opts.force_nested_loop = force;
+    EXPECT_FALSE(EvaluateContainment(Rel("R", 3), Rel("S", 2), false, db,
+                                     opts)
+                     .value())
+        << "force=" << force;
+    EXPECT_TRUE(EvaluateContainment(Rel("Empty", 3), Rel("S", 2), false, db,
+                                    opts)
+                    .value())
+        << "force=" << force;
+  }
+}
+
+TEST(EvalKernelTest, InstanceActiveDomainCacheInvalidation) {
+  Instance db;
+  db.Set("R", {T({1, 2})});
+  EXPECT_EQ(db.ActiveDomain().size(), 2u);
+  db.Add("R", T({3, 4}));
+  EXPECT_EQ(db.ActiveDomain().size(), 4u);  // Add invalidates
+  db.Set("S", {T({9})});
+  EXPECT_EQ(db.ActiveDomain().size(), 5u);  // Set invalidates
+  db.Clear("S");
+  EXPECT_EQ(db.ActiveDomain().size(), 4u);  // Clear invalidates
+  Instance copy = db;
+  copy.Add("R", T({7, 8}));
+  EXPECT_EQ(copy.ActiveDomain().size(), 6u);
+  EXPECT_EQ(db.ActiveDomain().size(), 4u);  // copies don't share the cache
+
+  // MergedWith / RestrictedTo mutate their copy's relations directly: a
+  // warm source cache must not leak into the derived instance.
+  Instance other;
+  other.Set("Q", {T({100})});
+  EXPECT_EQ(db.MergedWith(other).ActiveDomain().size(), 5u);
+  Instance assigned;
+  assigned.Set("X", {T({1})});
+  EXPECT_EQ(assigned.ActiveDomain().size(), 1u);  // warm the target cache
+  assigned = db;
+  EXPECT_EQ(assigned.ActiveDomain().size(), 4u);
+}
+
+}  // namespace
+}  // namespace mapcomp

@@ -37,6 +37,10 @@
 //                          evaluation shards across --jobs lanes) and print
 //                          the verdict to stderr; exit 5 on any violation
 //     --check-seed S       RNG seed for --check-eval instances (default 42)
+//     --eval-stats         after --check-eval, print the aggregated
+//                          evaluation counters (memo hits, sharded nodes,
+//                          hash-join vs nested-product node counts,
+//                          memo_bytes_peak) to stderr
 //     --intern-stats       print expression-interner statistics to stderr
 //     --quiet              print only the composed constraints
 
@@ -93,6 +97,7 @@ int main(int argc, char** argv) {
   mapcomp::ComposeOptions options;
   bool quiet = false;
   bool intern_stats = false;
+  bool eval_stats = false;
   bool fail_on_warnings = false;
   int jobs = 1;
   int serve_passes = 0;  // 0 = no --serve-demo
@@ -151,6 +156,8 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--fail-on-warnings") == 0) {
       fail_on_warnings = true;
+    } else if (std::strcmp(arg, "--eval-stats") == 0) {
+      eval_stats = true;
     } else if (std::strcmp(arg, "--intern-stats") == 0) {
       intern_stats = true;
     } else if (std::strcmp(arg, "--order") == 0) {
@@ -179,6 +186,10 @@ int main(int argc, char** argv) {
     } else {
       paths.push_back(arg);
     }
+  }
+  if (eval_stats && check_eval == 0) {
+    std::fprintf(stderr, "--eval-stats requires --check-eval\n");
+    return 2;
   }
   if (paths.empty()) paths.push_back("-");  // read a single task from stdin
   if (paths.size() > 1 && !options.order.empty()) {
@@ -285,6 +296,7 @@ int main(int argc, char** argv) {
   bool any_violation = false;
   bool any_check_error = false;
   if (check_eval > 0) {
+    mapcomp::EvalStats total_eval_stats;
     mapcomp::CompositionCheckOptions check_options;
     check_options.eval.jobs = jobs;
     for (size_t i = 0; i < results.size(); ++i) {
@@ -302,6 +314,11 @@ int main(int argc, char** argv) {
       }
       std::fprintf(stderr, "%s: %s", label, check->Report().c_str());
       any_violation = any_violation || !check->sound;
+      total_eval_stats.MergeFrom(check->eval_stats);
+    }
+    if (eval_stats) {
+      std::fprintf(stderr, "aggregate %s\n",
+                   total_eval_stats.ToString().c_str());
     }
   }
 
