@@ -11,6 +11,10 @@
 //                (EvalOptions::force_nested_loop) and as the columnar
 //                hash-join kernel, fingerprint-cross-checked against each
 //                other (the kernel's differential oracle in bench form)
+//   dag_siblings a balanced union tree over 16 *independent* join subtrees
+//                (distinct relation pairs): the task-graph scheduler's
+//                showcase — sibling subtrees run concurrently even though
+//                no single node is large enough to shard internally
 //   suite_check  CheckComposition over the 22-problem literature suite
 //                (the end-to-end semantic soundness harness)
 //
@@ -241,6 +245,68 @@ int main(int argc, char** argv) {
         wide_tuples, static_cast<long long>(work), nested_best,
         nested_best / kernel_best, matches ? "true" : "false",
         static_cast<long long>(hash_join_nodes));
+    PrintRows(rows, work);
+    std::printf("    },\n");
+  }
+
+  // ---- dag_siblings: wide fan-out of independent join subtrees. ----
+  {
+    const int width = 16;
+    const int leg_tuples = smoke ? 40 : 500;
+    std::mt19937_64 rng(4242);
+    std::uniform_int_distribution<int64_t> val(0, smoke ? 40 : 300);
+    Instance db;
+    std::vector<ExprPtr> legs;
+    for (int i = 0; i < width; ++i) {
+      std::string suffix = std::to_string(i);
+      std::set<Tuple> r, s;
+      for (int t = 0; t < leg_tuples; ++t) {
+        r.insert(Tuple{Value(val(rng)), Value(val(rng))});
+        s.insert(Tuple{Value(val(rng)), Value(val(rng))});
+      }
+      db.Set("R" + suffix, std::move(r));
+      db.Set("S" + suffix, std::move(s));
+      legs.push_back(Project(
+          {1, 4},
+          Select(Condition::AttrCmp(2, CmpOp::kEq, 3),
+                 Product(Rel("R" + suffix, 2), Rel("S" + suffix, 2)))));
+    }
+    // Balanced union tree: every leg sits at the same depth, so all 16
+    // join chains are structurally ready together.
+    while (legs.size() > 1) {
+      std::vector<ExprPtr> next;
+      for (size_t i = 0; i + 1 < legs.size(); i += 2) {
+        next.push_back(Union(legs[i], legs[i + 1]));
+      }
+      legs = std::move(next);
+    }
+    ExprPtr dag = legs[0];
+    int64_t work = static_cast<int64_t>(width) * leg_tuples * leg_tuples;
+    int64_t tasks_spawned = 0, max_ready_depth = 0;
+    int64_t index_hits = 0, index_misses = 0;
+    auto rows = Sweep(kLanes, reps, [&](int jobs) {
+      EvalOptions opts;
+      opts.jobs = jobs;
+      opts.parallel_threshold = 256;
+      EvalResult out = EvaluateFull(dag, db, opts).value();
+      if (jobs == 1) {
+        tasks_spawned = out.stats.tasks_spawned;
+        max_ready_depth = out.stats.max_ready_depth;
+        index_hits = out.stats.index_cache_hits;
+        index_misses = out.stats.index_cache_misses;
+      }
+      return out.Fingerprint();
+    });
+    std::printf(
+        "    {\"name\": \"dag_siblings\", \"sibling_joins\": %d, "
+        "\"leg_tuples\": %d, \"work_tuples\": %lld, "
+        "\"tasks_spawned\": %lld, \"max_ready_depth\": %lld, "
+        "\"index_cache_hits\": %lld, \"index_cache_misses\": %lld,\n",
+        width, leg_tuples, static_cast<long long>(work),
+        static_cast<long long>(tasks_spawned),
+        static_cast<long long>(max_ready_depth),
+        static_cast<long long>(index_hits),
+        static_cast<long long>(index_misses));
     PrintRows(rows, work);
     std::printf("    },\n");
   }

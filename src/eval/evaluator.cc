@@ -1,15 +1,20 @@
 #include "src/eval/evaluator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/eval/join.h"
 #include "src/eval/tuple_table.h"
 #include "src/eval/value_dict.h"
 #include "src/runtime/sharding.h"
+#include "src/runtime/task_dag.h"
 #include "src/runtime/thread_pool.h"
 
 namespace mapcomp {
@@ -42,25 +47,6 @@ struct NodeUse {
   bool evaluated = false;
 };
 
-struct EvalState {
-  const Instance* instance;
-  const EvalOptions* options;
-  bool kernel = true;             ///< false ⇔ force_nested_loop
-  std::set<Value> domain;         ///< active domain + extra constants
-  std::vector<Value> domain_vec;  ///< legacy path: same values, set order
-  ValueDict dict;                 ///< kernel path: per-evaluation interning
-  std::vector<ValueId> domain_ids;  ///< kernel: domain ids, ascending
-  runtime::ThreadPool* pool = nullptr;  ///< null ⇔ jobs <= 1
-  int max_helpers = 0;                  ///< jobs - 1
-  std::unordered_map<const Expr*, TupleSetPtr> memo_sets;    ///< legacy
-  std::unordered_map<const Expr*, TablePtr> memo_tables;     ///< kernel
-  /// Kernel: decoded child sets served to user-operator evaluators.
-  std::unordered_map<const Expr*, TupleSetPtr> decoded;
-  std::unordered_map<const Expr*, NodeUse> uses;
-  EvalStats stats;
-  int64_t memo_bytes_live = 0;
-};
-
 TupleSetPtr Own(std::set<Tuple> s) {
   return std::make_shared<std::set<Tuple>>(std::move(s));
 }
@@ -79,46 +65,15 @@ int64_t ApproxSetBytes(const std::set<Tuple>& s) {
           arity * static_cast<int64_t>(sizeof(Value)) + 48);
 }
 
-int64_t EntryBytes(const Expr* e, const EvalState& st) {
-  auto ti = st.memo_tables.find(e);
-  if (ti != st.memo_tables.end()) return ti->second->ApproxBytes();
-  auto si = st.memo_sets.find(e);
-  if (si != st.memo_sets.end()) {
-    return e->kind() == ExprKind::kRelation ? 0 : ApproxSetBytes(*si->second);
-  }
-  return 0;
-}
-
-void AccountInsert(EvalState* st, int64_t bytes) {
-  st->memo_bytes_live += bytes;
-  st->stats.memo_bytes_total += bytes;
-  if (st->memo_bytes_live > st->stats.memo_bytes_peak) {
-    st->stats.memo_bytes_peak = st->memo_bytes_live;
-  }
-}
-
-/// One parent edge (or root occurrence) of `e` is done with its result.
-/// The last consumer drops the memo entry; if `e` was never computed (the
-/// planner bypassed it), its own child edges are released too, so
-/// grandchildren consumed directly by the planner can also be dropped.
-void Consume(const Expr* e, EvalState* st) {
-  NodeUse& u = st->uses[e];
-  if (--u.remaining > 0) return;
-  st->memo_bytes_live -= EntryBytes(e, *st);
-  st->memo_tables.erase(e);
-  st->memo_sets.erase(e);
-  st->decoded.erase(e);
-  if (!u.evaluated) {
-    for (const ExprPtr& c : e->children()) Consume(c.get(), st);
-  }
-}
-
-void CountUses(const ExprPtr& e, EvalState* st,
+/// Parent-edge refcounts for the whole root forest: each static child edge
+/// contributes one pending consumption (roots get one extra per occurrence,
+/// added by the caller).
+void CountUses(const ExprPtr& e, std::unordered_map<const Expr*, NodeUse>* uses,
                std::set<const Expr*>* visited) {
   if (!visited->insert(e.get()).second) return;
   for (const ExprPtr& c : e->children()) {
-    ++st->uses[c.get()].remaining;
-    CountUses(c, st, visited);
+    ++(*uses)[c.get()].remaining;
+    CountUses(c, uses, visited);
   }
 }
 
@@ -156,11 +111,76 @@ void CollectExprConstants(const ExprPtr& e, std::set<Value>* out,
   }
 }
 
+/// Shared guard on enumerating D^r: fails fast before any tuple is
+/// enumerated, so an oversized domain surfaces as an error, never a hang.
+Status CheckDomainGuard(int arity, int64_t d, double work,
+                        const EvalOptions& options) {
+  if (work > static_cast<double>(options.max_domain_tuples)) {
+    return Status::ResourceExhausted(
+        "enumerating D^" + std::to_string(arity) + " over " +
+        std::to_string(d) + " values is too large");
+  }
+  return Status::OK();
+}
+
+/// Deterministic morsel count of an eligible sharded enumeration over `n`
+/// work items: the number of contiguous chunks ShardedTransform splits it
+/// into. A pure function of n and kMaxShards — never of the lane count —
+/// so EvalStats::tasks_spawned is identical at any `jobs`.
+int64_t MorselCount(int64_t n) {
+  if (n <= 0) return 0;
+  int64_t chunk = (n + kMaxShards - 1) / kMaxShards;
+  return (n + chunk - 1) / chunk;
+}
+
 // --------------------------------------------------------------------------
 // Legacy nested-loop path (EvalOptions::force_nested_loop) — the kernel's
 // differential oracle. std::set<Tuple> end to end, products as full nested
 // loops with selection applied afterwards, D^r always fully enumerated.
 // --------------------------------------------------------------------------
+
+struct EvalState {
+  const Instance* instance;
+  const EvalOptions* options;
+  std::set<Value> domain;         ///< active domain + extra constants
+  std::vector<Value> domain_vec;  ///< same values, set order
+  runtime::ThreadPool* pool = nullptr;  ///< null ⇔ jobs <= 1
+  int max_helpers = 0;                  ///< jobs - 1
+  std::unordered_map<const Expr*, TupleSetPtr> memo_sets;
+  std::unordered_map<const Expr*, NodeUse> uses;
+  EvalStats stats;
+  int64_t memo_bytes_live = 0;
+};
+
+int64_t EntryBytes(const Expr* e, const EvalState& st) {
+  auto si = st.memo_sets.find(e);
+  if (si != st.memo_sets.end()) {
+    return e->kind() == ExprKind::kRelation ? 0 : ApproxSetBytes(*si->second);
+  }
+  return 0;
+}
+
+void AccountInsert(EvalState* st, int64_t bytes) {
+  st->memo_bytes_live += bytes;
+  st->stats.memo_bytes_total += bytes;
+  if (st->memo_bytes_live > st->stats.memo_bytes_peak) {
+    st->stats.memo_bytes_peak = st->memo_bytes_live;
+  }
+}
+
+/// One parent edge (or root occurrence) of `e` is done with its result.
+/// The last consumer drops the memo entry; if `e` was never computed (the
+/// planner bypassed it), its own child edges are released too, so
+/// grandchildren consumed directly by the planner can also be dropped.
+void Consume(const Expr* e, EvalState* st) {
+  NodeUse& u = st->uses[e];
+  if (--u.remaining > 0) return;
+  st->memo_bytes_live -= EntryBytes(e, *st);
+  st->memo_sets.erase(e);
+  if (!u.evaluated) {
+    for (const ExprPtr& c : e->children()) Consume(c.get(), st);
+  }
+}
 
 /// Applies `emit(t, out)` to every tuple of `in`. `work` is the number of
 /// candidate tuples the node will enumerate (|in| for unary transforms,
@@ -223,18 +243,6 @@ void EnumerateDomainRange(const std::vector<Value>& vals, int r,
 }
 
 Result<TupleSetPtr> LegacyRec(const ExprPtr& e, EvalState* st);
-
-/// Shared guard on enumerating D^r: fails fast before any tuple is
-/// enumerated, so an oversized domain surfaces as an error, never a hang.
-Status CheckDomainGuard(int arity, int64_t d, double work,
-                        const EvalOptions& options) {
-  if (work > static_cast<double>(options.max_domain_tuples)) {
-    return Status::ResourceExhausted(
-        "enumerating D^" + std::to_string(arity) + " over " +
-        std::to_string(d) + " values is too large");
-  }
-  return Status::OK();
-}
 
 Result<TupleSetPtr> LegacyEvalDomain(int arity, EvalState* st) {
   const std::vector<Value>& vals = st->domain_vec;
@@ -430,28 +438,465 @@ Result<TupleSetPtr> LegacyRec(const ExprPtr& e, EvalState* st) {
   return out;
 }
 
+Status LegacyInit(EvalState* st, const std::vector<ExprPtr>& roots,
+                  const Instance& instance, const EvalOptions& options) {
+  for (const ExprPtr& root : roots) {
+    if (root == nullptr) return Status::InvalidArgument("null expression");
+  }
+  st->instance = &instance;
+  st->options = &options;
+  st->domain = instance.ActiveDomain();
+  st->domain.insert(options.extra_constants.begin(),
+                    options.extra_constants.end());
+  st->domain_vec.assign(st->domain.begin(), st->domain.end());
+  if (options.jobs > 1) {
+    st->pool = runtime::GlobalPool();
+    st->max_helpers = options.jobs - 1;
+  }
+  std::set<const Expr*> counted;
+  for (const ExprPtr& root : roots) {
+    ++st->uses[root.get()].remaining;
+    CountUses(root, &st->uses, &counted);
+  }
+  return Status::OK();
+}
+
 // --------------------------------------------------------------------------
-// Columnar kernel path: tuples are flat ValueId rows in TupleTables, set
-// operations are linear merge walks over sorted rows, select(product) runs
-// as a planned hash join, and select(D^r) with bound coordinates enumerates
-// only the constraint-pruned space.
+// Columnar kernel path — a morsel-driven task graph over the interned DAG.
+//
+// Evaluation runs in three phases:
+//
+//   1. PLAN (sequential): walk the DAG exactly like the old recursive
+//      evaluator walked it — same memoization, same join/domain planning,
+//      same refcount-driven drop cascade, same guard checks — but instead
+//      of computing tables, record one `Slot` per node to compute and an
+//      event log of what the walk observed (evals, memo hits, memo drops,
+//      index-cache probes, root boundaries). Everything schedule-sensitive
+//      (which nodes run, which products are bypassed, condition
+//      compilation / constant interning, error precedence for guards) is
+//      decided here, on one thread.
+//
+//   2. EXECUTE (parallel): each slot becomes a TaskDag task depending on
+//      its input slots, so sibling subtrees, multiple EvaluateMany roots,
+//      and — via nested sharding inside a slot — hash-join probe morsels
+//      all interleave on the same lanes. A slot's output depends only on
+//      its input tables, so lane count decides who computes a slot, never
+//      what lands in it. A slot's table is dropped the moment its last
+//      consumer retires (atomic refcount), preserving the memo-peak
+//      behavior of the recursive engine.
+//
+//   3. REPLAY (sequential): walk the plan's event log and fold each slot's
+//      measured outputs (row counts, bytes, morsel counts) into per-root
+//      EvalStats buckets in plan order. Stats are therefore byte-identical
+//      at any lane count, including the memo_bytes_peak watermark.
 // --------------------------------------------------------------------------
 
-Result<TablePtr> KernelRec(const ExprPtr& e, EvalState* st);
+/// What a slot computes. kSelect* split the old select dispatch: the
+/// planner resolves the strategy (join vs. domain-prune vs. plain filter)
+/// at plan time, so execution is branch-free on expression structure.
+enum class SlotOp {
+  kRelation,
+  kDomain,
+  kEmpty,
+  kLiteral,
+  kUnion,
+  kIntersect,
+  kDifference,
+  kProduct,
+  kSelectFilter,
+  kSelectJoin,
+  kSelectDomain,
+  kSelectDomainEmpty,
+  kProject,
+  kSkolem,
+  kUserOp,
+};
 
-/// Kernel sibling of TransformSet: applies `emit(row, out_data)` — which
+/// One task-graph node. Plan-time fields are written by the planner and
+/// read-only during execution; execution fields are written only by the
+/// slot's own task (its inputs' fields are complete via the dag edge).
+struct Slot {
+  const Expr* node = nullptr;
+  SlotOp op = SlotOp::kEmpty;
+  int arity = 0;
+  /// Input slot indexes in operator order (may repeat, e.g. Union(x, x)).
+  std::vector<int64_t> args;
+
+  // kSelectFilter / kSelectDomain: the full compiled condition.
+  CompiledCond cond;
+  // kSelectJoin payload (PlanJoin results, compiled at plan time).
+  bool left_filter_true = true;
+  bool right_filter_true = true;
+  CompiledCond left_cc, right_cc, residual_cc;
+  std::vector<std::pair<int, int>> keys;
+  /// Cached build-side index (Instance::JoinIndex) when one join input is a
+  /// bare, unfiltered relation; null means build a hash index per run.
+  std::shared_ptr<const std::vector<int64_t>> build_perm;
+  bool build_perm_left = false;
+  // kSelectDomain payload (bound-class analysis resolved at plan time).
+  std::vector<int> class_of;
+  std::vector<ValueId> class_id;
+  std::vector<char> class_bound;
+  std::vector<int> free_slot;
+  int free_count = 0;
+  // kUserOp payload.
+  const op::OperatorDef* def = nullptr;
+
+  // Execution outputs.
+  TablePtr result;
+  Status status = Status::OK();
+  /// Consumers (distinct dependent slots, +1 pin per root occurrence) that
+  /// have not retired yet; the decrement to zero drops `result`.
+  std::atomic<int64_t> live_consumers{0};
+  // Measured replay payload: the stats deltas this slot's evaluation
+  // contributes, folded into per-root buckets in plan order afterwards.
+  int64_t bytes = 0;
+  int64_t d_tuples = 0;
+  int64_t d_sharded = 0;
+  int64_t d_hash_join = 0;
+  int64_t d_nested = 0;
+  int64_t d_tasks = 0;  ///< morsel tasks beyond the node task itself
+};
+
+/// One observation of the sequential plan walk. Replayed in order against
+/// the slots' measured outputs to reconstruct per-root stats.
+struct PlanEvent {
+  enum Kind { kEval, kHit, kDrop, kIndexHit, kIndexMiss, kRootEnd } kind;
+  int64_t slot = -1;
+};
+
+struct KernelState {
+  const Instance* instance = nullptr;
+  const EvalOptions* options = nullptr;
+  /// Shared so results can outlive the evaluation (lazy decode).
+  std::shared_ptr<ValueDict> dict;
+  std::set<Value> domain;           ///< active domain + extra constants
+  std::vector<ValueId> domain_ids;  ///< domain ids, ascending
+  runtime::ThreadPool* pool = nullptr;  ///< null ⇔ jobs <= 1
+  int max_helpers = 0;                  ///< jobs - 1
+
+  // Plan state.
+  std::unordered_map<const Expr*, NodeUse> uses;
+  std::unordered_map<const Expr*, int64_t> slot_of;
+  /// deque: slots hold atomics/compiled conditions and must never move.
+  std::deque<Slot> slots;
+  std::vector<PlanEvent> events;
+  std::vector<int64_t> root_slots;
+  /// max_ready_depth watermark at each root boundary (cumulative, like
+  /// memo_bytes_peak).
+  std::vector<int64_t> root_width;
+  std::vector<int> slot_depth;  ///< longest input chain per slot
+  std::unordered_map<int, int64_t> width_at_depth;
+  int64_t max_width = 0;
+
+  // Execution state: decoded child sets served to user-operator
+  // evaluators, cached per input slot (a child feeding several user ops
+  // decodes once even when those ops run on different lanes).
+  std::mutex decode_mu;
+  std::unordered_map<int64_t, TupleSetPtr> decoded;
+};
+
+/// Plan-time mirror of Consume: decrements the pending-edge count and, at
+/// zero, records the memo drop (replay subtracts the slot's measured bytes
+/// at this exact point in plan order) and cascades through bypassed nodes.
+void SimConsume(const Expr* e, KernelState* ks) {
+  NodeUse& u = ks->uses[e];
+  if (--u.remaining > 0) return;
+  auto it = ks->slot_of.find(e);
+  if (it != ks->slot_of.end()) {
+    ks->events.push_back({PlanEvent::kDrop, it->second});
+  }
+  if (!u.evaluated) {
+    for (const ExprPtr& c : e->children()) SimConsume(c.get(), ks);
+  }
+}
+
+int64_t NewSlot(const Expr* node, SlotOp op, int arity,
+                std::vector<int64_t> args, KernelState* ks) {
+  int depth = 0;
+  for (int64_t a : args) {
+    depth = std::max(depth, ks->slot_depth[static_cast<size_t>(a)] + 1);
+  }
+  ks->slots.emplace_back();
+  Slot& s = ks->slots.back();
+  s.node = node;
+  s.op = op;
+  s.arity = arity;
+  s.args = std::move(args);
+  ks->slot_depth.push_back(depth);
+  int64_t width = ++ks->width_at_depth[depth];
+  ks->max_width = std::max(ks->max_width, width);
+  return static_cast<int64_t>(ks->slots.size()) - 1;
+}
+
+/// Seals a planned node: marks it evaluated (the plan's memo), logs the
+/// eval event, and releases its static child edges — exactly where the
+/// recursive engine released them.
+void FinishSlot(const Expr* e, int64_t slot, KernelState* ks) {
+  ks->slot_of[e] = slot;
+  ks->uses[e].evaluated = true;
+  ks->events.push_back({PlanEvent::kEval, slot});
+  for (const ExprPtr& c : e->children()) SimConsume(c.get(), ks);
+}
+
+Result<int64_t> PlanVisit(const ExprPtr& e, KernelState* ks);
+
+/// select(product(a, b)): pushes single-side conjuncts below the product,
+/// turns cross-side equalities into hash-join keys, and keeps the rest as a
+/// residual filter on joined rows. The product child itself is never
+/// materialized (its memo refcount is released through the bypass cascade).
+/// When one join input is a bare relation with no pushed-down side filter,
+/// the instance's cached build-side index replaces the per-run hash build.
+Result<int64_t> PlanSelectJoin(const ExprPtr& e, KernelState* ks) {
+  const ExprPtr& prod = e->child(0);
+  const ExprPtr& left = prod->child(0);
+  const ExprPtr& right = prod->child(1);
+  JoinPlan plan = eval_internal::PlanJoin(e->condition(), left->arity(),
+                                          right->arity());
+  MAPCOMP_ASSIGN_OR_RETURN(int64_t a, PlanVisit(left, ks));
+  MAPCOMP_ASSIGN_OR_RETURN(int64_t b, PlanVisit(right, ks));
+  int64_t slot = NewSlot(e.get(), SlotOp::kSelectJoin, e->arity(), {a, b}, ks);
+  Slot& s = ks->slots[static_cast<size_t>(slot)];
+  s.left_filter_true = plan.left_filter.IsTrue();
+  s.right_filter_true = plan.right_filter.IsTrue();
+  if (!s.left_filter_true) {
+    s.left_cc = CompiledCond::Compile(plan.left_filter, ks->dict.get());
+  }
+  if (!s.right_filter_true) {
+    s.right_cc = CompiledCond::Compile(plan.right_filter, ks->dict.get());
+  }
+  s.residual_cc = CompiledCond::Compile(plan.residual, ks->dict.get());
+  s.keys = plan.keys;
+  if (!s.keys.empty()) {
+    // Index-cache eligibility: the build side must be exactly the relation
+    // encoding in set order (table row i == set element i), i.e. a bare
+    // kRelation input with no pushed-down side filter. Prefer the smaller
+    // relation as the build side (ties go left), like the hash build.
+    bool left_ok =
+        left->kind() == ExprKind::kRelation && s.left_filter_true;
+    bool right_ok =
+        right->kind() == ExprKind::kRelation && s.right_filter_true;
+    if (left_ok && right_ok) {
+      if (ks->instance->Get(right->name()).size() <
+          ks->instance->Get(left->name()).size()) {
+        left_ok = false;
+      } else {
+        right_ok = false;
+      }
+    }
+    if (left_ok || right_ok) {
+      const ExprPtr& rel = left_ok ? left : right;
+      std::vector<int> cols;
+      cols.reserve(s.keys.size());
+      for (const std::pair<int, int>& k : s.keys) {
+        cols.push_back((left_ok ? k.first : k.second) - 1);
+      }
+      bool was_hit = false;
+      s.build_perm = ks->instance->JoinIndex(rel->name(), cols, &was_hit);
+      s.build_perm_left = left_ok;
+      ks->events.push_back(
+          {was_hit ? PlanEvent::kIndexHit : PlanEvent::kIndexMiss, slot});
+    }
+  }
+  FinishSlot(e.get(), slot, ks);
+  return slot;
+}
+
+/// select(D^r) with bound coordinates: resolves the equality-class pins at
+/// plan time (a pin outside D makes the result empty with no enumeration;
+/// the guard measures the *pruned* space |D|^free_classes) and stores the
+/// class layout for the execution odometer.
+Result<int64_t> PlanSelectDomain(const ExprPtr& e, const DomainSelectPlan& plan,
+                                 KernelState* ks) {
+  const int r = e->child(0)->arity();
+  const std::vector<ValueId>& ids = ks->domain_ids;
+  int64_t d = static_cast<int64_t>(ids.size());
+  std::vector<ValueId> class_id(static_cast<size_t>(plan.num_classes), 0);
+  std::vector<char> class_bound(static_cast<size_t>(plan.num_classes), 0);
+  std::vector<int> free_slot(static_cast<size_t>(plan.num_classes), -1);
+  int free_count = 0;
+  for (int c = 0; c < plan.num_classes; ++c) {
+    if (plan.class_const[static_cast<size_t>(c)]) {
+      const ValueId* id =
+          ks->dict->Find(*plan.class_const[static_cast<size_t>(c)]);
+      // D^r only contains domain values: a coordinate pinned to a constant
+      // outside D makes the selection empty without enumerating anything.
+      if (id == nullptr ||
+          !std::binary_search(ids.begin(), ids.end(), *id)) {
+        int64_t slot =
+            NewSlot(e.get(), SlotOp::kSelectDomainEmpty, e->arity(), {}, ks);
+        FinishSlot(e.get(), slot, ks);
+        return slot;
+      }
+      class_id[static_cast<size_t>(c)] = *id;
+      class_bound[static_cast<size_t>(c)] = 1;
+    } else {
+      free_slot[static_cast<size_t>(c)] = free_count++;
+    }
+  }
+  double size = std::pow(static_cast<double>(d),
+                         static_cast<double>(free_count));
+  // The guard measures the *pruned* enumeration — the whole point of the
+  // constraint-driven path (the nested-loop oracle still guards |D|^r) —
+  // and the diagnostic reports that pruned work, not |D|^r.
+  if (size > static_cast<double>(ks->options->max_domain_tuples)) {
+    return Status::ResourceExhausted(
+        "constraint-pruned enumeration of sigma(D^" + std::to_string(r) +
+        ") over " + std::to_string(d) + " values still needs " +
+        std::to_string(free_count) +
+        " free coordinate classes — too large");
+  }
+  int64_t slot = NewSlot(e.get(), SlotOp::kSelectDomain, e->arity(), {}, ks);
+  Slot& s = ks->slots[static_cast<size_t>(slot)];
+  s.cond = CompiledCond::Compile(e->condition(), ks->dict.get());
+  s.class_of = plan.class_of;
+  s.class_id = std::move(class_id);
+  s.class_bound = std::move(class_bound);
+  s.free_slot = std::move(free_slot);
+  s.free_count = free_count;
+  FinishSlot(e.get(), slot, ks);
+  return slot;
+}
+
+/// The plan walk — one-to-one with the old KernelRec recursion: same visit
+/// order, same memo discipline (`evaluated` ⇔ "in the memo", since a memo
+/// entry is never dropped while a parent edge is pending), same strategy
+/// decisions, same guard checks in the same order. Returns the slot whose
+/// result is node `e`'s table.
+Result<int64_t> PlanVisit(const ExprPtr& e, KernelState* ks) {
+  NodeUse& u = ks->uses[e.get()];
+  if (u.evaluated) {
+    int64_t slot = ks->slot_of[e.get()];
+    ks->events.push_back({PlanEvent::kHit, slot});
+    return slot;
+  }
+  switch (e->kind()) {
+    case ExprKind::kRelation: {
+      int64_t slot = NewSlot(e.get(), SlotOp::kRelation, e->arity(), {}, ks);
+      FinishSlot(e.get(), slot, ks);
+      return slot;
+    }
+    case ExprKind::kDomain: {
+      int64_t d = static_cast<int64_t>(ks->domain_ids.size());
+      double size = std::pow(static_cast<double>(d),
+                             static_cast<double>(e->arity()));
+      MAPCOMP_RETURN_IF_ERROR(
+          CheckDomainGuard(e->arity(), d, size, *ks->options));
+      int64_t slot = NewSlot(e.get(), SlotOp::kDomain, e->arity(), {}, ks);
+      FinishSlot(e.get(), slot, ks);
+      return slot;
+    }
+    case ExprKind::kEmpty: {
+      int64_t slot = NewSlot(e.get(), SlotOp::kEmpty, e->arity(), {}, ks);
+      FinishSlot(e.get(), slot, ks);
+      return slot;
+    }
+    case ExprKind::kLiteral: {
+      int64_t slot = NewSlot(e.get(), SlotOp::kLiteral, e->arity(), {}, ks);
+      FinishSlot(e.get(), slot, ks);
+      return slot;
+    }
+    case ExprKind::kUnion:
+    case ExprKind::kIntersect:
+    case ExprKind::kDifference:
+    case ExprKind::kProduct: {
+      MAPCOMP_ASSIGN_OR_RETURN(int64_t a, PlanVisit(e->child(0), ks));
+      MAPCOMP_ASSIGN_OR_RETURN(int64_t b, PlanVisit(e->child(1), ks));
+      SlotOp op = SlotOp::kUnion;
+      if (e->kind() == ExprKind::kIntersect) op = SlotOp::kIntersect;
+      if (e->kind() == ExprKind::kDifference) op = SlotOp::kDifference;
+      if (e->kind() == ExprKind::kProduct) op = SlotOp::kProduct;
+      int64_t slot = NewSlot(e.get(), op, e->arity(), {a, b}, ks);
+      FinishSlot(e.get(), slot, ks);
+      return slot;
+    }
+    case ExprKind::kSelect: {
+      const ExprPtr& child = e->child(0);
+      // Plan the join only while the product is unmaterialized: a product
+      // another parent already evaluated (it stays memoized as long as this
+      // select's edge is pending) is cheaper to filter than to re-join —
+      // its children may already have been refcount-dropped.
+      if (child->kind() == ExprKind::kProduct &&
+          !ks->uses[child.get()].evaluated) {
+        return PlanSelectJoin(e, ks);
+      }
+      if (child->kind() == ExprKind::kDomain) {
+        DomainSelectPlan plan =
+            eval_internal::PlanDomainSelect(e->condition(), child->arity());
+        if (plan.unsatisfiable) {
+          int64_t slot =
+              NewSlot(e.get(), SlotOp::kSelectDomainEmpty, e->arity(), {}, ks);
+          FinishSlot(e.get(), slot, ks);
+          return slot;
+        }
+        if (plan.useful) return PlanSelectDomain(e, plan, ks);
+        // Nothing to prune — evaluate D^r normally so it stays memoized.
+      }
+      MAPCOMP_ASSIGN_OR_RETURN(int64_t a, PlanVisit(child, ks));
+      int64_t slot =
+          NewSlot(e.get(), SlotOp::kSelectFilter, e->arity(), {a}, ks);
+      ks->slots[static_cast<size_t>(slot)].cond =
+          CompiledCond::Compile(e->condition(), ks->dict.get());
+      FinishSlot(e.get(), slot, ks);
+      return slot;
+    }
+    case ExprKind::kProject: {
+      MAPCOMP_ASSIGN_OR_RETURN(int64_t a, PlanVisit(e->child(0), ks));
+      int64_t slot = NewSlot(e.get(), SlotOp::kProject, e->arity(), {a}, ks);
+      FinishSlot(e.get(), slot, ks);
+      return slot;
+    }
+    case ExprKind::kSkolem: {
+      if (ks->options->skolem_mode == SkolemEvalMode::kError) {
+        return Status::Unsupported(
+            "cannot evaluate Skolem function " + e->name() +
+            " without an interpretation (SkolemEvalMode::kError)");
+      }
+      MAPCOMP_ASSIGN_OR_RETURN(int64_t a, PlanVisit(e->child(0), ks));
+      int64_t slot = NewSlot(e.get(), SlotOp::kSkolem, e->arity(), {a}, ks);
+      FinishSlot(e.get(), slot, ks);
+      return slot;
+    }
+    case ExprKind::kUserOp: {
+      const op::OperatorDef* def =
+          ks->options->registry ? ks->options->registry->Find(e->name())
+                                : nullptr;
+      if (def == nullptr || !def->eval) {
+        return Status::Unsupported("no evaluator for operator " + e->name());
+      }
+      std::vector<int64_t> args;
+      args.reserve(e->children().size());
+      for (const ExprPtr& c : e->children()) {
+        MAPCOMP_ASSIGN_OR_RETURN(int64_t a, PlanVisit(c, ks));
+        args.push_back(a);
+      }
+      int64_t slot =
+          NewSlot(e.get(), SlotOp::kUserOp, e->arity(), std::move(args), ks);
+      ks->slots[static_cast<size_t>(slot)].def = def;
+      FinishSlot(e.get(), slot, ks);
+      return slot;
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+/// Execution sibling of TransformSet: applies `emit(row, out_data)` — which
 /// appends whole rows of `out_arity` ids — to every row of `in`, sharded
 /// into ≤ kMaxShards contiguous row chunks when `work` crosses the
-/// threshold, concatenated in chunk order. Requires out_arity > 0 (callers
-/// special-case the degenerate arity-0 shapes).
+/// threshold, concatenated in chunk order. Counters (sharded eligibility,
+/// morsel count) go to the slot and depend only on the data. Requires
+/// out_arity > 0 (callers special-case the degenerate arity-0 shapes).
 template <typename Emit>
-TupleTable TransformTable(EvalState* st, const TupleTable& in, int64_t work,
-                          int out_arity, const Emit& emit) {
+TupleTable SlotTransform(KernelState* ks, Slot* s, const TupleTable& in,
+                         int64_t work, int out_arity, const Emit& emit) {
   int64_t n = in.size();
-  bool eligible = work >= st->options->parallel_threshold;
-  if (eligible) ++st->stats.sharded_nodes;
+  bool eligible = work >= ks->options->parallel_threshold;
+  if (eligible) {
+    ++s->d_sharded;
+    s->d_tasks += MorselCount(n);
+  }
   TupleTable out(out_arity);
-  if (!eligible || st->pool == nullptr || n <= 1) {
+  if (!eligible || ks->pool == nullptr || n <= 1) {
     for (int64_t i = 0; i < n; ++i) emit(in.Row(i), &out.MutableData());
     out.FinishAppends();
     return out;
@@ -459,7 +904,7 @@ TupleTable TransformTable(EvalState* st, const TupleTable& in, int64_t work,
   int64_t chunk = (n + kMaxShards - 1) / kMaxShards;
   std::vector<std::vector<ValueId>> chunks =
       runtime::ShardedTransform<std::vector<ValueId>>(
-          st->pool, n, chunk, st->max_helpers,
+          ks->pool, n, chunk, ks->max_helpers,
           [&in, &emit](int64_t begin, int64_t end) {
             std::vector<ValueId> local;
             for (int64_t i = begin; i < end; ++i) emit(in.Row(i), &local);
@@ -497,21 +942,24 @@ void EnumerateDomainIdRange(const std::vector<ValueId>& ids, int r,
   }
 }
 
-Result<TablePtr> KernelEvalDomain(int arity, EvalState* st) {
-  const std::vector<ValueId>& ids = st->domain_ids;
+Result<TablePtr> EvalSlotDomain(KernelState* ks, Slot* s) {
+  const std::vector<ValueId>& ids = ks->domain_ids;
   int64_t d = static_cast<int64_t>(ids.size());
-  double size = std::pow(static_cast<double>(d), static_cast<double>(arity));
-  MAPCOMP_RETURN_IF_ERROR(CheckDomainGuard(arity, d, size, *st->options));
+  const int arity = s->arity;
   if (arity == 0) {
     TupleTable unit(0);
     unit.AppendRow(nullptr);
     return OwnTable(std::move(unit));
   }
   if (d == 0) return OwnTable(TupleTable(arity));
-  bool eligible = size >= static_cast<double>(st->options->parallel_threshold);
-  if (eligible) ++st->stats.sharded_nodes;
+  double size = std::pow(static_cast<double>(d), static_cast<double>(arity));
+  bool eligible = size >= static_cast<double>(ks->options->parallel_threshold);
+  if (eligible) {
+    ++s->d_sharded;
+    s->d_tasks += MorselCount(d);
+  }
   TupleTable out(arity);
-  if (!eligible || st->pool == nullptr || d <= 1) {
+  if (!eligible || ks->pool == nullptr || d <= 1) {
     EnumerateDomainIdRange(ids, arity, 0, d, &out.MutableData());
     out.FinishAppends();
     return OwnTable(std::move(out));
@@ -519,7 +967,7 @@ Result<TablePtr> KernelEvalDomain(int arity, EvalState* st) {
   int64_t chunk = (d + kMaxShards - 1) / kMaxShards;
   std::vector<std::vector<ValueId>> chunks =
       runtime::ShardedTransform<std::vector<ValueId>>(
-          st->pool, d, chunk, st->max_helpers,
+          ks->pool, d, chunk, ks->max_helpers,
           [&ids, arity](int64_t begin, int64_t end) {
             std::vector<ValueId> local;
             EnumerateDomainIdRange(ids, arity, begin, end, &local);
@@ -533,63 +981,69 @@ Result<TablePtr> KernelEvalDomain(int arity, EvalState* st) {
   return OwnTable(std::move(out));
 }
 
-/// select(product(a, b)): pushes single-side conjuncts below the product,
-/// turns cross-side equalities into hash-join keys, and keeps the rest as a
-/// residual filter on joined rows. The product child itself is never
-/// materialized (its memo refcount is released through the bypass cascade).
-Result<TablePtr> KernelSelectOverProduct(const ExprPtr& e, EvalState* st) {
-  const ExprPtr& prod = e->child(0);
-  const int la = prod->child(0)->arity(), ra = prod->child(1)->arity();
-  JoinPlan plan = eval_internal::PlanJoin(e->condition(), la, ra);
-  MAPCOMP_ASSIGN_OR_RETURN(TablePtr a, KernelRec(prod->child(0), st));
-  MAPCOMP_ASSIGN_OR_RETURN(TablePtr b, KernelRec(prod->child(1), st));
+Result<TablePtr> EvalSlotSelectJoin(KernelState* ks, Slot* s,
+                                    const TablePtr& a, const TablePtr& b) {
+  const int la = a->arity(), ra = b->arity();
+  const ValueDict& dict = *ks->dict;
   TablePtr fa = a, fb = b;
-  if (!plan.left_filter.IsTrue()) {
-    CompiledCond cc = CompiledCond::Compile(plan.left_filter, &st->dict);
-    const ValueDict& dict = st->dict;
-    fa = OwnTable(TransformTable(
-        st, *a, a->size(), la,
+  if (!s->left_filter_true) {
+    const CompiledCond& cc = s->left_cc;
+    fa = OwnTable(SlotTransform(
+        ks, s, *a, a->size(), la,
         [&cc, &dict, la](const ValueId* row, std::vector<ValueId>* out) {
           if (cc.Eval(row, la, dict)) out->insert(out->end(), row, row + la);
         }));
   }
-  if (!plan.right_filter.IsTrue()) {
-    CompiledCond cc = CompiledCond::Compile(plan.right_filter, &st->dict);
-    const ValueDict& dict = st->dict;
-    fb = OwnTable(TransformTable(
-        st, *b, b->size(), ra,
+  if (!s->right_filter_true) {
+    const CompiledCond& cc = s->right_cc;
+    fb = OwnTable(SlotTransform(
+        ks, s, *b, b->size(), ra,
         [&cc, &dict, ra](const ValueId* row, std::vector<ValueId>* out) {
           if (cc.Eval(row, ra, dict)) out->insert(out->end(), row, row + ra);
         }));
   }
-  CompiledCond residual = CompiledCond::Compile(plan.residual, &st->dict);
-  const int out_arity = la + ra;
-  if (!plan.keys.empty()) {
-    ++st->stats.hash_join_nodes;
+  const CompiledCond& residual = s->residual_cc;
+  const int out_arity = s->arity;
+  if (!s->keys.empty()) {
+    ++s->d_hash_join;
     // Probe work drives sharding eligibility (the build is linear anyway).
     bool eligible = std::max(fa->size(), fb->size()) >=
-                    st->options->parallel_threshold;
-    if (eligible) ++st->stats.sharded_nodes;
-    return OwnTable(eval_internal::HashJoin(
-        *fa, *fb, plan.keys, residual, st->dict,
-        eligible ? st->pool : nullptr, st->max_helpers));
+                    ks->options->parallel_threshold;
+    if (eligible) ++s->d_sharded;
+    if (s->build_perm != nullptr) {
+      // Cached build side: the probe is the other input. IndexJoin emits
+      // nothing when either side is empty, so morsels only count then.
+      const TupleTable& probe = s->build_perm_left ? *fb : *fa;
+      if (eligible && !fa->empty() && !fb->empty()) {
+        s->d_tasks += MorselCount(probe.size());
+      }
+      return OwnTable(eval_internal::IndexJoin(
+          *fa, *fb, s->keys, residual, dict, *s->build_perm,
+          s->build_perm_left, eligible ? ks->pool : nullptr,
+          ks->max_helpers));
+    }
+    if (eligible && !fa->empty() && !fb->empty()) {
+      s->d_tasks += MorselCount(std::max(fa->size(), fb->size()));
+    }
+    return OwnTable(eval_internal::HashJoin(*fa, *fb, s->keys, residual, dict,
+                                            eligible ? ks->pool : nullptr,
+                                            ks->max_helpers));
   }
   // No usable equality keys: nested loop over the *filtered* sides, with
   // the residual applied during emission (still strictly less work than
   // materializing the product and selecting afterwards).
-  ++st->stats.nested_product_nodes;
+  ++s->d_nested;
   if (out_arity == 0) {
     TupleTable out(0);
     if (!fa->empty() && !fb->empty() &&
-        (residual.IsTrue() || residual.Eval(nullptr, 0, st->dict))) {
+        (residual.IsTrue() || residual.Eval(nullptr, 0, dict))) {
       out.AppendRow(nullptr);
     }
     return OwnTable(std::move(out));
   }
-  const ValueDict& dict = st->dict;
   const TupleTable& right = *fb;
-  TupleTable out = TransformTable(
-      st, *fa, fa->size() * fb->size(), out_arity,
+  TupleTable out = SlotTransform(
+      ks, s, *fa, fa->size() * fb->size(), out_arity,
       [&residual, &dict, &right, la, ra, out_arity](
           const ValueId* lrow, std::vector<ValueId>* out_data) {
         std::vector<ValueId> combined(static_cast<size_t>(out_arity));
@@ -609,50 +1063,18 @@ Result<TablePtr> KernelSelectOverProduct(const ExprPtr& e, EvalState* st) {
   return OwnTable(std::move(out));
 }
 
-/// select(D^r) with bound coordinates: enumerates one representative per
-/// equality class (pinned classes contribute a single id), so the guarded
-/// work is |D|^free_classes instead of |D|^r, then applies the full
-/// condition to every candidate row.
-Result<TablePtr> KernelSelectOverDomain(const ExprPtr& e,
-                                        const DomainSelectPlan& plan,
-                                        EvalState* st) {
-  const int r = e->child(0)->arity();
-  const std::vector<ValueId>& ids = st->domain_ids;
+Result<TablePtr> EvalSlotSelectDomain(KernelState* ks, Slot* s) {
+  const int r = s->arity;
+  const std::vector<ValueId>& ids = ks->domain_ids;
   int64_t d = static_cast<int64_t>(ids.size());
-  std::vector<ValueId> class_id(plan.num_classes, 0);
-  std::vector<bool> class_bound(plan.num_classes, false);
-  std::vector<int> free_slot(plan.num_classes, -1);
-  int free_count = 0;
-  for (int c = 0; c < plan.num_classes; ++c) {
-    if (plan.class_const[c]) {
-      const ValueId* id = st->dict.Find(*plan.class_const[c]);
-      // D^r only contains domain values: a coordinate pinned to a constant
-      // outside D makes the selection empty without enumerating anything.
-      if (id == nullptr ||
-          !std::binary_search(ids.begin(), ids.end(), *id)) {
-        return OwnTable(TupleTable(r));
-      }
-      class_id[c] = *id;
-      class_bound[c] = true;
-    } else {
-      free_slot[c] = free_count++;
-    }
-  }
-  double size = std::pow(static_cast<double>(d),
-                         static_cast<double>(free_count));
-  // The guard measures the *pruned* enumeration — the whole point of the
-  // constraint-driven path (the nested-loop oracle still guards |D|^r) —
-  // and the diagnostic reports that pruned work, not |D|^r.
-  if (size > static_cast<double>(st->options->max_domain_tuples)) {
-    return Status::ResourceExhausted(
-        "constraint-pruned enumeration of sigma(D^" + std::to_string(r) +
-        ") over " + std::to_string(d) + " values still needs " +
-        std::to_string(free_count) +
-        " free coordinate classes — too large");
-  }
+  const int free_count = s->free_count;
   if (free_count > 0 && d == 0) return OwnTable(TupleTable(r));
-  CompiledCond cc = CompiledCond::Compile(e->condition(), &st->dict);
-  const ValueDict& dict = st->dict;
+  const CompiledCond& cc = s->cond;
+  const ValueDict& dict = *ks->dict;
+  const std::vector<int>& class_of = s->class_of;
+  const std::vector<ValueId>& class_id = s->class_id;
+  const std::vector<char>& class_bound = s->class_bound;
+  const std::vector<int>& free_slot = s->free_slot;
 
   // Enumerates assignments whose *first free class* takes ids[begin..end),
   // odometer over the remaining free classes.
@@ -661,7 +1083,10 @@ Result<TablePtr> KernelSelectOverDomain(const ExprPtr& e,
     std::vector<int64_t> odo(static_cast<size_t>(std::max(free_count, 1)), 0);
     std::vector<ValueId> row(static_cast<size_t>(r));
     if (free_count == 0) {
-      for (int k = 0; k < r; ++k) row[k] = class_id[plan.class_of[k]];
+      for (int k = 0; k < r; ++k) {
+        row[static_cast<size_t>(k)] =
+            class_id[static_cast<size_t>(class_of[static_cast<size_t>(k)])];
+      }
       if (cc.Eval(row.data(), r, dict)) {
         local.insert(local.end(), row.begin(), row.end());
       }
@@ -671,35 +1096,45 @@ Result<TablePtr> KernelSelectOverDomain(const ExprPtr& e,
     odo[0] = begin;
     for (;;) {
       for (int k = 0; k < r; ++k) {
-        int c = plan.class_of[k];
-        row[k] = class_bound[c] ? class_id[c] : ids[odo[free_slot[c]]];
+        int c = class_of[static_cast<size_t>(k)];
+        row[static_cast<size_t>(k)] =
+            class_bound[static_cast<size_t>(c)]
+                ? class_id[static_cast<size_t>(c)]
+                : ids[static_cast<size_t>(
+                      odo[static_cast<size_t>(
+                          free_slot[static_cast<size_t>(c)])])];
       }
       if (cc.Eval(row.data(), r, dict)) {
         local.insert(local.end(), row.begin(), row.end());
       }
       int pos = free_count - 1;
       while (pos >= 0) {
-        ++odo[pos];
+        ++odo[static_cast<size_t>(pos)];
         int64_t limit = pos == 0 ? end : d;
-        if (odo[pos] < limit) break;
+        if (odo[static_cast<size_t>(pos)] < limit) break;
         if (pos == 0) return local;
-        odo[pos] = 0;
+        odo[static_cast<size_t>(pos)] = 0;
         --pos;
       }
     }
   };
 
-  bool eligible = size >= static_cast<double>(st->options->parallel_threshold);
-  if (eligible) ++st->stats.sharded_nodes;
+  double size = std::pow(static_cast<double>(d),
+                         static_cast<double>(free_count));
+  bool eligible = size >= static_cast<double>(ks->options->parallel_threshold);
+  if (eligible) {
+    ++s->d_sharded;
+    if (free_count > 0) s->d_tasks += MorselCount(d);
+  }
   TupleTable out(r);
-  if (free_count == 0 || !eligible || st->pool == nullptr || d <= 1) {
+  if (free_count == 0 || !eligible || ks->pool == nullptr || d <= 1) {
     std::vector<ValueId> rows = enumerate(0, std::max<int64_t>(d, 1));
     out.MutableData() = std::move(rows);
   } else {
     int64_t chunk = (d + kMaxShards - 1) / kMaxShards;
     std::vector<std::vector<ValueId>> chunks =
         runtime::ShardedTransform<std::vector<ValueId>>(
-            st->pool, d, chunk, st->max_helpers,
+            ks->pool, d, chunk, ks->max_helpers,
             [&enumerate](int64_t begin, int64_t end) {
               return enumerate(begin, end);
             });
@@ -715,40 +1150,46 @@ Result<TablePtr> KernelSelectOverDomain(const ExprPtr& e,
   return OwnTable(std::move(out));
 }
 
-Result<TablePtr> KernelEvalNode(const ExprPtr& e, EvalState* st) {
-  switch (e->kind()) {
-    case ExprKind::kRelation: {
-      // Encoded once per evaluation (memoized per interned node). The
+/// Computes one slot's table from its input tables. Pure modulo the slot's
+/// own measured counters: every branch taken here was decided at plan time
+/// or depends only on the input tables, so the output is identical at any
+/// lane count.
+Result<TablePtr> EvalSlot(KernelState* ks, Slot* s,
+                          const std::vector<TablePtr>& in) {
+  const Expr* e = s->node;
+  switch (s->op) {
+    case SlotOp::kRelation: {
+      // Encoded once per evaluation (one slot per interned node). The
       // instance's values are all in the dictionary's seeded range, so the
       // encode is a linear pass and arrives sorted. A ragged relation (the
       // instance API never validates arity) is a clean error here, not an
       // out-of-bounds row read.
       MAPCOMP_ASSIGN_OR_RETURN(
-          TupleTable t, TupleTable::FromSet(st->instance->Get(e->name()),
-                                            e->arity(), &st->dict));
+          TupleTable t, TupleTable::FromSet(ks->instance->Get(e->name()),
+                                            s->arity, ks->dict.get()));
       return OwnTable(std::move(t));
     }
-    case ExprKind::kDomain:
-      return KernelEvalDomain(e->arity(), st);
-    case ExprKind::kEmpty:
-      return OwnTable(TupleTable(e->arity()));
-    case ExprKind::kLiteral: {
-      TupleTable out(e->arity());
-      if (e->arity() == 0) {
+    case SlotOp::kDomain:
+      return EvalSlotDomain(ks, s);
+    case SlotOp::kEmpty:
+    case SlotOp::kSelectDomainEmpty:
+      return OwnTable(TupleTable(s->arity));
+    case SlotOp::kLiteral: {
+      TupleTable out(s->arity);
+      if (s->arity == 0) {
         if (!e->tuples().empty()) out.AppendRow(nullptr);
         return OwnTable(std::move(out));
       }
       std::vector<ValueId>& data = out.MutableData();
       for (const Tuple& t : e->tuples()) {
-        for (const Value& v : t) data.push_back(st->dict.Intern(v));
+        for (const Value& v : t) data.push_back(ks->dict->Intern(v));
       }
       out.FinishAppends();
       out.SortDedupRows();
       return OwnTable(std::move(out));
     }
-    case ExprKind::kUnion: {
-      MAPCOMP_ASSIGN_OR_RETURN(TablePtr a, KernelRec(e->child(0), st));
-      MAPCOMP_ASSIGN_OR_RETURN(TablePtr b, KernelRec(e->child(1), st));
+    case SlotOp::kUnion: {
+      TablePtr a = in[0], b = in[1];
       // Shared immutably: a subsumed side means the union IS the other
       // side — no copy (Union(x, x) and the feed loop's re-unions).
       if (a->empty()) return b;
@@ -758,36 +1199,33 @@ Result<TablePtr> KernelEvalNode(const ExprPtr& e, EvalState* st) {
       if (merged.size() == b->size()) return b;  // a ⊆ b
       return OwnTable(std::move(merged));
     }
-    case ExprKind::kIntersect: {
-      MAPCOMP_ASSIGN_OR_RETURN(TablePtr a, KernelRec(e->child(0), st));
-      MAPCOMP_ASSIGN_OR_RETURN(TablePtr b, KernelRec(e->child(1), st));
+    case SlotOp::kIntersect: {
+      TablePtr a = in[0], b = in[1];
       if (a == b) return a;
       TupleTable merged = TupleTable::IntersectOf(*a, *b);
       if (merged.size() == a->size()) return a;  // a ⊆ b
       return OwnTable(std::move(merged));
     }
-    case ExprKind::kDifference: {
-      MAPCOMP_ASSIGN_OR_RETURN(TablePtr a, KernelRec(e->child(0), st));
-      MAPCOMP_ASSIGN_OR_RETURN(TablePtr b, KernelRec(e->child(1), st));
-      if (a == b) return OwnTable(TupleTable(e->arity()));
+    case SlotOp::kDifference: {
+      TablePtr a = in[0], b = in[1];
+      if (a == b) return OwnTable(TupleTable(s->arity));
       TupleTable merged = TupleTable::DifferenceOf(*a, *b);
       if (merged.size() == a->size()) return a;  // disjoint
       return OwnTable(std::move(merged));
     }
-    case ExprKind::kProduct: {
-      MAPCOMP_ASSIGN_OR_RETURN(TablePtr a, KernelRec(e->child(0), st));
-      MAPCOMP_ASSIGN_OR_RETURN(TablePtr b, KernelRec(e->child(1), st));
-      ++st->stats.nested_product_nodes;
+    case SlotOp::kProduct: {
+      TablePtr a = in[0], b = in[1];
+      ++s->d_nested;
       const int la = a->arity(), ra = b->arity();
-      const int out_arity = e->arity();
+      const int out_arity = s->arity;
       if (out_arity == 0) {
         TupleTable out(0);
         if (!a->empty() && !b->empty()) out.AppendRow(nullptr);
         return OwnTable(std::move(out));
       }
       const TupleTable& right = *b;
-      return OwnTable(TransformTable(
-          st, *a, a->size() * b->size(), out_arity,
+      return OwnTable(SlotTransform(
+          ks, s, *a, a->size() * b->size(), out_arity,
           [&right, la, ra](const ValueId* lrow, std::vector<ValueId>* out) {
             for (int64_t j = 0; j < right.size(); ++j) {
               out->insert(out->end(), lrow, lrow + la);
@@ -797,34 +1235,18 @@ Result<TablePtr> KernelEvalNode(const ExprPtr& e, EvalState* st) {
           }));
       // Sorted by construction: a-major over two sorted inputs.
     }
-    case ExprKind::kSelect: {
-      const ExprPtr& child = e->child(0);
-      // Plan the join only while the product is unmaterialized: a product
-      // another parent already evaluated (it stays memoized as long as this
-      // select's edge is pending) is cheaper to filter than to re-join —
-      // its children may already have been refcount-dropped.
-      if (child->kind() == ExprKind::kProduct &&
-          st->memo_tables.find(child.get()) == st->memo_tables.end()) {
-        return KernelSelectOverProduct(e, st);
-      }
-      if (child->kind() == ExprKind::kDomain) {
-        DomainSelectPlan plan =
-            eval_internal::PlanDomainSelect(e->condition(), child->arity());
-        if (plan.unsatisfiable) return OwnTable(TupleTable(e->arity()));
-        if (plan.useful) return KernelSelectOverDomain(e, plan, st);
-        // Nothing to prune — evaluate D^r normally so it stays memoized.
-      }
-      MAPCOMP_ASSIGN_OR_RETURN(TablePtr a, KernelRec(child, st));
-      CompiledCond cc = CompiledCond::Compile(e->condition(), &st->dict);
-      const ValueDict& dict = st->dict;
+    case SlotOp::kSelectFilter: {
+      TablePtr a = in[0];
+      const CompiledCond& cc = s->cond;
+      const ValueDict& dict = *ks->dict;
       const int arity = a->arity();
       if (arity == 0) {
         TupleTable out(0);
         if (!a->empty() && cc.Eval(nullptr, 0, dict)) out.AppendRow(nullptr);
         return OwnTable(std::move(out));
       }
-      return OwnTable(TransformTable(
-          st, *a, a->size(), arity,
+      return OwnTable(SlotTransform(
+          ks, s, *a, a->size(), arity,
           [&cc, &dict, arity](const ValueId* row, std::vector<ValueId>* out) {
             if (cc.Eval(row, arity, dict)) {
               out->insert(out->end(), row, row + arity);
@@ -832,8 +1254,12 @@ Result<TablePtr> KernelEvalNode(const ExprPtr& e, EvalState* st) {
           }));
       // Filtering preserves sortedness.
     }
-    case ExprKind::kProject: {
-      MAPCOMP_ASSIGN_OR_RETURN(TablePtr a, KernelRec(e->child(0), st));
+    case SlotOp::kSelectJoin:
+      return EvalSlotSelectJoin(ks, s, in[0], in[1]);
+    case SlotOp::kSelectDomain:
+      return EvalSlotSelectDomain(ks, s);
+    case SlotOp::kProject: {
+      TablePtr a = in[0];
       const std::vector<int>& indexes = e->indexes();
       if (indexes.empty()) {
         TupleTable out(0);
@@ -841,129 +1267,253 @@ Result<TablePtr> KernelEvalNode(const ExprPtr& e, EvalState* st) {
         return OwnTable(std::move(out));
       }
       const int out_arity = static_cast<int>(indexes.size());
-      TupleTable out = TransformTable(
-          st, *a, a->size(), out_arity,
+      TupleTable out = SlotTransform(
+          ks, s, *a, a->size(), out_arity,
           [&indexes](const ValueId* row, std::vector<ValueId>* out_data) {
             for (int i : indexes) out_data->push_back(row[i - 1]);
           });
       out.SortDedupRows();  // projection reorders and may collapse rows
       return OwnTable(std::move(out));
     }
-    case ExprKind::kSkolem: {
-      if (st->options->skolem_mode == SkolemEvalMode::kError) {
-        return Status::Unsupported(
-            "cannot evaluate Skolem function " + e->name() +
-            " without an interpretation (SkolemEvalMode::kError)");
-      }
-      MAPCOMP_ASSIGN_OR_RETURN(TablePtr a, KernelRec(e->child(0), st));
-      // Sequential on the calling thread: minting terms interns new ids,
-      // and the dictionary only ever mutates outside sharded emits.
+    case SlotOp::kSkolem: {
+      TablePtr a = in[0];
+      // Minted term ids may differ run to run under concurrency (Intern is
+      // thread-safe but arrival order is schedule-dependent) — harmless: id
+      // equality still means value equality, and the result surfaces
+      // (ToSet, Fingerprint) re-canonicalize by value.
       const std::vector<int>& indexes = e->indexes();
       const int in_arity = a->arity();
       TupleTable out(in_arity + 1);
       std::vector<ValueId>& data = out.MutableData();
-      data.reserve(static_cast<size_t>(a->size()) * (in_arity + 1));
+      data.reserve(static_cast<size_t>(a->size()) *
+                   static_cast<size_t>(in_arity + 1));
       for (int64_t i = 0; i < a->size(); ++i) {
         const ValueId* row = a->Row(i);
         std::string term = e->name() + "(";
         for (size_t k = 0; k < indexes.size(); ++k) {
           if (k > 0) term += ",";
-          term += ValueToString(st->dict.ValueOf(row[indexes[k] - 1]));
+          term += ValueToString(ks->dict->ValueOf(row[indexes[k] - 1]));
         }
         term += ")";
         data.insert(data.end(), row, row + in_arity);
-        data.push_back(st->dict.Intern(Value(std::move(term))));
+        data.push_back(ks->dict->Intern(Value(std::move(term))));
       }
       out.FinishAppends();
       out.SortRows();  // appended ids land out of id order; rows stay unique
       return OwnTable(std::move(out));
     }
-    case ExprKind::kUserOp: {
-      const op::OperatorDef* def =
-          st->options->registry ? st->options->registry->Find(e->name())
-                                : nullptr;
-      if (def == nullptr || !def->eval) {
-        return Status::Unsupported("no evaluator for operator " + e->name());
-      }
+    case SlotOp::kUserOp: {
       // User evaluators speak std::set<Tuple>: decode children at this
-      // boundary (cached per node — a child feeding several user ops
-      // decodes once) and re-encode the result.
-      std::vector<TablePtr> owners;
+      // boundary (cached per input slot under a mutex — a child feeding
+      // several user ops decodes once) and re-encode the result.
+      std::vector<TupleSetPtr> owners;
       std::vector<const std::set<Tuple>*> kids;
-      owners.reserve(e->children().size());
-      kids.reserve(e->children().size());
-      for (const ExprPtr& c : e->children()) {
-        MAPCOMP_ASSIGN_OR_RETURN(TablePtr k, KernelRec(c, st));
-        TupleSetPtr& cached = st->decoded[c.get()];
-        if (cached == nullptr) cached = Own(k->ToSet(st->dict));
+      owners.reserve(s->args.size());
+      kids.reserve(s->args.size());
+      for (size_t i = 0; i < s->args.size(); ++i) {
+        TupleSetPtr cached;
+        {
+          std::lock_guard<std::mutex> lock(ks->decode_mu);
+          TupleSetPtr& entry = ks->decoded[s->args[i]];
+          if (entry == nullptr) entry = Own(in[i]->ToSet(*ks->dict));
+          cached = entry;
+        }
         kids.push_back(cached.get());
-        owners.push_back(std::move(k));
+        owners.push_back(std::move(cached));
       }
       op::EvalContext ctx;
-      ctx.active_domain = &st->domain;
-      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> out, def->eval(*e, kids, ctx));
+      ctx.active_domain = &ks->domain;
+      MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> out,
+                               s->def->eval(*e, kids, ctx));
       MAPCOMP_ASSIGN_OR_RETURN(
-          TupleTable t, TupleTable::FromSet(out, e->arity(), &st->dict));
+          TupleTable t, TupleTable::FromSet(out, s->arity, ks->dict.get()));
       return OwnTable(std::move(t));
     }
   }
-  return Status::Internal("unknown expression kind");
+  return Status::Internal("unknown slot op");
 }
 
-Result<TablePtr> KernelRec(const ExprPtr& e, EvalState* st) {
-  auto it = st->memo_tables.find(e.get());
-  if (it != st->memo_tables.end()) {
-    ++st->stats.memo_hits;
-    return it->second;
+/// The task body for one slot: gather inputs, compute (or propagate the
+/// first failed input's status — every slot runs, so the error surfaced by
+/// the whole evaluation is the lowest-slot one regardless of scheduling),
+/// then retire this slot's claim on each distinct input, dropping tables
+/// whose last consumer this was.
+void RunSlot(KernelState* ks, int64_t idx) {
+  Slot& s = ks->slots[static_cast<size_t>(idx)];
+  std::vector<TablePtr> in;
+  in.reserve(s.args.size());
+  Status child_err = Status::OK();
+  for (int64_t a : s.args) {
+    Slot& c = ks->slots[static_cast<size_t>(a)];
+    if (!c.status.ok() && child_err.ok()) child_err = c.status;
+    in.push_back(c.result);
   }
-  MAPCOMP_ASSIGN_OR_RETURN(TablePtr out, KernelEvalNode(e, st));
-  st->uses[e.get()].evaluated = true;
-  ++st->stats.nodes_evaluated;
-  st->stats.tuples_produced += out->size();
-  st->memo_tables.emplace(e.get(), out);
-  AccountInsert(st, out->ApproxBytes());
-  for (const ExprPtr& c : e->children()) Consume(c.get(), st);
-  return out;
+  if (child_err.ok()) {
+    Result<TablePtr> r = EvalSlot(ks, &s, in);
+    if (r.ok()) {
+      s.result = std::move(r).value();
+      s.bytes = s.result->ApproxBytes();
+      s.d_tuples = s.result->size();
+    } else {
+      s.status = r.status();
+    }
+  } else {
+    s.status = child_err;
+  }
+  in.clear();  // drop borrowed refs before releasing consumer claims
+  std::vector<int64_t> distinct = s.args;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  for (int64_t a : distinct) {
+    Slot& c = ks->slots[static_cast<size_t>(a)];
+    // acq_rel: our read of c.result happened-before this decrement, and the
+    // zero-observing consumer's reset happens-after every other decrement.
+    if (c.live_consumers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      c.result.reset();
+    }
+  }
 }
 
-Status InitState(EvalState* st, const std::vector<ExprPtr>& roots,
-                 const Instance& instance, const EvalOptions& options) {
+/// A completed kernel evaluation: the state (holding root tables + dict)
+/// plus replayed per-root and total stats.
+struct KernelRun {
+  KernelState ks;
+  std::vector<EvalStats> root_stats;
+  EvalStats total;
+};
+
+/// Folds the slots' measured outputs into per-root stats buckets by
+/// replaying the plan's event log in order. Plan order equals the old
+/// recursive engine's execution order, so every counter — including the
+/// live-bytes watermark — lands in the same bucket with the same value,
+/// at any lane count.
+void ReplayStats(KernelRun* run) {
+  KernelState& ks = run->ks;
+  run->root_stats.assign(ks.root_slots.size(), EvalStats{});
+  size_t bucket = 0;
+  int64_t live = 0;
+  int64_t peak = 0;
+  for (const PlanEvent& ev : ks.events) {
+    if (bucket >= run->root_stats.size()) break;
+    EvalStats& st = run->root_stats[bucket];
+    switch (ev.kind) {
+      case PlanEvent::kEval: {
+        const Slot& s = ks.slots[static_cast<size_t>(ev.slot)];
+        ++st.nodes_evaluated;
+        st.tuples_produced += s.d_tuples;
+        st.sharded_nodes += s.d_sharded;
+        st.hash_join_nodes += s.d_hash_join;
+        st.nested_product_nodes += s.d_nested;
+        st.tasks_spawned += 1 + s.d_tasks;
+        st.memo_bytes_total += s.bytes;
+        live += s.bytes;
+        peak = std::max(peak, live);
+        break;
+      }
+      case PlanEvent::kHit:
+        ++st.memo_hits;
+        break;
+      case PlanEvent::kDrop:
+        live -= ks.slots[static_cast<size_t>(ev.slot)].bytes;
+        break;
+      case PlanEvent::kIndexHit:
+        ++st.index_cache_hits;
+        break;
+      case PlanEvent::kIndexMiss:
+        ++st.index_cache_misses;
+        break;
+      case PlanEvent::kRootEnd:
+        st.memo_bytes_peak = peak;
+        st.max_ready_depth = ks.root_width[bucket];
+        ++bucket;
+        break;
+    }
+  }
+  for (const EvalStats& st : run->root_stats) run->total.MergeFrom(st);
+}
+
+/// Plans and runs the kernel task graph for a root forest. On success the
+/// returned run holds every root's result table (pinned — non-root slot
+/// tables were dropped as their consumers retired) and replayed stats.
+Result<std::unique_ptr<KernelRun>> KernelExecute(
+    const std::vector<ExprPtr>& roots, const Instance& instance,
+    const EvalOptions& options) {
   for (const ExprPtr& root : roots) {
     if (root == nullptr) return Status::InvalidArgument("null expression");
   }
-  st->instance = &instance;
-  st->options = &options;
-  st->kernel = !options.force_nested_loop;
-  st->domain = instance.ActiveDomain();
-  st->domain.insert(options.extra_constants.begin(),
-                    options.extra_constants.end());
-  if (st->kernel) {
-    // Seed the dictionary with everything the evaluation can see up front
-    // (domain + every expression constant), sorted — so the id order over
-    // this range is the value order and encodes/enumerations arrive sorted.
-    std::set<Value> universe = st->domain;
-    std::set<const Expr*> visited;
-    for (const ExprPtr& root : roots) {
-      CollectExprConstants(root, &universe, &visited);
-    }
-    st->dict.Seed(universe);
-    st->domain_ids.reserve(st->domain.size());
-    for (const Value& v : st->domain) {
-      st->domain_ids.push_back(*st->dict.Find(v));
-    }
-  } else {
-    st->domain_vec.assign(st->domain.begin(), st->domain.end());
+  auto run = std::make_unique<KernelRun>();
+  KernelState& ks = run->ks;
+  ks.instance = &instance;
+  ks.options = &options;
+  ks.domain = instance.ActiveDomain();
+  ks.domain.insert(options.extra_constants.begin(),
+                   options.extra_constants.end());
+  // Seed the dictionary with everything the evaluation can see up front
+  // (domain + every expression constant), sorted — so the id order over
+  // this range is the value order and encodes/enumerations arrive sorted.
+  std::set<Value> universe = ks.domain;
+  std::set<const Expr*> visited;
+  for (const ExprPtr& root : roots) {
+    CollectExprConstants(root, &universe, &visited);
+  }
+  ks.dict = std::make_shared<ValueDict>();
+  ks.dict->Seed(universe);
+  ks.domain_ids.reserve(ks.domain.size());
+  for (const Value& v : ks.domain) {
+    ks.domain_ids.push_back(*ks.dict->Find(v));
   }
   if (options.jobs > 1) {
-    st->pool = runtime::GlobalPool();
-    st->max_helpers = options.jobs - 1;
+    ks.pool = runtime::GlobalPool();
+    ks.max_helpers = options.jobs - 1;
   }
   std::set<const Expr*> counted;
   for (const ExprPtr& root : roots) {
-    ++st->uses[root.get()].remaining;
-    CountUses(root, st, &counted);
+    ++ks.uses[root.get()].remaining;
+    CountUses(root, &ks.uses, &counted);
   }
-  return Status::OK();
+  // Phase 1: sequential plan.
+  for (const ExprPtr& root : roots) {
+    MAPCOMP_ASSIGN_OR_RETURN(int64_t slot, PlanVisit(root, &ks));
+    ks.root_slots.push_back(slot);
+    SimConsume(root.get(), &ks);
+    ks.events.push_back({PlanEvent::kRootEnd, slot});
+    ks.root_width.push_back(ks.max_width);
+  }
+  // Consumer refcounts: one claim per distinct dependent slot, plus a
+  // never-released pin per root occurrence (the caller takes those tables).
+  for (const Slot& s : ks.slots) {
+    std::vector<int64_t> distinct = s.args;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    for (int64_t a : distinct) {
+      ks.slots[static_cast<size_t>(a)].live_consumers.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
+  for (int64_t root_slot : ks.root_slots) {
+    ks.slots[static_cast<size_t>(root_slot)].live_consumers.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  // Phase 2: run the task graph. Dependencies are the slot's input slots,
+  // indexes are topological by construction (children planned first).
+  runtime::TaskDag dag;
+  KernelState* ksp = &ks;
+  for (int64_t i = 0; i < static_cast<int64_t>(ks.slots.size()); ++i) {
+    dag.AddTask([ksp, i] { RunSlot(ksp, i); },
+                ks.slots[static_cast<size_t>(i)].args);
+  }
+  dag.Run(ks.pool, ks.max_helpers);
+  // Error precedence: every slot ran (failed inputs propagate), so the
+  // first non-OK slot in plan order is the same error the recursive engine
+  // would have hit first — independent of scheduling.
+  for (const Slot& s : ks.slots) {
+    if (!s.status.ok()) return s.status;
+  }
+  // Phase 3: replay stats.
+  ReplayStats(run.get());
+  return run;
 }
 
 }  // namespace
@@ -977,6 +1527,10 @@ void EvalStats::MergeFrom(const EvalStats& other) {
   nested_product_nodes += other.nested_product_nodes;
   memo_bytes_total += other.memo_bytes_total;
   memo_bytes_peak = std::max(memo_bytes_peak, other.memo_bytes_peak);
+  tasks_spawned += other.tasks_spawned;
+  max_ready_depth = std::max(max_ready_depth, other.max_ready_depth);
+  index_cache_hits += other.index_cache_hits;
+  index_cache_misses += other.index_cache_misses;
 }
 
 EvalStats EvalStats::DiffFrom(const EvalStats& before) const {
@@ -990,6 +1544,10 @@ EvalStats EvalStats::DiffFrom(const EvalStats& before) const {
       nested_product_nodes - before.nested_product_nodes;
   out.memo_bytes_total = memo_bytes_total - before.memo_bytes_total;
   out.memo_bytes_peak = memo_bytes_peak;  // watermark, not a counter
+  out.tasks_spawned = tasks_spawned - before.tasks_spawned;
+  out.max_ready_depth = max_ready_depth;  // watermark, not a counter
+  out.index_cache_hits = index_cache_hits - before.index_cache_hits;
+  out.index_cache_misses = index_cache_misses - before.index_cache_misses;
   return out;
 }
 
@@ -1001,25 +1559,128 @@ std::string EvalStats::ToString() const {
          std::to_string(hash_join_nodes) + " hash joins, " +
          std::to_string(nested_product_nodes) + " nested products, memo " +
          std::to_string(memo_bytes_peak) + "B peak / " +
-         std::to_string(memo_bytes_total) + "B total";
+         std::to_string(memo_bytes_total) + "B total, " +
+         std::to_string(tasks_spawned) + " tasks, ready width " +
+         std::to_string(max_ready_depth) + ", join index " +
+         std::to_string(index_cache_hits) + " hits / " +
+         std::to_string(index_cache_misses) + " misses";
 }
+
+/// Shared decode-on-demand payload: copies of one EvalResult (and the
+/// evaluator's own handle) all see the same cached decode.
+struct EvalResult::Lazy {
+  std::mutex mu;
+  bool decoded = false;
+  std::set<Tuple> set;
+  std::shared_ptr<const TupleTable> table;
+  std::shared_ptr<const ValueDict> dict;
+};
+
+EvalResult::EvalResult() : lazy_(std::make_shared<Lazy>()) {}
+
+const std::set<Tuple>& EvalResult::tuples() const {
+  static const std::set<Tuple>* kEmpty = new std::set<Tuple>();
+  if (lazy_ == nullptr) return *kEmpty;
+  std::lock_guard<std::mutex> lock(lazy_->mu);
+  if (!lazy_->decoded) {
+    if (lazy_->table != nullptr) {
+      lazy_->set = lazy_->table->ToSet(*lazy_->dict);
+    }
+    lazy_->decoded = true;
+    lazy_->table.reset();
+    lazy_->dict.reset();
+  }
+  return lazy_->set;
+}
+
+std::set<Tuple> EvalResult::TakeTuples() {
+  if (lazy_ == nullptr) return {};
+  tuples();  // force the decode (idempotent)
+  std::lock_guard<std::mutex> lock(lazy_->mu);
+  std::set<Tuple> out = std::move(lazy_->set);
+  lazy_->set.clear();
+  return out;
+}
+
+void EvalResult::SetDecoded(std::set<Tuple> tuples) {
+  if (lazy_ == nullptr) lazy_ = std::make_shared<Lazy>();
+  std::lock_guard<std::mutex> lock(lazy_->mu);
+  lazy_->set = std::move(tuples);
+  lazy_->decoded = true;
+  lazy_->table.reset();
+  lazy_->dict.reset();
+}
+
+void EvalResult::SetTable(std::shared_ptr<const TupleTable> table,
+                          std::shared_ptr<const ValueDict> dict) {
+  if (lazy_ == nullptr) lazy_ = std::make_shared<Lazy>();
+  std::lock_guard<std::mutex> lock(lazy_->mu);
+  lazy_->table = std::move(table);
+  lazy_->dict = std::move(dict);
+  lazy_->decoded = false;
+  lazy_->set.clear();
+}
+
+namespace {
+
+void AppendValueFp(const Value& v, std::string* out) {
+  if (const int64_t* i = std::get_if<int64_t>(&v)) {
+    *out += "i" + std::to_string(*i) + ";";
+  } else {
+    const std::string& s = std::get<std::string>(v);
+    *out += "s" + std::to_string(s.size()) + ":" + s + ";";
+  }
+}
+
+}  // namespace
 
 std::string EvalResult::Fingerprint() const {
   // Canonical, not pretty: string values are length-prefixed (a quote or
   // comma inside a value must never make two different tuple sets
   // serialize identically — this string is the determinism oracle).
-  std::string out = "eval{arity=" + std::to_string(arity) +
-                    ";n=" + std::to_string(tuples.size()) + ";";
-  for (const Tuple& t : tuples) {
-    out += "t" + std::to_string(t.size()) + ":";
-    for (const Value& v : t) {
-      if (const int64_t* i = std::get_if<int64_t>(&v)) {
-        out += "i" + std::to_string(*i) + ";";
-      } else {
-        const std::string& s = std::get<std::string>(v);
-        out += "s" + std::to_string(s.size()) + ":" + s + ";";
+  if (lazy_ != nullptr) {
+    std::lock_guard<std::mutex> lock(lazy_->mu);
+    if (!lazy_->decoded && lazy_->table != nullptr) {
+      const TupleTable& t = *lazy_->table;
+      const ValueDict& dict = *lazy_->dict;
+      // Zero-decode fast path: when every id is in the dictionary's seeded
+      // order-preserving range, the sorted table's row order IS the decoded
+      // set's order — stream it directly, no std::set, no Tuple heap
+      // allocation. (Minted ids — Skolem terms, user-op outputs — break
+      // the order guarantee; fall through to the cached decode for those.)
+      bool all_seeded = true;
+      for (ValueId id : t.Data()) {
+        if (id >= dict.ordered_limit()) {
+          all_seeded = false;
+          break;
+        }
       }
+      if (all_seeded) {
+        std::string out = "eval{arity=" + std::to_string(arity) +
+                          ";n=" + std::to_string(t.size()) + ";";
+        const int a = t.arity();
+        for (int64_t i = 0; i < t.size(); ++i) {
+          out += "t" + std::to_string(a) + ":";
+          const ValueId* row = t.Row(i);
+          for (int k = 0; k < a; ++k) {
+            AppendValueFp(dict.ValueOf(row[k]), &out);
+          }
+        }
+        out += "}";
+        return out;
+      }
+      lazy_->set = t.ToSet(dict);
+      lazy_->decoded = true;
+      lazy_->table.reset();
+      lazy_->dict.reset();
     }
+  }
+  const std::set<Tuple>& ts = tuples();
+  std::string out = "eval{arity=" + std::to_string(arity) +
+                    ";n=" + std::to_string(ts.size()) + ";";
+  for (const Tuple& t : ts) {
+    out += "t" + std::to_string(t.size()) + ":";
+    for (const Value& v : t) AppendValueFp(v, &out);
   }
   out += "}";
   return out;
@@ -1028,27 +1689,23 @@ std::string EvalResult::Fingerprint() const {
 Result<std::vector<EvalResult>> EvaluateMany(const std::vector<ExprPtr>& roots,
                                              const Instance& instance,
                                              const EvalOptions& options) {
-  EvalState st;
-  MAPCOMP_RETURN_IF_ERROR(InitState(&st, roots, instance, options));
   std::vector<EvalResult> results(roots.size());
-  if (st.kernel) {
-    std::vector<TablePtr> tables;
-    tables.reserve(roots.size());
+  if (!options.force_nested_loop) {
+    MAPCOMP_ASSIGN_OR_RETURN(std::unique_ptr<KernelRun> run,
+                             KernelExecute(roots, instance, options));
     for (size_t i = 0; i < roots.size(); ++i) {
-      EvalStats before = st.stats;
-      MAPCOMP_ASSIGN_OR_RETURN(TablePtr t, KernelRec(roots[i], &st));
       results[i].arity = roots[i]->arity();
-      results[i].stats = st.stats.DiffFrom(before);
-      tables.push_back(std::move(t));
-      Consume(roots[i].get(), &st);
-    }
-    // Decode at the boundary: std::set re-sorts by value, so the internal
-    // id order never leaks into results or fingerprints.
-    for (size_t i = 0; i < roots.size(); ++i) {
-      results[i].tuples = tables[i]->ToSet(st.dict);
+      results[i].stats = run->root_stats[i];
+      // Columnar handoff: the table is decoded only if someone asks for
+      // tuples() — fingerprints and containment checks never pay for it.
+      results[i].SetTable(
+          run->ks.slots[static_cast<size_t>(run->ks.root_slots[i])].result,
+          run->ks.dict);
     }
     return results;
   }
+  EvalState st;
+  MAPCOMP_RETURN_IF_ERROR(LegacyInit(&st, roots, instance, options));
   std::vector<TupleSetPtr> ptrs;
   ptrs.reserve(roots.size());
   for (size_t i = 0; i < roots.size(); ++i) {
@@ -1065,9 +1722,9 @@ Result<std::vector<EvalResult>> EvaluateMany(const std::vector<ExprPtr>& roots,
   st.memo_sets.clear();
   for (size_t i = 0; i < roots.size(); ++i) {
     if (ptrs[i].use_count() == 1) {
-      results[i].tuples = std::move(*ptrs[i]);
+      results[i].SetDecoded(std::move(*ptrs[i]));
     } else {
-      results[i].tuples = *ptrs[i];
+      results[i].SetDecoded(*ptrs[i]);
     }
   }
   return results;
@@ -1085,24 +1742,29 @@ Result<bool> EvaluateContainment(const ExprPtr& lhs, const ExprPtr& rhs,
       stats->MergeFrom(sides[1].stats);
     }
     bool contained = true;
-    for (const Tuple& t : sides[0].tuples) {
-      if (sides[1].tuples.count(t) == 0) {
+    for (const Tuple& t : sides[0].tuples()) {
+      if (sides[1].tuples().count(t) == 0) {
         contained = false;
         break;
       }
     }
     if (equality) {
-      contained = contained && sides[0].tuples.size() == sides[1].tuples.size();
+      contained =
+          contained && sides[0].tuples().size() == sides[1].tuples().size();
     }
     return contained;
   }
-  EvalState st;
-  MAPCOMP_RETURN_IF_ERROR(InitState(&st, {lhs, rhs}, instance, options));
-  MAPCOMP_ASSIGN_OR_RETURN(TablePtr a, KernelRec(lhs, &st));
-  Consume(lhs.get(), &st);
-  MAPCOMP_ASSIGN_OR_RETURN(TablePtr b, KernelRec(rhs, &st));
-  Consume(rhs.get(), &st);
-  if (stats != nullptr) stats->MergeFrom(st.stats);
+  // Both sides run under one plan: shared subtrees evaluate once, and the
+  // two roots' independent subtrees interleave on the task graph. The
+  // subset check is a linear merge walk over the columnar tables — nothing
+  // is decoded back to std::set.
+  MAPCOMP_ASSIGN_OR_RETURN(std::unique_ptr<KernelRun> run,
+                           KernelExecute({lhs, rhs}, instance, options));
+  if (stats != nullptr) stats->MergeFrom(run->total);
+  const TablePtr& a =
+      run->ks.slots[static_cast<size_t>(run->ks.root_slots[0])].result;
+  const TablePtr& b =
+      run->ks.slots[static_cast<size_t>(run->ks.root_slots[1])].result;
   bool contained = TupleTable::SubsetOf(*a, *b);
   if (equality) contained = contained && a->size() == b->size();
   return contained;
@@ -1119,7 +1781,7 @@ Result<std::set<Tuple>> Evaluate(const ExprPtr& e, const Instance& instance,
                                  const EvalOptions& options) {
   MAPCOMP_ASSIGN_OR_RETURN(EvalResult result,
                            EvaluateFull(e, instance, options));
-  return std::move(result.tuples);
+  return result.TakeTuples();
 }
 
 }  // namespace mapcomp

@@ -314,5 +314,77 @@ TupleTable HashJoin(const TupleTable& left, const TupleTable& right,
   return out;
 }
 
+TupleTable IndexJoin(const TupleTable& left, const TupleTable& right,
+                     const std::vector<std::pair<int, int>>& keys,
+                     const CompiledCond& residual, const ValueDict& dict,
+                     const std::vector<int64_t>& build_perm, bool build_left,
+                     runtime::ThreadPool* pool, int max_helpers) {
+  const TupleTable& build = build_left ? left : right;
+  const TupleTable& probe = build_left ? right : left;
+  std::vector<int> build_cols, probe_cols;
+  build_cols.reserve(keys.size());
+  probe_cols.reserve(keys.size());
+  for (const auto& [l, r] : keys) {
+    build_cols.push_back(build_left ? l - 1 : r - 1);
+    probe_cols.push_back(build_left ? r - 1 : l - 1);
+  }
+
+  const int la = left.arity(), ra = right.arity();
+  const int out_arity = la + ra;
+  TupleTable out(out_arity);
+  int64_t n = probe.size();
+  if (n == 0 || build.size() == 0) return out;
+
+  // Three-way comparison of a build row (by permutation entry) against a
+  // probe row on the key columns, in value order — the order build_perm is
+  // sorted by, whatever ids this evaluation assigned.
+  auto cmp = [&](int64_t build_row, const ValueId* prow) {
+    const ValueId* brow = build.Row(build_row);
+    for (size_t k = 0; k < build_cols.size(); ++k) {
+      int c = dict.Compare(brow[build_cols[k]], prow[probe_cols[k]]);
+      if (c != 0) return c;
+    }
+    return 0;
+  };
+
+  int64_t chunk = (n + kMaxShards - 1) / kMaxShards;
+  std::vector<std::vector<ValueId>> chunks =
+      runtime::ShardedTransform<std::vector<ValueId>>(
+          pool, n, chunk, max_helpers,
+          [&](int64_t begin, int64_t end) {
+            std::vector<ValueId> local;
+            std::vector<ValueId> combined(static_cast<size_t>(out_arity));
+            for (int64_t i = begin; i < end; ++i) {
+              const ValueId* prow = probe.Row(i);
+              auto lo = std::lower_bound(
+                  build_perm.begin(), build_perm.end(), prow,
+                  [&](int64_t b, const ValueId* p) { return cmp(b, p) < 0; });
+              auto hi = std::upper_bound(
+                  lo, build_perm.end(), prow,
+                  [&](const ValueId* p, int64_t b) { return cmp(b, p) > 0; });
+              for (auto it = lo; it != hi; ++it) {
+                const ValueId* brow = build.Row(*it);
+                const ValueId* lrow = build_left ? brow : prow;
+                const ValueId* rrow = build_left ? prow : brow;
+                std::copy(lrow, lrow + la, combined.begin());
+                std::copy(rrow, rrow + ra, combined.begin() + la);
+                if (!residual.IsTrue() &&
+                    !residual.Eval(combined.data(), out_arity, dict)) {
+                  continue;
+                }
+                local.insert(local.end(), combined.begin(), combined.end());
+              }
+            }
+            return local;
+          });
+  std::vector<ValueId>& data = out.MutableData();
+  for (const std::vector<ValueId>& c : chunks) {
+    data.insert(data.end(), c.begin(), c.end());
+  }
+  out.FinishAppends();
+  out.SortRows();
+  return out;
+}
+
 }  // namespace eval_internal
 }  // namespace mapcomp

@@ -90,6 +90,22 @@ TupleTable HashJoin(const TupleTable& left, const TupleTable& right,
                     const CompiledCond& residual, const ValueDict& dict,
                     runtime::ThreadPool* pool, int max_helpers);
 
+/// HashJoin's sibling for a cached build side (Instance::JoinIndex):
+/// `build_perm` lists the build table's row positions sorted by its key
+/// columns in *value* order, so probes binary-search it through
+/// ValueDict::Compare instead of building a per-evaluation hash index.
+/// The permutation is id-free — one cached build serves every evaluation
+/// over the instance — which requires the build table to be a relation
+/// encoding in set order (FromSet of fully seeded values), where table row
+/// i is exactly set element i. `build_left` says which input the
+/// permutation indexes. Emits exactly HashJoin's rows; the final sort
+/// makes the result canonical and lane-count-independent.
+TupleTable IndexJoin(const TupleTable& left, const TupleTable& right,
+                     const std::vector<std::pair<int, int>>& keys,
+                     const CompiledCond& residual, const ValueDict& dict,
+                     const std::vector<int64_t>& build_perm, bool build_left,
+                     runtime::ThreadPool* pool, int max_helpers);
+
 }  // namespace eval_internal
 }  // namespace mapcomp
 

@@ -44,16 +44,17 @@ int RunFeedFixpoint(Instance* instance, const std::vector<RelationFeed>& feeds,
         // reports the truth.
         continue;
       }
-      if (stats != nullptr) stats->MergeFrom(value->stats);
+      EvalResult result = std::move(value).value();
+      if (stats != nullptr) stats->MergeFrom(result.stats);
       if (feed.assign) {
-        if (instance->Get(feed.target) != value->tuples) {
-          instance->Set(feed.target, std::move(value->tuples));
+        if (instance->Get(feed.target) != result.tuples()) {
+          instance->Set(feed.target, result.TakeTuples());
           changed = true;
         }
         continue;
       }
       const std::set<Tuple>& current = instance->Get(feed.target);
-      for (const Tuple& t : value->tuples) {
+      for (const Tuple& t : result.tuples()) {
         if (current.count(t) == 0) {
           instance->Add(feed.target, t);
           changed = true;

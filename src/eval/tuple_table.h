@@ -31,6 +31,10 @@ class TupleTable {
 
   const ValueId* Row(int64_t i) const { return data_.data() + i * arity_; }
 
+  /// Flat row-major id storage (size() * arity() ids). Lets boundary code
+  /// — the zero-decode fingerprint — stream a table without per-row calls.
+  const std::vector<ValueId>& Data() const { return data_; }
+
   /// Appends one row (`arity()` ids; none for arity 0). Invalidates
   /// sortedness until SortRows()/SortDedupRows() is called.
   void AppendRow(const ValueId* row);

@@ -1,0 +1,156 @@
+#include "src/runtime/task_dag.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace mapcomp {
+namespace runtime {
+namespace {
+
+/// Heap-shared scheduler state, kept alive by every lane's shared_ptr so
+/// late pool helpers that wake after Run returned find a valid (already
+/// drained) graph and exit. One mutex guards the ready heap and counters;
+/// task bodies always execute outside the lock.
+struct DagState {
+  std::mutex mu;
+  std::condition_variable ready_or_done;  // caller-only wait
+  std::vector<std::function<void()>> fns;
+  std::vector<std::vector<int64_t>> dependents;
+  std::vector<int64_t> pending;  // unresolved dependency counts
+  // Lowest-index-first so inline order, single-lane order and multi-lane
+  // claim order all walk the same topological sequence.
+  std::priority_queue<int64_t, std::vector<int64_t>, std::greater<int64_t>>
+      ready;
+  int64_t remaining = 0;
+  int active_helpers = 0;
+  int helper_cap = 0;
+  bool abort = false;
+  std::exception_ptr error;
+  int64_t error_index = -1;
+  ThreadPool* pool = nullptr;
+};
+
+void DrainDag(const std::shared_ptr<DagState>& s, bool is_caller);
+
+/// Tops up pool helpers (under s->mu) whenever ready work outnumbers the
+/// lanes currently draining. Helpers exit when they find the heap empty,
+/// so a burst of newly unlocked dependents may need fresh ones.
+void SpawnHelpers(const std::shared_ptr<DagState>& s) {
+  int64_t ready_count = static_cast<int64_t>(s->ready.size());
+  while (s->active_helpers < s->helper_cap && s->active_helpers < ready_count) {
+    ++s->active_helpers;
+    s->pool->Submit([s] { DrainDag(s, /*is_caller=*/false); });
+  }
+}
+
+void DrainDag(const std::shared_ptr<DagState>& s, bool is_caller) {
+  std::unique_lock<std::mutex> lock(s->mu);
+  if (!is_caller) --s->active_helpers;  // re-counted while holding a task
+  for (;;) {
+    if (s->remaining == 0) return;
+    if (s->ready.empty()) {
+      if (!is_caller) return;  // helpers leave; SpawnHelpers replaces them
+      s->ready_or_done.wait(
+          lock, [&s] { return s->remaining == 0 || !s->ready.empty(); });
+      continue;
+    }
+    int64_t i = s->ready.top();
+    s->ready.pop();
+    if (!is_caller) ++s->active_helpers;
+    bool run = !s->abort;
+    lock.unlock();
+    if (run) {
+      try {
+        s->fns[static_cast<size_t>(i)]();
+      } catch (...) {
+        std::lock_guard<std::mutex> elock(s->mu);
+        if (s->error == nullptr || i < s->error_index) {
+          s->error = std::current_exception();
+          s->error_index = i;
+        }
+        s->abort = true;
+      }
+    }
+    lock.lock();
+    if (!is_caller) --s->active_helpers;
+    int64_t newly_ready = 0;
+    for (int64_t d : s->dependents[static_cast<size_t>(i)]) {
+      if (--s->pending[static_cast<size_t>(d)] == 0) {
+        s->ready.push(d);
+        ++newly_ready;
+      }
+    }
+    --s->remaining;
+    if (s->remaining == 0 || newly_ready > 0) s->ready_or_done.notify_all();
+    SpawnHelpers(s);
+  }
+}
+
+}  // namespace
+
+int64_t TaskDag::AddTask(std::function<void()> fn, std::vector<int64_t> deps) {
+  const int64_t id = static_cast<int64_t>(tasks_.size());
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+  for (int64_t d : deps) {
+    if (d < 0 || d >= id) {
+      throw std::invalid_argument(
+          "TaskDag::AddTask: dependency index out of topological order");
+    }
+  }
+  tasks_.push_back(PendingTask{std::move(fn), std::move(deps)});
+  return id;
+}
+
+void TaskDag::Run(ThreadPool* pool, int max_helpers) {
+  const int64_t n = static_cast<int64_t>(tasks_.size());
+  if (n == 0) return;
+  if (pool == nullptr || max_helpers == 0 || n == 1) {
+    std::exception_ptr error;
+    for (PendingTask& t : tasks_) {
+      try {
+        t.fn();
+      } catch (...) {
+        error = std::current_exception();
+        break;
+      }
+    }
+    tasks_.clear();
+    if (error != nullptr) std::rethrow_exception(error);
+    return;
+  }
+
+  auto s = std::make_shared<DagState>();
+  s->fns.reserve(static_cast<size_t>(n));
+  s->dependents.resize(static_cast<size_t>(n));
+  s->pending.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    PendingTask& t = tasks_[static_cast<size_t>(i)];
+    s->fns.push_back(std::move(t.fn));
+    s->pending[static_cast<size_t>(i)] =
+        static_cast<int64_t>(t.deps.size());  // deps already deduplicated
+    for (int64_t d : t.deps) s->dependents[static_cast<size_t>(d)].push_back(i);
+    if (t.deps.empty()) s->ready.push(i);
+  }
+  tasks_.clear();
+  s->remaining = n;
+  s->pool = pool;
+  int cap = max_helpers < 0 ? pool->thread_count()
+                            : std::min(max_helpers, pool->thread_count());
+  s->helper_cap = std::max(0, cap);
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    SpawnHelpers(s);
+  }
+  DrainDag(s, /*is_caller=*/true);
+  if (s->error != nullptr) std::rethrow_exception(s->error);
+}
+
+}  // namespace runtime
+}  // namespace mapcomp

@@ -1,0 +1,64 @@
+#ifndef MAPCOMP_SRC_RUNTIME_TASK_DAG_H_
+#define MAPCOMP_SRC_RUNTIME_TASK_DAG_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/runtime/thread_pool.h"
+
+namespace mapcomp {
+namespace runtime {
+
+/// A run-once dependency graph of tasks scheduled morsel-style on a shared
+/// ThreadPool: every task fires once all of its dependencies have retired,
+/// and whichever lane is free claims the lowest-index ready task next.
+///
+/// Tasks must be added in topological order — each dependency index is
+/// smaller than the dependent's own index — which makes cycles impossible
+/// by construction. `Run` blocks until every task has retired, draining
+/// ready tasks on the calling thread alongside up to `max_helpers` pool
+/// lanes. Like ParallelFor, Run never touches ThreadPool::Wait, so task
+/// graphs nest safely on the shared global pool (a task body may itself
+/// run a ParallelFor or another TaskDag on the same pool).
+///
+/// Exception semantics mirror ParallelFor: the first failure (lowest task
+/// index among those that actually threw) aborts the graph — tasks not yet
+/// started retire without executing — and is rethrown from Run after every
+/// lane has quiesced. With a null pool or max_helpers == 0, Run executes
+/// inline in index order and stops at the first exception.
+///
+/// Scheduling decides only *when* a task runs, never what it computes:
+/// callers that want lane-count-independent results must make each task's
+/// output depend only on its inputs, which the dependency edges guarantee
+/// are complete (with a happens-before edge) when the task fires.
+class TaskDag {
+ public:
+  TaskDag() = default;
+  TaskDag(const TaskDag&) = delete;
+  TaskDag& operator=(const TaskDag&) = delete;
+
+  /// Adds a task that may run once every task in `deps` has retired.
+  /// Every index in `deps` must be a previously returned task index;
+  /// duplicates are allowed and count once. Returns the new task's index.
+  int64_t AddTask(std::function<void()> fn, std::vector<int64_t> deps);
+
+  /// Runs the whole graph to completion, then leaves the dag empty (a
+  /// TaskDag is single-shot). See the class comment for threading and
+  /// exception behavior.
+  void Run(ThreadPool* pool, int max_helpers);
+
+  int64_t size() const { return static_cast<int64_t>(tasks_.size()); }
+
+ private:
+  struct PendingTask {
+    std::function<void()> fn;
+    std::vector<int64_t> deps;  // sorted, deduplicated
+  };
+  std::vector<PendingTask> tasks_;
+};
+
+}  // namespace runtime
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_SRC_RUNTIME_TASK_DAG_H_

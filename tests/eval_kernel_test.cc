@@ -56,7 +56,7 @@ void ExpectKernelMatchesOracle(const ExprPtr& e, const Instance& db,
     ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
     EXPECT_EQ(kernel->Fingerprint(), oracle->Fingerprint())
         << "jobs=" << jobs;
-    EXPECT_EQ(kernel->tuples, oracle->tuples);
+    EXPECT_EQ(kernel->tuples(), oracle->tuples());
     EXPECT_EQ(kernel->arity, oracle->arity);
   }
 }
@@ -247,7 +247,7 @@ TEST(EvalKernelTest, DomainSelectEnumeratesOnlyTheBoundSpace) {
   EvalOptions tight;
   tight.max_domain_tuples = 100;
   EvalResult pruned = EvaluateFull(sel, db, tight).value();
-  EXPECT_EQ(pruned.tuples.size(), 60u);  // (3, v, v) for every domain v
+  EXPECT_EQ(pruned.tuples().size(), 60u);  // (3, v, v) for every domain v
 
   EvalOptions tight_oracle = tight;
   tight_oracle.force_nested_loop = true;
@@ -266,7 +266,7 @@ TEST(EvalKernelTest, DomainSelectEnumeratesOnlyTheBoundSpace) {
   // selection without enumerating anything.
   ExprPtr off_domain = Select(
       Condition::AttrConst(1, CmpOp::kEq, Value(int64_t{777})), Dom(3));
-  EXPECT_TRUE(EvaluateFull(off_domain, db, tight).value().tuples.empty());
+  EXPECT_TRUE(EvaluateFull(off_domain, db, tight).value().tuples().empty());
 
   // Conflicting pins on one equality class are unsatisfiable outright.
   ExprPtr conflict = Select(
@@ -276,7 +276,7 @@ TEST(EvalKernelTest, DomainSelectEnumeratesOnlyTheBoundSpace) {
               Condition::AttrConst(2, CmpOp::kEq, Value(int64_t{2}))),
           Condition::AttrCmp(1, CmpOp::kEq, 2)),
       Dom(2));
-  EXPECT_TRUE(EvaluateFull(conflict, db, tight).value().tuples.empty());
+  EXPECT_TRUE(EvaluateFull(conflict, db, tight).value().tuples().empty());
 }
 
 TEST(EvalKernelTest, MemoBytesPeakBelowTotalOnDeepChain) {
@@ -296,7 +296,7 @@ TEST(EvalKernelTest, MemoBytesPeakBelowTotalOnDeepChain) {
     EvalOptions opts;
     opts.force_nested_loop = force;
     EvalResult out = EvaluateFull(e, db, opts).value();
-    EXPECT_EQ(out.tuples.size(), 200u) << "force=" << force;
+    EXPECT_EQ(out.tuples().size(), 200u) << "force=" << force;
     EXPECT_GT(out.stats.memo_bytes_peak, 0) << "force=" << force;
     EXPECT_GT(out.stats.memo_bytes_total, 0) << "force=" << force;
     EXPECT_LT(out.stats.memo_bytes_peak, out.stats.memo_bytes_total)
@@ -321,7 +321,7 @@ TEST(EvalKernelTest, SharedSubtreeSurvivesUntilLastParent) {
   EXPECT_EQ(out[0].stats.memo_hits, 1);        // second intersect edge
   EXPECT_EQ(out[1].stats.nodes_evaluated, 0);
   EXPECT_EQ(out[1].stats.memo_hits, 1);  // still memoized for the 2nd root
-  EXPECT_EQ(out[1].tuples, (std::set<Tuple>{T({1}), T({2}), T({3})}));
+  EXPECT_EQ(out[1].tuples(), (std::set<Tuple>{T({1}), T({2}), T({3})}));
 }
 
 TEST(EvalKernelTest, ContainmentRunsOnTables) {

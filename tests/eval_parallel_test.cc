@@ -48,7 +48,7 @@ void ExpectJobsInvariant(const ExprPtr& e, const Instance& db) {
     opts.parallel_threshold = 4;
     Result<EvalResult> got = EvaluateFull(e, db, opts);
     ASSERT_TRUE(got.ok()) << got.status().ToString();
-    EXPECT_EQ(got->tuples, base->tuples) << "jobs=" << jobs;
+    EXPECT_EQ(got->tuples(), base->tuples()) << "jobs=" << jobs;
     EXPECT_EQ(got->Fingerprint(), base->Fingerprint()) << "jobs=" << jobs;
     // Stats are lane-count-independent by design (eligibility is counted,
     // not lane usage) — so jobs=1 and jobs=8 agree with each other, though
@@ -142,7 +142,7 @@ TEST(EvalParallelTest, MemoHitWitnessOnDuplicatedSubtree) {
   EXPECT_GE(out->stats.memo_hits, 6);
   // Physical nodes: 4 join nodes + 2 relations + 6 unions.
   EXPECT_LE(out->stats.nodes_evaluated, 12);
-  EXPECT_EQ(out->tuples, Evaluate(join, db).value());
+  EXPECT_EQ(out->tuples(), Evaluate(join, db).value());
 }
 
 TEST(EvalParallelTest, DomainExhaustionIsAnErrorUnderParallelLanes) {

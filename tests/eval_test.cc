@@ -138,7 +138,7 @@ TEST_F(EvalTest, EvaluateFullStatsAndFingerprint) {
   ExprPtr e = Union(Rel("R", 2), Rel("S", 2));
   EvalResult out = EvaluateFull(e, db_).value();
   EXPECT_EQ(out.arity, 2);
-  EXPECT_EQ(out.tuples.size(), 3u);
+  EXPECT_EQ(out.tuples().size(), 3u);
   EXPECT_EQ(out.stats.nodes_evaluated, 3);  // R, S, the union
   EXPECT_EQ(out.stats.memo_hits, 0);
   // Deterministic across runs and byte-equal to the same evaluation again.
@@ -159,7 +159,7 @@ TEST_F(EvalTest, EvaluateManySharesTheMemoAcrossRoots) {
   // Root 2's whole tree was computed while evaluating root 1.
   EXPECT_EQ(sides[1].stats.nodes_evaluated, 0);
   EXPECT_EQ(sides[1].stats.memo_hits, 1);
-  EXPECT_EQ(sides[1].tuples,
+  EXPECT_EQ(sides[1].tuples(),
             Evaluate(Project({1}, Rel("R", 2)), db_).value());
 }
 
@@ -168,7 +168,7 @@ TEST_F(EvalTest, SharedSubtreeEvaluatesOnce) {
   EvalResult out = EvaluateFull(Intersect(r, r), db_).value();
   EXPECT_EQ(out.stats.nodes_evaluated, 2);  // R once + the intersect
   EXPECT_EQ(out.stats.memo_hits, 1);
-  EXPECT_EQ(out.tuples, db_.Get("R"));
+  EXPECT_EQ(out.tuples(), db_.Get("R"));
 }
 
 TEST(InstanceTest, TotalTuples) {
