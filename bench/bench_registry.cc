@@ -1,0 +1,172 @@
+// Schema-registry steady state: a long-lived registry of schema families,
+// a seeded Zipf edit stream, and a full-chain recomposition after every
+// edit. Two lanes run the byte-identical edit stream in lockstep — warm
+// (prefix-fingerprint cache + compose service) and cold (no reuse at all)
+// — and every step's ChainResult fingerprint is compared between them, so
+// the speedup numbers are gated on correctness, not alongside it.
+//
+// Reports JSON (redirect stdout to BENCH_registry.json). Exits non-zero
+// on any warm/cold fingerprint mismatch.
+//
+// Usage: bench_registry [--smoke] [steps (default 240)]
+//   --smoke: small registry, few steps — the CI determinism gate.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/runtime/thread_pool.h"
+#include "src/simulator/registry.h"
+
+using namespace mapcomp;
+
+namespace {
+
+struct LaneTimes {
+  double seconds = 0.0;
+  uint64_t compositions = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int steps = 240;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      steps = std::atoi(argv[i]);
+      if (steps <= 0) {
+        std::fprintf(stderr, "bench_registry: bad step count '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    }
+  }
+  if (smoke) steps = std::min(steps, 60);
+
+  sim::RegistryOptions options;
+  options.seed = 7;
+  if (smoke) {
+    options.families = 4;
+    options.initial_depth = 6;
+    options.max_depth = 10;
+    options.schema_size = 3;
+  } else {
+    options.families = 12;
+    options.initial_depth = 20;  // the ≥16-deep regime the ROADMAP targets
+    options.max_depth = 36;
+    options.schema_size = 4;
+    // Registry-shaped stream: mostly appends, and revisions cluster hard
+    // on the newest mappings.
+    options.revise_fraction = 0.15;
+    options.position_zipf = 2.5;
+  }
+
+  // Warm lane: prefix cache + compose-service result cache.
+  runtime::ComposeServiceOptions warm_service_options;
+  warm_service_options.compose = options.compose;
+  warm_service_options.cache_capacity = 4096;
+  runtime::ComposeService warm_service(warm_service_options);
+  sim::SchemaRegistry warm(options, &warm_service);
+
+  // Cold lane: the same seed (hence the same edit stream), every cache off
+  // — each edit pays the full O(depth) recomposition.
+  runtime::ComposeServiceOptions cold_service_options;
+  cold_service_options.compose = options.compose;
+  cold_service_options.cache_capacity = 0;
+  runtime::ComposeService cold_service(cold_service_options);
+  sim::RegistryOptions cold_options = options;
+  cold_options.chain_cache.cache_capacity = 0;
+  sim::SchemaRegistry cold(cold_options, &cold_service);
+
+  LaneTimes warm_lane, cold_lane;
+  bool deterministic = true;
+  for (int step = 0; step < steps; ++step) {
+    auto start = std::chrono::steady_clock::now();
+    Result<runtime::ChainResult> w = warm.Step();
+    warm_lane.seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    start = std::chrono::steady_clock::now();
+    Result<runtime::ChainResult> c = cold.Step();
+    cold_lane.seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    if (!w.ok() || !c.ok()) {
+      std::fprintf(stderr, "bench_registry: step %d failed: %s\n", step,
+                   (!w.ok() ? w.status() : c.status()).ToString().c_str());
+      return 1;
+    }
+    warm_lane.compositions +=
+        static_cast<uint64_t>(w.value().steps_composed);
+    cold_lane.compositions +=
+        static_cast<uint64_t>(c.value().steps_composed);
+    if (w.value().fingerprint != c.value().fingerprint ||
+        w.value().result_fingerprint != c.value().result_fingerprint) {
+      deterministic = false;
+      std::fprintf(stderr,
+                   "bench_registry: warm/cold fingerprint mismatch at step "
+                   "%d (family %d, %s position %d)\n",
+                   step, warm.last_edit().family,
+                   warm.last_edit().append ? "append" : "revise",
+                   warm.last_edit().position);
+    }
+  }
+
+  const sim::RegistryStats& warm_stats = warm.stats();
+  const sim::RegistryStats& cold_stats = cold.stats();
+  runtime::ServiceStats service_stats = warm_service.Stats();
+  runtime::ChainStats chain_stats = warm.chain_composer()->Stats();
+
+  double warm_rate =
+      warm_lane.seconds > 0.0 ? steps / warm_lane.seconds : 0.0;
+  double cold_rate =
+      cold_lane.seconds > 0.0 ? steps / cold_lane.seconds : 0.0;
+  int hardware = runtime::ThreadPool::HardwareThreads();
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"bench_registry\",\n");
+  std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::printf("  \"hardware_concurrency\": %d,\n", hardware);
+  std::printf("  \"single_core_warning\": %s,\n",
+              hardware <= 1 ? "true" : "false");
+  std::printf("  \"families\": %d,\n", options.families);
+  std::printf("  \"initial_depth\": %d,\n", options.initial_depth);
+  std::printf("  \"max_depth\": %d,\n", options.max_depth);
+  std::printf("  \"schemas\": %d,\n", warm.TotalVersions());
+  std::printf("  \"steps\": %d,\n", steps);
+  std::printf("  \"appends\": %llu,\n",
+              static_cast<unsigned long long>(warm_stats.appends));
+  std::printf("  \"revisions\": %llu,\n",
+              static_cast<unsigned long long>(warm_stats.revisions));
+  std::printf("  \"mean_chain_depth\": %.2f,\n", warm_stats.MeanDepth());
+  std::printf("  \"prefix_hit_rate\": %.4f,\n", warm_stats.PrefixHitRate());
+  std::printf("  \"warm_compositions_per_edit\": %.3f,\n",
+              warm_stats.CompositionsPerEdit());
+  std::printf("  \"cold_compositions_per_edit\": %.3f,\n",
+              cold_stats.CompositionsPerEdit());
+  std::printf("  \"warm_chain_recomposes_per_sec\": %.2f,\n", warm_rate);
+  std::printf("  \"cold_chain_recomposes_per_sec\": %.2f,\n", cold_rate);
+  std::printf("  \"speedup_vs_cold\": %.2f,\n",
+              cold_rate > 0.0 ? warm_rate / cold_rate : 0.0);
+  std::printf("  \"service_cache_bytes\": %llu,\n",
+              static_cast<unsigned long long>(service_stats.cache_bytes));
+  std::printf("  \"service_cache_bytes_peak\": %llu,\n",
+              static_cast<unsigned long long>(service_stats.cache_bytes_peak));
+  std::printf("  \"chain_cache_entries\": %llu,\n",
+              static_cast<unsigned long long>(chain_stats.entries));
+  std::printf("  \"chain_cache_bytes\": %llu,\n",
+              static_cast<unsigned long long>(chain_stats.cache_bytes));
+  std::printf("  \"chain_cache_bytes_peak\": %llu,\n",
+              static_cast<unsigned long long>(chain_stats.cache_bytes_peak));
+  std::printf("  \"deterministic_warm_vs_cold\": %s\n",
+              deterministic ? "true" : "false");
+  std::printf("}\n");
+  return deterministic ? 0 : 1;
+}

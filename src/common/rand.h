@@ -1,0 +1,83 @@
+#ifndef MAPCOMP_COMMON_RAND_H_
+#define MAPCOMP_COMMON_RAND_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace mapcomp {
+namespace rnd {
+
+/// One SplitMix64 step. Advances `state` and returns the next output.
+/// The generator behind seed derivation; also usable standalone when a
+/// full mt19937_64 is overkill.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Derives an independent stream seed from a base seed and a stream index,
+/// so several components (simulator, edit stream, per-family generators)
+/// can share one user-facing seed without consuming each other's sequences.
+inline uint64_t DeriveSeed(uint64_t base, uint64_t stream) {
+  uint64_t state = base ^ (0x2545f4914f6cdd1dull * (stream + 1));
+  uint64_t out = SplitMix64(&state);
+  return SplitMix64(&state) ^ out;
+}
+
+/// Uniform integer in [0, n). Thin wrapper so callers share one idiom
+/// instead of re-declaring uniform_int_distribution everywhere.
+inline int UniformIndex(std::mt19937_64* rng, int n) {
+  return std::uniform_int_distribution<int>(0, n - 1)(*rng);
+}
+
+/// Zipf-distributed rank sampler: P(k) ∝ 1/(k+1)^s over ranks 0..n-1
+/// (rank 0 is the most popular). Weights are precomputed into a cumulative
+/// table at construction; Sample is a binary search, so the per-draw cost
+/// is O(log n) regardless of skew. s = 0 degenerates to uniform.
+///
+/// Shared by the schema-registry edit stream (hot-schema selection,
+/// recent-mapping revision positions) and bench_registry — one
+/// implementation, not per-binary copies (see also UniformIndex for the
+/// plain draws in src/eval/generator.cc).
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double s) : cumulative_(n > 0 ? n : 1) {
+    double total = 0.0;
+    for (size_t k = 0; k < cumulative_.size(); ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cumulative_[k] = total;
+    }
+    for (double& c : cumulative_) c /= total;
+    // Guard against floating-point shortfall at the top end.
+    cumulative_.back() = 1.0;
+  }
+
+  int size() const { return static_cast<int>(cumulative_.size()); }
+
+  int Sample(std::mt19937_64* rng) const {
+    double u = std::uniform_real_distribution<double>(0.0, 1.0)(*rng);
+    size_t lo = 0, hi = cumulative_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cumulative_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<int>(lo);
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace rnd
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_COMMON_RAND_H_

@@ -60,6 +60,14 @@ Status Mapping::Validate() const {
   return CheckConstraints(constraints, {&input, &output});
 }
 
+std::string Mapping::Fingerprint() const {
+  std::string out;
+  out += "input{" + input.Fingerprint() + "}\n";
+  out += "output{" + output.Fingerprint() + "}\n";
+  out += "constraints{\n" + ConstraintSetToString(constraints) + "}\n";
+  return out;
+}
+
 std::string CompositionProblem::Fingerprint() const {
   std::string out;
   out += "sigma1{" + sigma1.Fingerprint() + "}\n";

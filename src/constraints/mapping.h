@@ -25,6 +25,15 @@ struct Mapping {
   /// Validates: disjoint signatures, constraint expressions well formed,
   /// every relation mentioned is declared with matching arity.
   Status Validate() const;
+
+  /// Canonical serialization of everything composition reads from one chain
+  /// step: both signatures (with keys, length-prefixed names) and the
+  /// constraint set. Two mappings with equal fingerprints behave
+  /// identically as a link of a composition chain (ChainComposer keys its
+  /// prefix cache by an equivalent — but cheaper, hash-folded — per-link
+  /// digest). Same parser-shaped-name caveat as
+  /// CompositionProblem::Fingerprint().
+  std::string Fingerprint() const;
 };
 
 /// A composition task: given m12 = (σ1,σ2,Σ12) and m23 = (σ2,σ3,Σ23), find

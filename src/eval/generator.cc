@@ -1,5 +1,6 @@
 #include "src/eval/generator.h"
 
+#include "src/common/rand.h"
 #include "src/eval/checker.h"
 #include "src/eval/materialize.h"
 
@@ -10,24 +11,22 @@ namespace {
 void FillRandom(const Signature& sig, std::mt19937_64* rng,
                 const GenOptions& options, Instance* out) {
   static const char* kStrings[] = {"a", "b", "c"};
-  std::uniform_int_distribution<int> count_dist(0,
-                                                options.max_tuples_per_rel);
-  std::uniform_int_distribution<int> val_dist(0, options.domain_size - 1);
-  std::uniform_int_distribution<int> str_dist(0, 2);
-  std::uniform_int_distribution<int> kind_dist(0, 3);
+  // Draws go through the shared rnd::UniformIndex helper (same underlying
+  // distribution, so generated instances are unchanged for a given seed).
   for (const std::string& name : sig.names()) {
     int r = sig.ArityOf(name);
-    int n = count_dist(*rng);
+    int n = rnd::UniformIndex(rng, options.max_tuples_per_rel + 1);
     std::set<Tuple> tuples;
     for (int i = 0; i < n; ++i) {
       Tuple t;
       t.reserve(r);
       for (int j = 0; j < r; ++j) {
-        if (options.include_strings && kind_dist(*rng) == 0) {
+        if (options.include_strings && rnd::UniformIndex(rng, 4) == 0) {
           t.emplace_back(std::in_place_type<std::string>,
-                         kStrings[str_dist(*rng)]);
+                         kStrings[rnd::UniformIndex(rng, 3)]);
         } else {
-          t.emplace_back(std::in_place_type<int64_t>, val_dist(*rng));
+          t.emplace_back(std::in_place_type<int64_t>,
+                         rnd::UniformIndex(rng, options.domain_size));
         }
       }
       tuples.insert(std::move(t));

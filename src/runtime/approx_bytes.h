@@ -1,0 +1,39 @@
+#ifndef MAPCOMP_RUNTIME_APPROX_BYTES_H_
+#define MAPCOMP_RUNTIME_APPROX_BYTES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/constraints/signature.h"
+
+namespace mapcomp {
+namespace runtime {
+
+/// Resident-byte estimators shared by the service result cache and the
+/// chain prefix cache, so both byte bounds account with one ruler.
+
+inline size_t StringsApproxBytes(const std::vector<std::string>& v) {
+  size_t out = v.capacity() * sizeof(std::string);
+  for (const std::string& s : v) out += s.capacity();
+  return out;
+}
+
+inline size_t SignatureApproxBytes(const Signature& sig) {
+  // Names appear in both the order vector and the arity map; keys add a
+  // map node plus the position vector. Map-node overhead is folded into a
+  // flat per-relation constant.
+  size_t out = 0;
+  for (const std::string& name : sig.names()) {
+    out += 2 * name.size() + 96;
+    if (std::optional<std::vector<int>> key = sig.KeyOf(name)) {
+      out += 64 + key->size() * sizeof(int);
+    }
+  }
+  return out;
+}
+
+}  // namespace runtime
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_RUNTIME_APPROX_BYTES_H_

@@ -1,0 +1,325 @@
+#include "src/runtime/chain_composer.h"
+
+#include <utility>
+
+#include "src/compose/eliminate.h"
+#include "src/runtime/approx_bytes.h"
+
+namespace mapcomp {
+namespace runtime {
+
+namespace {
+
+/// Rolling 128-bit prefix key: two independent FNV-1a-style lanes over the
+/// folded fingerprints. 128 bits keep an accidental prefix collision a
+/// ~2^-64 birthday event even at millions of cached prefixes.
+struct RollingKey {
+  uint64_t a = 0xcbf29ce484222325ull;
+  uint64_t b = 0x9ae16a3b2f90404full;
+
+  void Fold(const std::string& s) {
+    for (unsigned char c : s) {
+      a = (a ^ c) * 0x100000001b3ull;
+      b = (b ^ c) * 0x9ddfea08eb382d69ull;
+    }
+    // A length terminator so consecutive folds can't slide into each
+    // other ("ab"+"c" vs "a"+"bc").
+    a = (a ^ s.size()) * 0x100000001b3ull;
+    b = (b ^ s.size()) * 0x9ddfea08eb382d69ull;
+  }
+
+  void FoldHash(uint64_t h) {
+    for (int i = 0; i < 8; ++i) {
+      unsigned char c = static_cast<unsigned char>(h & 0xff);
+      a = (a ^ c) * 0x100000001b3ull;
+      b = (b ^ c) * 0x9ddfea08eb382d69ull;
+      h >>= 8;
+    }
+  }
+
+  /// Per-link digest: signature fingerprints plus the interned structural
+  /// hash of each constraint expression. ExprHash is O(1) (cached at
+  /// interning), so folding a link costs O(|signatures| + #constraints) —
+  /// it never re-serializes constraint expressions, which is what keeps a
+  /// fully warm chain walk cheap. Constraint order and multiplicity fold
+  /// in, so a revised (rotated/toggled) mapping always re-keys.
+  void FoldMapping(const Mapping& m) {
+    Fold(m.input.Fingerprint());
+    Fold(m.output.Fingerprint());
+    for (const Constraint& c : m.constraints) {
+      FoldHash(static_cast<uint64_t>(c.kind));
+      FoldHash(static_cast<uint64_t>(ExprHash(c.lhs)));
+      FoldHash(static_cast<uint64_t>(ExprHash(c.rhs)));
+    }
+    FoldHash(m.constraints.size());
+  }
+
+  std::string Key() const {
+    return std::to_string(a) + ":" + std::to_string(b);
+  }
+};
+
+std::shared_ptr<const ChainPrefixState> SeedState(const Mapping& first) {
+  auto seed = std::make_shared<ChainPrefixState>();
+  seed->sigma1 = first.input;
+  seed->current = first.output;
+  seed->constraints = first.constraints;
+  return seed;
+}
+
+/// One chain step, shared verbatim by the warm and cold paths so they
+/// cannot diverge: composes prefix∘m through the service (or directly when
+/// `service` is null), then retries previously-kept residual symbols
+/// against the new constraint set — a later composition can shrink Σ
+/// enough to recover them (§4's second-order note) — and rebuilds σ1 as
+/// chain input ∪ surviving residuals.
+std::shared_ptr<const ChainPrefixState> ExtendPrefix(
+    const Signature& base_input, const ChainPrefixState& prev,
+    const Mapping& m, const ComposeOptions& options,
+    ComposeService* service) {
+  CompositionProblem problem;
+  problem.sigma1 = prev.sigma1;
+  problem.sigma2 = prev.current;
+  problem.sigma3 = m.output;
+  problem.sigma12 = prev.constraints;
+  problem.sigma23 = m.constraints;
+
+  ComposeService::ResultPtr served;
+  if (service != nullptr) {
+    served = service->Submit(problem, options).Result();
+  } else {
+    served = std::make_shared<const ServedResult>(
+        ServedResult::FromResult(Compose(problem, options)));
+  }
+
+  auto next = std::make_shared<ChainPrefixState>();
+  next->current = m.output;
+  next->warnings = prev.warnings;
+  next->warnings.insert(next->warnings.end(), served->warnings.begin(),
+                        served->warnings.end());
+  next->step_result_fingerprint = served->fingerprint;
+
+  ConstraintSet current = served->constraints;
+  std::map<std::string, int> residual_arity = prev.residual_arity;
+  for (auto it = residual_arity.begin(); it != residual_arity.end();) {
+    EliminateOutcome retry =
+        Eliminate(current, it->first, it->second, options.eliminate);
+    if (retry.success) {
+      current = std::move(retry.constraints);
+      it = residual_arity.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const std::string& s : served->residual_sigma2) {
+    residual_arity[s] = problem.sigma2.ArityOf(s);
+  }
+
+  next->sigma1 = base_input;
+  for (const auto& [name, arity] : residual_arity) {
+    next->sigma1.AddOrReplaceRelation(name, arity);
+  }
+  next->constraints = std::move(current);
+  next->residual_arity = std::move(residual_arity);
+  return next;
+}
+
+/// Canonical serialization of a final chain state — the warm≡cold
+/// comparison surface of ChainResult::fingerprint.
+std::string StateFingerprint(const ChainPrefixState& s) {
+  std::string out;
+  out += "sigma1{" + s.sigma1.Fingerprint() + "}\n";
+  out += "current{" + s.current.Fingerprint() + "}\n";
+  out += "constraints{\n" + ConstraintSetToString(s.constraints) + "}\n";
+  out += "residual{";
+  for (const auto& [name, arity] : s.residual_arity) {
+    out += std::to_string(name.size()) + ":" + name + "/" +
+           std::to_string(arity) + ",";
+  }
+  out += "}\n";
+  out += "warnings{";
+  for (const std::string& w : s.warnings) {
+    out += std::to_string(w.size()) + ":" + w + ",";
+  }
+  out += "}\n";
+  return out;
+}
+
+ChainResult FinishResult(const ChainPrefixState& state, int depth,
+                         int prefix_hits, int steps_composed) {
+  ChainResult out;
+  out.mapping.input = state.sigma1;
+  out.mapping.output = state.current;
+  out.mapping.constraints = state.constraints;
+  for (const auto& [name, arity] : state.residual_arity) {
+    (void)arity;
+    out.residual_sigma2.push_back(name);
+  }
+  out.warnings = state.warnings;
+  out.fingerprint = StateFingerprint(state);
+  out.result_fingerprint = state.step_result_fingerprint;
+  out.depth = depth;
+  out.prefix_hits = prefix_hits;
+  out.steps_composed = steps_composed;
+  return out;
+}
+
+Status ValidateChain(const std::vector<Mapping>& chain) {
+  if (chain.empty()) {
+    return Status::InvalidArgument("cannot compose an empty chain");
+  }
+  for (size_t k = 1; k < chain.size(); ++k) {
+    const Signature& out = chain[k - 1].output;
+    const Signature& in = chain[k].input;
+    if (out.names() != in.names()) {
+      return Status::InvalidArgument(
+          "chain link " + std::to_string(k) +
+          ": input signature does not match the previous link's output");
+    }
+    for (const std::string& name : in.names()) {
+      if (in.ArityOf(name) != out.ArityOf(name)) {
+        return Status::InvalidArgument(
+            "chain link " + std::to_string(k) + ": relation " + name +
+            " changes arity across the link boundary");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+size_t ChainPrefixState::ApproxBytes() const {
+  size_t out = sizeof(ChainPrefixState);
+  out += SignatureApproxBytes(sigma1);
+  out += SignatureApproxBytes(current);
+  out += constraints.capacity() * sizeof(Constraint);
+  for (const auto& [name, arity] : residual_arity) {
+    (void)arity;
+    out += name.size() + 64;
+  }
+  out += StringsApproxBytes(warnings);
+  out += step_result_fingerprint.capacity();
+  return out;
+}
+
+std::string ChainStats::ToString() const {
+  std::string out = "chain-composer: ";
+  out += std::to_string(prefix_hits) + " prefix hits, " +
+         std::to_string(prefix_misses) + " prefix misses (" +
+         std::to_string(HitRate() * 100.0) + "% hit rate), " +
+         std::to_string(evictions) + " evictions, " +
+         std::to_string(entries) + " cached (" +
+         std::to_string(cache_bytes) + " bytes, peak " +
+         std::to_string(cache_bytes_peak) + ")\n";
+  return out;
+}
+
+ChainComposer::ChainComposer(ComposeService* service,
+                             ChainComposerOptions options)
+    : service_(service), options_(options) {}
+
+ChainComposer::StatePtr ChainComposer::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // touch
+  return it->second.state;
+}
+
+void ChainComposer::Insert(const std::string& key, StatePtr state) {
+  size_t bytes = state->ApproxBytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // A racing walk extended the same prefix; both states are identical
+    // by determinism — keep the incumbent.
+    return;
+  }
+  lru_.push_front(key);
+  cache_.emplace(key, CacheEntry{std::move(state), lru_.begin(), bytes});
+  stats_.cache_bytes += bytes;
+  if (stats_.cache_bytes > stats_.cache_bytes_peak) {
+    stats_.cache_bytes_peak = stats_.cache_bytes;
+  }
+  while (cache_.size() > options_.cache_capacity) EvictLruLocked();
+  if (options_.cache_bytes_capacity > 0) {
+    while (stats_.cache_bytes > options_.cache_bytes_capacity &&
+           !cache_.empty()) {
+      EvictLruLocked();
+    }
+  }
+  stats_.entries = cache_.size();
+}
+
+void ChainComposer::EvictLruLocked() {
+  ++stats_.evictions;
+  auto it = cache_.find(lru_.back());
+  stats_.cache_bytes -= it->second.bytes;
+  cache_.erase(it);
+  lru_.pop_back();
+}
+
+Result<ChainResult> ChainComposer::ComposeChain(
+    const std::vector<Mapping>& chain) {
+  return ComposeChain(chain, service_->default_options());
+}
+
+Result<ChainResult> ChainComposer::ComposeChain(
+    const std::vector<Mapping>& chain, const ComposeOptions& options) {
+  MAPCOMP_RETURN_IF_ERROR(ValidateChain(chain));
+  const bool caching = options_.cache_capacity > 0;
+
+  RollingKey key;
+  key.Fold(options.Fingerprint());
+  key.FoldMapping(chain[0]);
+  StatePtr state = SeedState(chain[0]);
+
+  int hits = 0, composed = 0;
+  for (size_t k = 1; k < chain.size(); ++k) {
+    key.FoldMapping(chain[k]);
+    std::string prefix_key = caching ? key.Key() : std::string();
+    if (caching) {
+      if (StatePtr cached = Lookup(prefix_key)) {
+        ++hits;
+        state = std::move(cached);
+        continue;
+      }
+    }
+    state = ExtendPrefix(chain[0].input, *state, chain[k], options, service_);
+    ++composed;
+    if (caching) Insert(prefix_key, state);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.prefix_hits += static_cast<uint64_t>(hits);
+    stats_.prefix_misses += static_cast<uint64_t>(composed);
+  }
+  service_->RecordChainPrefixes(static_cast<uint64_t>(hits),
+                                static_cast<uint64_t>(composed));
+  return FinishResult(*state, static_cast<int>(chain.size()), hits,
+                      composed);
+}
+
+ChainStats ChainComposer::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Result<ChainResult> ComposeChainCold(const std::vector<Mapping>& chain,
+                                     const ComposeOptions& options) {
+  MAPCOMP_RETURN_IF_ERROR(ValidateChain(chain));
+  std::shared_ptr<const ChainPrefixState> state = SeedState(chain[0]);
+  int composed = 0;
+  for (size_t k = 1; k < chain.size(); ++k) {
+    state = ExtendPrefix(chain[0].input, *state, chain[k], options,
+                         /*service=*/nullptr);
+    ++composed;
+  }
+  return FinishResult(*state, static_cast<int>(chain.size()), /*hits=*/0,
+                      composed);
+}
+
+}  // namespace runtime
+}  // namespace mapcomp

@@ -1,20 +1,61 @@
 #include "src/runtime/compose_service.h"
 
+#include "src/runtime/approx_bytes.h"
 #include "src/runtime/thread_pool.h"
 
 namespace mapcomp {
 namespace runtime {
+
+ServedResult ServedResult::FromResult(const CompositionResult& result) {
+  ServedResult out;
+  out.sigma = result.sigma;
+  out.residual_sigma2 = result.residual_sigma2;
+  out.constraints = result.constraints;
+  out.warnings = result.warnings;
+  out.eliminated_count = result.eliminated_count;
+  out.total_count = result.total_count;
+  out.fingerprint = result.Fingerprint();
+  return out;
+}
+
+std::string ServedResult::Report() const {
+  std::string out = "eliminated " + std::to_string(eliminated_count) + "/" +
+                    std::to_string(total_count) + " symbols (served)\n";
+  for (const std::string& w : warnings) {
+    out += "  warning: " + w + "\n";
+  }
+  return out;
+}
+
+size_t ServedResult::ApproxBytes() const {
+  size_t out = sizeof(ServedResult);
+  out += SignatureApproxBytes(sigma);
+  out += StringsApproxBytes(residual_sigma2);
+  out += StringsApproxBytes(warnings);
+  out += fingerprint.capacity();
+  // Constraints hold two interned expression pointers each; the nodes
+  // live in the shared interner arena (and are reused across cached
+  // entries), so charge the reference cost, not a deep copy.
+  out += constraints.capacity() * sizeof(Constraint);
+  return out;
+}
 
 std::string ServiceStats::ToString() const {
   std::string out = "compose-service: ";
   out += std::to_string(hits) + " hits, " + std::to_string(misses) +
          " misses (" + std::to_string(HitRate() * 100.0) + "% hit rate), " +
          std::to_string(evictions) + " evictions, " +
-         std::to_string(cache_entries) + " cached, " +
+         std::to_string(cache_entries) + " cached (" +
+         std::to_string(cache_bytes) + " bytes, peak " +
+         std::to_string(cache_bytes_peak) + "), " +
          std::to_string(in_flight) + " in flight, " +
          std::to_string(completed) + " completed\n";
   out += "scheduler: " + std::to_string(waves_executed) +
          " waves executed, max width " + std::to_string(max_wave_width) + "\n";
+  out += "chains: " + std::to_string(chain_prefix_hits) +
+         " prefix hits, " + std::to_string(chain_prefix_misses) +
+         " prefix misses (" +
+         std::to_string(ChainPrefixHitRate() * 100.0) + "% hit rate)\n";
   return out;
 }
 
@@ -40,6 +81,12 @@ void ComposeService::RecordCompletion(const CompositionResult* result) {
   }
 }
 
+void ComposeService::RecordChainPrefixes(uint64_t hits, uint64_t misses) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.chain_prefix_hits += hits;
+  stats_.chain_prefix_misses += misses;
+}
+
 void ComposeService::ReleaseOutstanding() {
   std::lock_guard<std::mutex> lock(mu_);
   --outstanding_;
@@ -50,8 +97,43 @@ void ComposeService::EvictFailed(const std::string& key, uint64_t id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it == cache_.end() || it->second.id != id) return;
+  stats_.cache_bytes -= it->second.bytes;
   lru_.erase(it->second.lru_it);
   cache_.erase(it);
+  stats_.cache_entries = cache_.size();
+}
+
+void ComposeService::RecordEntryBytes(const std::string& key, uint64_t id,
+                                      size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it == cache_.end() || it->second.id != id) return;  // already evicted
+  it->second.bytes = bytes;
+  stats_.cache_bytes += bytes;
+  if (stats_.cache_bytes > stats_.cache_bytes_peak) {
+    stats_.cache_bytes_peak = stats_.cache_bytes;
+  }
+  EnforceCapacityLocked();
+}
+
+void ComposeService::EvictLruLocked() {
+  ++stats_.evictions;
+  auto it = cache_.find(lru_.back());
+  stats_.cache_bytes -= it->second.bytes;
+  cache_.erase(it);
+  lru_.pop_back();
+}
+
+void ComposeService::EnforceCapacityLocked() {
+  while (cache_.size() > options_.cache_capacity) EvictLruLocked();
+  if (options_.cache_bytes_capacity > 0) {
+    // The byte bound may evict the entry whose completion just booked the
+    // bytes — that is fine: its handles stay valid, only the memo is lost.
+    while (stats_.cache_bytes > options_.cache_bytes_capacity &&
+           !cache_.empty()) {
+      EvictLruLocked();
+    }
+  }
   stats_.cache_entries = cache_.size();
 }
 
@@ -91,17 +173,13 @@ ComposeService::Handle ComposeService::Submit(CompositionProblem problem,
     handle.future_ = promise->get_future().share();
     if (caching) {
       lru_.push_front(key);
-      cache_.emplace(key, CacheEntry{handle.future_, lru_.begin(), entry_id});
+      cache_.emplace(key, CacheEntry{handle.future_, lru_.begin(), entry_id,
+                                     /*bytes=*/0});
       // Evicting an entry still in flight is allowed (its handles stay
       // valid; only the dedup/memo reference is lost), so a capacity
       // smaller than the concurrent working set degrades to recomputation,
       // never to blocking.
-      while (cache_.size() > options_.cache_capacity) {
-        ++stats_.evictions;
-        cache_.erase(lru_.back());
-        lru_.pop_back();
-      }
-      stats_.cache_entries = cache_.size();
+      EnforceCapacityLocked();
     }
   }
 
@@ -120,8 +198,14 @@ ComposeService::Handle ComposeService::Submit(CompositionProblem problem,
        problem = std::move(problem)]() mutable {
         ResultPtr result;
         try {
-          result = std::make_shared<CompositionResult>(
-              Compose(problem, options));
+          CompositionResult full = Compose(problem, options);
+          // Slim before caching: constraints + residuals + warnings and
+          // the precomputed full fingerprint are retained; per-round stat
+          // payloads are dropped (they would dominate a registry-scale
+          // cache) after their wave counters were folded into stats_.
+          RecordCompletion(&full);
+          result = std::make_shared<ServedResult>(
+              ServedResult::FromResult(full));
         } catch (...) {
           // The exception reaches every handle already joined to this
           // computation, but must not be served to future submitters.
@@ -131,12 +215,13 @@ ComposeService::Handle ComposeService::Submit(CompositionProblem problem,
           ReleaseOutstanding();
           return;
         }
-        // Ordering matters twice: stats before fulfillment (a client that
-        // just Wait()ed must see itself counted as completed, not in
-        // flight), and the outstanding release after it (the destructor
-        // may return the moment outstanding_ hits zero, and by then every
-        // handle must already be Ready).
-        RecordCompletion(result.get());
+        // Ordering matters twice: stats — completion counters AND entry
+        // bytes — before fulfillment (a client that just Wait()ed must see
+        // itself counted as completed and the entry's bytes booked), and
+        // the outstanding release after it (the destructor may return the
+        // moment outstanding_ hits zero, and by then every handle must
+        // already be Ready).
+        if (caching) RecordEntryBytes(key, entry_id, result->ApproxBytes());
         promise->set_value(std::move(result));
         ReleaseOutstanding();
       });

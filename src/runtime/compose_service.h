@@ -16,22 +16,79 @@
 namespace mapcomp {
 namespace runtime {
 
+/// What the service caches and serves: the composition's *answer* —
+/// constraints, residuals, warnings, counts — plus the full
+/// CompositionResult::Fingerprint() precomputed at completion time. The
+/// per-attempt SymbolStats, per-round RoundStats and wall-clock timings of
+/// the underlying CompositionResult are deliberately dropped: at
+/// schema-registry scale (thousands of chains × dozens of prefixes) whole
+/// results would dominate cache memory with diagnostics nobody re-reads,
+/// while the slim entry is what every consumer — chain composition, the
+/// CLI, correctness gates — actually needs. A hit and a miss serve the
+/// same shape, and Fingerprint() equality with a direct Compose() still
+/// holds because the string was recorded before slimming.
+struct ServedResult {
+  Signature sigma;  ///< σ1 ∪ residual σ2 ∪ σ3
+  std::vector<std::string> residual_sigma2;
+  ConstraintSet constraints;
+  std::vector<std::string> warnings;
+  int eliminated_count = 0;  ///< distinct σ2 symbols eliminated
+  int total_count = 0;       ///< distinct σ2 symbols attempted
+
+  /// The full CompositionResult::Fingerprint() of the computation that
+  /// produced this entry (stats and rounds included), recorded before the
+  /// payload was slimmed — so warm and cold serving are byte-comparable
+  /// against direct composition.
+  const std::string& Fingerprint() const { return fingerprint; }
+
+  /// Short human summary (counts, residuals, warnings) — the slim analog
+  /// of CompositionResult::Report(); per-symbol attempt detail is not
+  /// retained in the cache.
+  std::string Report() const;
+
+  /// Estimated resident bytes of this entry: strings, name tables, and
+  /// per-constraint overhead. Interned expression nodes are shared
+  /// process-wide and counted once per constraint reference, not deep —
+  /// this is the accounting unit of ServiceStats::cache_bytes and the
+  /// byte-capacity eviction bound.
+  size_t ApproxBytes() const;
+
+  /// Built by the service from a freshly computed full result.
+  static ServedResult FromResult(const CompositionResult& result);
+
+  std::string fingerprint;
+};
+
 /// Point-in-time counters of a ComposeService. Wave fields aggregate the
-/// scheduler behavior of every composition the service completed.
+/// scheduler behavior of every composition the service completed; chain
+/// fields aggregate the prefix-cache behavior of every ChainComposer
+/// attached to this service.
 struct ServiceStats {
   uint64_t hits = 0;        ///< Submits answered by the cache (incl. joining
                             ///< a computation already in flight)
   uint64_t misses = 0;      ///< Submits that started a computation
-  uint64_t evictions = 0;   ///< cache entries dropped by the LRU bound
+  uint64_t evictions = 0;   ///< cache entries dropped by the LRU bounds
   int64_t in_flight = 0;    ///< computations started but not yet finished
   uint64_t completed = 0;   ///< computations finished
   uint64_t cache_entries = 0;  ///< entries currently cached
+  uint64_t cache_bytes = 0;    ///< ApproxBytes of completed cached entries
+  uint64_t cache_bytes_peak = 0;  ///< high-water mark of cache_bytes
   uint64_t waves_executed = 0; ///< scheduler waves across completed results
   int max_wave_width = 0;      ///< widest elimination wave observed
+  /// Chain-composition prefix cache traffic (ChainComposer reports here):
+  /// a hit is one cached prefix composition reused during a chain walk, a
+  /// miss is one suffix composition that had to run.
+  uint64_t chain_prefix_hits = 0;
+  uint64_t chain_prefix_misses = 0;
 
   double HitRate() const {
     uint64_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+  double ChainPrefixHitRate() const {
+    uint64_t total = chain_prefix_hits + chain_prefix_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(chain_prefix_hits) / total;
   }
   std::string ToString() const;
 };
@@ -46,6 +103,11 @@ struct ComposeServiceOptions {
   /// Completed results retained, least-recently-submitted evicted first.
   /// 0 disables caching (every Submit computes).
   size_t cache_capacity = 128;
+  /// Byte bound on cached entries (ServedResult::ApproxBytes sum). 0 =
+  /// entries-only bound. When exceeded, least-recently-used entries are
+  /// evicted until the sum fits — so capacity can be expressed the way a
+  /// registry deployment sizes memory, not just as an entry count.
+  size_t cache_bytes_capacity = 0;
 };
 
 /// A long-lived composition server: clients Submit CompositionProblems and
@@ -61,7 +123,7 @@ struct ComposeServiceOptions {
 /// CLI loops, benchmark drivers, request threads — wait; pool tasks don't.
 class ComposeService {
  public:
-  using ResultPtr = std::shared_ptr<const CompositionResult>;
+  using ResultPtr = std::shared_ptr<const ServedResult>;
 
   /// Async handle for one submission. Copyable; all copies share the same
   /// eventual result. Valid independently of cache eviction.
@@ -70,7 +132,7 @@ class ComposeService {
     Handle() = default;
 
     /// Blocks until the composition finishes; rethrows if it threw.
-    const CompositionResult& Wait() const { return *future_.get(); }
+    const ServedResult& Wait() const { return *future_.get(); }
     /// Shared ownership of the result (blocks like Wait).
     ResultPtr Result() const { return future_.get(); }
     /// True once the result is available without blocking.
@@ -110,6 +172,15 @@ class ComposeService {
   /// computation (registries are long-lived by design).
   Handle Submit(CompositionProblem problem, const ComposeOptions& options);
 
+  /// The service's default ComposeOptions (what the one-argument Submit
+  /// composes under).
+  const ComposeOptions& default_options() const { return options_.compose; }
+
+  /// Folds one chain walk's prefix-cache outcome into the service stats —
+  /// ChainComposer calls this so `--serve-demo`-style observability covers
+  /// chain traffic too.
+  void RecordChainPrefixes(uint64_t hits, uint64_t misses);
+
   ServiceStats Stats() const;
 
  private:
@@ -120,6 +191,9 @@ class ComposeService {
     /// original may be evicted and the key recomputed while the original
     /// computation is still running).
     uint64_t id = 0;
+    /// ApproxBytes of the completed entry; 0 while still in flight (the
+    /// size is unknown until the result exists).
+    size_t bytes = 0;
   };
 
   void RecordCompletion(const CompositionResult* result);
@@ -128,6 +202,13 @@ class ComposeService {
   /// `id` — called when a computation throws, so the failure is handed to
   /// the waiting handles but never served to future submitters.
   void EvictFailed(const std::string& key, uint64_t id);
+  /// Books `bytes` against the entry `key`/`id` once its computation
+  /// finished, then enforces the byte bound.
+  void RecordEntryBytes(const std::string& key, uint64_t id, size_t bytes);
+  /// Evicts the LRU entry. Requires mu_ held and a non-empty cache.
+  void EvictLruLocked();
+  /// Evicts until both the entry and byte bounds hold. Requires mu_ held.
+  void EnforceCapacityLocked();
 
   const ComposeServiceOptions options_;
   mutable std::mutex mu_;

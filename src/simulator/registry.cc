@@ -1,0 +1,130 @@
+#include "src/simulator/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mapcomp {
+namespace sim {
+
+namespace {
+
+/// Expressions are interned, so pointer equality is structural equality.
+bool SameConstraint(const Constraint& a, const Constraint& b) {
+  return a.kind == b.kind && a.lhs == b.lhs && a.rhs == b.rhs;
+}
+
+}  // namespace
+
+std::string RegistryStats::ToString() const {
+  std::string out = "registry: ";
+  out += std::to_string(steps) + " edits (" + std::to_string(appends) +
+         " appends, " + std::to_string(revisions) + " revisions), " +
+         std::to_string(chains_recomposed) + " chains recomposed\n";
+  out += "registry: mean chain depth " + std::to_string(MeanDepth()) +
+         ", " + std::to_string(compositions_run) +
+         " compositions run (" + std::to_string(CompositionsPerEdit()) +
+         " per edit), prefix hit rate " +
+         std::to_string(PrefixHitRate() * 100.0) + "%\n";
+  return out;
+}
+
+SchemaRegistry::SchemaRegistry(RegistryOptions options,
+                               runtime::ComposeService* service)
+    : options_(options),
+      simulator_(options.simulator, rnd::DeriveSeed(options.seed, 0)),
+      family_sampler_(options.families, options.family_zipf),
+      edit_rng_(rnd::DeriveSeed(options.seed, 1)),
+      composer_(service, options.chain_cache) {
+  families_.resize(static_cast<size_t>(options_.families));
+  for (Family& family : families_) {
+    family.tail = simulator_.RandomSchema(options_.schema_size);
+    for (int d = 0; d < options_.initial_depth; ++d) AppendVersion(&family);
+  }
+}
+
+int SchemaRegistry::TotalVersions() const {
+  int out = 0;
+  for (const Family& family : families_) {
+    out += static_cast<int>(family.chain.size()) + 1;
+  }
+  return out;
+}
+
+void SchemaRegistry::AppendVersion(Family* family) {
+  FullEdit edit = simulator_.ApplyRandomEdit(family->tail);
+  Mapping m;
+  m.input = family->tail.ToSignature();
+  m.output = edit.new_schema.ToSignature();
+  m.constraints = edit.constraints;
+  family->chain.push_back(std::move(m));
+  family->tail = std::move(edit.new_schema);
+}
+
+void SchemaRegistry::ReviseMapping(Family* family, int position) {
+  ConstraintSet& cs = family->chain[static_cast<size_t>(position)].constraints;
+  if (cs.empty()) return;  // nothing to rewrite; the edit is a no-op
+  if (cs.size() >= 2 && !SameConstraint(cs.front(), cs.back())) {
+    // Rotate the constraint list: same constraint set, different byte
+    // order — to a fingerprint cache this is exactly what a registry
+    // user re-uploading an equivalent mapping looks like.
+    std::rotate(cs.begin(), cs.begin() + 1, cs.end());
+  } else if (cs.size() >= 2) {
+    // front == back means a duplicate toggled on earlier; toggle it off.
+    cs.pop_back();
+  } else {
+    // Singleton list: rotation is the identity, so toggle a duplicate of
+    // the constraint instead (sets are order/multiplicity-insensitive).
+    cs.push_back(cs.front());
+  }
+}
+
+Result<runtime::ChainResult> SchemaRegistry::Step() {
+  int family_idx = family_sampler_.Sample(&edit_rng_);
+  Family& family = families_[static_cast<size_t>(family_idx)];
+  int depth = static_cast<int>(family.chain.size());
+
+  // Draw the append/revise coin before the position so the edit stream
+  // consumes the RNG identically across registries with equal options.
+  double coin = std::uniform_real_distribution<double>(0.0, 1.0)(edit_rng_);
+  bool revise = depth >= options_.max_depth || coin < options_.revise_fraction;
+  if (revise) {
+    // Rank 0 = the newest mapping; registries overwhelmingly fix what
+    // just landed.
+    rnd::ZipfSampler positions(depth, options_.position_zipf);
+    int rank = positions.Sample(&edit_rng_);
+    int position = depth - 1 - rank;
+    ReviseMapping(&family, position);
+    last_edit_ = RegistryEdit{family_idx, /*append=*/false, position};
+    ++stats_.revisions;
+  } else {
+    AppendVersion(&family);
+    last_edit_ = RegistryEdit{family_idx, /*append=*/true, depth};
+    ++stats_.appends;
+  }
+  ++stats_.steps;
+
+  Result<runtime::ChainResult> result =
+      composer_.ComposeChain(family.chain, options_.compose);
+  if (result.ok()) {
+    ++stats_.chains_recomposed;
+    stats_.compositions_run +=
+        static_cast<uint64_t>(result.value().steps_composed);
+    stats_.prefix_hits += static_cast<uint64_t>(result.value().prefix_hits);
+    stats_.total_depth += static_cast<uint64_t>(family.chain.size());
+  }
+  return result;
+}
+
+Result<runtime::ChainResult> SchemaRegistry::ComposeFamily(int family) {
+  return composer_.ComposeChain(families_[static_cast<size_t>(family)].chain,
+                                options_.compose);
+}
+
+Result<runtime::ChainResult> SchemaRegistry::ComposeFamilyCold(
+    int family) const {
+  return runtime::ComposeChainCold(
+      families_[static_cast<size_t>(family)].chain, options_.compose);
+}
+
+}  // namespace sim
+}  // namespace mapcomp

@@ -1,0 +1,147 @@
+#ifndef MAPCOMP_SIMULATOR_REGISTRY_H_
+#define MAPCOMP_SIMULATOR_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rand.h"
+#include "src/runtime/chain_composer.h"
+#include "src/simulator/simulator.h"
+
+namespace mapcomp {
+namespace sim {
+
+/// Knobs of the simulated schema registry — the paper's motivating
+/// steady-state deployment: many schema families, each a chain of versions
+/// v1→v2→…→vn connected by mappings, re-composed end-to-end as edits land.
+struct RegistryOptions {
+  int families = 16;       ///< independent schema families (chains)
+  int initial_depth = 8;   ///< mappings seeded per chain (versions = depth+1)
+  int max_depth = 24;      ///< appends beyond this depth become revisions
+  int schema_size = 5;     ///< relations per schema version
+  /// Skew of the family edit stream: P(family at popularity rank k) ∝
+  /// 1/(k+1)^s — a few hot schemas absorb most edits, the long tail idles.
+  double family_zipf = 1.2;
+  /// Skew of revision positions, measured from the chain tail: rank 0 is
+  /// the newest mapping. Registries overwhelmingly fix recent mappings,
+  /// which is exactly the regime where prefix reuse pays.
+  double position_zipf = 1.5;
+  /// Probability an edit revises an existing mapping instead of appending
+  /// a new version (chains at max_depth always revise).
+  double revise_fraction = 0.25;
+  uint64_t seed = 1;
+  SimulatorOptions simulator;
+  ComposeOptions compose;
+  /// Prefix-cache sizing of the registry's ChainComposer. Set
+  /// `chain_cache.cache_capacity = 0` (with a cache-disabled service) for
+  /// a cold-recompose baseline registry over the same edit stream.
+  runtime::ChainComposerOptions chain_cache;
+};
+
+/// What one edit did.
+struct RegistryEdit {
+  int family = 0;
+  bool append = false;  ///< false = revised an existing mapping
+  int position = 0;     ///< 0-based chain index edited/appended
+};
+
+/// Aggregates over a run of registry steps.
+struct RegistryStats {
+  uint64_t steps = 0;
+  uint64_t appends = 0;
+  uint64_t revisions = 0;
+  uint64_t chains_recomposed = 0;
+  uint64_t compositions_run = 0;  ///< suffix compositions actually executed
+  uint64_t prefix_hits = 0;       ///< cached prefix compositions reused
+  uint64_t total_depth = 0;       ///< Σ chain depth at each recompose
+
+  double MeanDepth() const {
+    return chains_recomposed == 0
+               ? 0.0
+               : static_cast<double>(total_depth) / chains_recomposed;
+  }
+  /// The O(affected suffix) witness: compositions actually run per edit.
+  /// A cold registry pays MeanDepth()-1 of these per edit instead.
+  double CompositionsPerEdit() const {
+    return steps == 0 ? 0.0
+                      : static_cast<double>(compositions_run) / steps;
+  }
+  double PrefixHitRate() const {
+    uint64_t total = prefix_hits + compositions_run;
+    return total == 0 ? 0.0 : static_cast<double>(prefix_hits) / total;
+  }
+  std::string ToString() const;
+};
+
+/// A long-lived simulated schema registry: `families` chains of evolving
+/// schema versions, a seeded Zipf-distributed edit stream (hot families,
+/// recency-biased revision positions), and full-chain recomposition after
+/// every edit through a ChainComposer. Given equal options/seed, two
+/// registries produce byte-identical edit streams and compositions — the
+/// incremental and cold baseline lanes of bench_registry rely on this.
+///
+/// Single edit-stream writer: Step() mutates chains and must be called
+/// from one thread at a time. ComposeFamily/ComposeFamilyCold only read
+/// (the chain composer and service are internally thread-safe).
+class SchemaRegistry {
+ public:
+  /// `service` must outlive the registry; chain compositions run through
+  /// it. Chains are seeded to `initial_depth` at construction (schema
+  /// generation only — nothing is composed until the first Step or
+  /// ComposeFamily call).
+  SchemaRegistry(RegistryOptions options, runtime::ComposeService* service);
+
+  int families() const { return static_cast<int>(families_.size()); }
+  /// Total schema versions currently in the registry.
+  int TotalVersions() const;
+  int ChainDepth(int family) const {
+    return static_cast<int>(families_[family].chain.size());
+  }
+  const std::vector<Mapping>& Chain(int family) const {
+    return families_[family].chain;
+  }
+
+  /// Applies one Zipf-drawn edit and incrementally recomposes the edited
+  /// family's full chain. The returned ChainResult carries the per-call
+  /// prefix-hit/suffix-recompute split.
+  Result<runtime::ChainResult> Step();
+  /// The edit applied by the most recent Step().
+  const RegistryEdit& last_edit() const { return last_edit_; }
+
+  /// Warm (prefix-cached) recomposition of one family, no edit.
+  Result<runtime::ChainResult> ComposeFamily(int family);
+  /// Cold oracle recomposition — no prefix reuse, no service.
+  Result<runtime::ChainResult> ComposeFamilyCold(int family) const;
+
+  const RegistryStats& stats() const { return stats_; }
+  runtime::ChainComposer* chain_composer() { return &composer_; }
+
+ private:
+  struct Family {
+    SimSchema tail;  ///< newest schema version (next append's input)
+    std::vector<Mapping> chain;
+  };
+
+  void AppendVersion(Family* family);
+  /// Revises chain[position] in place, keeping its endpoint signatures:
+  /// the constraint list is rotated (or, for singleton lists, a duplicate
+  /// constraint is toggled on/off) — semantically equivalence-preserving,
+  /// but a different byte-level mapping, which is what a registry edit
+  /// looks like to a fingerprint cache.
+  void ReviseMapping(Family* family, int position);
+
+  const RegistryOptions options_;
+  EvolutionSimulator simulator_;
+  rnd::ZipfSampler family_sampler_;
+  std::mt19937_64 edit_rng_;
+  runtime::ChainComposer composer_;
+  std::vector<Family> families_;
+  RegistryEdit last_edit_;
+  RegistryStats stats_;
+};
+
+}  // namespace sim
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_SIMULATOR_REGISTRY_H_

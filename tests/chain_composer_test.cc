@@ -1,0 +1,295 @@
+// Tests for incremental chain recomposition: warm (prefix-cached) results
+// byte-identical to cold recomposition at any job count, exact suffix
+// recompute counts after editing link k, invalidation when a prefix link
+// changes, byte-capacity eviction of prefix states, and a concurrent
+// editors-plus-readers stress run (executed under ThreadSanitizer in CI).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/chain_composer.h"
+#include "src/simulator/simulator.h"
+
+namespace mapcomp {
+namespace runtime {
+namespace {
+
+// Keeps its simulator so appended versions draw fresh relation names
+// (NameAllocator counters are per-simulator).
+struct TestChain {
+  explicit TestChain(uint64_t seed)
+      : simulator(sim::SimulatorOptions{}, seed) {}
+
+  void Append() {
+    sim::FullEdit edit = simulator.ApplyRandomEdit(tail);
+    Mapping m;
+    m.input = tail.ToSignature();
+    m.output = edit.new_schema.ToSignature();
+    m.constraints = edit.constraints;
+    chain.push_back(std::move(m));
+    tail = std::move(edit.new_schema);
+  }
+
+  sim::EvolutionSimulator simulator;
+  sim::SimSchema tail;
+  std::vector<Mapping> chain;
+};
+
+TestChain BuildChain(int depth, uint64_t seed) {
+  TestChain out(seed);
+  out.tail = out.simulator.RandomSchema(3);
+  for (int i = 0; i < depth; ++i) out.Append();
+  return out;
+}
+
+// A registry-style revision: byte-different mapping, same endpoints.
+void ReviseLink(Mapping* m) {
+  ASSERT_FALSE(m->constraints.empty());
+  if (m->constraints.size() >= 2) {
+    std::rotate(m->constraints.begin(), m->constraints.begin() + 1,
+                m->constraints.end());
+  } else {
+    m->constraints.push_back(m->constraints.front());
+  }
+}
+
+TEST(ChainComposerTest, WarmEqualsColdByteForByteAtJobs1And8) {
+  TestChain tc = BuildChain(/*depth=*/6, /*seed=*/11);
+  ChainResult cold = ComposeChainCold(tc.chain).value();
+  ASSERT_FALSE(cold.fingerprint.empty());
+  ASSERT_FALSE(cold.result_fingerprint.empty());
+
+  for (int jobs : {1, 8}) {
+    ComposeServiceOptions service_options;
+    service_options.compose.elim_jobs = jobs;
+    ComposeService service(service_options);
+    ChainComposer composer(&service);
+
+    // Cold walk, then a fully warm walk: both must match the no-service
+    // oracle byte for byte — fingerprint, final step result fingerprint,
+    // residuals and warnings included (the fingerprint serializes them).
+    ChainResult first = composer.ComposeChain(tc.chain).value();
+    ChainResult second = composer.ComposeChain(tc.chain).value();
+    EXPECT_EQ(first.fingerprint, cold.fingerprint) << "jobs=" << jobs;
+    EXPECT_EQ(first.result_fingerprint, cold.result_fingerprint);
+    EXPECT_EQ(second.fingerprint, cold.fingerprint);
+    EXPECT_EQ(second.result_fingerprint, cold.result_fingerprint);
+    EXPECT_EQ(first.steps_composed, 5);
+    EXPECT_EQ(first.prefix_hits, 0);
+    EXPECT_EQ(second.steps_composed, 0);  // every prefix served
+    EXPECT_EQ(second.prefix_hits, 5);
+  }
+}
+
+TEST(ChainComposerTest, EditingLinkKRecomposesExactlyTheSuffix) {
+  constexpr int kDepth = 8;
+  for (int edited : {0, 1, 4, 6}) {
+    TestChain tc = BuildChain(kDepth, /*seed=*/23);
+    ComposeService service;
+    ChainComposer composer(&service);
+    composer.ComposeChain(tc.chain).value();  // warm the prefix cache
+
+    ReviseLink(&tc.chain[static_cast<size_t>(edited)]);
+    ServiceStats before = service.Stats();
+    ChainResult warm = composer.ComposeChain(tc.chain).value();
+
+    // 0-based link `edited` ⇒ prefixes 1..edited-1 unchanged: exactly
+    // max(edited-1, 0) hits and (kDepth-1) - hits suffix recomputes.
+    int expect_hits = edited > 0 ? edited - 1 : 0;
+    EXPECT_EQ(warm.prefix_hits, expect_hits) << "edited=" << edited;
+    EXPECT_EQ(warm.steps_composed, kDepth - 1 - expect_hits);
+
+    // The same split is witnessed on the service's chain counters.
+    ServiceStats after = service.Stats();
+    EXPECT_EQ(after.chain_prefix_hits - before.chain_prefix_hits,
+              static_cast<uint64_t>(expect_hits));
+    EXPECT_EQ(after.chain_prefix_misses - before.chain_prefix_misses,
+              static_cast<uint64_t>(kDepth - 1 - expect_hits));
+
+    // Never a stale suffix: the incremental result equals a cold one.
+    ChainResult cold = ComposeChainCold(tc.chain).value();
+    EXPECT_EQ(warm.fingerprint, cold.fingerprint) << "edited=" << edited;
+    EXPECT_EQ(warm.result_fingerprint, cold.result_fingerprint);
+  }
+}
+
+TEST(ChainComposerTest, AppendCostsExactlyOneComposition) {
+  TestChain tc = BuildChain(/*depth=*/5, /*seed=*/31);
+  ComposeService service;
+  ChainComposer composer(&service);
+  composer.ComposeChain(tc.chain).value();
+
+  // Append one more version to the chain tail (same simulator, so the new
+  // version's relation names stay globally fresh).
+  tc.Append();
+
+  ChainResult warm = composer.ComposeChain(tc.chain).value();
+  EXPECT_EQ(warm.prefix_hits, 4);     // every old prefix reused
+  EXPECT_EQ(warm.steps_composed, 1);  // only the new link composed
+  EXPECT_EQ(warm.fingerprint, ComposeChainCold(tc.chain).value().fingerprint);
+}
+
+TEST(ChainComposerTest, SingleMappingChainComposesNothing) {
+  TestChain tc = BuildChain(/*depth=*/1, /*seed=*/5);
+  ComposeService service;
+  ChainComposer composer(&service);
+  ChainResult warm = composer.ComposeChain(tc.chain).value();
+  ChainResult cold = ComposeChainCold(tc.chain).value();
+  EXPECT_EQ(warm.depth, 1);
+  EXPECT_EQ(warm.steps_composed, 0);
+  EXPECT_TRUE(warm.result_fingerprint.empty());
+  EXPECT_EQ(warm.fingerprint, cold.fingerprint);
+  EXPECT_EQ(warm.mapping.constraints.size(), tc.chain[0].constraints.size());
+}
+
+TEST(ChainComposerTest, RejectsEmptyAndMismatchedChains) {
+  ComposeService service;
+  ChainComposer composer(&service);
+  EXPECT_FALSE(composer.ComposeChain({}).ok());
+
+  // Two independently generated mappings don't share a boundary signature.
+  TestChain a = BuildChain(/*depth=*/1, /*seed=*/7);
+  TestChain b = BuildChain(/*depth=*/1, /*seed=*/8);
+  std::vector<Mapping> mismatched = {a.chain[0], b.chain[0]};
+  Result<ChainResult> res = composer.ComposeChain(mismatched);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.status().ToString().find("chain link"), std::string::npos);
+}
+
+TEST(ChainComposerTest, OptionsParticipateInPrefixKeys) {
+  TestChain tc = BuildChain(/*depth=*/4, /*seed=*/13);
+  ComposeService service;
+  ChainComposer composer(&service);
+  ComposeOptions simplified;
+  ComposeOptions raw;
+  raw.eliminate.enable_unfold = false;
+  raw.eliminate.enable_left_compose = false;
+  raw.eliminate.enable_right_compose = false;
+
+  ChainResult a = composer.ComposeChain(tc.chain, simplified).value();
+  // Different options must not reuse the other variant's prefixes …
+  ChainResult b = composer.ComposeChain(tc.chain, raw).value();
+  EXPECT_EQ(b.prefix_hits, 0);
+  EXPECT_EQ(b.steps_composed, 3);
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+  // … and each variant matches its own cold oracle.
+  EXPECT_EQ(a.fingerprint, ComposeChainCold(tc.chain, simplified).value().fingerprint);
+  EXPECT_EQ(b.fingerprint, ComposeChainCold(tc.chain, raw).value().fingerprint);
+}
+
+TEST(ChainComposerTest, DisabledCacheRecomposesEveryWalk) {
+  TestChain tc = BuildChain(/*depth=*/4, /*seed=*/17);
+  ComposeService service;
+  ChainComposerOptions options;
+  options.cache_capacity = 0;
+  ChainComposer composer(&service, options);
+  for (int i = 0; i < 2; ++i) {
+    ChainResult r = composer.ComposeChain(tc.chain).value();
+    EXPECT_EQ(r.prefix_hits, 0);
+    EXPECT_EQ(r.steps_composed, 3);
+  }
+  ChainStats stats = composer.Stats();
+  EXPECT_EQ(stats.prefix_hits, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.cache_bytes, 0u);
+}
+
+TEST(ChainComposerTest, ByteCapacityEvictsPrefixStates) {
+  TestChain tc = BuildChain(/*depth=*/6, /*seed=*/19);
+
+  // Measure the unbounded footprint first.
+  ComposeService probe_service;
+  ChainComposer probe(&probe_service);
+  probe.ComposeChain(tc.chain).value();
+  ChainStats unbounded = probe.Stats();
+  ASSERT_GT(unbounded.cache_bytes, 0u);
+  ASSERT_EQ(unbounded.entries, 5u);
+
+  // Then bound the prefix cache below it: states must be evicted, the
+  // byte bound must hold, and results must stay correct (just slower).
+  ComposeService service;
+  ChainComposerOptions options;
+  options.cache_bytes_capacity = static_cast<size_t>(unbounded.cache_bytes / 2);
+  ChainComposer composer(&service, options);
+  ChainResult r1 = composer.ComposeChain(tc.chain).value();
+  ChainResult r2 = composer.ComposeChain(tc.chain).value();
+  ChainStats stats = composer.Stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.cache_bytes, options.cache_bytes_capacity);
+  EXPECT_GE(stats.cache_bytes_peak, stats.cache_bytes);
+  EXPECT_EQ(stats.entries, stats.prefix_misses - stats.evictions);
+  EXPECT_EQ(r1.fingerprint, r2.fingerprint);
+  EXPECT_EQ(r1.fingerprint, ComposeChainCold(tc.chain).value().fingerprint);
+  // The truncated cache costs recomputation, never staleness.
+  EXPECT_GT(r2.steps_composed, 0);
+}
+
+TEST(ChainComposerTest, ConcurrentEditorsAndReadersStayDeterministic) {
+  // One service + one composer shared by every thread; chain "generations"
+  // simulate an editor revising links over time while readers recompose.
+  // Every warm result must match the per-generation cold oracle. Run
+  // under TSan in CI.
+  constexpr int kDepth = 6;
+  constexpr int kGenerations = 5;
+  std::vector<std::vector<Mapping>> generations;
+  std::vector<std::string> oracles;
+  TestChain tc = BuildChain(kDepth, /*seed=*/41);
+  generations.push_back(tc.chain);
+  oracles.push_back(ComposeChainCold(tc.chain).value().fingerprint);
+  for (int g = 1; g < kGenerations; ++g) {
+    std::vector<Mapping> next = generations.back();
+    ReviseLink(&next[static_cast<size_t>(g % kDepth)]);
+    oracles.push_back(ComposeChainCold(next).value().fingerprint);
+    generations.push_back(std::move(next));
+  }
+
+  ComposeServiceOptions service_options;
+  service_options.compose.elim_jobs = 2;
+  ComposeService service(service_options);
+  ChainComposer composer(&service);
+
+  constexpr int kThreads = 6;
+  constexpr int kReps = 3;
+  std::vector<std::string> errors(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < kReps; ++rep) {
+        for (int g = 0; g < kGenerations; ++g) {
+          // Stagger so threads race on different generations.
+          int gen = (g + t) % kGenerations;
+          Result<ChainResult> res =
+              composer.ComposeChain(generations[static_cast<size_t>(gen)]);
+          if (!res.ok()) {
+            errors[t] = res.status().ToString();
+            return;
+          }
+          if (res.value().fingerprint !=
+              oracles[static_cast<size_t>(gen)]) {
+            errors[t] = "fingerprint mismatch on generation " +
+                        std::to_string(gen);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const std::string& e : errors) EXPECT_EQ(e, "");
+
+  // Counters balance: every walk accounted as hits + composes.
+  ChainStats stats = composer.Stats();
+  EXPECT_EQ(stats.prefix_hits + stats.prefix_misses,
+            static_cast<uint64_t>(kThreads * kReps * kGenerations) *
+                (kDepth - 1));
+  EXPECT_EQ(service.Stats().in_flight, 0);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace mapcomp

@@ -47,7 +47,7 @@ TEST(ProblemFingerprintTest, IdentifiesTheProblemNotItsName) {
 TEST(ComposeServiceTest, SecondSubmitIsACacheHit) {
   ComposeService service;
   ComposeService::Handle h1 = service.Submit(sim::BuildFanoutProblem(4));
-  const CompositionResult& first = h1.Wait();
+  const ServedResult& first = h1.Wait();
   EXPECT_FALSE(h1.cache_hit());
 
   ComposeService::Handle h2 = service.Submit(sim::BuildFanoutProblem(4));
@@ -69,7 +69,7 @@ TEST(ComposeServiceTest, ConcurrentSubmitsOfOneProblemShareComputation) {
   for (int i = 0; i < 16; ++i) {
     handles.push_back(service.Submit(sim::BuildFanoutProblem(6)));
   }
-  const CompositionResult* result = &handles[0].Wait();
+  const ServedResult* result = &handles[0].Wait();
   for (ComposeService::Handle& h : handles) {
     EXPECT_EQ(&h.Wait(), result);
   }
@@ -234,7 +234,7 @@ TEST(ComposeServiceTest, ConcurrentClientsMixedHitsAndMisses) {
       for (int rep = 0; rep < kRequestsPerClient; ++rep) {
         for (size_t i = 0; i < problems.size(); ++i) {
           size_t slot = (i + static_cast<size_t>(t) * 3) % problems.size();
-          const CompositionResult& res =
+          const ServedResult& res =
               service.Submit(problems[slot]).Wait();
           if (res.Fingerprint() != baselines[slot]) {
             errors[t] = "fingerprint mismatch on problem " +
@@ -255,6 +255,99 @@ TEST(ComposeServiceTest, ConcurrentClientsMixedHitsAndMisses) {
   EXPECT_EQ(stats.misses, problems.size());  // dedup + no eviction
   EXPECT_EQ(stats.in_flight, 0);
   EXPECT_EQ(stats.completed, stats.misses);
+}
+
+TEST(ServedResultTest, SlimEntryKeepsAnswerAndPrecomputedFingerprint) {
+  CompositionProblem problem = sim::BuildFanoutProblem(4);
+  ComposeOptions options;
+  CompositionResult full = Compose(problem, options);
+  ServedResult slim = ServedResult::FromResult(full);
+
+  // The answer survives slimming …
+  EXPECT_EQ(slim.constraints.size(), full.constraints.size());
+  EXPECT_EQ(slim.residual_sigma2, full.residual_sigma2);
+  EXPECT_EQ(slim.eliminated_count, full.eliminated_count);
+  EXPECT_EQ(slim.total_count, full.total_count);
+  // … and so does the full fingerprint, byte for byte, even though the
+  // stats/rounds it covers were dropped from the entry.
+  EXPECT_EQ(slim.Fingerprint(), full.Fingerprint());
+  EXPECT_NE(slim.Report().find("(served)"), std::string::npos);
+  EXPECT_GT(slim.ApproxBytes(), sizeof(ServedResult));
+}
+
+TEST(ComposeServiceTest, CacheBytesWatermarkTracksCompletedEntries) {
+  ComposeService service;
+  EXPECT_EQ(service.Stats().cache_bytes, 0u);
+
+  service.Submit(sim::BuildFanoutProblem(3)).Wait();
+  uint64_t after_one = service.Stats().cache_bytes;
+  EXPECT_GT(after_one, 0u);
+
+  service.Submit(sim::BuildFanoutProblem(5)).Wait();
+  ServiceStats stats = service.Stats();
+  EXPECT_GT(stats.cache_bytes, after_one);
+  EXPECT_EQ(stats.cache_bytes_peak, stats.cache_bytes);
+  EXPECT_NE(stats.ToString().find("bytes"), std::string::npos);
+
+  // A cache hit adds no bytes.
+  EXPECT_TRUE(service.Submit(sim::BuildFanoutProblem(3)).cache_hit());
+  EXPECT_EQ(service.Stats().cache_bytes, stats.cache_bytes);
+}
+
+TEST(ComposeServiceTest, EntryEvictionReleasesItsBytes) {
+  ComposeServiceOptions options;
+  options.cache_capacity = 1;
+  ComposeService service(options);
+  service.Submit(sim::BuildFanoutProblem(3)).Wait();
+  uint64_t with_three = service.Stats().cache_bytes;
+  service.Submit(sim::BuildFanoutProblem(5)).Wait();  // evicts problem 3
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.cache_entries, 1u);
+  // Only problem 5's bytes remain booked; the peak saw at most both.
+  EXPECT_NE(stats.cache_bytes, 0u);
+  EXPECT_GE(stats.cache_bytes_peak, stats.cache_bytes);
+  EXPECT_GE(stats.cache_bytes_peak, with_three);
+}
+
+TEST(ComposeServiceTest, ByteCapacityEvictsUntilTheSumFits) {
+  // Measure two entries unbounded, then bound the service to fit one but
+  // not both: completing the second must evict the first (LRU).
+  uint64_t bytes3 = 0, bytes5 = 0;
+  {
+    ComposeService probe;
+    probe.Submit(sim::BuildFanoutProblem(3)).Wait();
+    bytes3 = probe.Stats().cache_bytes;
+    probe.Submit(sim::BuildFanoutProblem(5)).Wait();
+    bytes5 = probe.Stats().cache_bytes - bytes3;
+  }
+  ASSERT_GT(bytes3, 0u);
+  ASSERT_GT(bytes5, 0u);
+
+  ComposeServiceOptions options;
+  options.cache_bytes_capacity =
+      static_cast<size_t>(bytes3 + bytes5 - 1);  // one fits, two don't
+  ComposeService service(options);
+  service.Submit(sim::BuildFanoutProblem(3)).Wait();
+  service.Submit(sim::BuildFanoutProblem(5)).Wait();
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.cache_entries, 1u);
+  EXPECT_LE(stats.cache_bytes, options.cache_bytes_capacity);
+  // Check the survivor first: resubmitting the evicted problem starts a
+  // new computation whose completion may evict the survivor again.
+  EXPECT_TRUE(service.Submit(sim::BuildFanoutProblem(5)).cache_hit());
+  EXPECT_FALSE(service.Submit(sim::BuildFanoutProblem(3)).cache_hit());
+}
+
+TEST(ServiceStatsTest, ToStringCoversChainPrefixCounters) {
+  ComposeService service;
+  service.RecordChainPrefixes(/*hits=*/3, /*misses=*/1);
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.chain_prefix_hits, 3u);
+  EXPECT_EQ(stats.chain_prefix_misses, 1u);
+  EXPECT_DOUBLE_EQ(stats.ChainPrefixHitRate(), 0.75);
+  EXPECT_NE(stats.ToString().find("3 prefix hits"), std::string::npos);
 }
 
 TEST(ComposeServiceTest, DestructorWaitsForInFlightWork) {

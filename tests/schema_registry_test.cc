@@ -1,0 +1,164 @@
+// Tests for the simulated schema registry and its shared RNG helpers:
+// seeded determinism across instances, warm (incremental) recomposition
+// matching the cold oracle after every edit, Zipf sampling bounds and
+// skew, depth capping, and revision byte-variance with fixed endpoints.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/rand.h"
+#include "src/simulator/registry.h"
+
+namespace mapcomp {
+namespace sim {
+namespace {
+
+RegistryOptions SmallRegistry() {
+  RegistryOptions options;
+  options.families = 3;
+  options.initial_depth = 4;
+  options.max_depth = 8;
+  options.schema_size = 3;
+  options.seed = 123;
+  return options;
+}
+
+TEST(ZipfSamplerTest, SamplesInRangeAndSkewsTowardRankZero) {
+  std::mt19937_64 rng(7);
+  rnd::ZipfSampler zipf(8, 1.5);
+  EXPECT_EQ(zipf.size(), 8);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 4000; ++i) {
+    int rank = zipf.Sample(&rng);
+    ASSERT_GE(rank, 0);
+    ASSERT_LT(rank, 8);
+    ++counts[static_cast<size_t>(rank)];
+  }
+  // Rank 0 dominates the tail under s=1.5; no tight distribution check,
+  // just the ordering that the edit stream relies on.
+  EXPECT_GT(counts[0], counts[7] * 4);
+  EXPECT_GT(counts[0], 1000);
+
+  // Degenerate sizes stay well-defined.
+  rnd::ZipfSampler single(1, 2.0);
+  EXPECT_EQ(single.Sample(&rng), 0);
+}
+
+TEST(RandTest, DeriveSeedSeparatesStreams) {
+  uint64_t base = 42;
+  EXPECT_NE(rnd::DeriveSeed(base, 0), rnd::DeriveSeed(base, 1));
+  EXPECT_NE(rnd::DeriveSeed(base, 0), rnd::DeriveSeed(base + 1, 0));
+  EXPECT_EQ(rnd::DeriveSeed(base, 3), rnd::DeriveSeed(base, 3));
+}
+
+TEST(SchemaRegistryTest, SeededRunsAreByteIdentical) {
+  runtime::ComposeService service_a, service_b;
+  SchemaRegistry a(SmallRegistry(), &service_a);
+  SchemaRegistry b(SmallRegistry(), &service_b);
+  ASSERT_EQ(a.families(), 3);
+  ASSERT_EQ(a.TotalVersions(), b.TotalVersions());
+
+  for (int step = 0; step < 25; ++step) {
+    Result<runtime::ChainResult> ra = a.Step();
+    Result<runtime::ChainResult> rb = b.Step();
+    ASSERT_TRUE(ra.ok() && rb.ok()) << "step " << step;
+    EXPECT_EQ(ra.value().fingerprint, rb.value().fingerprint);
+    EXPECT_EQ(a.last_edit().family, b.last_edit().family);
+    EXPECT_EQ(a.last_edit().append, b.last_edit().append);
+    EXPECT_EQ(a.last_edit().position, b.last_edit().position);
+  }
+  EXPECT_EQ(a.stats().appends, b.stats().appends);
+  EXPECT_EQ(a.stats().prefix_hits, b.stats().prefix_hits);
+}
+
+TEST(SchemaRegistryTest, IncrementalStepMatchesColdOracleEveryEdit) {
+  runtime::ComposeService service;
+  SchemaRegistry registry(SmallRegistry(), &service);
+  for (int step = 0; step < 20; ++step) {
+    Result<runtime::ChainResult> warm = registry.Step();
+    ASSERT_TRUE(warm.ok()) << "step " << step;
+    Result<runtime::ChainResult> cold =
+        registry.ComposeFamilyCold(registry.last_edit().family);
+    ASSERT_TRUE(cold.ok());
+    EXPECT_EQ(warm.value().fingerprint, cold.value().fingerprint)
+        << "step " << step;
+    EXPECT_EQ(warm.value().result_fingerprint,
+              cold.value().result_fingerprint);
+  }
+}
+
+TEST(SchemaRegistryTest, WorkPerEditIsTheAffectedSuffixNotTheChain) {
+  RegistryOptions options = SmallRegistry();
+  options.initial_depth = 6;
+  options.max_depth = 12;
+  runtime::ComposeService service;
+  SchemaRegistry registry(options, &service);
+  for (int step = 0; step < 40; ++step) ASSERT_TRUE(registry.Step().ok());
+
+  const RegistryStats& stats = registry.stats();
+  EXPECT_GT(stats.PrefixHitRate(), 0.0);
+  // O(affected suffix): mean compositions per edit well under the cold
+  // cost of MeanDepth()-1 per edit.
+  EXPECT_LT(stats.CompositionsPerEdit(), stats.MeanDepth() - 1.0);
+  EXPECT_EQ(stats.steps, 40u);
+  EXPECT_EQ(stats.appends + stats.revisions, 40u);
+  EXPECT_NE(stats.ToString().find("prefix hit rate"), std::string::npos);
+  // The composer's counters saw the same traffic.
+  EXPECT_EQ(registry.chain_composer()->Stats().prefix_hits,
+            stats.prefix_hits);
+}
+
+TEST(SchemaRegistryTest, ChainsNeverExceedMaxDepth) {
+  RegistryOptions options = SmallRegistry();
+  options.families = 2;
+  options.initial_depth = 3;
+  options.max_depth = 4;
+  options.revise_fraction = 0.0;  // only the depth cap forces revisions
+  runtime::ComposeService service;
+  SchemaRegistry registry(options, &service);
+  for (int step = 0; step < 30; ++step) {
+    ASSERT_TRUE(registry.Step().ok());
+    for (int f = 0; f < registry.families(); ++f) {
+      EXPECT_LE(registry.ChainDepth(f), 4);
+    }
+  }
+  // With both families capped, appends must have given way to revisions.
+  EXPECT_GT(registry.stats().revisions, 0u);
+}
+
+TEST(SchemaRegistryTest, RevisionsChangeBytesButKeepEndpoints) {
+  RegistryOptions options = SmallRegistry();
+  options.revise_fraction = 1.0;  // every edit is a revision
+  runtime::ComposeService service;
+  SchemaRegistry registry(options, &service);
+
+  for (int step = 0; step < 10; ++step) {
+    std::vector<std::vector<std::string>> before;
+    for (int f = 0; f < registry.families(); ++f) {
+      std::vector<std::string> prints;
+      for (const Mapping& m : registry.Chain(f)) {
+        prints.push_back(m.Fingerprint());
+      }
+      before.push_back(std::move(prints));
+    }
+
+    ASSERT_TRUE(registry.Step().ok());
+    const RegistryEdit& edit = registry.last_edit();
+    ASSERT_FALSE(edit.append);
+    const Mapping& revised =
+        registry.Chain(edit.family)[static_cast<size_t>(edit.position)];
+    // Byte-different mapping (the cache must re-key it) …
+    EXPECT_NE(revised.Fingerprint(),
+              before[static_cast<size_t>(edit.family)]
+                    [static_cast<size_t>(edit.position)]);
+    // … with endpoints intact (the chain still validates and composes).
+    ASSERT_TRUE(revised.Validate().ok());
+    EXPECT_TRUE(registry.ComposeFamily(edit.family).ok());
+  }
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace mapcomp

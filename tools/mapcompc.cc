@@ -27,8 +27,17 @@
 //     --serve-demo N       serve every task through a resident
 //                          ComposeService for N passes (pass 2+ hits the
 //                          fingerprint-keyed result cache) and print
-//                          ServiceStats to stderr; --jobs caps in-flight
-//                          submissions
+//                          ServiceStats — including cache bytes and chain
+//                          prefix-cache counters — to stderr; --jobs caps
+//                          in-flight submissions; served results are the
+//                          service's slim cache entries, so per-symbol
+//                          attempt detail is not reprinted
+//     --registry-demo N    run N edits of the simulated schema registry
+//                          (Zipf edit stream, incremental full-chain
+//                          recomposition through a prefix-fingerprint
+//                          cache) and print steady-state registry, service
+//                          and chain-cache stats; incompatible with task
+//                          files and the other modes
 //     --fail-on-warnings   print composition warnings to stderr and exit 4
 //                          when any result carries one
 //     --check-eval N       semantic soundness harness: evaluate the composed
@@ -59,6 +68,7 @@
 #include "src/parser/parser.h"
 #include "src/runtime/compose_many.h"
 #include "src/runtime/compose_service.h"
+#include "src/simulator/registry.h"
 
 namespace {
 
@@ -91,6 +101,52 @@ void PrintResult(const mapcomp::CompositionResult& result, bool quiet) {
   std::printf("%s", mapcomp::ConstraintSetToString(result.constraints).c_str());
 }
 
+// Serve-demo variant: the service caches slim entries, so the summary is
+// ServedResult::Report() (counts + warnings) instead of the full
+// per-symbol table.
+void PrintResult(const mapcomp::runtime::ServedResult& result, bool quiet) {
+  if (!quiet) {
+    std::printf("%s\n", result.Report().c_str());
+    if (!result.residual_sigma2.empty()) {
+      std::printf("residual sigma2 symbols:");
+      for (const std::string& s : result.residual_sigma2) {
+        std::printf(" %s", s.c_str());
+      }
+      std::printf("\n\n");
+    }
+  }
+  std::printf("%s", mapcomp::ConstraintSetToString(result.constraints).c_str());
+}
+
+// The registry loop behind --registry-demo: a resident service + registry,
+// N Zipf-drawn edits, each followed by an incremental full-chain
+// recomposition; steady-state stats land on stderr like --serve-demo's.
+int RunRegistryDemo(int steps, const mapcomp::ComposeOptions& options) {
+  mapcomp::runtime::ComposeServiceOptions service_options;
+  service_options.compose = options;
+  service_options.cache_capacity = 4096;
+  mapcomp::runtime::ComposeService service(service_options);
+
+  mapcomp::sim::RegistryOptions registry_options;
+  registry_options.compose = options;
+  mapcomp::sim::SchemaRegistry registry(registry_options, &service);
+  for (int step = 0; step < steps; ++step) {
+    mapcomp::Result<mapcomp::runtime::ChainResult> result = registry.Step();
+    if (!result.ok()) {
+      std::fprintf(stderr, "registry step %d failed: %s\n", step,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("%s", registry.stats().ToString().c_str());
+  std::printf("registry: %d families, %d schema versions\n",
+              registry.families(), registry.TotalVersions());
+  std::fprintf(stderr, "%s", service.Stats().ToString().c_str());
+  std::fprintf(stderr, "%s",
+               registry.chain_composer()->Stats().ToString().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -100,8 +156,9 @@ int main(int argc, char** argv) {
   bool eval_stats = false;
   bool fail_on_warnings = false;
   int jobs = 1;
-  int serve_passes = 0;  // 0 = no --serve-demo
-  int check_eval = 0;    // 0 = no --check-eval
+  int serve_passes = 0;   // 0 = no --serve-demo
+  int registry_steps = 0; // 0 = no --registry-demo
+  int check_eval = 0;     // 0 = no --check-eval
   uint64_t check_seed = 42;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
@@ -138,6 +195,12 @@ int main(int argc, char** argv) {
       serve_passes = std::atoi(argv[++i]);
       if (serve_passes < 1) {
         std::fprintf(stderr, "--serve-demo expects an integer >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--registry-demo") == 0 && i + 1 < argc) {
+      registry_steps = std::atoi(argv[++i]);
+      if (registry_steps < 1) {
+        std::fprintf(stderr, "--registry-demo expects an integer >= 1\n");
         return 2;
       }
     } else if (std::strcmp(arg, "--check-eval") == 0 && i + 1 < argc) {
@@ -190,6 +253,24 @@ int main(int argc, char** argv) {
   if (eval_stats && check_eval == 0) {
     std::fprintf(stderr, "--eval-stats requires --check-eval\n");
     return 2;
+  }
+  if (registry_steps > 0) {
+    // The registry generates its own workload: no task files, and no other
+    // mode to mix with.
+    if (!paths.empty() || serve_passes > 0 || check_eval > 0 ||
+        !options.order.empty()) {
+      std::fprintf(stderr,
+                   "--registry-demo generates its own tasks; it cannot be "
+                   "combined with task files, --serve-demo, --check-eval or "
+                   "--order\n");
+      return 2;
+    }
+    int rc = RunRegistryDemo(registry_steps, options);
+    if (intern_stats) {
+      std::fprintf(stderr, "%s",
+                   mapcomp::ExprInterner::Global().Stats().ToString().c_str());
+    }
+    return rc;
   }
   if (paths.empty()) paths.push_back("-");  // read a single task from stdin
   if (paths.size() > 1 && !options.order.empty()) {
@@ -246,10 +327,12 @@ int main(int argc, char** argv) {
   }
 
   std::vector<mapcomp::CompositionResult> results;
+  std::vector<mapcomp::runtime::ComposeService::ResultPtr> served;
   if (serve_passes > 0) {
     // Loop mode: a resident ComposeService composes every task once and
-    // serves passes 2..N from its fingerprint-keyed cache — same output,
-    // and the stats printed at the end show the hit/miss split.
+    // serves passes 2..N from its fingerprint-keyed cache — same composed
+    // constraints, and the stats printed at the end show the hit/miss
+    // split plus resident cache bytes.
     mapcomp::runtime::ComposeServiceOptions service_options;
     service_options.compose = options;
     mapcomp::runtime::ComposeService service(service_options);
@@ -268,8 +351,8 @@ int main(int argc, char** argv) {
       }
       for (const auto& h : handles) h.Wait();
     }
-    results.reserve(problems.size());
-    for (const auto& h : handles) results.push_back(h.Wait());
+    served.reserve(problems.size());
+    for (const auto& h : handles) served.push_back(h.Result());
     std::fprintf(stderr, "%s", service.Stats().ToString().c_str());
   } else {
     results = mapcomp::runtime::ComposeMany(problems, options, jobs);
@@ -277,14 +360,24 @@ int main(int argc, char** argv) {
 
   bool any_residual = false;
   bool any_warning = false;
-  for (size_t i = 0; i < results.size(); ++i) {
-    if (results.size() > 1) {
+  const size_t result_count = serve_passes > 0 ? served.size() : results.size();
+  for (size_t i = 0; i < result_count; ++i) {
+    if (result_count > 1) {
       std::printf("%s== %s ==\n", i == 0 ? "" : "\n", paths[i].c_str());
     }
-    PrintResult(results[i], quiet);
-    any_residual = any_residual || !results[i].residual_sigma2.empty();
+    const std::vector<std::string>& residuals =
+        serve_passes > 0 ? served[i]->residual_sigma2
+                         : results[i].residual_sigma2;
+    const std::vector<std::string>& warnings =
+        serve_passes > 0 ? served[i]->warnings : results[i].warnings;
+    if (serve_passes > 0) {
+      PrintResult(*served[i], quiet);
+    } else {
+      PrintResult(results[i], quiet);
+    }
+    any_residual = any_residual || !residuals.empty();
     if (fail_on_warnings) {
-      for (const std::string& w : results[i].warnings) {
+      for (const std::string& w : warnings) {
         any_warning = true;
         std::fprintf(stderr, "%s: warning: %s\n",
                      paths[i] == "-" ? "<stdin>" : paths[i].c_str(),
@@ -299,10 +392,20 @@ int main(int argc, char** argv) {
     mapcomp::EvalStats total_eval_stats;
     mapcomp::CompositionCheckOptions check_options;
     check_options.eval.jobs = jobs;
-    for (size_t i = 0; i < results.size(); ++i) {
+    for (size_t i = 0; i < result_count; ++i) {
+      // A served (slim) result still carries everything the soundness
+      // harness reads: the composed signature, constraints and residuals.
+      mapcomp::CompositionResult checked;
+      if (serve_passes > 0) {
+        checked.sigma = served[i]->sigma;
+        checked.constraints = served[i]->constraints;
+        checked.residual_sigma2 = served[i]->residual_sigma2;
+        checked.warnings = served[i]->warnings;
+      }
       mapcomp::Result<mapcomp::CompositionCheck> check =
-          mapcomp::CheckComposition(problems[i], results[i], check_seed,
-                                    check_eval, check_options);
+          mapcomp::CheckComposition(problems[i],
+                                    serve_passes > 0 ? checked : results[i],
+                                    check_seed, check_eval, check_options);
       const char* label = paths[i] == "-" ? "<stdin>" : paths[i].c_str();
       if (!check.ok()) {
         // Keep checking the remaining tasks — their verdicts (and a
