@@ -11,6 +11,12 @@
 //                (EvalOptions::force_nested_loop) and as the columnar
 //                hash-join kernel, fingerprint-cross-checked against each
 //                other (the kernel's differential oracle in bench form)
+//   user_ops     tc over a seeded random binary relation feeding a
+//                semijoin/antijoin pipeline, recorded BOTH with the legacy
+//                set-based operator hooks (RegisterExtraOpsSetBased) and
+//                with the columnar kernels (the default registry),
+//                fingerprint-cross-checked at jobs 1 and 8 — the columnar
+//                user-operator boundary's differential gate in bench form
 //   dag_siblings a balanced union tree over 16 *independent* join subtrees
 //                (distinct relation pairs): the task-graph scheduler's
 //                showcase — sibling subtrees run concurrently even though
@@ -33,6 +39,8 @@
 #include "src/algebra/builders.h"
 #include "src/compose/compose.h"
 #include "src/eval/soundness.h"
+#include "src/op/extra_ops.h"
+#include "src/op/registry.h"
 #include "src/parser/parser.h"
 #include "src/runtime/thread_pool.h"
 #include "src/testdata/literature_suite.h"
@@ -246,6 +254,103 @@ int main(int argc, char** argv) {
         nested_best / kernel_best, matches ? "true" : "false",
         static_cast<long long>(hash_join_nodes));
     PrintRows(rows, work);
+    std::printf("    },\n");
+  }
+
+  // ---- user_ops: columnar user-operator kernels vs legacy set hooks. ----
+  {
+    const int tc_nodes = smoke ? 16 : 64;
+    const int tc_edges = smoke ? 24 : 100;
+    std::mt19937_64 rng(2026);
+    std::uniform_int_distribution<int64_t> node(0, tc_nodes - 1);
+    Instance db;
+    std::set<Tuple> edges;
+    while (static_cast<int>(edges.size()) < tc_edges) {
+      edges.insert(Tuple{Value(node(rng)), Value(node(rng))});
+    }
+    db.Set("E", std::move(edges));
+
+    op::Registry legacy_reg = op::Registry::Empty();
+    op::RegisterExtraOpsSetBased(&legacy_reg);
+    const op::Registry& columnar_reg = op::Registry::Default();
+
+    // tc(E) shared by a semijoin (closure pairs whose target has an
+    // outgoing base edge) and an antijoin (pairs whose source has no
+    // incoming base edge) — three user ops, the closure interned once.
+    ExprPtr tc_expr = columnar_reg.MakeOp("tc", {Rel("E", 2)}).value();
+    ExprPtr pipeline = Union(
+        columnar_reg
+            .MakeOp("semijoin", {tc_expr, Rel("E", 2)},
+                    Condition::AttrCmp(2, CmpOp::kEq, 3))
+            .value(),
+        columnar_reg
+            .MakeOp("antijoin", {tc_expr, Rel("E", 2)},
+                    Condition::AttrCmp(1, CmpOp::kEq, 4))
+            .value());
+
+    // Legacy set-based column (single measurement: the naive closure is
+    // the slow side by construction, noise cannot flip the gate).
+    auto time_once = [&](const ExprPtr& e, const op::Registry& reg,
+                         std::string* fp) {
+      EvalOptions opts;
+      opts.registry = &reg;
+      auto start = std::chrono::steady_clock::now();
+      EvalResult out = EvaluateFull(e, db, opts).value();
+      if (fp != nullptr) *fp = out.Fingerprint();
+      return Seconds(start);
+    };
+    std::string legacy_fp;
+    double tc_legacy_seconds = time_once(tc_expr, legacy_reg, nullptr);
+    double pipeline_legacy_seconds =
+        time_once(pipeline, legacy_reg, &legacy_fp);
+
+    double tc_columnar_seconds = -1.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      double s = time_once(tc_expr, columnar_reg, nullptr);
+      if (tc_columnar_seconds < 0.0 || s < tc_columnar_seconds) {
+        tc_columnar_seconds = s;
+      }
+    }
+
+    int64_t closure_pairs = 0;
+    int64_t columnar_ops = 0, fallback_ops = 0;
+    std::string fp_jobs1, fp_jobs8;
+    auto rows = Sweep(kLanes, reps, [&](int jobs) {
+      EvalOptions opts;
+      opts.registry = &columnar_reg;
+      opts.jobs = jobs;
+      EvalResult out = EvaluateFull(pipeline, db, opts).value();
+      if (jobs == 1) {
+        closure_pairs = out.stats.tuples_produced;
+        columnar_ops = out.stats.user_op_columnar;
+        fallback_ops = out.stats.user_op_decode_fallback;
+        fp_jobs1 = out.Fingerprint();
+      }
+      if (jobs == 8) fp_jobs8 = out.Fingerprint();
+      return out.Fingerprint();
+    });
+    // The differential gate: columnar and legacy set-based hooks must be
+    // byte-identical, at 1 lane and at 8.
+    bool matches = fp_jobs1 == legacy_fp && fp_jobs8 == legacy_fp;
+    if (!matches) {
+      g_failed = true;
+      std::fprintf(stderr,
+                   "COLUMNAR/LEGACY FINGERPRINT MISMATCH on user_ops\n");
+    }
+    std::printf(
+        "    {\"name\": \"user_ops\", \"tc_nodes\": %d, \"tc_edges\": %d, "
+        "\"pipeline_tuples\": %lld, "
+        "\"tc_legacy_seconds\": %.6f, \"tc_columnar_seconds\": %.6f, "
+        "\"tc_columnar_speedup\": %.3f, "
+        "\"pipeline_legacy_seconds\": %.6f, "
+        "\"columnar_matches_legacy\": %s, "
+        "\"user_op_columnar\": %lld, \"user_op_decode_fallback\": %lld,\n",
+        tc_nodes, tc_edges, static_cast<long long>(closure_pairs),
+        tc_legacy_seconds, tc_columnar_seconds,
+        tc_legacy_seconds / tc_columnar_seconds, pipeline_legacy_seconds,
+        matches ? "true" : "false", static_cast<long long>(columnar_ops),
+        static_cast<long long>(fallback_ops));
+    PrintRows(rows, closure_pairs);
     std::printf("    },\n");
   }
 

@@ -409,6 +409,9 @@ Result<TupleSetPtr> LegacyEvalNode(const ExprPtr& e, EvalState* st) {
       }
       op::EvalContext ctx;
       ctx.active_domain = &st->domain;
+      // The oracle is the set-based path by definition: every user op
+      // counts as a decode fallback, never as a columnar kernel.
+      ++st->stats.user_op_decode_fallback;
       MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> out, def->eval(*e, kids, ctx));
       return Own(std::move(out));
     }
@@ -522,7 +525,9 @@ struct Slot {
   /// Input slot indexes in operator order (may repeat, e.g. Union(x, x)).
   std::vector<int64_t> args;
 
-  // kSelectFilter / kSelectDomain: the full compiled condition.
+  // kSelectFilter / kSelectDomain: the full compiled condition. Also the
+  // kUserOp columnar payload: the node's condition compiled at plan time,
+  // handed to the kernel via ColumnarContext.
   CompiledCond cond;
   // kSelectJoin payload (PlanJoin results, compiled at plan time).
   bool left_filter_true = true;
@@ -539,8 +544,11 @@ struct Slot {
   std::vector<char> class_bound;
   std::vector<int> free_slot;
   int free_count = 0;
-  // kUserOp payload.
+  // kUserOp payload. `user_columnar` is a plan-time routing decision (the
+  // registered hooks, never lane usage), so the replayed columnar/fallback
+  // counters are lane-count-independent like everything else.
   const op::OperatorDef* def = nullptr;
+  bool user_columnar = false;
 
   // Execution outputs.
   TablePtr result;
@@ -570,8 +578,12 @@ struct KernelState {
   const EvalOptions* options = nullptr;
   /// Shared so results can outlive the evaluation (lazy decode).
   std::shared_ptr<ValueDict> dict;
-  std::set<Value> domain;           ///< active domain + extra constants
-  std::vector<ValueId> domain_ids;  ///< domain ids, ascending
+  /// Active domain + extra constants as ascending seeded ids — the only
+  /// eagerly built domain structure. The decoded `std::set<Value>` form
+  /// exists solely for legacy set-based user operators and is built lazily
+  /// (see FallbackDomain): an evaluation whose user ops all run columnar —
+  /// or that has none — never pays for the copy.
+  std::vector<ValueId> domain_ids;
   runtime::ThreadPool* pool = nullptr;  ///< null ⇔ jobs <= 1
   int max_helpers = 0;                  ///< jobs - 1
 
@@ -589,12 +601,32 @@ struct KernelState {
   std::unordered_map<int, int64_t> width_at_depth;
   int64_t max_width = 0;
 
-  // Execution state: decoded child sets served to user-operator
-  // evaluators, cached per input slot (a child feeding several user ops
-  // decodes once even when those ops run on different lanes).
+  // Execution state: decoded child sets served to legacy set-based
+  // user-operator evaluators, cached per input slot (a child feeding
+  // several user ops decodes once even when those ops run on different
+  // lanes). Stays empty when every user op takes the columnar path — the
+  // no-decode-seam witness pinned by user_op_decode_fallback == 0.
   std::mutex decode_mu;
   std::unordered_map<int64_t, TupleSetPtr> decoded;
+  /// Lazily decoded EvalContext::active_domain for the same fallback path.
+  std::unique_ptr<std::set<Value>> fallback_domain;
 };
+
+/// Decodes domain_ids into the std::set<Value> form legacy set-based user
+/// operators expect, once per evaluation, under decode_mu. domain_ids is
+/// ascending over seeded ids, whose order is the value order — so the
+/// end-hinted inserts are O(1) amortized.
+const std::set<Value>& FallbackDomain(KernelState* ks) {
+  std::lock_guard<std::mutex> lock(ks->decode_mu);
+  if (ks->fallback_domain == nullptr) {
+    auto d = std::make_unique<std::set<Value>>();
+    for (ValueId id : ks->domain_ids) {
+      d->insert(d->end(), ks->dict->ValueOf(id));
+    }
+    ks->fallback_domain = std::move(d);
+  }
+  return *ks->fallback_domain;
+}
 
 /// Plan-time mirror of Consume: decrements the pending-edge count and, at
 /// zero, records the memo drop (replay subtracts the slot's measured bytes
@@ -861,7 +893,7 @@ Result<int64_t> PlanVisit(const ExprPtr& e, KernelState* ks) {
       const op::OperatorDef* def =
           ks->options->registry ? ks->options->registry->Find(e->name())
                                 : nullptr;
-      if (def == nullptr || !def->eval) {
+      if (def == nullptr || (!def->eval_columnar && !def->eval)) {
         return Status::Unsupported("no evaluator for operator " + e->name());
       }
       std::vector<int64_t> args;
@@ -872,7 +904,15 @@ Result<int64_t> PlanVisit(const ExprPtr& e, KernelState* ks) {
       }
       int64_t slot =
           NewSlot(e.get(), SlotOp::kUserOp, e->arity(), std::move(args), ks);
-      ks->slots[static_cast<size_t>(slot)].def = def;
+      Slot& s = ks->slots[static_cast<size_t>(slot)];
+      s.def = def;
+      if (def->eval_columnar) {
+        // Columnar route, decided at plan time. The node's condition is
+        // compiled here (sequential phase — constants intern into the
+        // still-warm dictionary) so every lane shares one compiled form.
+        s.user_columnar = true;
+        s.cond = CompiledCond::Compile(e->condition(), ks->dict.get());
+      }
       FinishSlot(e.get(), slot, ks);
       return slot;
     }
@@ -1303,9 +1343,37 @@ Result<TablePtr> EvalSlot(KernelState* ks, Slot* s,
       return OwnTable(std::move(out));
     }
     case SlotOp::kUserOp: {
-      // User evaluators speak std::set<Tuple>: decode children at this
-      // boundary (cached per input slot under a mutex — a child feeding
-      // several user ops decodes once) and re-encode the result.
+      if (s->user_columnar) {
+        // Columnar kernel: borrowed child tables in, one table out, no
+        // value decode anywhere. The kernel may return rows unsorted /
+        // duplicated (hash-order closures, multi-match outer joins) —
+        // canonicalize here so downstream consumers keep the sorted-unique
+        // invariant every other slot guarantees.
+        std::vector<const TupleTable*> kids;
+        kids.reserve(s->args.size());
+        for (size_t i = 0; i < s->args.size(); ++i) {
+          kids.push_back(in[i].get());
+        }
+        op::ColumnarContext ctx;
+        ctx.dict = ks->dict.get();
+        ctx.cond = &s->cond;
+        ctx.domain_ids = &ks->domain_ids;
+        MAPCOMP_ASSIGN_OR_RETURN(TupleTable out,
+                                 s->def->eval_columnar(*e, kids, ctx));
+        if (out.arity() != s->arity) {
+          // Mirror the FromSet guard on the set path: a kernel emitting the
+          // wrong width is a clean argument error, not a crash downstream.
+          return Status::InvalidArgument(
+              "columnar operator " + e->name() + " returned arity " +
+              std::to_string(out.arity()) + ", expected " +
+              std::to_string(s->arity));
+        }
+        out.SortDedupRows();
+        return OwnTable(std::move(out));
+      }
+      // Legacy set-based evaluators speak std::set<Tuple>: decode children
+      // at this boundary (cached per input slot under a mutex — a child
+      // feeding several user ops decodes once) and re-encode the result.
       std::vector<TupleSetPtr> owners;
       std::vector<const std::set<Tuple>*> kids;
       owners.reserve(s->args.size());
@@ -1322,7 +1390,7 @@ Result<TablePtr> EvalSlot(KernelState* ks, Slot* s,
         owners.push_back(std::move(cached));
       }
       op::EvalContext ctx;
-      ctx.active_domain = &ks->domain;
+      ctx.active_domain = &FallbackDomain(ks);
       MAPCOMP_ASSIGN_OR_RETURN(std::set<Tuple> out,
                                s->def->eval(*e, kids, ctx));
       MAPCOMP_ASSIGN_OR_RETURN(
@@ -1406,6 +1474,13 @@ void ReplayStats(KernelRun* run) {
         st.hash_join_nodes += s.d_hash_join;
         st.nested_product_nodes += s.d_nested;
         st.tasks_spawned += 1 + s.d_tasks;
+        if (s.op == SlotOp::kUserOp) {
+          if (s.user_columnar) {
+            ++st.user_op_columnar;
+          } else {
+            ++st.user_op_decode_fallback;
+          }
+        }
         st.memo_bytes_total += s.bytes;
         live += s.bytes;
         peak = std::max(peak, live);
@@ -1446,23 +1521,32 @@ Result<std::unique_ptr<KernelRun>> KernelExecute(
   KernelState& ks = run->ks;
   ks.instance = &instance;
   ks.options = &options;
-  ks.domain = instance.ActiveDomain();
-  ks.domain.insert(options.extra_constants.begin(),
-                   options.extra_constants.end());
   // Seed the dictionary with everything the evaluation can see up front
   // (domain + every expression constant), sorted — so the id order over
   // this range is the value order and encodes/enumerations arrive sorted.
-  std::set<Value> universe = ks.domain;
+  // This is the evaluation's single value-set copy: the domain is kept as
+  // ids from here on (legacy user-op fallbacks decode it lazily).
+  std::set<Value> universe = instance.ActiveDomain();
+  universe.insert(options.extra_constants.begin(),
+                  options.extra_constants.end());
+  size_t domain_size = universe.size();
   std::set<const Expr*> visited;
   for (const ExprPtr& root : roots) {
     CollectExprConstants(root, &universe, &visited);
   }
   ks.dict = std::make_shared<ValueDict>();
   ks.dict->Seed(universe);
-  ks.domain_ids.reserve(ks.domain.size());
-  for (const Value& v : ks.domain) {
+  ks.domain_ids.reserve(domain_size);
+  for (const Value& v : instance.ActiveDomain()) {
     ks.domain_ids.push_back(*ks.dict->Find(v));
   }
+  for (const Value& v : options.extra_constants) {
+    ks.domain_ids.push_back(*ks.dict->Find(v));
+  }
+  std::sort(ks.domain_ids.begin(), ks.domain_ids.end());
+  ks.domain_ids.erase(
+      std::unique(ks.domain_ids.begin(), ks.domain_ids.end()),
+      ks.domain_ids.end());
   if (options.jobs > 1) {
     ks.pool = runtime::GlobalPool();
     ks.max_helpers = options.jobs - 1;
@@ -1531,6 +1615,8 @@ void EvalStats::MergeFrom(const EvalStats& other) {
   max_ready_depth = std::max(max_ready_depth, other.max_ready_depth);
   index_cache_hits += other.index_cache_hits;
   index_cache_misses += other.index_cache_misses;
+  user_op_columnar += other.user_op_columnar;
+  user_op_decode_fallback += other.user_op_decode_fallback;
 }
 
 EvalStats EvalStats::DiffFrom(const EvalStats& before) const {
@@ -1548,6 +1634,9 @@ EvalStats EvalStats::DiffFrom(const EvalStats& before) const {
   out.max_ready_depth = max_ready_depth;  // watermark, not a counter
   out.index_cache_hits = index_cache_hits - before.index_cache_hits;
   out.index_cache_misses = index_cache_misses - before.index_cache_misses;
+  out.user_op_columnar = user_op_columnar - before.user_op_columnar;
+  out.user_op_decode_fallback =
+      user_op_decode_fallback - before.user_op_decode_fallback;
   return out;
 }
 
@@ -1563,7 +1652,9 @@ std::string EvalStats::ToString() const {
          std::to_string(tasks_spawned) + " tasks, ready width " +
          std::to_string(max_ready_depth) + ", join index " +
          std::to_string(index_cache_hits) + " hits / " +
-         std::to_string(index_cache_misses) + " misses";
+         std::to_string(index_cache_misses) + " misses, user ops " +
+         std::to_string(user_op_columnar) + " columnar / " +
+         std::to_string(user_op_decode_fallback) + " decode-fallback";
 }
 
 /// Shared decode-on-demand payload: copies of one EvalResult (and the

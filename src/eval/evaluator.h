@@ -99,6 +99,14 @@ struct EvalStats {
   /// lookups answered by a cached permutation vs. built fresh.
   int64_t index_cache_hits = 0;
   int64_t index_cache_misses = 0;
+  /// User-operator kernel routing: nodes that ran a registered columnar
+  /// kernel (`OperatorDef::eval_columnar`) vs. nodes that decoded their
+  /// children for the legacy set-based `eval` hook. `user_op_decode_fallback
+  /// == 0` ⇔ the kernel's decode cache stayed empty — the no-decode-seam
+  /// witness. The nested-loop oracle counts every user op as a fallback
+  /// (it is the set-based path by definition).
+  int64_t user_op_columnar = 0;
+  int64_t user_op_decode_fallback = 0;
 
   void MergeFrom(const EvalStats& other);
   /// Counter-wise `this - before` (the work added since the `before`

@@ -12,8 +12,14 @@
 #include "src/algebra/expr.h"
 #include "src/common/status.h"
 #include "src/constraints/constraint.h"
+#include "src/eval/tuple_table.h"
 
 namespace mapcomp {
+
+namespace eval_internal {
+class CompiledCond;
+}  // namespace eval_internal
+
 namespace op {
 
 /// Monotonicity of a user-defined operator in one of its arguments
@@ -25,10 +31,31 @@ enum class Polarity {
   kUnknown,   ///< no information — MONOTONE returns 'u' through this argument
 };
 
-/// Evaluation context handed to user-operator evaluators.
+/// Evaluation context handed to set-based user-operator evaluators.
 struct EvalContext {
   /// Active domain of the instance (plus the constraint set's constants).
+  /// Built lazily by the kernel: an evaluation whose registry never runs a
+  /// set-based evaluator never pays for this copy.
   const std::set<Value>* active_domain = nullptr;
+};
+
+/// Context handed to columnar user-operator kernels (eval_columnar).
+struct ColumnarContext {
+  /// The evaluation's interning dictionary. Child-table ids decode through
+  /// it, and output values the operator invents (left-outerjoin pad values,
+  /// closure terms) are minted with Intern() — safe mid-evaluation; minted
+  /// ids land past the order-preserving range and every result surface
+  /// re-canonicalizes by value.
+  ValueDict* dict = nullptr;
+  /// The node's condition compiled against `dict` (0-based columns,
+  /// interned constants), evaluated over a concatenated child row. Kernels
+  /// that decompose the raw condition themselves (e.g. into join keys via
+  /// eval_internal::PlanJoin) read it from the node instead.
+  const eval_internal::CompiledCond* cond = nullptr;
+  /// Interned active domain + extra constants, ascending seeded ids — the
+  /// columnar stand-in for EvalContext::active_domain, shared with the
+  /// evaluator instead of copied per evaluation.
+  const std::vector<ValueId>* domain_ids = nullptr;
 };
 
 /// A rewrite rule used during left/right normalization (§3.4.1, §3.5.1):
@@ -62,6 +89,17 @@ struct OperatorDef {
       const Expr&, const std::vector<const std::set<Tuple>*>&,
       const EvalContext&)>
       eval;
+  /// Optional columnar evaluator: borrowed child TupleTables in, one
+  /// TupleTable out, no value decode anywhere. When present, the kernel
+  /// prefers it over `eval` (which then serves as the set-based
+  /// differential oracle / fallback). The returned table's rows need not
+  /// be sorted or unique — the evaluator canonicalizes — but its arity
+  /// must equal the node's (anything else is a clean InvalidArgument,
+  /// mirroring the set path's FromSet guard).
+  std::function<Result<TupleTable>(const Expr&,
+                                   const std::vector<const TupleTable*>&,
+                                   const ColumnarContext&)>
+      eval_columnar;
 };
 
 /// Registry of user-defined operators. The composition algorithm is

@@ -49,7 +49,8 @@
 //     --eval-stats         after --check-eval, print the aggregated
 //                          evaluation counters (memo hits, sharded nodes,
 //                          hash-join vs nested-product node counts,
-//                          memo_bytes_peak) to stderr
+//                          memo_bytes_peak, columnar vs decode-fallback
+//                          user-operator routing) to stderr
 //     --intern-stats       print expression-interner statistics to stderr
 //     --quiet              print only the composed constraints
 
