@@ -1,0 +1,577 @@
+// Closed-loop load generator for the serving tier: thousands of concurrent
+// loopback connections (epoll worker threads, one outstanding request per
+// connection) drive a ComposeServer through three phases — all-hot traffic
+// (cache-aware admission should bypass the queue), mixed 70/30 hot/cold,
+// and a deliberately saturated server (tiny admission queue, one
+// dispatcher) where backpressure must shed, not hang. Reports p50/p99/p999
+// reply latency, shed/timeout rates, and queue-depth watermarks as JSON
+// (redirect stdout to BENCH_serve.json).
+//
+// Correctness is a gate, not a hope: every kOk reply's result fingerprint
+// is compared against a direct Compose() of the same problem computed in
+// this process; any mismatch (or protocol error, or missing reply) makes
+// the exit code non-zero, so CI fails loudly when wire serving drifts from
+// in-process composition.
+//
+// Usage: bench_serve [--smoke]
+//   --smoke: small sizes for CI (64 connections, short phases)
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/parser/parser.h"
+#include "src/runtime/compose_service.h"
+#include "src/runtime/thread_pool.h"
+#include "src/serve/compose_client.h"
+#include "src/serve/compose_server.h"
+#include "src/simulator/scenarios.h"
+#include "src/testdata/literature_suite.h"
+
+using namespace mapcomp;
+
+namespace {
+
+/// One pre-serialized request with its expected answer.
+struct PreparedRequest {
+  std::string frame;        // complete wire frame, ready to write
+  std::string fingerprint;  // direct Compose() fingerprint (the oracle)
+  uint64_t id = 0;
+};
+
+struct PhaseResult {
+  std::string name;
+  size_t connections = 0;
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+  uint64_t cache_hits = 0;
+  uint64_t sheds = 0;
+  uint64_t timeouts = 0;
+  uint64_t errors = 0;      // transport/protocol failures, missing replies
+  uint64_t mismatches = 0;  // fingerprint disagreements (the gate)
+  double duration_s = 0;
+  double p50_us = 0, p99_us = 0, p999_us = 0;
+  serve::ServerStats server;
+};
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+std::vector<PreparedRequest> PrepareHotSet(const ComposeOptions& options) {
+  std::vector<CompositionProblem> problems;
+  Parser parser;
+  for (const testdata::LiteratureProblem& prob :
+       testdata::LiteratureSuite()) {
+    Result<CompositionProblem> parsed = parser.ParseProblem(prob.text);
+    if (parsed.ok()) problems.push_back(std::move(*parsed));
+  }
+  for (int w = 2; w <= 9; ++w) {
+    problems.push_back(sim::BuildFanoutProblem(w));
+    problems.push_back(sim::BuildFanoutProblem(w, /*chain_overlap=*/true));
+  }
+  std::vector<PreparedRequest> out;
+  out.reserve(problems.size());
+  for (size_t i = 0; i < problems.size(); ++i) {
+    PreparedRequest req;
+    req.id = 1000 + i;
+    req.fingerprint = Compose(problems[i], options).Fingerprint();
+    std::string body;
+    serve::ServeRequest wire = serve::ServeRequest::Of(problems[i], req.id);
+    if (!wire.SerializeTo(&body).ok()) continue;
+    serve::EncodeFrame(serve::FrameType::kRequest, body, &req.frame);
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+/// Cold traffic: each request is a never-seen-before problem — the select
+/// constant makes the fingerprint unique, so the cache can't help and the
+/// request must travel the full admission + compose path.
+std::vector<PreparedRequest> PrepareColdPool(size_t count,
+                                             const ComposeOptions& options,
+                                             uint64_t* counter) {
+  Parser parser;
+  std::vector<PreparedRequest> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t c = (*counter)++;
+    char text[256];
+    std::snprintf(text, sizeof(text),
+                  "schema s1 { R(2); } schema s2 { A(2); } "
+                  "schema s3 { T(2); } "
+                  "map m12 { A = sel[#1=%llu](R); } map m23 { A <= T; }",
+                  static_cast<unsigned long long>(c));
+    Result<CompositionProblem> parsed = parser.ParseProblem(text);
+    if (!parsed.ok()) continue;
+    PreparedRequest req;
+    req.id = 1u << 20;  // distinct id space from the hot set
+    req.id += c;
+    req.fingerprint = Compose(*parsed, options).Fingerprint();
+    std::string body;
+    serve::ServeRequest wire = serve::ServeRequest::Of(std::move(*parsed),
+                                                       req.id);
+    if (!wire.SerializeTo(&body).ok()) continue;
+    serve::EncodeFrame(serve::FrameType::kRequest, body, &req.frame);
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+/// Per-connection closed-loop state: exactly one request outstanding.
+struct Conn {
+  int fd = -1;
+  serve::FrameDecoder decoder;
+  std::string out;
+  size_t out_pos = 0;
+  int remaining = 0;
+  const PreparedRequest* expect = nullptr;
+  std::chrono::steady_clock::time_point sent_at;
+  std::mt19937 rng;
+  bool writable_armed = false;
+  bool done = false;
+};
+
+struct WorkerTally {
+  std::vector<double> ok_latency_us;
+  uint64_t requests = 0, ok = 0, cache_hits = 0, sheds = 0, timeouts = 0,
+           errors = 0, mismatches = 0;
+};
+
+class LoadWorker {
+ public:
+  LoadWorker(int port, size_t conns, int requests_per_conn,
+             const std::vector<PreparedRequest>& hot,
+             const std::vector<PreparedRequest>& cold, int hot_percent,
+             std::atomic<size_t>* cold_cursor, uint32_t seed)
+      : hot_(hot),
+        cold_(cold),
+        hot_percent_(hot_percent),
+        cold_cursor_(cold_cursor) {
+    epfd_ = ::epoll_create1(0);
+    conns_.reserve(conns);
+    for (size_t i = 0; i < conns; ++i) {
+      int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      sockaddr_in addr;
+      memset(&addr, 0, sizeof(addr));
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(static_cast<uint16_t>(port));
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+        ::close(fd);
+        ++tally_.errors;
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      int flags = ::fcntl(fd, F_GETFL, 0);
+      ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+      auto conn = std::make_unique<Conn>();
+      conn->fd = fd;
+      conn->remaining = requests_per_conn;
+      conn->rng.seed(seed + static_cast<uint32_t>(i));
+      epoll_event ev;
+      memset(&ev, 0, sizeof(ev));
+      ev.events = EPOLLIN;
+      ev.data.ptr = conn.get();
+      ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+      conns_.push_back(std::move(conn));
+    }
+  }
+
+  ~LoadWorker() {
+    for (auto& c : conns_) {
+      if (c->fd >= 0) ::close(c->fd);
+    }
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+
+  WorkerTally Run() {
+    size_t live = 0;
+    for (auto& c : conns_) {
+      StartNext(*c);
+      if (!c->done) ++live;
+    }
+    // A stuck server must fail the bench, not hang it.
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(180);
+    epoll_event events[128];
+    while (live > 0) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        tally_.errors += live;
+        break;
+      }
+      int n = ::epoll_wait(epfd_, events, 128, 1000);
+      for (int i = 0; i < n; ++i) {
+        Conn& conn = *static_cast<Conn*>(events[i].data.ptr);
+        if (conn.done) continue;
+        if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+          Finish(conn, /*as_error=*/true);
+          --live;
+          continue;
+        }
+        if (events[i].events & EPOLLOUT) Flush(conn);
+        if (conn.done) {
+          --live;
+          continue;
+        }
+        if (events[i].events & EPOLLIN) Read(conn);
+        if (conn.done) --live;
+      }
+    }
+    return std::move(tally_);
+  }
+
+ private:
+  const PreparedRequest* Pick(Conn& conn) {
+    bool go_hot = hot_percent_ >= 100 ||
+                  (hot_percent_ > 0 &&
+                   static_cast<int>(conn.rng() % 100) < hot_percent_);
+    if (!go_hot && !cold_.empty()) {
+      size_t at = cold_cursor_->fetch_add(1);
+      if (at < cold_.size()) return &cold_[at];
+      // Pool exhausted (rounding): hot traffic is an acceptable stand-in.
+    }
+    if (hot_.empty()) return nullptr;
+    return &hot_[conn.rng() % hot_.size()];
+  }
+
+  void StartNext(Conn& conn) {
+    if (conn.remaining <= 0) {
+      Finish(conn, /*as_error=*/false);
+      return;
+    }
+    --conn.remaining;
+    conn.expect = Pick(conn);
+    if (conn.expect == nullptr) {
+      Finish(conn, /*as_error=*/true);
+      return;
+    }
+    ++tally_.requests;
+    conn.out = conn.expect->frame;
+    conn.out_pos = 0;
+    conn.sent_at = std::chrono::steady_clock::now();
+    Flush(conn);
+  }
+
+  void Arm(Conn& conn, bool want_out) {
+    if (want_out == conn.writable_armed) return;
+    conn.writable_armed = want_out;
+    epoll_event ev;
+    memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN | (want_out ? EPOLLOUT : 0);
+    ev.data.ptr = &conn;
+    ::epoll_ctl(epfd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  }
+
+  void Flush(Conn& conn) {
+    while (conn.out_pos < conn.out.size()) {
+      ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_pos,
+                          conn.out.size() - conn.out_pos);
+      if (n > 0) {
+        conn.out_pos += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        Arm(conn, true);
+        return;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      Finish(conn, /*as_error=*/true);
+      return;
+    }
+    Arm(conn, false);
+  }
+
+  void Read(Conn& conn) {
+    char buf[65536];
+    ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n == 0) {
+      Finish(conn, /*as_error=*/true);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      Finish(conn, /*as_error=*/true);
+      return;
+    }
+    conn.decoder.Feed(reinterpret_cast<const uint8_t*>(buf),
+                      static_cast<size_t>(n));
+    serve::FrameType type;
+    std::string body;
+    for (;;) {
+      serve::FrameDecoder::Next next = conn.decoder.Poll(&type, &body);
+      if (next == serve::FrameDecoder::Next::kNeedMore) return;
+      if (next == serve::FrameDecoder::Next::kError) {
+        Finish(conn, /*as_error=*/true);
+        return;
+      }
+      OnReply(conn, body);
+      if (conn.done) return;
+    }
+  }
+
+  void OnReply(Conn& conn, const std::string& body) {
+    double us = std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - conn.sent_at)
+                    .count();
+    Result<serve::ServeReply> reply = serve::ServeReply::Parse(
+        reinterpret_cast<const uint8_t*>(body.data()), body.size());
+    if (!reply.ok() || conn.expect == nullptr ||
+        reply->request_id != conn.expect->id) {
+      ++tally_.errors;
+    } else if (reply->status == serve::WireStatus::kOk) {
+      ++tally_.ok;
+      tally_.ok_latency_us.push_back(us);
+      if (reply->cache_hit) ++tally_.cache_hits;
+      if (reply->result.Fingerprint() != conn.expect->fingerprint) {
+        ++tally_.mismatches;
+      }
+    } else if (reply->status == serve::WireStatus::kOverloaded) {
+      ++tally_.sheds;
+    } else if (reply->status == serve::WireStatus::kTimeout) {
+      ++tally_.timeouts;
+    } else {
+      ++tally_.errors;
+    }
+    StartNext(conn);
+  }
+
+  void Finish(Conn& conn, bool as_error) {
+    if (conn.done) return;
+    if (as_error) ++tally_.errors;
+    conn.done = true;
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+    ::close(conn.fd);
+    conn.fd = -1;
+  }
+
+  const std::vector<PreparedRequest>& hot_;
+  const std::vector<PreparedRequest>& cold_;
+  const int hot_percent_;
+  std::atomic<size_t>* cold_cursor_;
+  int epfd_ = -1;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  WorkerTally tally_;
+};
+
+PhaseResult RunPhase(const std::string& name, serve::ServerOptions server_options,
+                     int hot_percent, size_t connections,
+                     int requests_per_conn, int worker_threads,
+                     const std::vector<PreparedRequest>& hot,
+                     const std::vector<PreparedRequest>& cold,
+                     bool warm_cache) {
+  runtime::ComposeService service;
+  serve::ComposeServer server(&service, server_options);
+  PhaseResult out;
+  out.name = name;
+  out.connections = connections;
+  if (!server.Start().ok()) {
+    out.errors = 1;
+    return out;
+  }
+
+  if (warm_cache) {
+    // Pre-load the hot set so the phase measures serving, not first-touch
+    // composition.
+    Result<std::unique_ptr<serve::ComposeClient>> warm =
+        serve::ComposeClient::Connect("127.0.0.1", server.port());
+    if (warm.ok()) {
+      Parser parser;
+      for (const PreparedRequest& req : hot) {
+        if (!(*warm)->SendRaw(req.frame).ok()) break;
+        (void)(*warm)->Recv();
+      }
+    }
+  }
+
+  std::atomic<size_t> cold_cursor{0};
+  int threads = std::max(1, worker_threads);
+  size_t per_thread = connections / static_cast<size_t>(threads);
+  size_t extra = connections % static_cast<size_t>(threads);
+
+  std::vector<std::unique_ptr<LoadWorker>> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    size_t count = per_thread + (static_cast<size_t>(t) < extra ? 1 : 0);
+    workers.push_back(std::make_unique<LoadWorker>(
+        server.port(), count, requests_per_conn, hot, cold, hot_percent,
+        &cold_cursor, /*seed=*/0x9e3779b9u * (t + 1)));
+  }
+
+  std::vector<WorkerTally> tallies(workers.size());
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(workers.size());
+  for (size_t t = 0; t < workers.size(); ++t) {
+    pool.emplace_back([&, t] { tallies[t] = workers[t]->Run(); });
+  }
+  for (std::thread& t : pool) t.join();
+  out.duration_s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+
+  std::vector<double> latency;
+  for (WorkerTally& tally : tallies) {
+    out.requests += tally.requests;
+    out.ok += tally.ok;
+    out.cache_hits += tally.cache_hits;
+    out.sheds += tally.sheds;
+    out.timeouts += tally.timeouts;
+    out.errors += tally.errors;
+    out.mismatches += tally.mismatches;
+    latency.insert(latency.end(), tally.ok_latency_us.begin(),
+                   tally.ok_latency_us.end());
+  }
+  std::sort(latency.begin(), latency.end());
+  out.p50_us = Percentile(latency, 0.50);
+  out.p99_us = Percentile(latency, 0.99);
+  out.p999_us = Percentile(latency, 0.999);
+  out.server = server.Stats();
+  server.Stop();
+  return out;
+}
+
+void PrintPhase(const PhaseResult& r, bool last) {
+  std::printf("    {\n");
+  std::printf("      \"name\": \"%s\",\n", r.name.c_str());
+  std::printf("      \"connections\": %zu,\n", r.connections);
+  std::printf("      \"requests\": %llu,\n",
+              static_cast<unsigned long long>(r.requests));
+  std::printf("      \"ok\": %llu,\n", static_cast<unsigned long long>(r.ok));
+  std::printf("      \"cache_hits\": %llu,\n",
+              static_cast<unsigned long long>(r.cache_hits));
+  std::printf("      \"sheds\": %llu,\n",
+              static_cast<unsigned long long>(r.sheds));
+  std::printf("      \"timeouts\": %llu,\n",
+              static_cast<unsigned long long>(r.timeouts));
+  std::printf("      \"errors\": %llu,\n",
+              static_cast<unsigned long long>(r.errors));
+  std::printf("      \"fingerprint_mismatches\": %llu,\n",
+              static_cast<unsigned long long>(r.mismatches));
+  std::printf("      \"shed_rate\": %.4f,\n",
+              r.requests > 0
+                  ? static_cast<double>(r.sheds) /
+                        static_cast<double>(r.requests)
+                  : 0.0);
+  std::printf("      \"duration_s\": %.3f,\n", r.duration_s);
+  std::printf("      \"throughput_rps\": %.1f,\n",
+              r.duration_s > 0
+                  ? static_cast<double>(r.requests) / r.duration_s
+                  : 0.0);
+  std::printf("      \"p50_us\": %.1f,\n", r.p50_us);
+  std::printf("      \"p99_us\": %.1f,\n", r.p99_us);
+  std::printf("      \"p999_us\": %.1f,\n", r.p999_us);
+  std::printf("      \"queue_depth_watermark\": %llu,\n",
+              static_cast<unsigned long long>(r.server.queue_depth_watermark));
+  std::printf("      \"cache_bypass\": %llu,\n",
+              static_cast<unsigned long long>(r.server.cache_bypass));
+  std::printf("      \"server_bytes_read\": %llu,\n",
+              static_cast<unsigned long long>(r.server.bytes_read));
+  std::printf("      \"server_bytes_written\": %llu\n",
+              static_cast<unsigned long long>(r.server.bytes_written));
+  std::printf("    }%s\n", last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+
+  const size_t connections = smoke ? 64 : 1024;
+  const int requests_per_conn = smoke ? 4 : 12;
+  int hardware = runtime::ThreadPool::HardwareThreads();
+  const int worker_threads =
+      std::max(1, std::min(hardware, smoke ? 4 : 8));
+
+  ComposeOptions options;  // server default options — the oracle uses the same
+  std::vector<PreparedRequest> hot = PrepareHotSet(options);
+  if (hot.empty()) {
+    std::fprintf(stderr, "no hot problems prepared\n");
+    return 1;
+  }
+
+  uint64_t cold_counter = 1;
+  const size_t total = connections * static_cast<size_t>(requests_per_conn);
+  std::vector<PreparedRequest> mixed_cold =
+      PrepareColdPool(total * 2 / 5, options, &cold_counter);
+
+  const size_t sat_conns = std::max<size_t>(16, connections / 4);
+  const int sat_rpc = std::max(2, requests_per_conn / 2);
+  std::vector<PreparedRequest> sat_cold = PrepareColdPool(
+      sat_conns * static_cast<size_t>(sat_rpc), options, &cold_counter);
+
+  // Phase 1: all-hot traffic on a warmed cache — the admission probe
+  // should answer nearly everything without queueing.
+  serve::ServerOptions default_server;
+  PhaseResult hot_phase =
+      RunPhase("hot", default_server, /*hot_percent=*/100, connections,
+               requests_per_conn, worker_threads, hot, mixed_cold,
+               /*warm_cache=*/true);
+
+  // Phase 2: 70/30 hot/cold — cold requests travel the queue while hot
+  // ones bypass it.
+  PhaseResult mixed_phase =
+      RunPhase("mixed_70_30", default_server, /*hot_percent=*/70,
+               connections, requests_per_conn, worker_threads, hot,
+               mixed_cold, /*warm_cache=*/true);
+
+  // Phase 3: saturation — a tiny queue and a single dispatcher against
+  // all-cold traffic. The point is the backpressure contract: overload
+  // must surface as kOverloaded sheds, never as hangs or silent drops.
+  serve::ServerOptions tiny;
+  tiny.admission_capacity = 8;
+  tiny.dispatch_threads = 1;
+  PhaseResult sat_phase =
+      RunPhase("saturate", tiny, /*hot_percent=*/0, sat_conns, sat_rpc,
+               worker_threads, hot, sat_cold, /*warm_cache=*/false);
+
+  uint64_t mismatches = hot_phase.mismatches + mixed_phase.mismatches +
+                        sat_phase.mismatches;
+  uint64_t errors =
+      hot_phase.errors + mixed_phase.errors + sat_phase.errors;
+
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"bench_serve\",\n");
+  std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::printf("  \"hardware_concurrency\": %d,\n", hardware);
+  std::printf("  \"single_core_warning\": %s,\n",
+              hardware <= 1 ? "true" : "false");
+  std::printf("  \"worker_threads\": %d,\n", worker_threads);
+  std::printf("  \"hot_set_size\": %zu,\n", hot.size());
+  std::printf("  \"phases\": [\n");
+  PrintPhase(hot_phase, false);
+  PrintPhase(mixed_phase, false);
+  PrintPhase(sat_phase, true);
+  std::printf("  ],\n");
+  std::printf("  \"fingerprint_mismatches\": %llu,\n",
+              static_cast<unsigned long long>(mismatches));
+  std::printf("  \"transport_errors\": %llu,\n",
+              static_cast<unsigned long long>(errors));
+  std::printf("  \"gate_passed\": %s\n",
+              (mismatches == 0 && errors == 0) ? "true" : "false");
+  std::printf("}\n");
+  return (mismatches == 0 && errors == 0) ? 0 : 1;
+}

@@ -21,6 +21,11 @@ enum class StatusCode {
   kInternal,
 };
 
+/// Stable human-readable name of a code ("OK", "InvalidArgument", ...).
+/// Shared by Status::ToString and the wire-facing serve::WireStatus table so
+/// a code never prints under two different names.
+const char* StatusCodeName(StatusCode code);
+
 /// A success-or-error outcome carrying a code and a human-readable message.
 class Status {
  public:

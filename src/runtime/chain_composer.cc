@@ -72,8 +72,10 @@ std::shared_ptr<const ChainPrefixState> SeedState(const Mapping& first) {
 /// `service` is null), then retries previously-kept residual symbols
 /// against the new constraint set — a later composition can shrink Σ
 /// enough to recover them (§4's second-order note) — and rebuilds σ1 as
-/// chain input ∪ surviving residuals.
-std::shared_ptr<const ChainPrefixState> ExtendPrefix(
+/// chain input ∪ surviving residuals. A failed service computation
+/// propagates as a Status (the service never rethrows across its
+/// boundary).
+Result<std::shared_ptr<const ChainPrefixState>> ExtendPrefix(
     const Signature& base_input, const ChainPrefixState& prev,
     const Mapping& m, const ComposeOptions& options,
     ComposeService* service) {
@@ -86,7 +88,11 @@ std::shared_ptr<const ChainPrefixState> ExtendPrefix(
 
   ComposeService::ResultPtr served;
   if (service != nullptr) {
-    served = service->Submit(problem, options).Result();
+    const ServedOutcome& outcome =
+        service->Submit(serve::ServeRequest::WithOptions(problem, options))
+            .Wait();
+    if (!outcome.ok()) return outcome.status();
+    served = outcome.shared();
   } else {
     served = std::make_shared<const ServedResult>(
         ServedResult::FromResult(Compose(problem, options)));
@@ -121,7 +127,7 @@ std::shared_ptr<const ChainPrefixState> ExtendPrefix(
   }
   next->constraints = std::move(current);
   next->residual_arity = std::move(residual_arity);
-  return next;
+  return std::shared_ptr<const ChainPrefixState>(std::move(next));
 }
 
 /// Canonical serialization of a final chain state — the warm≡cold
@@ -286,7 +292,9 @@ Result<ChainResult> ChainComposer::ComposeChain(
         continue;
       }
     }
-    state = ExtendPrefix(chain[0].input, *state, chain[k], options, service_);
+    MAPCOMP_ASSIGN_OR_RETURN(
+        state,
+        ExtendPrefix(chain[0].input, *state, chain[k], options, service_));
     ++composed;
     if (caching) Insert(prefix_key, state);
   }
@@ -313,8 +321,9 @@ Result<ChainResult> ComposeChainCold(const std::vector<Mapping>& chain,
   std::shared_ptr<const ChainPrefixState> state = SeedState(chain[0]);
   int composed = 0;
   for (size_t k = 1; k < chain.size(); ++k) {
-    state = ExtendPrefix(chain[0].input, *state, chain[k], options,
-                         /*service=*/nullptr);
+    MAPCOMP_ASSIGN_OR_RETURN(
+        state, ExtendPrefix(chain[0].input, *state, chain[k], options,
+                            /*service=*/nullptr));
     ++composed;
   }
   return FinishResult(*state, static_cast<int>(chain.size()), /*hits=*/0,

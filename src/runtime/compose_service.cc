@@ -1,44 +1,25 @@
 #include "src/runtime/compose_service.h"
 
-#include "src/runtime/approx_bytes.h"
+#include <exception>
+#include <utility>
+
 #include "src/runtime/thread_pool.h"
 
 namespace mapcomp {
 namespace runtime {
 
-ServedResult ServedResult::FromResult(const CompositionResult& result) {
-  ServedResult out;
-  out.sigma = result.sigma;
-  out.residual_sigma2 = result.residual_sigma2;
-  out.constraints = result.constraints;
-  out.warnings = result.warnings;
-  out.eliminated_count = result.eliminated_count;
-  out.total_count = result.total_count;
-  out.fingerprint = result.Fingerprint();
-  return out;
+namespace {
+
+std::string CacheKeyFor(const serve::ServeRequest& request,
+                        const ComposeOptions& options) {
+  // The options fingerprint joins the key so mixed-options traffic on one
+  // service can never be answered with a variant computed under different
+  // options (the ROADMAP stale-variant hazard). The request_id is
+  // deliberately absent: it names the conversation, not the computation.
+  return options.Fingerprint() + "\n" + request.problem.Fingerprint();
 }
 
-std::string ServedResult::Report() const {
-  std::string out = "eliminated " + std::to_string(eliminated_count) + "/" +
-                    std::to_string(total_count) + " symbols (served)\n";
-  for (const std::string& w : warnings) {
-    out += "  warning: " + w + "\n";
-  }
-  return out;
-}
-
-size_t ServedResult::ApproxBytes() const {
-  size_t out = sizeof(ServedResult);
-  out += SignatureApproxBytes(sigma);
-  out += StringsApproxBytes(residual_sigma2);
-  out += StringsApproxBytes(warnings);
-  out += fingerprint.capacity();
-  // Constraints hold two interned expression pointers each; the nodes
-  // live in the shared interner arena (and are reused across cached
-  // entries), so charge the reference cost, not a deep copy.
-  out += constraints.capacity() * sizeof(Constraint);
-  return out;
-}
+}  // namespace
 
 std::string ServiceStats::ToString() const {
   std::string out = "compose-service: ";
@@ -49,7 +30,8 @@ std::string ServiceStats::ToString() const {
          std::to_string(cache_bytes) + " bytes, peak " +
          std::to_string(cache_bytes_peak) + "), " +
          std::to_string(in_flight) + " in flight, " +
-         std::to_string(completed) + " completed\n";
+         std::to_string(completed) + " completed, " +
+         std::to_string(failed) + " failed\n";
   out += "scheduler: " + std::to_string(waves_executed) +
          " waves executed, max width " + std::to_string(max_wave_width) + "\n";
   out += "chains: " + std::to_string(chain_prefix_hits) +
@@ -70,14 +52,16 @@ ComposeService::~ComposeService() {
 void ComposeService::RecordCompletion(const CompositionResult* result) {
   std::lock_guard<std::mutex> lock(mu_);
   --stats_.in_flight;
+  ++stats_.completed;
   if (result != nullptr) {
-    ++stats_.completed;
     for (const RoundStat& r : result->rounds) {
       stats_.waves_executed += r.wave_widths.size();
       for (int w : r.wave_widths) {
         if (w > stats_.max_wave_width) stats_.max_wave_width = w;
       }
     }
+  } else {
+    ++stats_.failed;
   }
 }
 
@@ -137,21 +121,34 @@ void ComposeService::EnforceCapacityLocked() {
   stats_.cache_entries = cache_.size();
 }
 
-ComposeService::Handle ComposeService::Submit(CompositionProblem problem) {
-  return Submit(std::move(problem), options_.compose);
+ComposeService::ResultPtr ComposeService::TryServeCached(
+    const serve::ServeRequest& request) {
+  if (options_.cache_capacity == 0) return nullptr;
+  const ComposeOptions& options =
+      request.has_options ? request.options : options_.compose;
+  std::string key = CacheKeyFor(request, options);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return nullptr;
+  if (it->second.future.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    return nullptr;  // in flight: admission must queue (joining is cheap,
+                     // but the reply still needs a waiter)
+  }
+  const ServedOutcome& outcome = it->second.future.get();
+  if (!outcome.ok()) return nullptr;
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // touch
+  return outcome.shared();
 }
 
-ComposeService::Handle ComposeService::Submit(CompositionProblem problem,
-                                              const ComposeOptions& options) {
+ComposeService::Handle ComposeService::Submit(serve::ServeRequest request) {
   const bool caching = options_.cache_capacity > 0;
-  // The options fingerprint joins the key so mixed-options traffic on one
-  // service can never be answered with a variant computed under different
-  // options (the ROADMAP stale-variant hazard).
-  std::string key = caching
-                        ? options.Fingerprint() + "\n" + problem.Fingerprint()
-                        : std::string();
+  const ComposeOptions& options =
+      request.has_options ? request.options : options_.compose;
+  std::string key = caching ? CacheKeyFor(request, options) : std::string();
 
-  auto promise = std::make_shared<std::promise<ResultPtr>>();
+  auto promise = std::make_shared<std::promise<ServedOutcome>>();
   uint64_t entry_id = 0;
   Handle handle;
   {
@@ -185,7 +182,8 @@ ComposeService::Handle ComposeService::Submit(CompositionProblem problem,
 
   // A preset key signature is copied into the task: Submit returns
   // immediately, and a caller's stack-allocated Signature must be free to
-  // die before the pool ever runs the composition.
+  // die before the pool ever runs the composition. (A parsed wire request
+  // owns its keys via owned_keys; copying unifies both cases.)
   std::shared_ptr<const Signature> keys_copy;
   ComposeOptions task_options = options;
   if (task_options.eliminate.keys != nullptr) {
@@ -195,7 +193,7 @@ ComposeService::Handle ComposeService::Submit(CompositionProblem problem,
   GlobalPool()->Submit(
       [this, promise, caching, entry_id, key, keys_copy,
        options = std::move(task_options),
-       problem = std::move(problem)]() mutable {
+       problem = std::move(request.problem)]() mutable {
         ResultPtr result;
         try {
           CompositionResult full = Compose(problem, options);
@@ -207,11 +205,20 @@ ComposeService::Handle ComposeService::Submit(CompositionProblem problem,
           result = std::make_shared<ServedResult>(
               ServedResult::FromResult(full));
         } catch (...) {
-          // The exception reaches every handle already joined to this
-          // computation, but must not be served to future submitters.
+          // A failure is a Status, not a rethrow: it reaches every handle
+          // already joined to this computation as an error outcome, but
+          // must not be served to future submitters.
+          Status failure = Status::Internal("composition failed");
+          try {
+            std::rethrow_exception(std::current_exception());
+          } catch (const std::exception& e) {
+            failure = Status::Internal(std::string("composition failed: ") +
+                                       e.what());
+          } catch (...) {
+          }
           if (caching) EvictFailed(key, entry_id);
           RecordCompletion(nullptr);
-          promise->set_exception(std::current_exception());
+          promise->set_value(ServedOutcome(std::move(failure)));
           ReleaseOutstanding();
           return;
         }
@@ -222,7 +229,7 @@ ComposeService::Handle ComposeService::Submit(CompositionProblem problem,
         // moment outstanding_ hits zero, and by then every handle must
         // already be Ready).
         if (caching) RecordEntryBytes(key, entry_id, result->ApproxBytes());
-        promise->set_value(std::move(result));
+        promise->set_value(ServedOutcome(std::move(result)));
         ReleaseOutstanding();
       });
   return handle;

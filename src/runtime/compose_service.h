@@ -4,7 +4,9 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
 #include <future>
+#include <iostream>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -12,52 +14,11 @@
 #include <unordered_map>
 
 #include "src/compose/compose.h"
+#include "src/runtime/served_result.h"
+#include "src/serve/serve_types.h"
 
 namespace mapcomp {
 namespace runtime {
-
-/// What the service caches and serves: the composition's *answer* —
-/// constraints, residuals, warnings, counts — plus the full
-/// CompositionResult::Fingerprint() precomputed at completion time. The
-/// per-attempt SymbolStats, per-round RoundStats and wall-clock timings of
-/// the underlying CompositionResult are deliberately dropped: at
-/// schema-registry scale (thousands of chains × dozens of prefixes) whole
-/// results would dominate cache memory with diagnostics nobody re-reads,
-/// while the slim entry is what every consumer — chain composition, the
-/// CLI, correctness gates — actually needs. A hit and a miss serve the
-/// same shape, and Fingerprint() equality with a direct Compose() still
-/// holds because the string was recorded before slimming.
-struct ServedResult {
-  Signature sigma;  ///< σ1 ∪ residual σ2 ∪ σ3
-  std::vector<std::string> residual_sigma2;
-  ConstraintSet constraints;
-  std::vector<std::string> warnings;
-  int eliminated_count = 0;  ///< distinct σ2 symbols eliminated
-  int total_count = 0;       ///< distinct σ2 symbols attempted
-
-  /// The full CompositionResult::Fingerprint() of the computation that
-  /// produced this entry (stats and rounds included), recorded before the
-  /// payload was slimmed — so warm and cold serving are byte-comparable
-  /// against direct composition.
-  const std::string& Fingerprint() const { return fingerprint; }
-
-  /// Short human summary (counts, residuals, warnings) — the slim analog
-  /// of CompositionResult::Report(); per-symbol attempt detail is not
-  /// retained in the cache.
-  std::string Report() const;
-
-  /// Estimated resident bytes of this entry: strings, name tables, and
-  /// per-constraint overhead. Interned expression nodes are shared
-  /// process-wide and counted once per constraint reference, not deep —
-  /// this is the accounting unit of ServiceStats::cache_bytes and the
-  /// byte-capacity eviction bound.
-  size_t ApproxBytes() const;
-
-  /// Built by the service from a freshly computed full result.
-  static ServedResult FromResult(const CompositionResult& result);
-
-  std::string fingerprint;
-};
 
 /// Point-in-time counters of a ComposeService. Wave fields aggregate the
 /// scheduler behavior of every composition the service completed; chain
@@ -65,11 +26,13 @@ struct ServedResult {
 /// attached to this service.
 struct ServiceStats {
   uint64_t hits = 0;        ///< Submits answered by the cache (incl. joining
-                            ///< a computation already in flight)
+                            ///< a computation already in flight and
+                            ///< TryServeCached probe hits)
   uint64_t misses = 0;      ///< Submits that started a computation
   uint64_t evictions = 0;   ///< cache entries dropped by the LRU bounds
   int64_t in_flight = 0;    ///< computations started but not yet finished
   uint64_t completed = 0;   ///< computations finished
+  uint64_t failed = 0;      ///< computations that finished with an error
   uint64_t cache_entries = 0;  ///< entries currently cached
   uint64_t cache_bytes = 0;    ///< ApproxBytes of completed cached entries
   uint64_t cache_bytes_peak = 0;  ///< high-water mark of cache_bytes
@@ -97,8 +60,8 @@ struct ComposeServiceOptions {
   /// Options applied to submissions that don't carry their own. The result
   /// cache is keyed by ComposeOptions::Fingerprint() *and*
   /// CompositionProblem::Fingerprint(), so one service can host
-  /// mixed-options traffic (see the two-argument Submit) without serving a
-  /// result computed under different options.
+  /// mixed-options traffic (see ServeRequest::WithOptions) without serving
+  /// a result computed under different options.
   ComposeOptions compose;
   /// Completed results retained, least-recently-submitted evicted first.
   /// 0 disables caching (every Submit computes).
@@ -110,13 +73,52 @@ struct ComposeServiceOptions {
   size_t cache_bytes_capacity = 0;
 };
 
-/// A long-lived composition server: clients Submit CompositionProblems and
-/// get async handles; results are computed on the process-wide GlobalPool()
-/// and memoized in an LRU cache keyed by the problem fingerprint, so a hot
-/// problem is composed once and served from memory afterwards. Concurrent
-/// submissions of the same problem join the in-flight computation instead
-/// of duplicating it. Thread-safe; one instance is meant to outlive many
-/// client requests (the ROADMAP's serving path).
+/// The success-or-Status outcome of one served composition —
+/// StatusOr<const ServedResult&>-shaped access. A failed computation
+/// (Compose threw, e.g. on a pathological input) travels as a Status; it
+/// never rethrows across the service boundary, so wire-facing callers can
+/// map it onto serve::WireStatus and in-process callers onto Result<T>
+/// plumbing. value()/operator* abort with a diagnostic when called on an
+/// error, mirroring mapcomp::Result.
+class ServedOutcome {
+ public:
+  using ResultPtr = std::shared_ptr<const ServedResult>;
+
+  ServedOutcome() : status_(StatusCode::kInternal, "empty outcome") {}
+  explicit ServedOutcome(ResultPtr result) : result_(std::move(result)) {}
+  explicit ServedOutcome(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return result_ != nullptr; }
+  const Status& status() const { return status_; }
+
+  /// Shared ownership of the result; null on error. Valid independently of
+  /// cache eviction.
+  const ResultPtr& shared() const { return result_; }
+
+  const ServedResult& value() const {
+    if (result_ == nullptr) {
+      std::cerr << "ServedOutcome::value() on error: " << status_.ToString()
+                << "\n";
+      std::abort();
+    }
+    return *result_;
+  }
+  const ServedResult& operator*() const { return value(); }
+  const ServedResult* operator->() const { return &value(); }
+
+ private:
+  ResultPtr result_;
+  Status status_;
+};
+
+/// A long-lived composition server: clients Submit serve::ServeRequests
+/// and get async handles; results are computed on the process-wide
+/// GlobalPool() and memoized in an LRU cache keyed by the problem (and
+/// options) fingerprint, so a hot problem is composed once and served from
+/// memory afterwards. Concurrent submissions of the same problem join the
+/// in-flight computation instead of duplicating it. Thread-safe; one
+/// instance is meant to outlive many client requests, and
+/// serve::ComposeServer puts this interface on a network socket.
 ///
 /// Do not call Handle::Wait from inside a GlobalPool task: a worker
 /// blocking on work that needs a worker can starve a small pool. Clients —
@@ -126,16 +128,18 @@ class ComposeService {
   using ResultPtr = std::shared_ptr<const ServedResult>;
 
   /// Async handle for one submission. Copyable; all copies share the same
-  /// eventual result. Valid independently of cache eviction.
+  /// eventual outcome. Valid independently of cache eviction.
   class Handle {
    public:
     Handle() = default;
 
-    /// Blocks until the composition finishes; rethrows if it threw.
-    const ServedResult& Wait() const { return *future_.get(); }
-    /// Shared ownership of the result (blocks like Wait).
-    ResultPtr Result() const { return future_.get(); }
-    /// True once the result is available without blocking.
+    /// Blocks until the composition finishes. Never throws: a failed
+    /// computation is a Status inside the outcome.
+    const ServedOutcome& Wait() const { return future_.get(); }
+    /// Shared ownership of the result (blocks like Wait); null when the
+    /// computation failed.
+    ResultPtr Result() const { return future_.get().shared(); }
+    /// True once the outcome is available without blocking.
     bool Ready() const {
       return future_.wait_for(std::chrono::seconds(0)) ==
              std::future_status::ready;
@@ -146,7 +150,7 @@ class ComposeService {
 
    private:
     friend class ComposeService;
-    std::shared_future<ResultPtr> future_;
+    std::shared_future<ServedOutcome> future_;
     bool cache_hit_ = false;
   };
 
@@ -157,22 +161,41 @@ class ComposeService {
   ComposeService(const ComposeService&) = delete;
   ComposeService& operator=(const ComposeService&) = delete;
 
-  /// Enqueues the problem (or joins/serves a cached computation) under the
-  /// service's default ComposeOptions. Never blocks on composition work.
-  Handle Submit(CompositionProblem problem);
+  /// The one submission entry point: enqueues the request's problem (or
+  /// joins/serves a cached computation) under the request's options when
+  /// it carries them, the service default otherwise. Never blocks on
+  /// composition work. Cache entries are keyed by (options fingerprint,
+  /// problem fingerprint), so the same problem submitted under different
+  /// options is computed and cached per variant — never served stale
+  /// across option sets (a mutated registry counts as a new variant via
+  /// its state uid). A preset options.eliminate.keys signature is copied
+  /// into the computation, so it may die the moment Submit returns; a
+  /// non-default options.eliminate.registry is borrowed and must outlive
+  /// the computation (registries are long-lived by design).
+  Handle Submit(serve::ServeRequest request);
 
-  /// Same, but composes under `options` instead of the service default.
-  /// Cache entries are keyed by (options fingerprint, problem fingerprint),
-  /// so the same problem submitted under different options is computed and
-  /// cached per variant — never served stale across option sets (a mutated
-  /// registry counts as a new variant via its state uid). A preset
-  /// `options.eliminate.keys` signature is copied into the computation, so
-  /// it may die the moment Submit returns; a non-default
-  /// `options.eliminate.registry` is borrowed and must outlive the
-  /// computation (registries are long-lived by design).
-  Handle Submit(CompositionProblem problem, const ComposeOptions& options);
+  /// Deprecated shim: wraps the problem in a ServeRequest under the
+  /// service's default options. Prefer Submit(serve::ServeRequest).
+  Handle Submit(CompositionProblem problem) {
+    return Submit(serve::ServeRequest::Of(std::move(problem)));
+  }
 
-  /// The service's default ComposeOptions (what the one-argument Submit
+  /// Deprecated shim: wraps problem + options in a ServeRequest. Prefer
+  /// Submit(serve::ServeRequest).
+  Handle Submit(CompositionProblem problem, const ComposeOptions& options) {
+    return Submit(
+        serve::ServeRequest::WithOptions(std::move(problem), options));
+  }
+
+  /// Admission probe for the serving tier: returns the completed cached
+  /// result for this request, or null when the entry is absent, still in
+  /// flight, or failed. A hit touches the LRU and counts as a cache hit —
+  /// it is a full serve, minus the queue. Never blocks, never computes:
+  /// this is what lets serve::ComposeServer answer hot traffic without
+  /// admitting it through the bounded queue.
+  ResultPtr TryServeCached(const serve::ServeRequest& request);
+
+  /// The service's default ComposeOptions (what an option-less request
   /// composes under).
   const ComposeOptions& default_options() const { return options_.compose; }
 
@@ -185,7 +208,7 @@ class ComposeService {
 
  private:
   struct CacheEntry {
-    std::shared_future<ResultPtr> future;
+    std::shared_future<ServedOutcome> future;
     std::list<std::string>::iterator lru_it;
     /// Distinguishes this entry from a later one under the same key (the
     /// original may be evicted and the key recomputed while the original
@@ -199,7 +222,7 @@ class ComposeService {
   void RecordCompletion(const CompositionResult* result);
   void ReleaseOutstanding();
   /// Drops the cache entry `key` if it still is the one created with
-  /// `id` — called when a computation throws, so the failure is handed to
+  /// `id` — called when a computation fails, so the Status is handed to
   /// the waiting handles but never served to future submitters.
   void EvictFailed(const std::string& key, uint64_t id);
   /// Books `bytes` against the entry `key`/`id` once its computation

@@ -1,0 +1,43 @@
+#include "src/runtime/served_result.h"
+
+#include "src/runtime/approx_bytes.h"
+
+namespace mapcomp {
+namespace runtime {
+
+ServedResult ServedResult::FromResult(const CompositionResult& result) {
+  ServedResult out;
+  out.sigma = result.sigma;
+  out.residual_sigma2 = result.residual_sigma2;
+  out.constraints = result.constraints;
+  out.warnings = result.warnings;
+  out.eliminated_count = result.eliminated_count;
+  out.total_count = result.total_count;
+  out.fingerprint = result.Fingerprint();
+  return out;
+}
+
+std::string ServedResult::Report() const {
+  std::string out = "eliminated " + std::to_string(eliminated_count) + "/" +
+                    std::to_string(total_count) + " symbols (served)\n";
+  for (const std::string& w : warnings) {
+    out += "  warning: " + w + "\n";
+  }
+  return out;
+}
+
+size_t ServedResult::ApproxBytes() const {
+  size_t out = sizeof(ServedResult);
+  out += SignatureApproxBytes(sigma);
+  out += StringsApproxBytes(residual_sigma2);
+  out += StringsApproxBytes(warnings);
+  out += fingerprint.capacity();
+  // Constraints hold two interned expression pointers each; the nodes
+  // live in the shared interner arena (and are reused across cached
+  // entries), so charge the reference cost, not a deep copy.
+  out += constraints.capacity() * sizeof(Constraint);
+  return out;
+}
+
+}  // namespace runtime
+}  // namespace mapcomp

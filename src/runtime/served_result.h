@@ -1,0 +1,62 @@
+#ifndef MAPCOMP_RUNTIME_SERVED_RESULT_H_
+#define MAPCOMP_RUNTIME_SERVED_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/compose/compose.h"
+
+namespace mapcomp {
+namespace runtime {
+
+/// What the service caches and serves: the composition's *answer* —
+/// constraints, residuals, warnings, counts — plus the full
+/// CompositionResult::Fingerprint() precomputed at completion time. The
+/// per-attempt SymbolStats, per-round RoundStats and wall-clock timings of
+/// the underlying CompositionResult are deliberately dropped: at
+/// schema-registry scale (thousands of chains × dozens of prefixes) whole
+/// results would dominate cache memory with diagnostics nobody re-reads,
+/// while the slim entry is what every consumer — chain composition, the
+/// CLI, correctness gates, the wire — actually needs. A hit and a miss
+/// serve the same shape, and Fingerprint() equality with a direct
+/// Compose() still holds because the string was recorded before slimming.
+///
+/// This is also the payload of a serve::ServeReply: the same value crosses
+/// the wire that the in-process Submit path hands back, so the two serving
+/// paths cannot drift apart.
+struct ServedResult {
+  Signature sigma;  ///< σ1 ∪ residual σ2 ∪ σ3
+  std::vector<std::string> residual_sigma2;
+  ConstraintSet constraints;
+  std::vector<std::string> warnings;
+  int eliminated_count = 0;  ///< distinct σ2 symbols eliminated
+  int total_count = 0;       ///< distinct σ2 symbols attempted
+
+  /// The full CompositionResult::Fingerprint() of the computation that
+  /// produced this entry (stats and rounds included), recorded before the
+  /// payload was slimmed — so warm and cold serving are byte-comparable
+  /// against direct composition.
+  const std::string& Fingerprint() const { return fingerprint; }
+
+  /// Short human summary (counts, residuals, warnings) — the slim analog
+  /// of CompositionResult::Report(); per-symbol attempt detail is not
+  /// retained in the cache.
+  std::string Report() const;
+
+  /// Estimated resident bytes of this entry: strings, name tables, and
+  /// per-constraint overhead. Interned expression nodes are shared
+  /// process-wide and counted once per constraint reference, not deep —
+  /// this is the accounting unit of ServiceStats::cache_bytes and the
+  /// byte-capacity eviction bound.
+  size_t ApproxBytes() const;
+
+  /// Built by the service from a freshly computed full result.
+  static ServedResult FromResult(const CompositionResult& result);
+
+  std::string fingerprint;
+};
+
+}  // namespace runtime
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_RUNTIME_SERVED_RESULT_H_

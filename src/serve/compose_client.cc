@@ -1,0 +1,120 @@
+#include "src/serve/compose_client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+namespace mapcomp {
+namespace serve {
+
+ComposeClient::~ComposeClient() { Close(); }
+
+void ComposeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::unique_ptr<ComposeClient>> ComposeClient::Connect(
+    const std::string& host, int port, int retry_ms) {
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const std::string ip = (host == "localhost") ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparseable host address: " + host);
+  }
+
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(retry_ms);
+  for (;;) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Status::Internal("socket() failed");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return std::unique_ptr<ComposeClient>(
+          new ComposeClient(fd, kDefaultMaxFrameBytes));
+    }
+    int err = errno;
+    ::close(fd);
+    if (err != ECONNREFUSED ||
+        std::chrono::steady_clock::now() >= deadline) {
+      return Status::Internal("connect(" + ip + ":" + std::to_string(port) +
+                              ") failed: " + strerror(err));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+Status ComposeClient::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("write failed: ") +
+                              strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ComposeClient::Send(const ServeRequest& request) {
+  std::string body;
+  MAPCOMP_RETURN_IF_ERROR(request.SerializeTo(&body));
+  std::string frame;
+  EncodeFrame(FrameType::kRequest, body, &frame);
+  return SendRaw(frame);
+}
+
+Result<ServeReply> ComposeClient::Recv() {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  FrameType type;
+  std::string body;
+  for (;;) {
+    FrameDecoder::Next next = decoder_.Poll(&type, &body);
+    if (next == FrameDecoder::Next::kError) {
+      return Status::Internal("reply stream desynced: " + decoder_.error());
+    }
+    if (next == FrameDecoder::Next::kFrame) {
+      if (type != FrameType::kReply) {
+        return Status::Internal("unexpected non-reply frame from server");
+      }
+      return ServeReply::Parse(reinterpret_cast<const uint8_t*>(body.data()),
+                               body.size());
+    }
+    char buf[65536];
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n == 0) {
+      return Status::Internal("server closed the connection mid-reply");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("read failed: ") +
+                              strerror(errno));
+    }
+    decoder_.Feed(reinterpret_cast<const uint8_t*>(buf),
+                  static_cast<size_t>(n));
+  }
+}
+
+Result<ServeReply> ComposeClient::Call(const ServeRequest& request) {
+  MAPCOMP_RETURN_IF_ERROR(Send(request));
+  return Recv();
+}
+
+}  // namespace serve
+}  // namespace mapcomp

@@ -1,0 +1,58 @@
+#ifndef MAPCOMP_SERVE_COMPOSE_CLIENT_H_
+#define MAPCOMP_SERVE_COMPOSE_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/serve/protocol.h"
+#include "src/serve/serve_types.h"
+
+namespace mapcomp {
+namespace serve {
+
+/// Blocking client for one ComposeServer connection. Send/Recv are split
+/// so callers can pipeline: many Sends first, then collect replies — the
+/// request_id correlates them (the server may interleave shed replies
+/// ahead of composed ones). Call() is the one-shot convenience.
+///
+/// Not thread-safe; one client per thread (connections are cheap).
+class ComposeClient {
+ public:
+  ~ComposeClient();
+  ComposeClient(const ComposeClient&) = delete;
+  ComposeClient& operator=(const ComposeClient&) = delete;
+
+  /// Connects to host:port. Retries ECONNREFUSED until `retry_ms` elapses
+  /// (covers the race of a client starting before the server's listen —
+  /// the CI loopback smoke depends on this). host may be a dotted quad or
+  /// "localhost".
+  static Result<std::unique_ptr<ComposeClient>> Connect(
+      const std::string& host, int port, int retry_ms = 2000);
+
+  /// Serializes and writes one request frame.
+  Status Send(const ServeRequest& request);
+  /// Blocks until one complete reply frame arrives and parses it.
+  Result<ServeReply> Recv();
+  /// Send + Recv.
+  Result<ServeReply> Call(const ServeRequest& request);
+
+  /// Writes raw bytes as-is — test/bench hook for speaking garbage at the
+  /// server.
+  Status SendRaw(const std::string& bytes);
+
+  void Close();
+  int fd() const { return fd_; }
+
+ private:
+  ComposeClient(int fd, size_t max_frame_bytes)
+      : fd_(fd), decoder_(max_frame_bytes) {}
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace serve
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_SERVE_COMPOSE_CLIENT_H_

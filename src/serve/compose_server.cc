@@ -1,0 +1,506 @@
+#include "src/serve/compose_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "src/serve/wire_status.h"
+
+namespace mapcomp {
+namespace serve {
+
+namespace {
+
+/// A malformed body still starts with the request_id field (u64, first 8
+/// bytes) whenever at least that much arrived — salvage it so the error
+/// reply can name the conversation it refuses.
+uint64_t SalvageRequestId(const std::string& body) {
+  if (body.size() < 8) return 0;
+  uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) {
+    id |= static_cast<uint64_t>(static_cast<uint8_t>(body[i])) << (8 * i);
+  }
+  return id;
+}
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+std::string ServerStats::ToString() const {
+  std::string out = "compose-server: ";
+  out += std::to_string(connections_accepted) + " conns, " +
+         std::to_string(requests_parsed) + " requests, " +
+         std::to_string(replies_sent) + " replies, " +
+         std::to_string(cache_bypass) + " cache-bypassed, " +
+         std::to_string(sheds) + " shed, " + std::to_string(timeouts) +
+         " timed out, " + std::to_string(protocol_errors) +
+         " protocol errors, queue watermark " +
+         std::to_string(queue_depth_watermark) + ", " +
+         std::to_string(bytes_read) + "B in / " +
+         std::to_string(bytes_written) + "B out\n";
+  return out;
+}
+
+ComposeServer::ComposeServer(runtime::ComposeService* service,
+                             ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+ComposeServer::~ComposeServer() { Stop(); }
+
+Status ComposeServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Internal("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind(port " + std::to_string(options_.port) +
+                            ") failed: " + strerror(errno));
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  SetNonBlocking(listen_fd_);
+
+  if (::pipe(wake_fds_) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("pipe() failed");
+  }
+  SetNonBlocking(wake_fds_[0]);
+  SetNonBlocking(wake_fds_[1]);
+
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) {
+    Stop();
+    return Status::Internal("epoll_create1() failed");
+  }
+  epoll_event ev;
+  memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fds_[0];
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fds_[0], &ev);
+
+  running_.store(true);
+  io_thread_ = std::thread([this] { IoLoop(); });
+  int n = std::max(1, options_.dispatch_threads);
+  dispatchers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    dispatchers_.emplace_back([this] { DispatchLoop(); });
+  }
+  return Status::OK();
+}
+
+void ComposeServer::Stop() {
+  if (!running_.exchange(false)) {
+    // Start may have failed half-way: release whatever exists.
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+    if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    listen_fd_ = wake_fds_[0] = wake_fds_[1] = epoll_fd_ = -1;
+    return;
+  }
+  // Dispatchers first: they drain the admission queue (ignoring the test
+  // gate once stopping), staging replies that the still-running I/O thread
+  // may flush.
+  queue_cv_.notify_all();
+  for (std::thread& t : dispatchers_) t.join();
+  dispatchers_.clear();
+  // Then the I/O thread.
+  if (wake_fds_[1] >= 0) {
+    char b = 'x';
+    ssize_t ignored = ::write(wake_fds_[1], &b, 1);
+    (void)ignored;
+  }
+  if (io_thread_.joinable()) io_thread_.join();
+  for (auto& [fd, conn] : conns_) {
+    (void)conn;
+    ::close(fd);
+  }
+  conns_.clear();
+  conn_fd_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  listen_fd_ = wake_fds_[0] = wake_fds_[1] = epoll_fd_ = -1;
+}
+
+ServerStats ComposeServer::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void ComposeServer::IoLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (running_.load()) {
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout_ms=*/100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptNew();
+        continue;
+      }
+      if (fd == wake_fds_[0]) {
+        char buf[256];
+        while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+        }
+        std::vector<std::pair<uint64_t, std::string>> staged;
+        {
+          std::lock_guard<std::mutex> lock(inbox_mu_);
+          staged.swap(reply_inbox_);
+        }
+        for (auto& [conn_id, frame] : staged) {
+          auto it = conn_fd_.find(conn_id);
+          if (it == conn_fd_.end()) continue;  // connection died meanwhile
+          Connection& conn = *conns_.at(it->second);
+          conn.outbox.append(frame);
+          {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            ++stats_.replies_sent;
+          }
+          UpdateEpollOut(conn);
+        }
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // already closed this round
+      Connection& conn = *it->second;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(fd);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) HandleReadable(conn);
+      // HandleReadable may close; re-check before writing.
+      if (conns_.count(fd) && (events[i].events & EPOLLOUT)) {
+        HandleWritable(*conns_.at(fd));
+      }
+    }
+  }
+}
+
+void ComposeServer::AcceptNew() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN / EMFILE: retry on next event
+    SetNonBlocking(fd);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>(options_.max_frame_bytes);
+    conn->fd = fd;
+    conn->id = ++next_conn_id_;
+    conn_fd_[conn->id] = fd;
+    epoll_event ev;
+    memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    conns_.emplace(fd, std::move(conn));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connections_accepted;
+  }
+}
+
+void ComposeServer::HandleReadable(Connection& conn) {
+  char buf[65536];
+  for (;;) {
+    ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.bytes_read += static_cast<uint64_t>(n);
+      }
+      conn.decoder.Feed(reinterpret_cast<const uint8_t*>(buf),
+                        static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {  // orderly EOF
+      CloseConnection(conn.fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn.fd);
+    return;
+  }
+
+  FrameType type;
+  std::string body;
+  for (;;) {
+    FrameDecoder::Next next = conn.decoder.Poll(&type, &body);
+    if (next == FrameDecoder::Next::kNeedMore) return;
+    if (next == FrameDecoder::Next::kError) {
+      // The stream is desynced and cannot be re-trusted: one best-effort
+      // diagnostic, then close once it flushed.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+      }
+      QueueReply(conn, ServeReply::ErrorReply(0, WireStatus::kInvalidArgument,
+                                              conn.decoder.error()));
+      conn.close_after_flush = true;
+      UpdateEpollOut(conn);
+      return;
+    }
+    if (type != FrameType::kRequest) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+      }
+      QueueReply(conn,
+                 ServeReply::ErrorReply(0, WireStatus::kInvalidArgument,
+                                        "server expects request frames"));
+      conn.close_after_flush = true;
+      UpdateEpollOut(conn);
+      return;
+    }
+    OnFrame(conn, body);
+    if (!conns_.count(conn.fd)) return;  // OnFrame may have closed
+  }
+}
+
+void ComposeServer::OnFrame(Connection& conn, const std::string& body) {
+  Result<ServeRequest> parsed = ServeRequest::Parse(
+      reinterpret_cast<const uint8_t*>(body.data()), body.size());
+  if (!parsed.ok()) {
+    // Well-framed but malformed: the length prefix kept the stream in
+    // sync, so refuse this request and keep the connection usable.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.protocol_errors;
+    }
+    QueueReply(conn, ServeReply::ErrorReply(
+                         SalvageRequestId(body),
+                         WireStatusFrom(parsed.status().code()),
+                         parsed.status().message()));
+    UpdateEpollOut(conn);
+    return;
+  }
+  ServeRequest request = std::move(*parsed);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests_parsed;
+  }
+
+  // Cache-aware admission: a completed cached result is served straight
+  // from the I/O thread — hot traffic never competes for queue slots.
+  if (runtime::ComposeService::ResultPtr hit =
+          service_->TryServeCached(request)) {
+    QueueReply(conn,
+               ServeReply::OkReply(request.request_id, *hit, /*hit=*/true));
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.cache_bypass;
+    }
+    UpdateEpollOut(conn);
+    return;
+  }
+
+  uint64_t shed_id = 0;
+  bool shed = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.size() >= options_.admission_capacity) {
+      shed = true;
+      shed_id = request.request_id;
+    } else {
+      Admitted a;
+      a.conn_id = conn.id;
+      a.request = std::move(request);
+      a.enqueued = std::chrono::steady_clock::now();
+      queue_.push_back(std::move(a));
+      size_t depth = queue_.size();
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      if (depth > stats_.queue_depth_watermark) {
+        stats_.queue_depth_watermark = depth;
+      }
+    }
+  }
+  if (shed) {
+    // Backpressure is a reply, not a dropped connection: the client learns
+    // immediately and can back off.
+    QueueReply(conn, ServeReply::ErrorReply(shed_id, WireStatus::kOverloaded,
+                                            "admission queue full"));
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.sheds;
+    }
+    UpdateEpollOut(conn);
+    return;
+  }
+  queue_cv_.notify_one();
+}
+
+void ComposeServer::QueueReply(Connection& conn, const ServeReply& reply) {
+  std::string body;
+  reply.SerializeTo(&body);
+  std::string frame;
+  EncodeFrame(FrameType::kReply, body, &frame);
+  conn.outbox.append(frame);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.replies_sent;
+}
+
+void ComposeServer::PostReply(uint64_t conn_id, std::string frame) {
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    reply_inbox_.emplace_back(conn_id, std::move(frame));
+  }
+  char b = 'x';
+  ssize_t ignored = ::write(wake_fds_[1], &b, 1);
+  (void)ignored;
+}
+
+void ComposeServer::HandleWritable(Connection& conn) {
+  while (conn.out_pos < conn.outbox.size()) {
+    ssize_t n = ::write(conn.fd, conn.outbox.data() + conn.out_pos,
+                        conn.outbox.size() - conn.out_pos);
+    if (n > 0) {
+      conn.out_pos += static_cast<size_t>(n);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.bytes_written += static_cast<uint64_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(conn.fd);
+    return;
+  }
+  conn.outbox.clear();
+  conn.out_pos = 0;
+  if (conn.close_after_flush) {
+    CloseConnection(conn.fd);
+    return;
+  }
+  UpdateEpollOut(conn);
+}
+
+void ComposeServer::UpdateEpollOut(Connection& conn) {
+  epoll_event ev;
+  memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  if (conn.out_pos < conn.outbox.size()) ev.events |= EPOLLOUT;
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void ComposeServer::CloseConnection(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  conn_fd_.erase(it->second->id);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  conns_.erase(it);
+}
+
+void ComposeServer::DispatchLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !running_.load() || !queue_.empty();
+      });
+      if (queue_.empty() && !running_.load()) return;
+    }
+    // Test gate: hold admitted work unpopped so a test can observe a
+    // provably full queue. Ignored once the server is stopping (drain).
+    if (const auto& gate = options_.admission_gate) {
+      while (running_.load() && !gate->load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    std::vector<Admitted> batch;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      while (!queue_.empty() && batch.size() < options_.batch_size) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    if (batch.empty()) {
+      if (!running_.load()) return;
+      continue;
+    }
+
+    // Submit the whole batch before the first Wait: independent problems
+    // overlap in the compose pool even with one dispatcher thread.
+    std::vector<runtime::ComposeService::Handle> handles;
+    std::vector<bool> timed_out(batch.size(), false);
+    handles.reserve(batch.size());
+    auto now = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (options_.queue_timeout_ms > 0 &&
+          now - batch[i].enqueued >
+              std::chrono::milliseconds(options_.queue_timeout_ms)) {
+        timed_out[i] = true;
+        handles.emplace_back();  // placeholder, never waited on
+        continue;
+      }
+      handles.push_back(service_->Submit(batch[i].request));
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const uint64_t id = batch[i].request.request_id;
+      ServeReply reply;
+      if (timed_out[i]) {
+        // Stale work is refused, not amplified: by now the client has
+        // likely given up, and composing anyway would only deepen the
+        // overload that delayed it.
+        reply = ServeReply::ErrorReply(id, WireStatus::kTimeout,
+                                       "request timed out in admission queue");
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.timeouts;
+      } else {
+        const runtime::ServedOutcome& outcome = handles[i].Wait();
+        if (outcome.ok()) {
+          reply = ServeReply::OkReply(id, *outcome.shared(),
+                                      handles[i].cache_hit());
+        } else {
+          reply = ServeReply::ErrorReply(
+              id, WireStatusFrom(outcome.status().code()),
+              outcome.status().message());
+        }
+      }
+      std::string body;
+      reply.SerializeTo(&body);
+      std::string frame;
+      EncodeFrame(FrameType::kReply, body, &frame);
+      PostReply(batch[i].conn_id, std::move(frame));
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace mapcomp

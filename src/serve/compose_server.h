@@ -1,0 +1,164 @@
+#ifndef MAPCOMP_SERVE_COMPOSE_SERVER_H_
+#define MAPCOMP_SERVE_COMPOSE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/runtime/compose_service.h"
+#include "src/serve/protocol.h"
+#include "src/serve/serve_types.h"
+
+namespace mapcomp {
+namespace serve {
+
+struct ServerOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (read it back via
+  /// port() after Start).
+  int port = 0;
+  int listen_backlog = 128;
+  /// Per-connection frame size bound (both directions).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Bounded admission queue: parsed requests waiting for a dispatcher.
+  /// When full, new requests are shed with an immediate kOverloaded reply —
+  /// never silently dropped, never queued unboundedly.
+  size_t admission_capacity = 256;
+  /// Threads that pop admitted requests, Submit them to the service, and
+  /// Wait for results. They are service *clients* (allowed to block), so
+  /// they must stay distinct from the GlobalPool that computes.
+  int dispatch_threads = 2;
+  /// Max requests one dispatcher pops per round; the whole batch is
+  /// Submitted before the first Wait, so independent problems overlap in
+  /// the pool even with one dispatcher.
+  size_t batch_size = 16;
+  /// When > 0, a request that waited in the admission queue longer than
+  /// this is answered kTimeout instead of being composed — stale work is
+  /// refused, not amplified.
+  int queue_timeout_ms = 0;
+  /// Test hook: when set, dispatchers refuse to pop while *admission_gate
+  /// is false. Lets a test hold the queue provably full (overload
+  /// behavior) without racing against dispatch speed.
+  std::shared_ptr<std::atomic<bool>> admission_gate;
+};
+
+/// Point-in-time counters of a ComposeServer.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t requests_parsed = 0;   ///< well-formed ServeRequests decoded
+  uint64_t replies_sent = 0;      ///< reply frames fully written
+  uint64_t sheds = 0;             ///< kOverloaded replies (queue full)
+  uint64_t timeouts = 0;          ///< kTimeout replies (stale in queue)
+  uint64_t cache_bypass = 0;      ///< requests served by the admission
+                                  ///< probe without entering the queue
+  uint64_t protocol_errors = 0;   ///< framing/parse violations
+  uint64_t queue_depth_watermark = 0;  ///< max admission-queue depth seen
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  std::string ToString() const;
+};
+
+/// Network front end for a runtime::ComposeService: one epoll I/O thread
+/// owns every socket (accept, read, frame-decode, reply-write); parsed
+/// requests are either answered straight from the service's result cache
+/// (admission probe — hot traffic never queues) or admitted into a bounded
+/// queue drained by dispatcher threads that batch Submits into the
+/// service. Backpressure is explicit: a full queue sheds with an immediate
+/// kOverloaded reply.
+///
+/// Framing errors (bad magic/version/length) poison the stream and close
+/// the connection after a best-effort error reply; a well-framed but
+/// malformed body is answered kInvalidArgument and the connection stays
+/// usable — the length prefix keeps the stream in sync.
+class ComposeServer {
+ public:
+  ComposeServer(runtime::ComposeService* service, ServerOptions options);
+  ~ComposeServer();
+
+  ComposeServer(const ComposeServer&) = delete;
+  ComposeServer& operator=(const ComposeServer&) = delete;
+
+  /// Binds, listens, and starts the I/O + dispatcher threads.
+  Status Start();
+  /// Stops accepting, joins all threads, closes every connection. Safe to
+  /// call twice; called by the destructor.
+  void Stop();
+
+  /// The bound port (after Start); useful with options.port == 0.
+  int port() const { return port_; }
+
+  ServerStats Stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    FrameDecoder decoder;
+    std::string outbox;
+    size_t out_pos = 0;
+    bool close_after_flush = false;
+    explicit Connection(size_t max_frame) : decoder(max_frame) {}
+  };
+
+  struct Admitted {
+    uint64_t conn_id = 0;
+    ServeRequest request;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void IoLoop();
+  void DispatchLoop();
+  void AcceptNew();
+  void HandleReadable(Connection& conn);
+  void HandleWritable(Connection& conn);
+  void OnFrame(Connection& conn, const std::string& body);
+  void QueueReply(Connection& conn, const ServeReply& reply);
+  /// Cross-thread reply path: dispatchers stage bytes here and poke the
+  /// wake pipe; the I/O thread moves them into the connection outbox.
+  void PostReply(uint64_t conn_id, std::string frame);
+  void CloseConnection(int fd);
+  void UpdateEpollOut(Connection& conn);
+
+  runtime::ComposeService* const service_;
+  const ServerOptions options_;
+  int port_ = 0;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // [0] read end (epoll), [1] write end
+
+  std::atomic<bool> running_{false};
+  std::thread io_thread_;
+  std::vector<std::thread> dispatchers_;
+
+  // I/O-thread-only state (no lock needed).
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  std::unordered_map<uint64_t, int> conn_fd_;
+  uint64_t next_conn_id_ = 0;
+
+  // Admission queue (I/O thread pushes, dispatchers pop).
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Admitted> queue_;
+
+  // Replies staged by dispatchers for the I/O thread.
+  std::mutex inbox_mu_;
+  std::vector<std::pair<uint64_t, std::string>> reply_inbox_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace serve
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_SERVE_COMPOSE_SERVER_H_

@@ -1,0 +1,248 @@
+#include "src/serve/serve_types.h"
+
+#include <utility>
+
+#include "src/parser/parser.h"
+#include "src/serve/wire_format.h"
+
+namespace mapcomp {
+namespace serve {
+
+namespace {
+
+void PutSignature(std::string* out, const Signature& sig) {
+  PutU32(out, static_cast<uint32_t>(sig.names().size()));
+  for (const std::string& name : sig.names()) {
+    PutString(out, name);
+    PutU32(out, static_cast<uint32_t>(sig.ArityOf(name)));
+    std::optional<std::vector<int>> key = sig.KeyOf(name);
+    PutU8(out, key.has_value() ? 1 : 0);
+    if (key.has_value()) {
+      PutU32(out, static_cast<uint32_t>(key->size()));
+      for (int pos : *key) PutU32(out, static_cast<uint32_t>(pos));
+    }
+  }
+}
+
+bool ReadSignature(WireReader* r, Signature* sig) {
+  uint32_t count = 0;
+  if (!r->ReadU32(&count)) return false;
+  // Each relation costs at least name-prefix + arity + key flag = 9 bytes.
+  if (static_cast<size_t>(count) > r->remaining() / 9 + 1) return false;
+  *sig = Signature();
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    uint32_t arity = 0;
+    uint8_t has_key = 0;
+    if (!r->ReadString(&name) || !r->ReadU32(&arity) || !r->ReadU8(&has_key)) {
+      return false;
+    }
+    if (arity > (1u << 16) || has_key > 1) return false;
+    if (!sig->AddRelation(name, static_cast<int>(arity)).ok()) return false;
+    if (has_key) {
+      uint32_t n = 0;
+      if (!r->ReadU32(&n)) return false;
+      if (static_cast<size_t>(n) > r->remaining() / 4 + 1) return false;
+      std::vector<int> key;
+      key.reserve(n);
+      for (uint32_t j = 0; j < n; ++j) {
+        uint32_t pos = 0;
+        if (!r->ReadU32(&pos)) return false;
+        key.push_back(static_cast<int>(pos));
+      }
+      if (!sig->SetKey(name, std::move(key)).ok()) return false;
+    }
+  }
+  return true;
+}
+
+bool ReadBool(WireReader* r, bool* v) {
+  uint8_t b = 0;
+  if (!r->ReadU8(&b) || b > 1) return false;
+  *v = (b == 1);
+  return true;
+}
+
+Status Invalid(const char* what) {
+  return Status::InvalidArgument(std::string("wire parse: ") + what);
+}
+
+}  // namespace
+
+Status ServeRequest::SerializeTo(std::string* out) const {
+  if (has_options) {
+    if (options.eliminate.registry != &op::Registry::Default()) {
+      return Status::Unsupported(
+          "a non-default operator registry is process-local and cannot "
+          "cross the wire");
+    }
+    if (options.eliminate.blowup_baseline_ops != 0) {
+      return Status::Unsupported(
+          "blowup_baseline_ops is internal to the wave scheduler and not "
+          "a wire option");
+    }
+  }
+  PutU64(out, request_id);
+  PutU8(out, has_options ? 1 : 0);
+  if (has_options) {
+    PutU8(out, options.eliminate.enable_unfold ? 1 : 0);
+    PutU8(out, options.eliminate.enable_left_compose ? 1 : 0);
+    PutU8(out, options.eliminate.enable_right_compose ? 1 : 0);
+    PutU32(out, static_cast<uint32_t>(options.eliminate.max_blowup_factor));
+    PutU8(out, options.eliminate.keys != nullptr ? 1 : 0);
+    if (options.eliminate.keys != nullptr) {
+      PutSignature(out, *options.eliminate.keys);
+    }
+    PutStringList(out, options.order);
+    PutU8(out, options.simplify_output ? 1 : 0);
+    PutU32(out, static_cast<uint32_t>(options.max_rounds));
+    PutU8(out, options.exact_conflicts ? 1 : 0);
+  }
+  PutString(out, problem.name);
+  PutSignature(out, problem.sigma1);
+  PutSignature(out, problem.sigma2);
+  PutSignature(out, problem.sigma3);
+  PutString(out, ConstraintSetToString(problem.sigma12));
+  PutString(out, ConstraintSetToString(problem.sigma23));
+  PutStringList(out, problem.elimination_order);
+  return Status::OK();
+}
+
+Result<ServeRequest> ServeRequest::Parse(const uint8_t* data, size_t len) {
+  WireReader r(data, len);
+  ServeRequest out;
+  if (!r.ReadU64(&out.request_id)) return Invalid("truncated request id");
+  if (!ReadBool(&r, &out.has_options)) return Invalid("bad options flag");
+  if (out.has_options) {
+    if (!ReadBool(&r, &out.options.eliminate.enable_unfold) ||
+        !ReadBool(&r, &out.options.eliminate.enable_left_compose) ||
+        !ReadBool(&r, &out.options.eliminate.enable_right_compose)) {
+      return Invalid("bad eliminate switches");
+    }
+    uint32_t blowup = 0;
+    if (!r.ReadU32(&blowup) || blowup == 0 || blowup > (1u << 20)) {
+      return Invalid("bad blowup factor");
+    }
+    out.options.eliminate.max_blowup_factor = static_cast<int>(blowup);
+    uint8_t has_keys = 0;
+    if (!r.ReadU8(&has_keys) || has_keys > 1) return Invalid("bad keys flag");
+    if (has_keys) {
+      Signature keys;
+      if (!ReadSignature(&r, &keys)) return Invalid("bad keys signature");
+      out.owned_keys = std::make_shared<const Signature>(std::move(keys));
+      out.options.eliminate.keys = out.owned_keys.get();
+    }
+    if (!r.ReadStringList(&out.options.order)) {
+      return Invalid("bad elimination order option");
+    }
+    if (!ReadBool(&r, &out.options.simplify_output)) {
+      return Invalid("bad simplify flag");
+    }
+    uint32_t rounds = 0;
+    if (!r.ReadU32(&rounds) || rounds == 0 || rounds > (1u << 16)) {
+      return Invalid("bad max_rounds");
+    }
+    out.options.max_rounds = static_cast<int>(rounds);
+    if (!ReadBool(&r, &out.options.exact_conflicts)) {
+      return Invalid("bad exact_conflicts flag");
+    }
+  }
+  if (!r.ReadString(&out.problem.name)) return Invalid("bad problem name");
+  if (!ReadSignature(&r, &out.problem.sigma1) ||
+      !ReadSignature(&r, &out.problem.sigma2) ||
+      !ReadSignature(&r, &out.problem.sigma3)) {
+    return Invalid("bad signature");
+  }
+  std::string sigma12_text, sigma23_text;
+  if (!r.ReadString(&sigma12_text) || !r.ReadString(&sigma23_text)) {
+    return Invalid("truncated constraint text");
+  }
+  Result<Signature> sig12 =
+      Signature::Merge(out.problem.sigma1, out.problem.sigma2);
+  if (!sig12.ok()) return Invalid("sigma1/sigma2 merge conflict");
+  Result<Signature> sig23 =
+      Signature::Merge(out.problem.sigma2, out.problem.sigma3);
+  if (!sig23.ok()) return Invalid("sigma2/sigma3 merge conflict");
+  // The parser rejects empty text, but an empty Σ is a legal (vacuous)
+  // constraint set and must round-trip.
+  Parser parser;
+  if (!sigma12_text.empty()) {
+    Result<ConstraintSet> cs12 = parser.ParseConstraints(sigma12_text, *sig12);
+    if (!cs12.ok()) {
+      return Invalid("unparseable sigma12 constraints");
+    }
+    out.problem.sigma12 = std::move(*cs12);
+  }
+  if (!sigma23_text.empty()) {
+    Result<ConstraintSet> cs23 = parser.ParseConstraints(sigma23_text, *sig23);
+    if (!cs23.ok()) {
+      return Invalid("unparseable sigma23 constraints");
+    }
+    out.problem.sigma23 = std::move(*cs23);
+  }
+  if (!r.ReadStringList(&out.problem.elimination_order)) {
+    return Invalid("bad elimination order");
+  }
+  if (!r.AtEnd()) return Invalid("trailing bytes after request");
+  return out;
+}
+
+void ServeReply::SerializeTo(std::string* out) const {
+  PutU64(out, request_id);
+  PutU8(out, static_cast<uint8_t>(status));
+  PutString(out, message);
+  PutU8(out, cache_hit ? 1 : 0);
+  if (status != WireStatus::kOk) return;
+  PutSignature(out, result.sigma);
+  PutStringList(out, result.residual_sigma2);
+  PutString(out, ConstraintSetToString(result.constraints));
+  PutStringList(out, result.warnings);
+  PutU32(out, static_cast<uint32_t>(result.eliminated_count));
+  PutU32(out, static_cast<uint32_t>(result.total_count));
+  PutString(out, result.fingerprint);
+}
+
+Result<ServeReply> ServeReply::Parse(const uint8_t* data, size_t len) {
+  WireReader r(data, len);
+  ServeReply out;
+  if (!r.ReadU64(&out.request_id)) return Invalid("truncated reply id");
+  uint8_t raw_status = 0;
+  if (!r.ReadU8(&raw_status) || !IsValidWireStatus(raw_status)) {
+    return Invalid("unknown wire status");
+  }
+  out.status = static_cast<WireStatus>(raw_status);
+  if (!r.ReadString(&out.message)) return Invalid("bad reply message");
+  if (!ReadBool(&r, &out.cache_hit)) return Invalid("bad cache-hit flag");
+  if (out.status != WireStatus::kOk) {
+    if (!r.AtEnd()) return Invalid("trailing bytes after error reply");
+    return out;
+  }
+  if (!ReadSignature(&r, &out.result.sigma)) return Invalid("bad sigma");
+  if (!r.ReadStringList(&out.result.residual_sigma2)) {
+    return Invalid("bad residual list");
+  }
+  std::string constraints_text;
+  if (!r.ReadString(&constraints_text)) {
+    return Invalid("truncated constraint text");
+  }
+  if (!constraints_text.empty()) {
+    Parser parser;
+    Result<ConstraintSet> cs =
+        parser.ParseConstraints(constraints_text, out.result.sigma);
+    if (!cs.ok()) return Invalid("unparseable result constraints");
+    out.result.constraints = std::move(*cs);
+  }
+  if (!r.ReadStringList(&out.result.warnings)) return Invalid("bad warnings");
+  uint32_t eliminated = 0, total = 0;
+  if (!r.ReadU32(&eliminated) || !r.ReadU32(&total)) {
+    return Invalid("truncated counters");
+  }
+  out.result.eliminated_count = static_cast<int>(eliminated);
+  out.result.total_count = static_cast<int>(total);
+  if (!r.ReadString(&out.result.fingerprint)) return Invalid("bad fingerprint");
+  if (!r.AtEnd()) return Invalid("trailing bytes after reply");
+  return out;
+}
+
+}  // namespace serve
+}  // namespace mapcomp

@@ -1,0 +1,129 @@
+#ifndef MAPCOMP_SERVE_SERVE_TYPES_H_
+#define MAPCOMP_SERVE_SERVE_TYPES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/compose/compose.h"
+#include "src/runtime/served_result.h"
+#include "src/serve/wire_status.h"
+
+namespace mapcomp {
+namespace serve {
+
+/// One composition request, as a value. This is the single submission
+/// currency of the serving path: runtime::ComposeService::Submit takes a
+/// ServeRequest, and the wire protocol carries exactly this type's
+/// canonical byte serialization — the in-process path and the network path
+/// serve the same value, so they cannot drift apart.
+///
+/// Serialization (SerializeTo/Parse) is canonical and versioned at the
+/// frame layer: parse(serialize(r)) reproduces r byte-identically
+/// (serialize(parse(bytes)) == bytes), which the ASan-gated property tests
+/// pin. Constraint sets travel in the parser's text syntax (the printer is
+/// canonical — print∘parse is identity, pinned by roundtrip_fuzz_test);
+/// signatures travel structurally (length-prefixed names, arities, keys).
+/// The same parser-shaped-name caveat as CompositionProblem::Fingerprint()
+/// applies: relation names that contain expression syntax don't survive
+/// the text leg and are rejected at parse time.
+struct ServeRequest {
+  /// Client-chosen correlation id, echoed verbatim in the reply. Replies
+  /// on one connection may arrive out of submission order (cache bypass
+  /// overtakes queued work); this id is how a pipelining client matches
+  /// them. Not part of any cache key.
+  uint64_t request_id = 0;
+
+  CompositionProblem problem;
+
+  /// When false the service composes under its own default options.
+  bool has_options = false;
+  /// Read only when has_options. On the wire this carries the wire-safe
+  /// subset: the eliminate switches and blowup budget, a keys signature by
+  /// content, the order, simplify_output, max_rounds and exact_conflicts.
+  /// Not serialized: elim_jobs (a server-side resource decision, excluded
+  /// from ComposeOptions::Fingerprint() for the same reason),
+  /// blowup_baseline_ops (internal to the wave scheduler), and a
+  /// non-default registry (process-local identity; SerializeTo rejects it
+  /// with kUnsupported).
+  ComposeOptions options;
+
+  /// Backing storage for options.eliminate.keys after Parse (the library
+  /// type holds a borrowed pointer; a parsed request must own its keys).
+  /// Shared, so copying a ServeRequest keeps the pointer valid.
+  std::shared_ptr<const Signature> owned_keys;
+
+  static ServeRequest Of(CompositionProblem p, uint64_t id = 0) {
+    ServeRequest out;
+    out.request_id = id;
+    out.problem = std::move(p);
+    return out;
+  }
+
+  static ServeRequest WithOptions(CompositionProblem p, ComposeOptions opts,
+                                  uint64_t id = 0) {
+    ServeRequest out;
+    out.request_id = id;
+    out.problem = std::move(p);
+    out.has_options = true;
+    out.options = std::move(opts);
+    return out;
+  }
+
+  /// Appends the canonical body bytes. Fails with kUnsupported when the
+  /// carried options cannot cross a process boundary (non-default
+  /// registry, preset blowup baseline) — in-process submission still works
+  /// for such requests, they just cannot be shipped.
+  Status SerializeTo(std::string* out) const;
+
+  /// Parses one body. Hostile input is safe: every read is bounds-checked,
+  /// structural invariants (bool bytes ∈ {0,1}, max_rounds ≥ 1, valid
+  /// signatures, parseable constraint text, no trailing bytes) are
+  /// enforced, and any violation is a clean kInvalidArgument.
+  static Result<ServeRequest> Parse(const uint8_t* data, size_t len);
+};
+
+/// One composition reply, as a value — the wire image of a served
+/// computation. `status` is the only field a client needs to branch on;
+/// `result` is meaningful only when status == kOk.
+struct ServeReply {
+  uint64_t request_id = 0;
+  WireStatus status = WireStatus::kOk;
+  /// Human-readable error detail; empty on kOk. Diagnostic only — the
+  /// classification a client acts on is `status` (no stringly-typed
+  /// errors cross the wire).
+  std::string message;
+  /// True when the serving tier answered from the result cache (probe
+  /// bypass or in-flight join) rather than a fresh composition.
+  bool cache_hit = false;
+  runtime::ServedResult result;
+
+  static ServeReply OkReply(uint64_t id, runtime::ServedResult res,
+                            bool hit) {
+    ServeReply out;
+    out.request_id = id;
+    out.cache_hit = hit;
+    out.result = std::move(res);
+    return out;
+  }
+
+  static ServeReply ErrorReply(uint64_t id, WireStatus status,
+                               std::string msg) {
+    ServeReply out;
+    out.request_id = id;
+    out.status = status;
+    out.message = std::move(msg);
+    return out;
+  }
+
+  /// Appends the canonical body bytes (total — replies always serialize).
+  void SerializeTo(std::string* out) const;
+
+  /// Same hostile-input guarantees as ServeRequest::Parse.
+  static Result<ServeReply> Parse(const uint8_t* data, size_t len);
+};
+
+}  // namespace serve
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_SERVE_SERVE_TYPES_H_

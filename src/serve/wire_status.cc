@@ -1,0 +1,74 @@
+#include "src/serve/wire_status.h"
+
+namespace mapcomp {
+namespace serve {
+
+WireStatus WireStatusFrom(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return WireStatus::kOk;
+    case StatusCode::kInvalidArgument:
+      return WireStatus::kInvalidArgument;
+    case StatusCode::kNotFound:
+      return WireStatus::kNotFound;
+    case StatusCode::kUnsupported:
+      return WireStatus::kUnsupported;
+    case StatusCode::kFailedPrecondition:
+      return WireStatus::kFailedPrecondition;
+    case StatusCode::kResourceExhausted:
+      return WireStatus::kOverloaded;
+    case StatusCode::kInternal:
+      return WireStatus::kInternal;
+  }
+  return WireStatus::kInternal;
+}
+
+StatusCode StatusCodeFrom(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return StatusCode::kOk;
+    case WireStatus::kInvalidArgument:
+      return StatusCode::kInvalidArgument;
+    case WireStatus::kNotFound:
+      return StatusCode::kNotFound;
+    case WireStatus::kUnsupported:
+      return StatusCode::kUnsupported;
+    case WireStatus::kFailedPrecondition:
+      return StatusCode::kFailedPrecondition;
+    case WireStatus::kOverloaded:
+    case WireStatus::kTimeout:
+      return StatusCode::kResourceExhausted;
+    case WireStatus::kInternal:
+      return StatusCode::kInternal;
+  }
+  return StatusCode::kInternal;
+}
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return "Ok";
+    case WireStatus::kInvalidArgument:
+      return "InvalidArgument";
+    case WireStatus::kNotFound:
+      return "NotFound";
+    case WireStatus::kUnsupported:
+      return "Unsupported";
+    case WireStatus::kFailedPrecondition:
+      return "FailedPrecondition";
+    case WireStatus::kOverloaded:
+      return "Overloaded";
+    case WireStatus::kTimeout:
+      return "Timeout";
+    case WireStatus::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+bool IsValidWireStatus(uint8_t raw) {
+  return raw <= static_cast<uint8_t>(WireStatus::kInternal);
+}
+
+}  // namespace serve
+}  // namespace mapcomp

@@ -1,0 +1,57 @@
+#ifndef MAPCOMP_SERVE_WIRE_STATUS_H_
+#define MAPCOMP_SERVE_WIRE_STATUS_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace mapcomp {
+namespace serve {
+
+/// The thin status enum that crosses the wire — one byte, no strings
+/// required to classify an outcome (a human-readable message may ride
+/// along in the reply, but clients branch on this code alone). The
+/// numeric values are part of the protocol: they are pinned by
+/// tests/serve_protocol_test.cc and must never be renumbered, only
+/// appended to.
+///
+/// Two codes have no StatusCode origin because they are serving-tier
+/// verdicts, not library errors: kOverloaded is the bounded admission
+/// queue shedding under pressure (retry later — the request was never
+/// admitted), kTimeout is a request that aged out of the queue before a
+/// dispatcher reached it (it was admitted but never composed).
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kUnsupported = 3,
+  kFailedPrecondition = 4,
+  kOverloaded = 5,
+  kTimeout = 6,
+  kInternal = 7,
+};
+
+/// Total, pinned mapping from the library's StatusCode: every StatusCode
+/// has exactly one wire image (kResourceExhausted → kOverloaded; anything
+/// unknown degrades to kInternal, never to a bogus success). The mapping
+/// is pinned code-by-code in tests/serve_protocol_test.cc.
+WireStatus WireStatusFrom(StatusCode code);
+
+/// Client-side inverse: reconstructs the closest StatusCode so wire
+/// errors re-enter the library's Status/Result plumbing. kOverloaded and
+/// kTimeout both land on kResourceExhausted (their shared library-side
+/// ancestor); the round trip StatusCode→WireStatus→StatusCode is identity
+/// for every code except that collapse.
+StatusCode StatusCodeFrom(WireStatus status);
+
+/// Stable display name ("Ok", "Overloaded", ...).
+const char* WireStatusName(WireStatus status);
+
+/// True for a byte that decodes to a known WireStatus value — a frame
+/// carrying anything else is a protocol error.
+bool IsValidWireStatus(uint8_t raw);
+
+}  // namespace serve
+}  // namespace mapcomp
+
+#endif  // MAPCOMP_SERVE_WIRE_STATUS_H_

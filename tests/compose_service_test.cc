@@ -47,13 +47,13 @@ TEST(ProblemFingerprintTest, IdentifiesTheProblemNotItsName) {
 TEST(ComposeServiceTest, SecondSubmitIsACacheHit) {
   ComposeService service;
   ComposeService::Handle h1 = service.Submit(sim::BuildFanoutProblem(4));
-  const ServedResult& first = h1.Wait();
+  const ServedResult& first = *h1.Wait();
   EXPECT_FALSE(h1.cache_hit());
 
   ComposeService::Handle h2 = service.Submit(sim::BuildFanoutProblem(4));
   EXPECT_TRUE(h2.cache_hit());
   // Same object, not an equal recomputation.
-  EXPECT_EQ(&h2.Wait(), &first);
+  EXPECT_EQ(&*h2.Wait(), &first);
 
   ServiceStats stats = service.Stats();
   EXPECT_EQ(stats.hits, 1u);
@@ -69,9 +69,9 @@ TEST(ComposeServiceTest, ConcurrentSubmitsOfOneProblemShareComputation) {
   for (int i = 0; i < 16; ++i) {
     handles.push_back(service.Submit(sim::BuildFanoutProblem(6)));
   }
-  const ServedResult* result = &handles[0].Wait();
+  const ServedResult* result = &*handles[0].Wait();
   for (ComposeService::Handle& h : handles) {
-    EXPECT_EQ(&h.Wait(), result);
+    EXPECT_EQ(&*h.Wait(), result);
   }
   ServiceStats stats = service.Stats();
   EXPECT_EQ(stats.misses, 1u);  // one computation, 15 joins
@@ -160,17 +160,17 @@ TEST(ComposeServiceTest, MixedOptionsTrafficNeverServesStaleVariants) {
   ComposeService::Handle h2 = service.Submit(problem, raw);
   EXPECT_FALSE(h1.cache_hit());
   EXPECT_FALSE(h2.cache_hit());  // different options ⇒ its own computation
-  EXPECT_EQ(h1.Wait().Fingerprint(),
+  EXPECT_EQ(h1.Wait()->Fingerprint(),
             Compose(problem, simplified).Fingerprint());
-  EXPECT_EQ(h2.Wait().Fingerprint(), Compose(problem, raw).Fingerprint());
-  EXPECT_NE(h1.Wait().Fingerprint(), h2.Wait().Fingerprint());
+  EXPECT_EQ(h2.Wait()->Fingerprint(), Compose(problem, raw).Fingerprint());
+  EXPECT_NE(h1.Wait()->Fingerprint(), h2.Wait()->Fingerprint());
 
   ComposeService::Handle h3 = service.Submit(problem, simplified);
   ComposeService::Handle h4 = service.Submit(problem, raw);
   EXPECT_TRUE(h3.cache_hit());
   EXPECT_TRUE(h4.cache_hit());
-  EXPECT_EQ(&h3.Wait(), &h1.Wait());
-  EXPECT_EQ(&h4.Wait(), &h2.Wait());
+  EXPECT_EQ(&*h3.Wait(), &*h1.Wait());
+  EXPECT_EQ(&*h4.Wait(), &*h2.Wait());
 
   // The plain Submit uses the service default options and shares their
   // cache entry.
@@ -188,7 +188,7 @@ TEST(ComposeServiceTest, ResultsMatchDirectComposition) {
   ComposeService service(options);
   for (const CompositionProblem& p : ParsedLiteratureSuite()) {
     CompositionResult direct = Compose(p, options.compose);
-    EXPECT_EQ(service.Submit(p).Wait().Fingerprint(), direct.Fingerprint())
+    EXPECT_EQ(service.Submit(p).Wait()->Fingerprint(), direct.Fingerprint())
         << p.name;
   }
 }
@@ -235,7 +235,7 @@ TEST(ComposeServiceTest, ConcurrentClientsMixedHitsAndMisses) {
         for (size_t i = 0; i < problems.size(); ++i) {
           size_t slot = (i + static_cast<size_t>(t) * 3) % problems.size();
           const ServedResult& res =
-              service.Submit(problems[slot]).Wait();
+              *service.Submit(problems[slot]).Wait();
           if (res.Fingerprint() != baselines[slot]) {
             errors[t] = "fingerprint mismatch on problem " +
                         std::to_string(slot);
@@ -359,7 +359,59 @@ TEST(ComposeServiceTest, DestructorWaitsForInFlightWork) {
     handle = service.Submit(sim::BuildFanoutProblem(6));
   }
   EXPECT_TRUE(handle.Ready());
-  EXPECT_EQ(handle.Wait().eliminated_count, 6);
+  EXPECT_EQ(handle.Wait()->eliminated_count, 6);
+}
+
+TEST(ComposeServiceTest, ServeRequestEntryPointAndAdmissionProbe) {
+  ComposeService service;
+  serve::ServeRequest req =
+      serve::ServeRequest::Of(sim::BuildFanoutProblem(4), /*id=*/77);
+
+  // Absent: the probe never computes.
+  EXPECT_EQ(service.TryServeCached(req), nullptr);
+
+  ComposeService::Handle h = service.Submit(req);
+  const ServedOutcome& outcome = h.Wait();
+  ASSERT_TRUE(outcome.ok());
+
+  // Present and completed: the probe serves the very same object.
+  ComposeService::ResultPtr cached = service.TryServeCached(req);
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(cached.get(), outcome.shared().get());
+
+  // The request_id names the conversation, not the computation: a new id
+  // for the same problem is still a cache hit.
+  serve::ServeRequest req2 =
+      serve::ServeRequest::Of(sim::BuildFanoutProblem(4), /*id=*/78);
+  EXPECT_TRUE(service.Submit(req2).cache_hit());
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.hits, 2u);  // probe hit + resubmit hit
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ComposeServiceTest, RequestCarriedOptionsKeyTheCacheLikeTheShim) {
+  ComposeService service;
+  ComposeOptions raw;
+  raw.simplify_output = false;
+
+  CompositionProblem problem = sim::BuildFanoutProblem(3);
+  ComposeService::Handle shim = service.Submit(problem, raw);
+  shim.Wait();
+
+  // A wire-shaped request carrying the same options joins the same cache
+  // slot — the two submission styles are one API.
+  serve::ServeRequest req =
+      serve::ServeRequest::WithOptions(sim::BuildFanoutProblem(3), raw);
+  ComposeService::Handle wire = service.Submit(req);
+  EXPECT_TRUE(wire.cache_hit());
+  EXPECT_EQ(&*wire.Wait(), &*shim.Wait());
+
+  // But the probe under default options misses: options are part of the
+  // computation's identity.
+  serve::ServeRequest plain =
+      serve::ServeRequest::Of(sim::BuildFanoutProblem(3));
+  EXPECT_EQ(service.TryServeCached(plain), nullptr);
 }
 
 }  // namespace

@@ -1,0 +1,410 @@
+// Wire-protocol pinning tests: canonical byte round trips for
+// ServeRequest/ServeReply (serialize→parse→serialize is byte-identical),
+// the pinned WireStatus numeric values and total StatusCode mapping,
+// FrameDecoder behavior under fragmentation and hostile input, and
+// hostile-body parsing (every violation a clean kInvalidArgument, never an
+// out-of-bounds read — the ASan CI job executes this file).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/serve/protocol.h"
+#include "src/serve/serve_types.h"
+#include "src/serve/wire_status.h"
+#include "src/simulator/scenarios.h"
+#include "src/testdata/literature_suite.h"
+#include "src/parser/parser.h"
+
+namespace mapcomp {
+namespace serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// WireStatus: the numeric values ARE the protocol.
+
+TEST(WireStatusTest, NumericValuesArePinned) {
+  // Renumbering any of these is a wire break; only appending is legal.
+  EXPECT_EQ(static_cast<uint8_t>(WireStatus::kOk), 0);
+  EXPECT_EQ(static_cast<uint8_t>(WireStatus::kInvalidArgument), 1);
+  EXPECT_EQ(static_cast<uint8_t>(WireStatus::kNotFound), 2);
+  EXPECT_EQ(static_cast<uint8_t>(WireStatus::kUnsupported), 3);
+  EXPECT_EQ(static_cast<uint8_t>(WireStatus::kFailedPrecondition), 4);
+  EXPECT_EQ(static_cast<uint8_t>(WireStatus::kOverloaded), 5);
+  EXPECT_EQ(static_cast<uint8_t>(WireStatus::kTimeout), 6);
+  EXPECT_EQ(static_cast<uint8_t>(WireStatus::kInternal), 7);
+}
+
+TEST(WireStatusTest, MappingFromStatusCodeIsTotalAndPinned) {
+  EXPECT_EQ(WireStatusFrom(StatusCode::kOk), WireStatus::kOk);
+  EXPECT_EQ(WireStatusFrom(StatusCode::kInvalidArgument),
+            WireStatus::kInvalidArgument);
+  EXPECT_EQ(WireStatusFrom(StatusCode::kNotFound), WireStatus::kNotFound);
+  EXPECT_EQ(WireStatusFrom(StatusCode::kUnsupported),
+            WireStatus::kUnsupported);
+  EXPECT_EQ(WireStatusFrom(StatusCode::kFailedPrecondition),
+            WireStatus::kFailedPrecondition);
+  EXPECT_EQ(WireStatusFrom(StatusCode::kResourceExhausted),
+            WireStatus::kOverloaded);
+  EXPECT_EQ(WireStatusFrom(StatusCode::kInternal), WireStatus::kInternal);
+}
+
+TEST(WireStatusTest, InverseIsIdentityExceptTheDocumentedCollapse) {
+  for (uint8_t raw = 0; raw <= 7; ++raw) {
+    ASSERT_TRUE(IsValidWireStatus(raw));
+    WireStatus ws = static_cast<WireStatus>(raw);
+    // StatusCode → WireStatus → StatusCode is identity for every library
+    // code; the two serving-tier verdicts collapse onto
+    // kResourceExhausted.
+    if (ws == WireStatus::kOverloaded || ws == WireStatus::kTimeout) {
+      EXPECT_EQ(StatusCodeFrom(ws), StatusCode::kResourceExhausted);
+    } else {
+      EXPECT_EQ(WireStatusFrom(StatusCodeFrom(ws)), ws);
+    }
+  }
+  EXPECT_FALSE(IsValidWireStatus(8));
+  EXPECT_FALSE(IsValidWireStatus(255));
+}
+
+TEST(WireStatusTest, EveryValueHasAName) {
+  for (uint8_t raw = 0; raw <= 7; ++raw) {
+    EXPECT_STRNE(WireStatusName(static_cast<WireStatus>(raw)), "");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical round trips.
+
+std::vector<ServeRequest> SampleRequests() {
+  std::vector<ServeRequest> out;
+  out.push_back(ServeRequest::Of(sim::BuildFanoutProblem(3), 1));
+  out.push_back(
+      ServeRequest::Of(sim::BuildFanoutProblem(6, /*chain_overlap=*/true),
+                       0xFFFFFFFFFFFFFFFFull));
+
+  ComposeOptions opts;
+  opts.simplify_output = false;
+  opts.eliminate.max_blowup_factor = 7;
+  out.push_back(
+      ServeRequest::WithOptions(sim::BuildFanoutProblem(4), opts, 42));
+
+  // An elimination order plus non-default rounds.
+  CompositionProblem ordered = sim::BuildFanoutProblem(3);
+  ordered.elimination_order = {"S3", "S1", "S2"};
+  ComposeOptions opts2;
+  opts2.max_rounds = 5;
+  opts2.eliminate.enable_unfold = false;
+  out.push_back(ServeRequest::WithOptions(std::move(ordered), opts2, 7));
+
+  // Options carrying a keys signature by content.
+  ComposeOptions keyed;
+  Signature keys;
+  keys.AddOrReplaceRelation("S1", 2);
+  keys.SetKey("S1", {0});
+  auto owned = std::make_shared<Signature>(std::move(keys));
+  keyed.eliminate.keys = owned.get();
+  ServeRequest with_keys =
+      ServeRequest::WithOptions(sim::BuildFanoutProblem(3), keyed, 9);
+  with_keys.owned_keys = owned;  // keep the borrowed pointer alive
+  out.push_back(std::move(with_keys));
+
+  // The literature suite exercises real constraint shapes.
+  Parser parser;
+  for (const testdata::LiteratureProblem& prob :
+       testdata::LiteratureSuite()) {
+    Result<CompositionProblem> parsed = parser.ParseProblem(prob.text);
+    if (parsed.ok()) {
+      out.push_back(ServeRequest::Of(std::move(*parsed), out.size()));
+    }
+  }
+  return out;
+}
+
+TEST(ServeRequestRoundTripTest, SerializeParseSerializeIsByteIdentical) {
+  for (const ServeRequest& req : SampleRequests()) {
+    std::string bytes;
+    ASSERT_TRUE(req.SerializeTo(&bytes).ok()) << req.problem.name;
+
+    Result<ServeRequest> parsed = ServeRequest::Parse(
+        reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+    std::string again;
+    ASSERT_TRUE(parsed->SerializeTo(&again).ok());
+    // Canonical: the parsed value re-serializes to the same bytes, so a
+    // proxy or cache may treat the body as the value's identity.
+    EXPECT_EQ(bytes, again) << req.problem.name;
+
+    EXPECT_EQ(parsed->request_id, req.request_id);
+    EXPECT_EQ(parsed->has_options, req.has_options);
+    EXPECT_EQ(parsed->problem.Fingerprint(), req.problem.Fingerprint());
+  }
+}
+
+TEST(ServeRequestRoundTripTest, NonDefaultRegistryIsRejectedNotShipped) {
+  op::Registry registry = op::Registry::Empty();
+  ComposeOptions opts;
+  opts.eliminate.registry = &registry;
+  ServeRequest req =
+      ServeRequest::WithOptions(sim::BuildFanoutProblem(3), opts);
+  std::string bytes;
+  Status s = req.SerializeTo(&bytes);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+}
+
+TEST(ServeReplyRoundTripTest, OkAndErrorRepliesRoundTripByteIdentically) {
+  runtime::ServedResult res;
+  res.sigma.AddOrReplaceRelation("R", 2);
+  res.residual_sigma2 = {"S2"};
+  res.warnings = {"w1", "w2"};
+  res.eliminated_count = 3;
+  res.total_count = 4;
+  res.fingerprint = "fp-bytes\x01\x02";
+
+  std::vector<ServeReply> samples;
+  samples.push_back(ServeReply::OkReply(11, res, /*hit=*/true));
+  samples.push_back(ServeReply::OkReply(12, runtime::ServedResult{},
+                                        /*hit=*/false));
+  samples.push_back(
+      ServeReply::ErrorReply(13, WireStatus::kOverloaded, "queue full"));
+  samples.push_back(ServeReply::ErrorReply(0, WireStatus::kInvalidArgument,
+                                           "bad frame"));
+
+  for (const ServeReply& reply : samples) {
+    std::string bytes;
+    reply.SerializeTo(&bytes);
+    Result<ServeReply> parsed = ServeReply::Parse(
+        reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    std::string again;
+    parsed->SerializeTo(&again);
+    EXPECT_EQ(bytes, again);
+    EXPECT_EQ(parsed->request_id, reply.request_id);
+    EXPECT_EQ(parsed->status, reply.status);
+    EXPECT_EQ(parsed->message, reply.message);
+    EXPECT_EQ(parsed->cache_hit, reply.cache_hit);
+  }
+}
+
+TEST(ServeReplyRoundTripTest, ComposedResultSurvivesTheWire) {
+  CompositionProblem problem = sim::BuildFanoutProblem(4);
+  runtime::ServedResult res =
+      runtime::ServedResult::FromResult(Compose(problem, ComposeOptions()));
+  ServeReply reply = ServeReply::OkReply(5, res, false);
+
+  std::string bytes;
+  reply.SerializeTo(&bytes);
+  Result<ServeReply> parsed = ServeReply::Parse(
+      reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  ASSERT_TRUE(parsed.ok());
+  // The fingerprint is the cross-process equality witness.
+  EXPECT_EQ(parsed->result.Fingerprint(), res.Fingerprint());
+  EXPECT_EQ(parsed->result.eliminated_count, res.eliminated_count);
+  EXPECT_EQ(ConstraintSetToString(parsed->result.constraints),
+            ConstraintSetToString(res.constraints));
+}
+
+// ---------------------------------------------------------------------------
+// Hostile bodies: clean errors, no OOB (ASan-gated).
+
+TEST(HostileBodyTest, TruncationsOfAValidBodyNeverCrash) {
+  ServeRequest req = ServeRequest::Of(sim::BuildFanoutProblem(4), 99);
+  std::string bytes;
+  ASSERT_TRUE(req.SerializeTo(&bytes).ok());
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    Result<ServeRequest> parsed = ServeRequest::Parse(
+        reinterpret_cast<const uint8_t*>(bytes.data()), cut);
+    // Every strict prefix must fail (the full body must parse): trailing
+    // data is part of the canonical encoding, not optional padding.
+    EXPECT_FALSE(parsed.ok()) << "prefix length " << cut;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(HostileBodyTest, BitFlippedBodiesFailCleanly) {
+  ServeRequest req = ServeRequest::Of(sim::BuildFanoutProblem(3), 5);
+  std::string bytes;
+  ASSERT_TRUE(req.SerializeTo(&bytes).ok());
+  std::mt19937 rng(20260808);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = bytes;
+    size_t pos = rng() % mutated.size();
+    mutated[pos] = static_cast<char>(static_cast<uint8_t>(mutated[pos]) ^
+                                     (1u << (rng() % 8)));
+    Result<ServeRequest> parsed = ServeRequest::Parse(
+        reinterpret_cast<const uint8_t*>(mutated.data()), mutated.size());
+    if (parsed.ok()) {
+      // A flip in a free byte (e.g. the request_id) can still parse —
+      // but then it must re-serialize canonically.
+      std::string again;
+      ASSERT_TRUE(parsed->SerializeTo(&again).ok());
+      EXPECT_EQ(again, mutated);
+    } else {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(HostileBodyTest, RandomGarbageFailsCleanly) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string garbage(rng() % 256, '\0');
+    for (char& c : garbage) c = static_cast<char>(rng() & 0xff);
+    Result<ServeRequest> req = ServeRequest::Parse(
+        reinterpret_cast<const uint8_t*>(garbage.data()), garbage.size());
+    if (!req.ok()) {
+      EXPECT_EQ(req.status().code(), StatusCode::kInvalidArgument);
+    }
+    Result<ServeReply> rep = ServeReply::Parse(
+        reinterpret_cast<const uint8_t*>(garbage.data()), garbage.size());
+    if (!rep.ok()) {
+      EXPECT_EQ(rep.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(HostileBodyTest, LengthClaimsCannotForceAllocations) {
+  // A tiny body claiming a huge string/list count must fail before any
+  // proportional allocation (the WireReader's remaining-bytes guard).
+  std::string evil;
+  for (int i = 0; i < 8; ++i) evil.push_back('\0');  // request_id
+  evil.push_back('\0');                              // has_options = false
+  evil += std::string(4, '\xff');                    // name len = 0xffffffff
+  Result<ServeRequest> parsed = ServeRequest::Parse(
+      reinterpret_cast<const uint8_t*>(evil.data()), evil.size());
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// FrameDecoder.
+
+TEST(FrameDecoderTest, ByteByByteFeedYieldsTheSameFrames) {
+  std::string stream;
+  EncodeFrame(FrameType::kRequest, "alpha", &stream);
+  EncodeFrame(FrameType::kReply, "", &stream);
+  EncodeFrame(FrameType::kRequest, std::string(1000, 'x'), &stream);
+
+  FrameDecoder decoder;
+  std::vector<std::pair<FrameType, std::string>> frames;
+  FrameType type;
+  std::string body;
+  for (char c : stream) {
+    decoder.Feed(reinterpret_cast<const uint8_t*>(&c), 1);
+    while (decoder.Poll(&type, &body) == FrameDecoder::Next::kFrame) {
+      frames.emplace_back(type, body);
+    }
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].first, FrameType::kRequest);
+  EXPECT_EQ(frames[0].second, "alpha");
+  EXPECT_EQ(frames[1].first, FrameType::kReply);
+  EXPECT_EQ(frames[1].second, "");
+  EXPECT_EQ(frames[2].second, std::string(1000, 'x'));
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoderTest, TruncatedFrameIsNeedMoreNotError) {
+  std::string stream;
+  EncodeFrame(FrameType::kRequest, "body-bytes", &stream);
+  FrameDecoder decoder;
+  decoder.Feed(stream.substr(0, stream.size() - 1));
+  FrameType type;
+  std::string body;
+  EXPECT_EQ(decoder.Poll(&type, &body), FrameDecoder::Next::kNeedMore);
+  decoder.Feed(stream.substr(stream.size() - 1));
+  EXPECT_EQ(decoder.Poll(&type, &body), FrameDecoder::Next::kFrame);
+  EXPECT_EQ(body, "body-bytes");
+}
+
+TEST(FrameDecoderTest, OversizedLengthClaimErrorsBeforeBuffering) {
+  FrameDecoder decoder(/*max_frame_bytes=*/1024);
+  // Claim 1 GiB with only 4 header bytes on the wire.
+  std::string claim;
+  uint32_t huge = 1u << 30;
+  for (int i = 0; i < 4; ++i) {
+    claim.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+  }
+  decoder.Feed(claim);
+  FrameType type;
+  std::string body;
+  EXPECT_EQ(decoder.Poll(&type, &body), FrameDecoder::Next::kError);
+  EXPECT_TRUE(decoder.errored());
+  EXPECT_NE(decoder.error().find("max_frame_bytes"), std::string::npos);
+}
+
+TEST(FrameDecoderTest, BadMagicAndVersionLatchTheErrorState) {
+  {
+    FrameDecoder decoder;
+    std::string frame;
+    EncodeFrame(FrameType::kRequest, "x", &frame);
+    frame[4] = 'Z';  // corrupt magic0
+    decoder.Feed(frame);
+    FrameType type;
+    std::string body;
+    EXPECT_EQ(decoder.Poll(&type, &body), FrameDecoder::Next::kError);
+    // Latched: even after feeding a pristine frame the decoder refuses —
+    // a desynced stream cannot be re-trusted.
+    std::string good;
+    EncodeFrame(FrameType::kRequest, "y", &good);
+    decoder.Feed(good);
+    EXPECT_EQ(decoder.Poll(&type, &body), FrameDecoder::Next::kError);
+  }
+  {
+    FrameDecoder decoder;
+    std::string frame;
+    EncodeFrame(FrameType::kRequest, "x", &frame);
+    frame[6] = 9;  // unsupported version
+    decoder.Feed(frame);
+    FrameType type;
+    std::string body;
+    EXPECT_EQ(decoder.Poll(&type, &body), FrameDecoder::Next::kError);
+  }
+  {
+    FrameDecoder decoder;
+    std::string frame;
+    EncodeFrame(FrameType::kRequest, "x", &frame);
+    frame[7] = 0x7f;  // unknown frame type
+    decoder.Feed(frame);
+    FrameType type;
+    std::string body;
+    EXPECT_EQ(decoder.Poll(&type, &body), FrameDecoder::Next::kError);
+  }
+  {
+    FrameDecoder decoder;
+    // payload_len < header size: a frame cannot be shorter than its own
+    // magic+version+type.
+    std::string runt = std::string("\x02\x00\x00\x00", 4) + "MC";
+    decoder.Feed(runt);
+    FrameType type;
+    std::string body;
+    EXPECT_EQ(decoder.Poll(&type, &body), FrameDecoder::Next::kError);
+  }
+}
+
+TEST(FrameDecoderTest, RandomGarbageStreamsNeverCrash) {
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    FrameDecoder decoder(/*max_frame_bytes=*/4096);
+    size_t len = rng() % 512;
+    std::string garbage(len, '\0');
+    for (char& c : garbage) c = static_cast<char>(rng() & 0xff);
+    decoder.Feed(garbage);
+    FrameType type;
+    std::string body;
+    // Drain until the decoder settles; it must terminate (consume or
+    // error), never loop or read out of bounds.
+    for (int polls = 0; polls < 1000; ++polls) {
+      FrameDecoder::Next next = decoder.Poll(&type, &body);
+      if (next != FrameDecoder::Next::kFrame) break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace mapcomp

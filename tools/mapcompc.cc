@@ -32,6 +32,16 @@
 //                          in-flight submissions; served results are the
 //                          service's slim cache entries, so per-symbol
 //                          attempt detail is not reprinted
+//     --serve PORT         network mode: put a resident ComposeService on
+//                          127.0.0.1:PORT (0 picks an ephemeral port,
+//                          printed to stderr) speaking the length-prefixed
+//                          binary protocol (src/serve/); --serve-requests N
+//                          exits 0 after N requests were parsed (CI smoke);
+//                          incompatible with task files and other modes
+//     --serve-requests N   with --serve: exit after N parsed requests
+//     --client HOST:PORT   network mode: send each task to a running
+//                          --serve instance and print the served results
+//                          (exit 1 on any error reply)
 //     --registry-demo N    run N edits of the simulated schema registry
 //                          (Zipf edit stream, incremental full-chain
 //                          recomposition through a prefix-fingerprint
@@ -55,12 +65,15 @@
 //     --quiet              print only the composed constraints
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/algebra/interner.h"
@@ -69,6 +82,8 @@
 #include "src/parser/parser.h"
 #include "src/runtime/compose_many.h"
 #include "src/runtime/compose_service.h"
+#include "src/serve/compose_client.h"
+#include "src/serve/compose_server.h"
 #include "src/simulator/registry.h"
 
 namespace {
@@ -158,6 +173,9 @@ int main(int argc, char** argv) {
   bool fail_on_warnings = false;
   int jobs = 1;
   int serve_passes = 0;   // 0 = no --serve-demo
+  int serve_port = -1;    // -1 = no --serve; 0 = ephemeral
+  int serve_requests = 0; // 0 = serve forever
+  std::string client_target;  // empty = no --client
   int registry_steps = 0; // 0 = no --registry-demo
   int check_eval = 0;     // 0 = no --check-eval
   uint64_t check_seed = 42;
@@ -196,6 +214,24 @@ int main(int argc, char** argv) {
       serve_passes = std::atoi(argv[++i]);
       if (serve_passes < 1) {
         std::fprintf(stderr, "--serve-demo expects an integer >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--serve") == 0 && i + 1 < argc) {
+      serve_port = std::atoi(argv[++i]);
+      if (serve_port < 0 || serve_port > 65535) {
+        std::fprintf(stderr, "--serve expects a port in [0, 65535]\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--serve-requests") == 0 && i + 1 < argc) {
+      serve_requests = std::atoi(argv[++i]);
+      if (serve_requests < 1) {
+        std::fprintf(stderr, "--serve-requests expects an integer >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--client") == 0 && i + 1 < argc) {
+      client_target = argv[++i];
+      if (client_target.find(':') == std::string::npos) {
+        std::fprintf(stderr, "--client expects HOST:PORT\n");
         return 2;
       }
     } else if (std::strcmp(arg, "--registry-demo") == 0 && i + 1 < argc) {
@@ -273,6 +309,51 @@ int main(int argc, char** argv) {
     }
     return rc;
   }
+  if (serve_port >= 0) {
+    if (!paths.empty() || serve_passes > 0 || check_eval > 0 ||
+        !client_target.empty() || !options.order.empty()) {
+      std::fprintf(stderr,
+                   "--serve runs a network server; it cannot be combined "
+                   "with task files, --serve-demo, --check-eval, --client "
+                   "or --order\n");
+      return 2;
+    }
+    mapcomp::runtime::ComposeServiceOptions service_options;
+    service_options.compose = options;
+    mapcomp::runtime::ComposeService service(service_options);
+    mapcomp::serve::ServerOptions server_options;
+    server_options.port = serve_port;
+    mapcomp::serve::ComposeServer server(&service, server_options);
+    mapcomp::Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "--serve: %s\n", started.ToString().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "mapcompc: serving on 127.0.0.1:%d\n",
+                 server.port());
+    if (serve_requests > 0) {
+      // CI smoke shape: serve exactly N requests, then report and exit 0.
+      while (server.Stats().requests_parsed <
+             static_cast<uint64_t>(serve_requests)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    } else {
+      for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
+    // Let in-flight replies flush before reporting.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::fprintf(stderr, "%s", server.Stats().ToString().c_str());
+    std::fprintf(stderr, "%s", service.Stats().ToString().c_str());
+    return 0;
+  }
+  if (serve_requests > 0) {
+    std::fprintf(stderr, "--serve-requests requires --serve\n");
+    return 2;
+  }
+  if (!client_target.empty() && serve_passes > 0) {
+    std::fprintf(stderr, "--client cannot be combined with --serve-demo\n");
+    return 2;
+  }
   if (paths.empty()) paths.push_back("-");  // read a single task from stdin
   if (paths.size() > 1 && !options.order.empty()) {
     std::fprintf(stderr,
@@ -329,7 +410,46 @@ int main(int argc, char** argv) {
 
   std::vector<mapcomp::CompositionResult> results;
   std::vector<mapcomp::runtime::ComposeService::ResultPtr> served;
-  if (serve_passes > 0) {
+  const bool use_served = serve_passes > 0 || !client_target.empty();
+  if (!client_target.empty()) {
+    // Network mode: ship each task to a --serve instance. The reply's
+    // ServedResult prints through the same path as --serve-demo.
+    size_t colon = client_target.rfind(':');
+    std::string host = client_target.substr(0, colon);
+    int port = std::atoi(client_target.c_str() + colon + 1);
+    mapcomp::Result<std::unique_ptr<mapcomp::serve::ComposeClient>> client =
+        mapcomp::serve::ComposeClient::Connect(host, port);
+    if (!client.ok()) {
+      std::fprintf(stderr, "--client: %s\n",
+                   client.status().ToString().c_str());
+      return 2;
+    }
+    served.reserve(problems.size());
+    for (size_t i = 0; i < problems.size(); ++i) {
+      // The CLI's option flags travel with the request (wire-safe
+      // subset), so a --no-simplify client gets --no-simplify results
+      // whatever the server's defaults are.
+      mapcomp::serve::ServeRequest request =
+          mapcomp::serve::ServeRequest::WithOptions(
+              problems[i], options, static_cast<uint64_t>(i + 1));
+      mapcomp::Result<mapcomp::serve::ServeReply> reply =
+          (*client)->Call(request);
+      const char* label = paths[i] == "-" ? "<stdin>" : paths[i].c_str();
+      if (!reply.ok()) {
+        std::fprintf(stderr, "%s: transport error: %s\n", label,
+                     reply.status().ToString().c_str());
+        return 1;
+      }
+      if (reply->status != mapcomp::serve::WireStatus::kOk) {
+        std::fprintf(stderr, "%s: server refused: %s (%s)\n", label,
+                     mapcomp::serve::WireStatusName(reply->status),
+                     reply->message.c_str());
+        return 1;
+      }
+      served.push_back(std::make_shared<mapcomp::runtime::ServedResult>(
+          std::move(reply->result)));
+    }
+  } else if (serve_passes > 0) {
     // Loop mode: a resident ComposeService composes every task once and
     // serves passes 2..N from its fingerprint-keyed cache — same composed
     // constraints, and the stats printed at the end show the hit/miss
@@ -353,7 +473,15 @@ int main(int argc, char** argv) {
       for (const auto& h : handles) h.Wait();
     }
     served.reserve(problems.size());
-    for (const auto& h : handles) served.push_back(h.Result());
+    for (const auto& h : handles) {
+      const mapcomp::runtime::ServedOutcome& outcome = h.Wait();
+      if (!outcome.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     outcome.status().ToString().c_str());
+        return 1;
+      }
+      served.push_back(outcome.shared());
+    }
     std::fprintf(stderr, "%s", service.Stats().ToString().c_str());
   } else {
     results = mapcomp::runtime::ComposeMany(problems, options, jobs);
@@ -361,17 +489,17 @@ int main(int argc, char** argv) {
 
   bool any_residual = false;
   bool any_warning = false;
-  const size_t result_count = serve_passes > 0 ? served.size() : results.size();
+  const size_t result_count = use_served ? served.size() : results.size();
   for (size_t i = 0; i < result_count; ++i) {
     if (result_count > 1) {
       std::printf("%s== %s ==\n", i == 0 ? "" : "\n", paths[i].c_str());
     }
     const std::vector<std::string>& residuals =
-        serve_passes > 0 ? served[i]->residual_sigma2
-                         : results[i].residual_sigma2;
+        use_served ? served[i]->residual_sigma2
+                   : results[i].residual_sigma2;
     const std::vector<std::string>& warnings =
-        serve_passes > 0 ? served[i]->warnings : results[i].warnings;
-    if (serve_passes > 0) {
+        use_served ? served[i]->warnings : results[i].warnings;
+    if (use_served) {
       PrintResult(*served[i], quiet);
     } else {
       PrintResult(results[i], quiet);
@@ -397,7 +525,7 @@ int main(int argc, char** argv) {
       // A served (slim) result still carries everything the soundness
       // harness reads: the composed signature, constraints and residuals.
       mapcomp::CompositionResult checked;
-      if (serve_passes > 0) {
+      if (use_served) {
         checked.sigma = served[i]->sigma;
         checked.constraints = served[i]->constraints;
         checked.residual_sigma2 = served[i]->residual_sigma2;
@@ -405,7 +533,7 @@ int main(int argc, char** argv) {
       }
       mapcomp::Result<mapcomp::CompositionCheck> check =
           mapcomp::CheckComposition(problems[i],
-                                    serve_passes > 0 ? checked : results[i],
+                                    use_served ? checked : results[i],
                                     check_seed, check_eval, check_options);
       const char* label = paths[i] == "-" ? "<stdin>" : paths[i].c_str();
       if (!check.ok()) {
