@@ -1,17 +1,22 @@
 // Closed-loop load generator for the serving tier: thousands of concurrent
 // loopback connections (epoll worker threads, one outstanding request per
-// connection) drive a ComposeServer through three phases — all-hot traffic
-// (cache-aware admission should bypass the queue), mixed 70/30 hot/cold,
-// and a deliberately saturated server (tiny admission queue, one
-// dispatcher) where backpressure must shed, not hang. Reports p50/p99/p999
-// reply latency, shed/timeout rates, and queue-depth watermarks as JSON
-// (redirect stdout to BENCH_serve.json).
+// connection) drive a ComposeServer through four phases — all-hot traffic
+// (cache-aware admission should bypass the queue), mixed 70/30 hot/cold, a
+// deliberately saturated server (tiny admission queue, one dispatcher)
+// where backpressure must shed, not hang, and a deadline phase (tight
+// per-request deadlines + queue aging under the same saturation) where
+// timed-out work must be *cancelled*, not left running. Reports
+// p50/p99/p999 reply latency, shed/timeout/cancel rates, and queue-depth
+// watermarks as JSON (redirect stdout to BENCH_serve.json).
 //
 // Correctness is a gate, not a hope: every kOk reply's result fingerprint
 // is compared against a direct Compose() of the same problem computed in
 // this process; any mismatch (or protocol error, or missing reply) makes
 // the exit code non-zero, so CI fails loudly when wire serving drifts from
-// in-process composition.
+// in-process composition. The deadline phase adds the zombie-lane gate:
+// ServiceStats::cancelled must cover every kTimeout reply and in_flight
+// must return to zero after the drain — a timed-out request whose
+// computation kept running would fail both.
 //
 // Usage: bench_serve [--smoke]
 //   --smoke: small sizes for CI (64 connections, short phases)
@@ -68,6 +73,9 @@ struct PhaseResult {
   double duration_s = 0;
   double p50_us = 0, p99_us = 0, p999_us = 0;
   serve::ServerStats server;
+  /// Service counters captured after Stop()'s drain, once in_flight has
+  /// converged (bounded poll) — the zombie-lane witness.
+  runtime::ServiceStats svc;
 };
 
 double Percentile(const std::vector<double>& sorted, double q) {
@@ -108,7 +116,8 @@ std::vector<PreparedRequest> PrepareHotSet(const ComposeOptions& options) {
 /// request must travel the full admission + compose path.
 std::vector<PreparedRequest> PrepareColdPool(size_t count,
                                              const ComposeOptions& options,
-                                             uint64_t* counter) {
+                                             uint64_t* counter,
+                                             uint32_t deadline_ms = 0) {
   Parser parser;
   std::vector<PreparedRequest> out;
   out.reserve(count);
@@ -129,6 +138,7 @@ std::vector<PreparedRequest> PrepareColdPool(size_t count,
     std::string body;
     serve::ServeRequest wire = serve::ServeRequest::Of(std::move(*parsed),
                                                        req.id);
+    wire.deadline_ms = deadline_ms;  // 0 = no wire deadline field
     if (!wire.SerializeTo(&body).ok()) continue;
     serve::EncodeFrame(serve::FrameType::kRequest, body, &req.frame);
     out.push_back(std::move(req));
@@ -448,6 +458,18 @@ PhaseResult RunPhase(const std::string& name, serve::ServerOptions server_option
   out.p999_us = Percentile(latency, 0.999);
   out.server = server.Stats();
   server.Stop();
+  // After Stop, every reply is answered; what may remain in flight are
+  // cancelled computations still unwinding cooperatively. Give them a
+  // bounded window to drain — a zombie (timed-out but still running)
+  // computation shows up here as in_flight stuck above zero.
+  auto idle_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  out.svc = service.Stats();
+  while (out.svc.in_flight > 0 &&
+         std::chrono::steady_clock::now() < idle_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    out.svc = service.Stats();
+  }
   return out;
 }
 
@@ -483,6 +505,12 @@ void PrintPhase(const PhaseResult& r, bool last) {
   std::printf("      \"p999_us\": %.1f,\n", r.p999_us);
   std::printf("      \"queue_depth_watermark\": %llu,\n",
               static_cast<unsigned long long>(r.server.queue_depth_watermark));
+  std::printf("      \"server_timeouts\": %llu,\n",
+              static_cast<unsigned long long>(r.server.timeouts));
+  std::printf("      \"service_cancelled\": %llu,\n",
+              static_cast<unsigned long long>(r.svc.cancelled));
+  std::printf("      \"service_in_flight_after_drain\": %lld,\n",
+              static_cast<long long>(r.svc.in_flight));
   std::printf("      \"cache_bypass\": %llu,\n",
               static_cast<unsigned long long>(r.server.cache_bypass));
   std::printf("      \"server_bytes_read\": %llu,\n",
@@ -522,6 +550,11 @@ int main(int argc, char** argv) {
   const int sat_rpc = std::max(2, requests_per_conn / 2);
   std::vector<PreparedRequest> sat_cold = PrepareColdPool(
       sat_conns * static_cast<size_t>(sat_rpc), options, &cold_counter);
+  // Deadline-phase cold pool: every request carries a 5ms wire deadline —
+  // under saturation many will age past it while queued.
+  std::vector<PreparedRequest> dl_cold = PrepareColdPool(
+      sat_conns * static_cast<size_t>(sat_rpc), options, &cold_counter,
+      /*deadline_ms=*/5);
 
   // Phase 1: all-hot traffic on a warmed cache — the admission probe
   // should answer nearly everything without queueing.
@@ -548,10 +581,36 @@ int main(int argc, char** argv) {
       RunPhase("saturate", tiny, /*hot_percent=*/0, sat_conns, sat_rpc,
                worker_threads, hot, sat_cold, /*warm_cache=*/false);
 
+  // Phase 4: deadlines under the same saturation — every request carries a
+  // 5ms deadline and the queue ages admitted work out at 250ms. The
+  // admission gate holds the dispatcher shut for the first 50ms, so a
+  // queue's worth of requests deterministically expires before dispatch:
+  // the phase always exercises the cancel path, whatever the machine's
+  // speed. The gate below then checks the robustness contract, not
+  // throughput: timed-out work must be cancelled (no zombie lanes), the
+  // queue watermark must respect its bound, and the service must drain to
+  // idle.
+  serve::ServerOptions bounded = tiny;
+  bounded.queue_timeout_ms = 250;
+  bounded.admission_gate = std::make_shared<std::atomic<bool>>(false);
+  std::thread gate_opener([gate = bounded.admission_gate] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    gate->store(true);
+  });
+  PhaseResult dl_phase =
+      RunPhase("deadline", bounded, /*hot_percent=*/0, sat_conns, sat_rpc,
+               worker_threads, hot, dl_cold, /*warm_cache=*/false);
+  gate_opener.join();
+  const bool zombie_gate_passed =
+      dl_phase.svc.cancelled > 0 &&
+      dl_phase.svc.cancelled >= dl_phase.server.timeouts &&
+      dl_phase.svc.in_flight == 0 &&
+      dl_phase.server.queue_depth_watermark <= bounded.admission_capacity;
+
   uint64_t mismatches = hot_phase.mismatches + mixed_phase.mismatches +
-                        sat_phase.mismatches;
-  uint64_t errors =
-      hot_phase.errors + mixed_phase.errors + sat_phase.errors;
+                        sat_phase.mismatches + dl_phase.mismatches;
+  uint64_t errors = hot_phase.errors + mixed_phase.errors +
+                    sat_phase.errors + dl_phase.errors;
 
   std::printf("{\n");
   std::printf("  \"benchmark\": \"bench_serve\",\n");
@@ -564,14 +623,17 @@ int main(int argc, char** argv) {
   std::printf("  \"phases\": [\n");
   PrintPhase(hot_phase, false);
   PrintPhase(mixed_phase, false);
-  PrintPhase(sat_phase, true);
+  PrintPhase(sat_phase, false);
+  PrintPhase(dl_phase, true);
   std::printf("  ],\n");
   std::printf("  \"fingerprint_mismatches\": %llu,\n",
               static_cast<unsigned long long>(mismatches));
   std::printf("  \"transport_errors\": %llu,\n",
               static_cast<unsigned long long>(errors));
-  std::printf("  \"gate_passed\": %s\n",
-              (mismatches == 0 && errors == 0) ? "true" : "false");
+  std::printf("  \"zombie_lane_gate_passed\": %s,\n",
+              zombie_gate_passed ? "true" : "false");
+  const bool passed = mismatches == 0 && errors == 0 && zombie_gate_passed;
+  std::printf("  \"gate_passed\": %s\n", passed ? "true" : "false");
   std::printf("}\n");
-  return (mismatches == 0 && errors == 0) ? 0 : 1;
+  return passed ? 0 : 1;
 }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <functional>
 #include <limits>
+#include <new>
+
+#include "src/common/fault.h"
 
 namespace mapcomp {
 
@@ -230,6 +233,12 @@ ExprPtr ExprInterner::InternWithHash(size_t hash, ExprKind kind,
     idx = (idx + 1) & shard.mask;
   }
 
+  // Fault point: the interner's allocation path is the one place every
+  // expression build funnels through, so an injected bad_alloc here models
+  // memory exhaustion anywhere inside compose/eval without heap poking.
+  if (common::fault::Hit(common::fault::FaultPoint::kAllocFailInterner)) {
+    throw std::bad_alloc();
+  }
   Expr* e = new Expr();
   e->kind_ = kind;
   e->name_ = std::move(name);

@@ -19,6 +19,11 @@ enum class StatusCode {
   kFailedPrecondition,
   kResourceExhausted,
   kInternal,
+  // Append-only from here (serve::WireStatus mirrors these codes and its
+  // numerics are wire-pinned; renumbering would silently remap old frames).
+  kOverloaded,         // admission shed: never admitted, safe to retry
+  kDeadlineExceeded,   // deadline fired: admitted work was cut short
+  kCancelled,          // explicit cancel (handle abandoned or Cancel())
 };
 
 /// Stable human-readable name of a code ("OK", "InvalidArgument", ...).
@@ -51,6 +56,23 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  /// True for the two codes a fired CancelToken produces. Interrupted work
+  /// is a first-class partial outcome, not a computation failure: the
+  /// service counts it separately and never caches it.
+  bool IsInterrupt() const {
+    return code_ == StatusCode::kDeadlineExceeded ||
+           code_ == StatusCode::kCancelled;
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

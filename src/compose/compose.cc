@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "src/algebra/interner.h"
+#include "src/common/fault.h"
 #include "src/compose/schedule.h"
 #include "src/compose/simplify_constraints.h"
 #include "src/runtime/thread_pool.h"
@@ -113,6 +114,12 @@ std::string CompositionResult::Fingerprint() const {
     out += "]}\n";
   }
   for (const std::string& w : warnings) out += "warning{" + w + "}\n";
+  // Only interrupted runs carry this line, so a completed bounded run
+  // fingerprints byte-identically to an unbounded one.
+  if (!interrupt.ok()) {
+    out += "interrupt{" + std::string(StatusCodeName(interrupt.code())) +
+           "}\n";
+  }
   return out;
 }
 
@@ -141,6 +148,10 @@ CompositionResult Compose(const CompositionProblem& problem,
   }
   ComposeOptions opts = options;
   if (opts.eliminate.keys == nullptr) opts.eliminate.keys = &all_keys;
+  // ELIMINATE polls the same token between its steps.
+  opts.eliminate.cancel = options.cancel;
+  const common::CancelToken& cancel = options.cancel;
+  Status interrupt = Status::OK();
 
   std::vector<std::string> order =
       !options.order.empty()
@@ -172,6 +183,8 @@ CompositionResult Compose(const CompositionProblem& problem,
   int sigma_version = 0;
   int max_rounds = std::max(1, options.max_rounds);
   for (int round = 1; round <= max_rounds && !pending.empty(); ++round) {
+    interrupt = cancel.StatusAt("compose round boundary");
+    if (!interrupt.ok()) break;
     auto round_start = std::chrono::steady_clock::now();
     RoundStat round_stat;
     round_stat.round = round;
@@ -180,6 +193,8 @@ CompositionResult Compose(const CompositionProblem& problem,
     pending.clear();
 
     while (!unprocessed.empty()) {
+      interrupt = cancel.StatusAt("wave plan boundary");
+      if (!interrupt.ok()) break;
       // --- Plan one wave against the current Σ. Futile symbols (Σ is
       // exactly what they already failed against) are skipped but stay in
       // the pool: a later wave's success can revive them this round.
@@ -206,7 +221,12 @@ CompositionResult Compose(const CompositionProblem& problem,
         names.push_back(unprocessed[static_cast<size_t>(i)].symbol);
       }
       std::vector<std::vector<int>> occ =
-          OccurrenceSets(sigma, names, options.exact_conflicts);
+          OccurrenceSets(sigma, names, options.exact_conflicts, &cancel);
+      if (cancel.Fired()) {
+        // The scan may have been truncated: do not plan from it.
+        interrupt = cancel.StatusAt("occurrence scan");
+        break;
+      }
       std::vector<int> wave_local =  // indices into candidates/occ
           PlanWaveFromOccurrences(occ, sigma.size());
 
@@ -239,6 +259,8 @@ CompositionResult Compose(const CompositionProblem& problem,
         stat.symbol = p.symbol;
         stat.round = round;
         stat.size_before = OperatorCount(sigma);
+        common::fault::MaybeSleep(
+            common::fault::FaultPoint::kSlowEliminationWave);
         EliminateOutcome outcome =
             Eliminate(sigma, p.symbol, problem.sigma2.ArityOf(p.symbol),
                       opts.eliminate);
@@ -251,12 +273,20 @@ CompositionResult Compose(const CompositionProblem& problem,
           ++result.eliminated_count;
           ++round_stat.eliminated;
         } else {
-          p.failed_at = sigma_version;
+          // An interrupted attempt is not a reproducible failure: leave
+          // failed_at alone so a later (hypothetical) retry is not skipped
+          // as futile.
+          if (!outcome.interrupted) p.failed_at = sigma_version;
           next_pending.push_back(std::move(p));
         }
         stat.size_after = OperatorCount(sigma);
         stat.millis = MillisSince(start);
         result.stats.push_back(std::move(stat));
+        if (outcome.interrupted) {
+          interrupt = cancel.StatusAt("elimination");
+          if (interrupt.ok()) interrupt = Status::Cancelled("elimination");
+          break;
+        }
         continue;
       }
 
@@ -298,11 +328,22 @@ CompositionResult Compose(const CompositionProblem& problem,
       runtime::ParallelFor(
           pool, static_cast<int64_t>(width),
           [&](int64_t wi) {
+            // Per-lane cancellation point: a fired token skips the
+            // elimination entirely (interrupted, not failed). Lanes that
+            // already started run to completion — a step is never torn.
+            if (cancel.Fired()) {
+              outcomes[wi].constraints = groups[wi];
+              outcomes[wi].interrupted = true;
+              outcomes[wi].failure_reason = "interrupted";
+              return;
+            }
             // Pool workers have no batch scope open; one per elimination
             // keeps their node churn off the shared shards (nests fine on
             // the calling thread's lane).
             ExprBuilder wave_batch;
             auto start = std::chrono::steady_clock::now();
+            common::fault::MaybeSleep(
+                common::fault::FaultPoint::kSlowEliminationWave);
             outcomes[wi] = Eliminate(
                 groups[wi], wave_names[static_cast<size_t>(wi)],
                 problem.sigma2.ArityOf(wave_names[static_cast<size_t>(wi)]),
@@ -357,11 +398,29 @@ CompositionResult Compose(const CompositionProblem& problem,
       // the budget is measured against the *global* snapshot size, which
       // sibling successes just changed, so such a failure is only known
       // futile against the snapshot it actually saw.
+      bool wave_interrupted = false;
       for (size_t wi = 0; wi < width; ++wi) {
         if (outcomes[wi].success) continue;
-        wave[wi].failed_at =
-            outcomes[wi].blowup_limited ? snapshot_version : sigma_version;
+        if (outcomes[wi].interrupted) {
+          wave_interrupted = true;  // not a reproducible failure
+        } else {
+          wave[wi].failed_at =
+              outcomes[wi].blowup_limited ? snapshot_version : sigma_version;
+        }
         next_pending.push_back(std::move(wave[wi]));
+      }
+      if (wave_interrupted) {
+        interrupt = cancel.StatusAt("elimination wave");
+        if (interrupt.ok()) interrupt = Status::Cancelled("elimination wave");
+        break;
+      }
+    }
+
+    // A fired token mid-round: whatever was never pulled into a wave stays
+    // pending and surfaces as residual symbols below.
+    if (!interrupt.ok()) {
+      for (PendingSymbol& p : unprocessed) {
+        next_pending.push_back(std::move(p));
       }
     }
 
@@ -375,6 +434,7 @@ CompositionResult Compose(const CompositionProblem& problem,
               });
     if (round_stat.attempted == 0) break;  // every retry was provably futile
     result.rounds.push_back(std::move(round_stat));
+    if (!interrupt.ok()) break;  // partial round recorded, stop attempting
   }
 
   std::vector<std::string> residual;
@@ -406,6 +466,16 @@ CompositionResult Compose(const CompositionProblem& problem,
   result.sigma = merged.ok() ? *merged : out_sig;
   result.residual_sigma2 = std::move(residual);
   result.constraints = std::move(sigma);
+  if (!interrupt.ok()) {
+    result.warnings.push_back(
+        std::string("composition interrupted (") +
+        StatusCodeName(interrupt.code()) + "): " +
+        std::to_string(result.eliminated_count) + "/" +
+        std::to_string(result.total_count) + " symbols eliminated, " +
+        std::to_string(result.residual_sigma2.size()) +
+        " kept as residuals");
+    result.interrupt = std::move(interrupt);
+  }
   result.total_millis = MillisSince(total_start);
   return result;
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/cancel.h"
 #include "src/compose/eliminate.h"
 #include "src/constraints/mapping.h"
 
@@ -37,11 +38,22 @@ struct ComposeOptions {
   /// positives add spurious conflict edges, which can only merge waves
   /// (over-serialize) — never co-schedule two truly conflicting symbols.
   bool exact_conflicts = true;
+  /// Cooperative cancellation/deadline token, polled at plan-defined
+  /// points: round boundaries, wave-plan boundaries, and before each
+  /// symbol's elimination (including inside ELIMINATE between steps). When
+  /// it fires, the driver stops attempting, keeps every un-attempted
+  /// symbol as a residual, and reports via CompositionResult::interrupt —
+  /// the partial composition is still a valid best-effort answer (§3.1).
+  /// Excluded from Fingerprint() like elim_jobs: a run that completes
+  /// without the token firing is byte-identical to an unbounded run.
+  common::CancelToken cancel;
 
   /// Canonical serialization of every option that can change a
   /// CompositionResult: the eliminate switches and budgets, the order, the
   /// simplify/rounds/exact_conflicts knobs. `elim_jobs` is excluded by
-  /// design (results are byte-identical at any lane count). A preset
+  /// design (results are byte-identical at any lane count), and so is
+  /// `cancel` (a token that never fires cannot change the result; a fired
+  /// one yields an interrupted result, which is never cached). A preset
   /// `eliminate.keys` is serialized by content; a non-default registry by
   /// its process-unique, never-reused `op::Registry::uid()`.
   /// ComposeService combines this with CompositionProblem::Fingerprint()
@@ -88,6 +100,14 @@ struct CompositionResult {
   /// metadata inconsistent with the residual relation's arity, or a σ3
   /// signature merge conflict). Empty on a clean composition.
   std::vector<std::string> warnings;
+  /// OK for a run that ran to completion (possibly with residuals);
+  /// kDeadlineExceeded / kCancelled when options.cancel fired and the
+  /// driver stopped early. An interrupted result is still well-formed —
+  /// every un-attempted symbol is a residual and `constraints` is
+  /// equivalent to Σ12 ∪ Σ23 over the enlarged signature — but it is a
+  /// partial answer by interruption, not by elimination failure, so
+  /// callers (and the service cache) must not treat it as canonical.
+  Status interrupt;
   int eliminated_count = 0;  ///< distinct σ2 symbols eliminated
   int total_count = 0;       ///< distinct σ2 symbols attempted
   double total_millis = 0.0;

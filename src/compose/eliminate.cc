@@ -207,6 +207,19 @@ EliminateOutcome Eliminate(const ConstraintSet& cs, const std::string& symbol,
   };
   std::string reasons;
 
+  // Cancellation points sit between steps, never inside one: each step
+  // still fully succeeds or leaves the constraints untouched, so an
+  // interrupted outcome is always the untouched input.
+  auto interrupted = [&]() {
+    if (!options.cancel.Fired()) return false;
+    out.success = false;
+    out.step = EliminateStep::kNone;
+    out.interrupted = true;
+    out.failure_reason = "interrupted";
+    return true;
+  };
+
+  if (interrupted()) return out;
   if (options.enable_unfold) {
     Result<ConstraintSet> r = TryUnfold(cs, symbol, options.registry);
     if (r.ok() && blown_up(*r)) {
@@ -221,6 +234,7 @@ EliminateOutcome Eliminate(const ConstraintSet& cs, const std::string& symbol,
       reasons += "[unfold] " + r.status().message() + "; ";
     }
   }
+  if (interrupted()) return out;
   if (options.enable_left_compose) {
     Result<ConstraintSet> r = TryLeftCompose(cs, symbol, arity, options);
     if (r.ok() && blown_up(*r)) {
@@ -235,6 +249,7 @@ EliminateOutcome Eliminate(const ConstraintSet& cs, const std::string& symbol,
       reasons += "[left] " + r.status().message() + "; ";
     }
   }
+  if (interrupted()) return out;
   if (options.enable_right_compose) {
     Result<ConstraintSet> r = TryRightCompose(cs, symbol, arity, options);
     if (r.ok() && blown_up(*r)) {

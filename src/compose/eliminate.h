@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "src/common/cancel.h"
 #include "src/constraints/constraint.h"
 #include "src/constraints/signature.h"
 #include "src/op/registry.h"
@@ -39,6 +40,11 @@ struct EliminateOptions {
   /// partition, so a symbol's budget does not shrink merely because it was
   /// handed only the constraints that mention it.
   int blowup_baseline_ops = 0;
+  /// Polled between steps (unfold → left → right). When it fires the
+  /// remaining steps are skipped and the outcome reports `interrupted`:
+  /// not a real elimination failure, so the driver must not record it as
+  /// futile. The compose driver copies its own token here.
+  common::CancelToken cancel;
 };
 
 /// Outcome of eliminating one symbol.
@@ -53,6 +59,9 @@ struct EliminateOutcome {
   /// *global* baseline size, so the wave scheduler must not treat such a
   /// failure as reproducible across Σ changes.
   bool blowup_limited = false;
+  /// True when options.cancel fired before or between steps: the symbol
+  /// was never fully attempted. The constraints are the untouched input.
+  bool interrupted = false;
 };
 
 /// The ELIMINATE procedure (§3.1): tries view unfolding, then left compose,

@@ -4,13 +4,17 @@ namespace mapcomp {
 
 std::vector<std::vector<int>> OccurrenceSets(
     const ConstraintSet& sigma, const std::vector<std::string>& symbols,
-    bool exact) {
+    bool exact, const common::CancelToken* cancel) {
   std::vector<uint64_t> bits;
   bits.reserve(symbols.size());
   for (const std::string& s : symbols) bits.push_back(Expr::NameBit(s));
 
   std::vector<std::vector<int>> occ(symbols.size());
   for (size_t c = 0; c < sigma.size(); ++c) {
+    // Row-boundary poll, cheap next to the exact walks it bounds. Only
+    // checked every 64 rows so the common unbounded scan stays branchless
+    // in the hot part.
+    if (cancel != nullptr && (c & 63) == 0 && cancel->Fired()) break;
     uint64_t mask = sigma[c].lhs->relation_mask() | sigma[c].rhs->relation_mask();
     for (size_t s = 0; s < symbols.size(); ++s) {
       if ((mask & bits[s]) == 0) continue;  // clear bit proves absence

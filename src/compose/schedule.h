@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/cancel.h"
 #include "src/constraints/constraint.h"
 
 namespace mapcomp {
@@ -27,9 +28,15 @@ namespace mapcomp {
 /// For each symbol, the (sorted) indices of the constraints in `sigma` that
 /// mention it. With `exact` false, Bloom-mask candidates are kept
 /// unconfirmed (a superset of the true occurrence set).
+///
+/// `cancel`, when non-null, is polled between constraint rows so a fired
+/// deadline stops the exact walks promptly. The returned sets are then
+/// truncated and must not be used for planning or partitioning — the
+/// caller is expected to re-check the token immediately and abort the
+/// round, which is exactly what the COMPOSE driver does.
 std::vector<std::vector<int>> OccurrenceSets(
     const ConstraintSet& sigma, const std::vector<std::string>& symbols,
-    bool exact = true);
+    bool exact = true, const common::CancelToken* cancel = nullptr);
 
 /// Greedy first-fit wave: walks `symbols` in order and returns the indices
 /// (into `symbols`) of every symbol whose occurrence set is disjoint from

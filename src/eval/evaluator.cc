@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/fault.h"
 #include "src/eval/join.h"
 #include "src/eval/tuple_table.h"
 #include "src/eval/value_dict.h"
@@ -420,6 +421,8 @@ Result<TupleSetPtr> LegacyEvalNode(const ExprPtr& e, EvalState* st) {
 }
 
 Result<TupleSetPtr> LegacyRec(const ExprPtr& e, EvalState* st) {
+  // Node-boundary cancellation point, mirroring the kernel's slot polls.
+  MAPCOMP_RETURN_IF_ERROR(st->options->cancel.StatusAt("eval node"));
   // Interned nodes make the memo exact: pointer equality ⇔ structural
   // equality, so a subtree shared k times in the DAG is computed once.
   auto it = st->memo_sets.find(e.get());
@@ -945,8 +948,11 @@ TupleTable SlotTransform(KernelState* ks, Slot* s, const TupleTable& in,
   std::vector<std::vector<ValueId>> chunks =
       runtime::ShardedTransform<std::vector<ValueId>>(
           ks->pool, n, chunk, ks->max_helpers,
-          [&in, &emit](int64_t begin, int64_t end) {
+          [ks, &in, &emit](int64_t begin, int64_t end) {
             std::vector<ValueId> local;
+            // Chunk-boundary cancellation point: an empty early-out is safe
+            // because RunSlot's exit poll discards the whole slot.
+            if (ks->options->cancel.Fired()) return local;
             for (int64_t i = begin; i < end; ++i) emit(in.Row(i), &local);
             return local;
           });
@@ -1008,8 +1014,9 @@ Result<TablePtr> EvalSlotDomain(KernelState* ks, Slot* s) {
   std::vector<std::vector<ValueId>> chunks =
       runtime::ShardedTransform<std::vector<ValueId>>(
           ks->pool, d, chunk, ks->max_helpers,
-          [&ids, arity](int64_t begin, int64_t end) {
+          [ks, &ids, arity](int64_t begin, int64_t end) {
             std::vector<ValueId> local;
+            if (ks->options->cancel.Fired()) return local;  // see RunSlot
             EnumerateDomainIdRange(ids, arity, begin, end, &local);
             return local;
           });
@@ -1175,7 +1182,10 @@ Result<TablePtr> EvalSlotSelectDomain(KernelState* ks, Slot* s) {
     std::vector<std::vector<ValueId>> chunks =
         runtime::ShardedTransform<std::vector<ValueId>>(
             ks->pool, d, chunk, ks->max_helpers,
-            [&enumerate](int64_t begin, int64_t end) {
+            [ks, &enumerate](int64_t begin, int64_t end) {
+              if (ks->options->cancel.Fired()) {  // see RunSlot
+                return std::vector<ValueId>{};
+              }
               return enumerate(begin, end);
             });
     std::vector<ValueId>& data = out.MutableData();
@@ -1408,6 +1418,7 @@ Result<TablePtr> EvalSlot(KernelState* ks, Slot* s,
 /// whose last consumer this was.
 void RunSlot(KernelState* ks, int64_t idx) {
   Slot& s = ks->slots[static_cast<size_t>(idx)];
+  common::fault::MaybeSleep(common::fault::FaultPoint::kSlowEvalSlot);
   std::vector<TablePtr> in;
   in.reserve(s.args.size());
   Status child_err = Status::OK();
@@ -1416,9 +1427,18 @@ void RunSlot(KernelState* ks, int64_t idx) {
     if (!c.status.ok() && child_err.ok()) child_err = c.status;
     in.push_back(c.result);
   }
+  // Slot-boundary cancellation points. The entry poll skips the compute;
+  // the exit poll discards a table whose sharded chunks may have early-outed
+  // mid-slot (the token is monotonic, so a truncated table implies the exit
+  // poll sees it fired — a truncated result can never be mistaken for a
+  // completed one).
+  if (child_err.ok()) child_err = ks->options->cancel.StatusAt("eval slot");
   if (child_err.ok()) {
     Result<TablePtr> r = EvalSlot(ks, &s, in);
-    if (r.ok()) {
+    Status exit_poll = ks->options->cancel.StatusAt("eval slot");
+    if (!exit_poll.ok()) {
+      s.status = exit_poll;
+    } else if (r.ok()) {
       s.result = std::move(r).value();
       s.bytes = s.result->ApproxBytes();
       s.d_tuples = s.result->size();
@@ -1517,6 +1537,7 @@ Result<std::unique_ptr<KernelRun>> KernelExecute(
   for (const ExprPtr& root : roots) {
     if (root == nullptr) return Status::InvalidArgument("null expression");
   }
+  MAPCOMP_RETURN_IF_ERROR(options.cancel.StatusAt("eval plan"));
   auto run = std::make_unique<KernelRun>();
   KernelState& ks = run->ks;
   ks.instance = &instance;
@@ -1588,12 +1609,24 @@ Result<std::unique_ptr<KernelRun>> KernelExecute(
     dag.AddTask([ksp, i] { RunSlot(ksp, i); },
                 ks.slots[static_cast<size_t>(i)].args);
   }
-  dag.Run(ks.pool, ks.max_helpers);
+  dag.Run(ks.pool, ks.max_helpers, &options.cancel);
   // Error precedence: every slot ran (failed inputs propagate), so the
   // first non-OK slot in plan order is the same error the recursive engine
-  // would have hit first — independent of scheduling.
+  // would have hit first — independent of scheduling. (A fired token
+  // weakens this: slots the dag retired unexecuted carry OK statuses, so
+  // the scan may find nothing — the root check below catches that case.)
   for (const Slot& s : ks.slots) {
     if (!s.status.ok()) return s.status;
+  }
+  // Completion wins the race: a token that fired only after every root
+  // table materialized changes nothing. Otherwise some root never ran and
+  // the evaluation surfaces the token's status.
+  if (options.cancel.Fired()) {
+    for (int64_t root_slot : ks.root_slots) {
+      if (ks.slots[static_cast<size_t>(root_slot)].result == nullptr) {
+        return options.cancel.StatusAt("eval");
+      }
+    }
   }
   // Phase 3: replay stats.
   ReplayStats(run.get());

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/algebra/expr.h"
+#include "src/common/cancel.h"
 #include "src/common/status.h"
 #include "src/eval/instance.h"
 #include "src/op/registry.h"
@@ -62,6 +63,15 @@ struct EvalOptions {
   /// where the nested-loop path exhausts `max_domain_tuples`, since
   /// constraint-driven `σ(D^r)` enumeration needs only the pruned space).
   bool force_nested_loop = false;
+  /// Cooperative cancellation/deadline token, polled at task-graph slot
+  /// boundaries (both sides of each slot's compute) and at sharded-morsel
+  /// chunk boundaries. A fired token makes the evaluation return
+  /// kDeadlineExceeded / kCancelled; a run that completes without it firing
+  /// is byte-identical — results, Fingerprint() and EvalStats — to a run
+  /// with no token, because every check site only reads the token. If the
+  /// token fires after every root table is already materialized, the
+  /// completed result wins the race and is returned as a success.
+  common::CancelToken cancel;
 };
 
 /// Counters of one evaluation. Deterministic for a fixed expression,

@@ -21,6 +21,89 @@ std::string CacheKeyFor(const serve::ServeRequest& request,
 
 }  // namespace
 
+/// Computation-wide cancellation state, shared by every submission joined
+/// to one computation plus the pool task that runs it.
+///
+/// Liveness fence: Release() may run from an arbitrary thread (a handle
+/// destructor) at an arbitrary time, yet it bumps service stats. That is
+/// safe because it only touches the service after observing `done ==
+/// false` under `mu` — and `done` is set (under `mu`) by the pool task
+/// *before* it calls ReleaseOutstanding(), so `!done` implies the
+/// computation still holds an outstanding_ reference and ~ComposeService
+/// is still blocked. A release that finds `done` true touches nothing but
+/// the plumb itself. Lock order: plumb mu before service mu_, never the
+/// reverse (joins under mu_ use only the atomic counter).
+struct ComposeService::CancelPlumb {
+  explicit CancelPlumb(ComposeService* s) : service(s) {}
+
+  ComposeService* const service;
+  common::CancelSource source;
+  std::atomic<int64_t> joiners{0};
+
+  std::mutex mu;
+  bool done = false;     ///< pool task finished (any way); set before
+                         ///< ReleaseOutstanding
+  bool counted = false;  ///< some submission already counted as cancelled
+
+  /// One submission withdraws. The last one out fires the source. Returns
+  /// true when the withdrawal happened while the computation was still in
+  /// flight (and was counted); false when it lost the race to completion.
+  bool Release() {
+    int64_t left = joiners.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    std::lock_guard<std::mutex> lock(mu);
+    if (done) return false;
+    counted = true;
+    service->BumpCancelled();
+    if (left <= 0) source.Cancel();
+    return true;
+  }
+
+  /// Pool-task side: marks the computation done. Returns the cancelled
+  /// correction — 1 when the run was interrupted (deadline fired inside
+  /// the compose pipeline) but no submission ever counted, 0 otherwise.
+  uint64_t Finish(bool interrupted) {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+    if (interrupted && !counted) {
+      counted = true;
+      return 1;
+    }
+    return 0;
+  }
+};
+
+/// One submission's interest in a computation: +1 joiner on attach,
+/// released exactly once by the first of Handle::Cancel and the last
+/// handle copy's destructor.
+struct ComposeService::Joiner {
+  explicit Joiner(std::shared_ptr<CancelPlumb> p) : plumb(std::move(p)) {
+    plumb->joiners.fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~Joiner() { Release(); }
+
+  Joiner(const Joiner&) = delete;
+  Joiner& operator=(const Joiner&) = delete;
+
+  bool Release() {
+    if (!released.exchange(true, std::memory_order_acq_rel)) {
+      return plumb->Release();
+    }
+    return false;
+  }
+
+  const std::shared_ptr<CancelPlumb> plumb;
+  std::atomic<bool> released{false};
+};
+
+bool ComposeService::Handle::Cancel() const {
+  return joiner_ != nullptr && joiner_->Release();
+}
+
+void ComposeService::BumpCancelled() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.cancelled;
+}
+
 std::string ServiceStats::ToString() const {
   std::string out = "compose-service: ";
   out += std::to_string(hits) + " hits, " + std::to_string(misses) +
@@ -31,7 +114,8 @@ std::string ServiceStats::ToString() const {
          std::to_string(cache_bytes_peak) + "), " +
          std::to_string(in_flight) + " in flight, " +
          std::to_string(completed) + " completed, " +
-         std::to_string(failed) + " failed\n";
+         std::to_string(failed) + " failed, " +
+         std::to_string(cancelled) + " cancelled\n";
   out += "scheduler: " + std::to_string(waves_executed) +
          " waves executed, max width " + std::to_string(max_wave_width) + "\n";
   out += "chains: " + std::to_string(chain_prefix_hits) +
@@ -49,10 +133,13 @@ ComposeService::~ComposeService() {
   idle_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
-void ComposeService::RecordCompletion(const CompositionResult* result) {
+void ComposeService::RecordCompletion(const CompositionResult* result,
+                                      bool interrupted,
+                                      uint64_t extra_cancelled) {
   std::lock_guard<std::mutex> lock(mu_);
   --stats_.in_flight;
   ++stats_.completed;
+  stats_.cancelled += extra_cancelled;
   if (result != nullptr) {
     for (const RoundStat& r : result->rounds) {
       stats_.waves_executed += r.wave_widths.size();
@@ -60,7 +147,9 @@ void ComposeService::RecordCompletion(const CompositionResult* result) {
         if (w > stats_.max_wave_width) stats_.max_wave_width = w;
       }
     }
-  } else {
+  } else if (!interrupted) {
+    // Interrupted runs are neither successes nor reproducible failures:
+    // they count in `cancelled`, never in `failed`.
     ++stats_.failed;
   }
 }
@@ -143,12 +232,34 @@ ComposeService::ResultPtr ComposeService::TryServeCached(
 }
 
 ComposeService::Handle ComposeService::Submit(serve::ServeRequest request) {
+  return Submit(std::move(request), common::Deadline::Infinite());
+}
+
+ComposeService::Handle ComposeService::Submit(serve::ServeRequest request,
+                                              common::Deadline deadline) {
+  // Expired-at-submit short-circuit: work that is already dead on arrival
+  // never reaches the pool, the cache, or the miss/in-flight counters —
+  // only `cancelled`. This is what makes the serving tier's queue-aging
+  // cancel exact: a request that aged past its budget while queued costs
+  // one counter bump, not one composition.
+  if (deadline.expired()) {
+    std::promise<ServedOutcome> ready;
+    ready.set_value(ServedOutcome(Status::DeadlineExceeded(
+        "deadline expired before composition started")));
+    Handle handle;
+    handle.future_ = ready.get_future().share();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.cancelled;
+    return handle;
+  }
+
   const bool caching = options_.cache_capacity > 0;
   const ComposeOptions& options =
       request.has_options ? request.options : options_.compose;
   std::string key = caching ? CacheKeyFor(request, options) : std::string();
 
   auto promise = std::make_shared<std::promise<ServedOutcome>>();
+  std::shared_ptr<CancelPlumb> plumb;
   uint64_t entry_id = 0;
   Handle handle;
   {
@@ -159,6 +270,10 @@ ComposeService::Handle ComposeService::Submit(serve::ServeRequest request) {
         ++stats_.hits;
         lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // touch
         handle.future_ = it->second.future;
+        // Joining attaches interest to the running (or finished)
+        // computation: only the atomic joiner count is touched here, so
+        // the plumb-mu-before-mu_ lock order is never inverted.
+        handle.joiner_ = std::make_shared<Joiner>(it->second.plumb);
         handle.cache_hit_ = true;
         return handle;
       }
@@ -167,10 +282,13 @@ ComposeService::Handle ComposeService::Submit(serve::ServeRequest request) {
     ++stats_.in_flight;
     ++outstanding_;
     entry_id = ++next_entry_id_;
+    plumb = std::make_shared<CancelPlumb>(this);
     handle.future_ = promise->get_future().share();
+    handle.joiner_ = std::make_shared<Joiner>(plumb);
     if (caching) {
       lru_.push_front(key);
-      cache_.emplace(key, CacheEntry{handle.future_, lru_.begin(), entry_id,
+      cache_.emplace(key, CacheEntry{handle.future_, lru_.begin(), plumb,
+                                     entry_id,
                                      /*bytes=*/0});
       // Evicting an entry still in flight is allowed (its handles stay
       // valid; only the dedup/memo reference is lost), so a capacity
@@ -190,18 +308,41 @@ ComposeService::Handle ComposeService::Submit(serve::ServeRequest request) {
     keys_copy = std::make_shared<Signature>(*task_options.eliminate.keys);
     task_options.eliminate.keys = keys_copy.get();
   }
+  // The computation's token: a caller-provided token keeps its own cancel
+  // source (the caller owns it; Handle::Cancel can't reach it) tightened
+  // to the earlier deadline; otherwise the plumb's source carries both the
+  // submit deadline and the joiner-driven cancel edge.
+  if (task_options.cancel.can_fire()) {
+    task_options.cancel = task_options.cancel.Tightened(deadline);
+  } else {
+    task_options.cancel = plumb->source.token(deadline);
+  }
   GlobalPool()->Submit(
-      [this, promise, caching, entry_id, key, keys_copy,
+      [this, promise, plumb, caching, entry_id, key, keys_copy,
        options = std::move(task_options),
        problem = std::move(request.problem)]() mutable {
         ResultPtr result;
         try {
           CompositionResult full = Compose(problem, options);
+          if (!full.interrupt.ok()) {
+            // The run unwound on a fired token: partial residuals are not
+            // a servable result and must never be cached. Finish() is the
+            // liveness fence — it must run before ReleaseOutstanding on
+            // every path.
+            if (caching) EvictFailed(key, entry_id);
+            Status interrupt = full.interrupt;
+            uint64_t extra = plumb->Finish(/*interrupted=*/true);
+            RecordCompletion(nullptr, /*interrupted=*/true, extra);
+            promise->set_value(ServedOutcome(std::move(interrupt)));
+            ReleaseOutstanding();
+            return;
+          }
           // Slim before caching: constraints + residuals + warnings and
           // the precomputed full fingerprint are retained; per-round stat
           // payloads are dropped (they would dominate a registry-scale
           // cache) after their wave counters were folded into stats_.
-          RecordCompletion(&full);
+          uint64_t extra = plumb->Finish(/*interrupted=*/false);
+          RecordCompletion(&full, /*interrupted=*/false, extra);
           result = std::make_shared<ServedResult>(
               ServedResult::FromResult(full));
         } catch (...) {
@@ -217,7 +358,8 @@ ComposeService::Handle ComposeService::Submit(serve::ServeRequest request) {
           } catch (...) {
           }
           if (caching) EvictFailed(key, entry_id);
-          RecordCompletion(nullptr);
+          uint64_t extra = plumb->Finish(/*interrupted=*/false);
+          RecordCompletion(nullptr, /*interrupted=*/false, extra);
           promise->set_value(ServedOutcome(std::move(failure)));
           ReleaseOutstanding();
           return;

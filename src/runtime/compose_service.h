@@ -13,6 +13,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/common/cancel.h"
 #include "src/compose/compose.h"
 #include "src/runtime/served_result.h"
 #include "src/serve/serve_types.h"
@@ -33,6 +34,14 @@ struct ServiceStats {
   int64_t in_flight = 0;    ///< computations started but not yet finished
   uint64_t completed = 0;   ///< computations finished
   uint64_t failed = 0;      ///< computations that finished with an error
+  /// Submissions whose interest was withdrawn before their computation
+  /// finished: an explicit Handle::Cancel, a handle abandoned (every copy
+  /// destroyed) while the work was still in flight, a Submit whose deadline
+  /// had already expired, or a computation that finished interrupted by its
+  /// deadline with nobody having cancelled explicitly. Counted per
+  /// submission, so the serving tier's invariant `cancelled >= timeouts`
+  /// holds even when timed-out requests had joined a shared computation.
+  uint64_t cancelled = 0;
   uint64_t cache_entries = 0;  ///< entries currently cached
   uint64_t cache_bytes = 0;    ///< ApproxBytes of completed cached entries
   uint64_t cache_bytes_peak = 0;  ///< high-water mark of cache_bytes
@@ -127,8 +136,22 @@ class ComposeService {
  public:
   using ResultPtr = std::shared_ptr<const ServedResult>;
 
+  // Cancellation plumbing (defined in the .cc): one CancelPlumb per
+  // computation, one Joiner per submission attached to it.
+  struct CancelPlumb;
+  struct Joiner;
+
   /// Async handle for one submission. Copyable; all copies share the same
   /// eventual outcome. Valid independently of cache eviction.
+  ///
+  /// Every submission registers *interest* in its computation. Interest is
+  /// withdrawn by Cancel() or by destroying the last copy of the handle
+  /// before the outcome is ready (abandonment); once every interested
+  /// submission has withdrawn, the computation's cancel token fires and
+  /// the compose pipeline unwinds at its next check point — no zombie
+  /// lanes burning pool time for a result nobody will read. Waiting for
+  /// (or observing) a ready outcome and then dropping the handle is NOT a
+  /// cancellation.
   class Handle {
    public:
     Handle() = default;
@@ -144,6 +167,28 @@ class ComposeService {
       return future_.wait_for(std::chrono::seconds(0)) ==
              std::future_status::ready;
     }
+    /// Waits until the outcome is ready or `deadline` passes; true when
+    /// ready. A false return does not cancel — pair with Cancel().
+    bool WaitUntil(common::Deadline deadline) const {
+      if (!deadline.has_deadline()) {
+        future_.wait();
+        return true;
+      }
+      return future_.wait_until(deadline.when()) == std::future_status::ready;
+    }
+    /// Withdraws this submission's interest in the computation (idempotent
+    /// across all copies of this handle). The computation itself is only
+    /// cancelled once no other submission still wants it — a dedup join
+    /// cancelling its own timed-out request must not kill the shared work.
+    /// Returns true when interest was withdrawn while the computation was
+    /// still in flight (the submission is counted in
+    /// ServiceStats::cancelled); false when the cancel lost the race
+    /// against completion — nothing is counted, the handle stays valid,
+    /// and Wait() returns the completed outcome. The return value is what
+    /// lets the serving tier keep `cancelled >= timeouts` exact: a
+    /// dispatcher whose cancel lost the race serves the landed result
+    /// instead of claiming a timeout that cancelled nothing.
+    bool Cancel() const;
     /// True when Submit answered from the cache (ready or in flight)
     /// rather than starting a new computation.
     bool cache_hit() const { return cache_hit_; }
@@ -151,6 +196,7 @@ class ComposeService {
    private:
     friend class ComposeService;
     std::shared_future<ServedOutcome> future_;
+    std::shared_ptr<Joiner> joiner_;  // null for cache-probe / expired stubs
     bool cache_hit_ = false;
   };
 
@@ -173,6 +219,20 @@ class ComposeService {
   /// non-default options.eliminate.registry is borrowed and must outlive
   /// the computation (registries are long-lived by design).
   Handle Submit(serve::ServeRequest request);
+
+  /// Submit with an end-to-end deadline: the computation runs under a
+  /// cancel token that fires when `deadline` passes, so it unwinds
+  /// cooperatively instead of computing a result nobody can use. An
+  /// already-expired deadline short-circuits: the handle comes back ready
+  /// with kDeadlineExceeded, nothing is queued, cached, or counted as a
+  /// miss — only ServiceStats::cancelled grows. A submission that joins a
+  /// computation already in flight adopts that computation's deadline (its
+  /// own is still enforceable by the caller via WaitUntil + Cancel). A
+  /// request carrying its own ComposeOptions cancel token keeps that
+  /// token's cancel source and runs under the *earlier* of the two
+  /// deadlines; such a computation is beyond Handle::Cancel's reach — the
+  /// caller owns its source.
+  Handle Submit(serve::ServeRequest request, common::Deadline deadline);
 
   /// Deprecated shim: wraps the problem in a ServeRequest under the
   /// service's default options. Prefer Submit(serve::ServeRequest).
@@ -210,6 +270,9 @@ class ComposeService {
   struct CacheEntry {
     std::shared_future<ServedOutcome> future;
     std::list<std::string>::iterator lru_it;
+    /// Joining submissions attach their interest here, so dedup joins
+    /// share one computation-wide cancel decision.
+    std::shared_ptr<CancelPlumb> plumb;
     /// Distinguishes this entry from a later one under the same key (the
     /// original may be evicted and the key recomputed while the original
     /// computation is still running).
@@ -219,7 +282,14 @@ class ComposeService {
     size_t bytes = 0;
   };
 
-  void RecordCompletion(const CompositionResult* result);
+  /// `interrupted` = the composition unwound on a fired cancel token; it
+  /// counts as completed (never failed), and `extra_cancelled` carries the
+  /// deadline-fired-with-no-explicit-cancel correction.
+  void RecordCompletion(const CompositionResult* result, bool interrupted,
+                        uint64_t extra_cancelled);
+  /// One submission withdrew interest in a still-running computation.
+  /// Called from CancelPlumb under its liveness fence (see the .cc).
+  void BumpCancelled();
   void ReleaseOutstanding();
   /// Drops the cache entry `key` if it still is the one created with
   /// `id` — called when a computation fails, so the Status is handed to

@@ -34,6 +34,7 @@ struct DagState {
   std::exception_ptr error;
   int64_t error_index = -1;
   ThreadPool* pool = nullptr;
+  const common::CancelToken* cancel = nullptr;  // may be null; poll-only
 };
 
 void DrainDag(const std::shared_ptr<DagState>& s, bool is_caller);
@@ -63,7 +64,8 @@ void DrainDag(const std::shared_ptr<DagState>& s, bool is_caller) {
     int64_t i = s->ready.top();
     s->ready.pop();
     if (!is_caller) ++s->active_helpers;
-    bool run = !s->abort;
+    bool run = !s->abort &&
+               !(s->cancel != nullptr && s->cancel->Fired());
     lock.unlock();
     if (run) {
       try {
@@ -108,12 +110,14 @@ int64_t TaskDag::AddTask(std::function<void()> fn, std::vector<int64_t> deps) {
   return id;
 }
 
-void TaskDag::Run(ThreadPool* pool, int max_helpers) {
+void TaskDag::Run(ThreadPool* pool, int max_helpers,
+                  const common::CancelToken* cancel) {
   const int64_t n = static_cast<int64_t>(tasks_.size());
   if (n == 0) return;
   if (pool == nullptr || max_helpers == 0 || n == 1) {
     std::exception_ptr error;
     for (PendingTask& t : tasks_) {
+      if (cancel != nullptr && cancel->Fired()) break;
       try {
         t.fn();
       } catch (...) {
@@ -141,6 +145,7 @@ void TaskDag::Run(ThreadPool* pool, int max_helpers) {
   tasks_.clear();
   s->remaining = n;
   s->pool = pool;
+  s->cancel = cancel;
   int cap = max_helpers < 0 ? pool->thread_count()
                             : std::min(max_helpers, pool->thread_count());
   s->helper_cap = std::max(0, cap);

@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/common/cancel.h"
 #include "src/runtime/thread_pool.h"
 
 namespace mapcomp {
@@ -46,7 +47,16 @@ class TaskDag {
   /// Runs the whole graph to completion, then leaves the dag empty (a
   /// TaskDag is single-shot). See the class comment for threading and
   /// exception behavior.
-  void Run(ThreadPool* pool, int max_helpers);
+  ///
+  /// `cancel`, when non-null, is polled at every task claim (the graph's
+  /// natural slot boundary): once it fires, tasks not yet started retire
+  /// without executing — the abort path without an exception — and Run
+  /// returns normally after every lane quiesces. The caller is responsible
+  /// for noticing (via the token) that some task bodies never ran; a run
+  /// during which the token never fires is indistinguishable from an
+  /// unbounded one.
+  void Run(ThreadPool* pool, int max_helpers,
+           const common::CancelToken* cancel = nullptr);
 
   int64_t size() const { return static_cast<int64_t>(tasks_.size()); }
 

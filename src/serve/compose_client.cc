@@ -14,6 +14,35 @@
 namespace mapcomp {
 namespace serve {
 
+namespace {
+
+/// Deterministic jitter stream (xorshift64*): cheap, seedable, and good
+/// enough to decorrelate backoff — this is pacing, not cryptography.
+uint64_t NextJitter(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+/// 50–100% of `nominal_ms`, by jitter.
+int64_t JitteredMs(int64_t nominal_ms, uint64_t* state) {
+  if (nominal_ms <= 1) return nominal_ms;
+  int64_t half = nominal_ms / 2;
+  return half + static_cast<int64_t>(NextJitter(state) %
+                                     static_cast<uint64_t>(nominal_ms - half + 1));
+}
+
+uint64_t ClockSeed() {
+  return static_cast<uint64_t>(
+             std::chrono::steady_clock::now().time_since_epoch().count()) |
+         1;  // xorshift must not start at 0
+}
+
+}  // namespace
+
 ComposeClient::~ComposeClient() { Close(); }
 
 void ComposeClient::Close() {
@@ -36,6 +65,8 @@ Result<std::unique_ptr<ComposeClient>> ComposeClient::Connect(
 
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(retry_ms);
+  uint64_t jitter = ClockSeed();
+  int64_t backoff_ms = 2;
   for (;;) {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) return Status::Internal("socket() failed");
@@ -53,7 +84,18 @@ Result<std::unique_ptr<ComposeClient>> ComposeClient::Connect(
       return Status::Internal("connect(" + ip + ":" + std::to_string(port) +
                               ") failed: " + strerror(err));
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    // Jittered exponential backoff, clamped to the remaining budget: a
+    // fleet of clients racing one slow server start spreads out instead
+    // of knocking in unison every 10ms.
+    int64_t remaining_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count();
+    int64_t sleep_ms =
+        std::min(JitteredMs(backoff_ms, &jitter), std::max<int64_t>(
+                                                      remaining_ms, 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    backoff_ms = std::min<int64_t>(backoff_ms * 2, 200);
   }
 }
 
@@ -114,6 +156,29 @@ Result<ServeReply> ComposeClient::Recv() {
 Result<ServeReply> ComposeClient::Call(const ServeRequest& request) {
   MAPCOMP_RETURN_IF_ERROR(Send(request));
   return Recv();
+}
+
+Result<ServeReply> ComposeClient::CallWithRetry(const ServeRequest& request,
+                                                const RetryPolicy& policy) {
+  uint64_t jitter =
+      policy.jitter_seed != 0 ? policy.jitter_seed : ClockSeed();
+  int64_t slept_ms = 0;
+  int64_t backoff_ms = std::max(1, policy.initial_backoff_ms);
+  Result<ServeReply> reply = Call(request);
+  for (int attempt = 1; attempt < policy.max_attempts; ++attempt) {
+    // Only a shed reply is worth a resend; everything else (success,
+    // deterministic refusals, spent deadlines, transport faults) goes
+    // straight back to the caller.
+    if (!reply.ok() || reply->status != WireStatus::kOverloaded) return reply;
+    int64_t sleep_ms = JitteredMs(backoff_ms, &jitter);
+    if (slept_ms + sleep_ms > policy.total_budget_ms) return reply;
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    slept_ms += sleep_ms;
+    backoff_ms = std::min<int64_t>(backoff_ms * 2,
+                                   std::max(1, policy.max_backoff_ms));
+    reply = Call(request);
+  }
+  return reply;
 }
 
 }  // namespace serve

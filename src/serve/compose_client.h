@@ -11,6 +11,21 @@
 namespace mapcomp {
 namespace serve {
 
+/// How CallWithRetry paces itself. Backoff is exponential with
+/// deterministic multiplicative jitter (an xorshift stream, seedable for
+/// reproducible tests): attempt n sleeps 50–100% of
+/// min(initial_backoff_ms << n, max_backoff_ms), so a herd of clients
+/// shed by the same overloaded server decorrelates instead of
+/// re-stampeding in lockstep. Both the attempt count and the total sleep
+/// budget cap the loop — whichever runs out first ends it.
+struct RetryPolicy {
+  int max_attempts = 4;        ///< total tries, including the first
+  int initial_backoff_ms = 5;  ///< nominal first backoff
+  int max_backoff_ms = 200;    ///< nominal backoff ceiling
+  int total_budget_ms = 2000;  ///< hard cap on cumulative sleep
+  uint64_t jitter_seed = 0;    ///< 0 = seed from the monotonic clock
+};
+
 /// Blocking client for one ComposeServer connection. Send/Recv are split
 /// so callers can pipeline: many Sends first, then collect replies — the
 /// request_id correlates them (the server may interleave shed replies
@@ -23,9 +38,11 @@ class ComposeClient {
   ComposeClient(const ComposeClient&) = delete;
   ComposeClient& operator=(const ComposeClient&) = delete;
 
-  /// Connects to host:port. Retries ECONNREFUSED until `retry_ms` elapses
-  /// (covers the race of a client starting before the server's listen —
-  /// the CI loopback smoke depends on this). host may be a dotted quad or
+  /// Connects to host:port. Retries ECONNREFUSED with jittered
+  /// exponential backoff until `retry_ms` elapses in total (covers the
+  /// race of a client starting before the server's listen — the CI
+  /// loopback smoke depends on this — without hammering a struggling
+  /// endpoint at a fixed cadence). host may be a dotted quad or
   /// "localhost".
   static Result<std::unique_ptr<ComposeClient>> Connect(
       const std::string& host, int port, int retry_ms = 2000);
@@ -36,6 +53,17 @@ class ComposeClient {
   Result<ServeReply> Recv();
   /// Send + Recv.
   Result<ServeReply> Call(const ServeRequest& request);
+  /// Call, retrying ONLY kOverloaded replies under `policy`. kOverloaded
+  /// is the one verdict that promises "never admitted, safe to resend";
+  /// kTimeout means the deadline budget is already spent, kCancelled that
+  /// someone upstream gave up, and transport errors leave the stream in
+  /// an unknown state (this client is connection-oriented; reconnect to
+  /// retry those) — all surface to the caller unchanged, after zero
+  /// resends. The wire-status append that split kOverloaded from
+  /// kResourceExhausted/kTimeout is precisely what makes this policy
+  /// implementable client-side.
+  Result<ServeReply> CallWithRetry(const ServeRequest& request,
+                                   const RetryPolicy& policy = {});
 
   /// Writes raw bytes as-is — test/bench hook for speaking garbage at the
   /// server.

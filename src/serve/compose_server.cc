@@ -12,6 +12,8 @@
 
 #include <algorithm>
 
+#include "src/common/cancel.h"
+#include "src/common/fault.h"
 #include "src/serve/wire_status.h"
 
 namespace mapcomp {
@@ -119,7 +121,7 @@ Status ComposeServer::Start() {
 }
 
 void ComposeServer::Stop() {
-  if (!running_.exchange(false)) {
+  if (!running_.load()) {
     // Start may have failed half-way: release whatever exists.
     if (listen_fd_ >= 0) ::close(listen_fd_);
     if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
@@ -128,13 +130,54 @@ void ComposeServer::Stop() {
     listen_fd_ = wake_fds_[0] = wake_fds_[1] = epoll_fd_ = -1;
     return;
   }
-  // Dispatchers first: they drain the admission queue (ignoring the test
-  // gate once stopping), staging replies that the still-running I/O thread
-  // may flush.
+  // Drain, then tear down. `running_` stays true through the drain so the
+  // I/O thread keeps flushing the replies dispatchers stage.
+  //
+  // Phase 1 — answer what was admitted: draining_ stops new accepts and
+  // admissions (fresh frames shed kOverloaded); dispatchers empty the
+  // queue (ignoring the test gate) and exit.
+  draining_.store(true);
   queue_cv_.notify_all();
   for (std::thread& t : dispatchers_) t.join();
   dispatchers_.clear();
-  // Then the I/O thread.
+  // A frame admitted concurrently with the dispatchers' final empty-check
+  // could be stranded in the queue — shed it explicitly, so every
+  // accepted request gets *some* reply.
+  {
+    std::deque<Admitted> stranded;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      stranded.swap(queue_);
+    }
+    for (const Admitted& a : stranded) {
+      ServeReply reply = ServeReply::ErrorReply(
+          a.request.request_id, WireStatus::kOverloaded, "server draining");
+      std::string body;
+      reply.SerializeTo(&body);
+      std::string frame;
+      EncodeFrame(FrameType::kReply, body, &frame);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.sheds;
+      }
+      PostReply(a.conn_id, std::move(frame));
+    }
+  }
+  // Phase 2 — flush: wait for every staged reply byte to reach a socket,
+  // bounded by the drain budget (a client that never reads must not wedge
+  // Stop).
+  auto flush_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(std::max(0, options_.drain_timeout_ms));
+  while (pending_write_bytes_.load(std::memory_order_acquire) > 0 &&
+         std::chrono::steady_clock::now() < flush_deadline) {
+    char b = 'x';
+    ssize_t ignored = ::write(wake_fds_[1], &b, 1);
+    (void)ignored;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Phase 3 — tear down the I/O thread and every socket.
+  running_.store(false);
   if (wake_fds_[1] >= 0) {
     char b = 'x';
     ssize_t ignored = ::write(wake_fds_[1], &b, 1);
@@ -171,7 +214,10 @@ void ComposeServer::IoLoop() {
     for (int i = 0; i < n; ++i) {
       int fd = events[i].data.fd;
       if (fd == listen_fd_) {
-        AcceptNew();
+        // During drain, pending connects stay in the backlog and die with
+        // the listen socket — the server owes replies only to requests it
+        // actually accepted.
+        if (!draining_.load(std::memory_order_relaxed)) AcceptNew();
         continue;
       }
       if (fd == wake_fds_[0]) {
@@ -185,7 +231,12 @@ void ComposeServer::IoLoop() {
         }
         for (auto& [conn_id, frame] : staged) {
           auto it = conn_fd_.find(conn_id);
-          if (it == conn_fd_.end()) continue;  // connection died meanwhile
+          if (it == conn_fd_.end()) {
+            // Connection died meanwhile: its bytes will never be written.
+            pending_write_bytes_.fetch_sub(
+                static_cast<int64_t>(frame.size()), std::memory_order_acq_rel);
+            continue;
+          }
           Connection& conn = *conns_.at(it->second);
           conn.outbox.append(frame);
           {
@@ -315,6 +366,21 @@ void ComposeServer::OnFrame(Connection& conn, const std::string& body) {
     ++stats_.requests_parsed;
   }
 
+  // A frame that lands during drain finds the dispatchers already gone:
+  // shed it (the cache probe below would be fine, but one uniform answer
+  // keeps drain behavior predictable).
+  if (draining_.load(std::memory_order_relaxed)) {
+    QueueReply(conn, ServeReply::ErrorReply(request.request_id,
+                                            WireStatus::kOverloaded,
+                                            "server draining"));
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.sheds;
+    }
+    UpdateEpollOut(conn);
+    return;
+  }
+
   // Cache-aware admission: a completed cached result is served straight
   // from the I/O thread — hot traffic never competes for queue slots.
   if (runtime::ComposeService::ResultPtr hit =
@@ -369,12 +435,16 @@ void ComposeServer::QueueReply(Connection& conn, const ServeReply& reply) {
   reply.SerializeTo(&body);
   std::string frame;
   EncodeFrame(FrameType::kReply, body, &frame);
+  pending_write_bytes_.fetch_add(static_cast<int64_t>(frame.size()),
+                                 std::memory_order_acq_rel);
   conn.outbox.append(frame);
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.replies_sent;
 }
 
 void ComposeServer::PostReply(uint64_t conn_id, std::string frame) {
+  pending_write_bytes_.fetch_add(static_cast<int64_t>(frame.size()),
+                                 std::memory_order_acq_rel);
   {
     std::lock_guard<std::mutex> lock(inbox_mu_);
     reply_inbox_.emplace_back(conn_id, std::move(frame));
@@ -386,10 +456,33 @@ void ComposeServer::PostReply(uint64_t conn_id, std::string frame) {
 
 void ComposeServer::HandleWritable(Connection& conn) {
   while (conn.out_pos < conn.outbox.size()) {
-    ssize_t n = ::write(conn.fd, conn.outbox.data() + conn.out_pos,
-                        conn.outbox.size() - conn.out_pos);
+    size_t len = conn.outbox.size() - conn.out_pos;
+    // Fault point: kill the connection with a hard RST after exactly
+    // Arg() reply bytes, so a reset lands mid-reply at a reproducible
+    // offset — the client must surface a transport error, never a
+    // half-parsed frame.
+    using common::fault::FaultPoint;
+    if (common::fault::Armed(FaultPoint::kSocketResetAfterNBytes)) {
+      uint64_t budget = common::fault::Arg(FaultPoint::kSocketResetAfterNBytes);
+      if (faulted_bytes_ >= budget) {
+        (void)common::fault::Hit(FaultPoint::kSocketResetAfterNBytes);
+        struct linger hard_reset;
+        hard_reset.l_onoff = 1;
+        hard_reset.l_linger = 0;
+        ::setsockopt(conn.fd, SOL_SOCKET, SO_LINGER, &hard_reset,
+                     sizeof(hard_reset));
+        CloseConnection(conn.fd);
+        return;
+      }
+      len = std::min<size_t>(len, budget - faulted_bytes_);
+    }
+    ssize_t n = ::write(conn.fd, conn.outbox.data() + conn.out_pos, len);
     if (n > 0) {
       conn.out_pos += static_cast<size_t>(n);
+      if (common::fault::Armed(FaultPoint::kSocketResetAfterNBytes)) {
+        faulted_bytes_ += static_cast<uint64_t>(n);
+      }
+      pending_write_bytes_.fetch_sub(n, std::memory_order_acq_rel);
       std::lock_guard<std::mutex> lock(stats_mu_);
       stats_.bytes_written += static_cast<uint64_t>(n);
       continue;
@@ -420,6 +513,10 @@ void ComposeServer::UpdateEpollOut(Connection& conn) {
 void ComposeServer::CloseConnection(int fd) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) return;
+  // Unwritten outbox bytes die with the socket.
+  pending_write_bytes_.fetch_sub(
+      static_cast<int64_t>(it->second->outbox.size() - it->second->out_pos),
+      std::memory_order_acq_rel);
   conn_fd_.erase(it->second->id);
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
@@ -431,14 +528,14 @@ void ComposeServer::DispatchLoop() {
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] {
-        return !running_.load() || !queue_.empty();
+        return draining_.load() || !queue_.empty();
       });
-      if (queue_.empty() && !running_.load()) return;
+      if (queue_.empty() && draining_.load()) return;
     }
     // Test gate: hold admitted work unpopped so a test can observe a
-    // provably full queue. Ignored once the server is stopping (drain).
+    // provably full queue. Ignored once the server is draining.
     if (const auto& gate = options_.admission_gate) {
-      while (running_.load() && !gate->load()) {
+      while (!draining_.load() && !gate->load()) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
     }
@@ -451,35 +548,48 @@ void ComposeServer::DispatchLoop() {
       }
     }
     if (batch.empty()) {
-      if (!running_.load()) return;
+      if (draining_.load()) return;
       continue;
     }
 
     // Submit the whole batch before the first Wait: independent problems
-    // overlap in the compose pool even with one dispatcher thread.
+    // overlap in the compose pool even with one dispatcher thread. Every
+    // entry runs under the earlier of its queue-aging bound and the
+    // request's own end-to-end deadline; Submit short-circuits entries
+    // that are already dead (stale work is refused, not amplified — and
+    // costs a counter bump, not a composition).
     std::vector<runtime::ComposeService::Handle> handles;
-    std::vector<bool> timed_out(batch.size(), false);
+    std::vector<common::Deadline> deadlines;
     handles.reserve(batch.size());
-    auto now = std::chrono::steady_clock::now();
-    for (size_t i = 0; i < batch.size(); ++i) {
-      if (options_.queue_timeout_ms > 0 &&
-          now - batch[i].enqueued >
-              std::chrono::milliseconds(options_.queue_timeout_ms)) {
-        timed_out[i] = true;
-        handles.emplace_back();  // placeholder, never waited on
-        continue;
+    deadlines.reserve(batch.size());
+    for (const Admitted& a : batch) {
+      common::Deadline deadline;
+      if (options_.queue_timeout_ms > 0) {
+        deadline = common::Deadline::At(
+            a.enqueued + std::chrono::milliseconds(options_.queue_timeout_ms));
       }
-      handles.push_back(service_->Submit(batch[i].request));
+      if (a.request.deadline_ms > 0) {
+        deadline = common::Deadline::Min(
+            deadline,
+            common::Deadline::At(a.enqueued + std::chrono::milliseconds(
+                                                  a.request.deadline_ms)));
+      }
+      deadlines.push_back(deadline);
+      handles.push_back(service_->Submit(a.request, deadline));
     }
     for (size_t i = 0; i < batch.size(); ++i) {
       const uint64_t id = batch[i].request.request_id;
       ServeReply reply;
-      if (timed_out[i]) {
-        // Stale work is refused, not amplified: by now the client has
-        // likely given up, and composing anyway would only deepen the
-        // overload that delayed it.
-        reply = ServeReply::ErrorReply(id, WireStatus::kTimeout,
-                                       "request timed out in admission queue");
+      // A false WaitUntil means the budget ran out mid-composition:
+      // withdraw interest (the computation is cancelled once nobody else
+      // wants it) and answer kTimeout now — the lane moves on instead of
+      // babysitting a zombie. A Cancel that loses the race against
+      // completion cancelled nothing, so the landed result is served
+      // instead; that keeps `ServiceStats::cancelled >= timeouts` exact.
+      if (!handles[i].WaitUntil(deadlines[i]) && handles[i].Cancel()) {
+        reply = ServeReply::ErrorReply(
+            id, WireStatus::kTimeout,
+            "deadline exceeded before composition finished");
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.timeouts;
       } else {
@@ -491,6 +601,10 @@ void ComposeServer::DispatchLoop() {
           reply = ServeReply::ErrorReply(
               id, WireStatusFrom(outcome.status().code()),
               outcome.status().message());
+          if (outcome.status().IsInterrupt()) {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            ++stats_.timeouts;
+          }
         }
       }
       std::string body;

@@ -43,8 +43,17 @@ struct ServerOptions {
   size_t batch_size = 16;
   /// When > 0, a request that waited in the admission queue longer than
   /// this is answered kTimeout instead of being composed — stale work is
-  /// refused, not amplified.
+  /// refused, not amplified. The bound keeps following admitted work: a
+  /// request whose composition is still running when the bound passes is
+  /// cancelled (Handle::Cancel) and answered kTimeout immediately — the
+  /// dispatcher lane is freed and the abandoned computation unwinds
+  /// cooperatively instead of running as a zombie.
   int queue_timeout_ms = 0;
+  /// Stop() drain budget: after dispatchers finish answering admitted
+  /// work, the I/O thread keeps flushing staged reply bytes for at most
+  /// this long before the sockets are torn down. Bounds a stop against a
+  /// client that never reads.
+  int drain_timeout_ms = 2000;
   /// Test hook: when set, dispatchers refuse to pop while *admission_gate
   /// is false. Lets a test hold the queue provably full (overload
   /// behavior) without racing against dispatch speed.
@@ -57,7 +66,9 @@ struct ServerStats {
   uint64_t requests_parsed = 0;   ///< well-formed ServeRequests decoded
   uint64_t replies_sent = 0;      ///< reply frames fully written
   uint64_t sheds = 0;             ///< kOverloaded replies (queue full)
-  uint64_t timeouts = 0;          ///< kTimeout replies (stale in queue)
+  uint64_t timeouts = 0;          ///< kTimeout replies (aged out in the
+                                  ///< queue or budget exhausted
+                                  ///< mid-composition)
   uint64_t cache_bypass = 0;      ///< requests served by the admission
                                   ///< probe without entering the queue
   uint64_t protocol_errors = 0;   ///< framing/parse violations
@@ -137,6 +148,19 @@ class ComposeServer {
   int wake_fds_[2] = {-1, -1};  // [0] read end (epoll), [1] write end
 
   std::atomic<bool> running_{false};
+  /// Drain phase of Stop(): no new connections or admissions (fresh frames
+  /// are shed kOverloaded), while dispatchers answer what was already
+  /// admitted and the I/O thread keeps flushing replies. `running_` stays
+  /// true until the drain completes, so no accepted request is silently
+  /// dropped between admission and reply.
+  std::atomic<bool> draining_{false};
+  /// Reply bytes staged (inbox + outboxes) but not yet written to a
+  /// socket; Stop() polls this to zero (or the drain deadline) before
+  /// closing.
+  std::atomic<int64_t> pending_write_bytes_{0};
+  /// Reply bytes written while the kSocketResetAfterNBytes fault is armed
+  /// (I/O-thread only).
+  uint64_t faulted_bytes_ = 0;
   std::thread io_thread_;
   std::vector<std::thread> dispatchers_;
 

@@ -105,6 +105,9 @@ Status ServeRequest::SerializeTo(std::string* out) const {
   PutString(out, ConstraintSetToString(problem.sigma12));
   PutString(out, ConstraintSetToString(problem.sigma23));
   PutStringList(out, problem.elimination_order);
+  // Optional trailing field (v2): written only when set, so deadline-less
+  // requests keep their v1 byte image.
+  if (deadline_ms > 0) PutU32(out, deadline_ms);
   return Status::OK();
 }
 
@@ -183,7 +186,14 @@ Result<ServeRequest> ServeRequest::Parse(const uint8_t* data, size_t len) {
   if (!r.ReadStringList(&out.problem.elimination_order)) {
     return Invalid("bad elimination order");
   }
-  if (!r.AtEnd()) return Invalid("trailing bytes after request");
+  if (!r.AtEnd()) {
+    // Optional trailing deadline (v2). Zero must travel as absence — one
+    // canonical byte image per value — so a present zero is hostile input.
+    if (!r.ReadU32(&out.deadline_ms) || out.deadline_ms == 0) {
+      return Invalid("bad deadline field");
+    }
+    if (!r.AtEnd()) return Invalid("trailing bytes after request");
+  }
   return out;
 }
 

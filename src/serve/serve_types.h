@@ -53,6 +53,17 @@ struct ServeRequest {
   /// Shared, so copying a ServeRequest keeps the pointer valid.
   std::shared_ptr<const Signature> owned_keys;
 
+  /// End-to-end budget in milliseconds, measured by the server from the
+  /// request's arrival; 0 = unbounded. The server submits the composition
+  /// under min(arrival + deadline_ms, queue-aging bound), so an expired
+  /// budget answers kTimeout instead of burning pool time. On the wire
+  /// this is an OPTIONAL trailing u32: a request without one serializes to
+  /// the exact v1 bytes (old servers keep working, old byte-level golden
+  /// frames stay valid), and a present-but-zero field is rejected at parse
+  /// time so every value has exactly one canonical serialization. Not part
+  /// of any cache key — it names urgency, not the computation.
+  uint32_t deadline_ms = 0;
+
   static ServeRequest Of(CompositionProblem p, uint64_t id = 0) {
     ServeRequest out;
     out.request_id = id;

@@ -16,9 +16,15 @@ WireStatus WireStatusFrom(StatusCode code) {
     case StatusCode::kFailedPrecondition:
       return WireStatus::kFailedPrecondition;
     case StatusCode::kResourceExhausted:
-      return WireStatus::kOverloaded;
+      return WireStatus::kResourceExhausted;
     case StatusCode::kInternal:
       return WireStatus::kInternal;
+    case StatusCode::kOverloaded:
+      return WireStatus::kOverloaded;
+    case StatusCode::kDeadlineExceeded:
+      return WireStatus::kTimeout;
+    case StatusCode::kCancelled:
+      return WireStatus::kCancelled;
   }
   return WireStatus::kInternal;
 }
@@ -36,10 +42,15 @@ StatusCode StatusCodeFrom(WireStatus status) {
     case WireStatus::kFailedPrecondition:
       return StatusCode::kFailedPrecondition;
     case WireStatus::kOverloaded:
+      return StatusCode::kOverloaded;
     case WireStatus::kTimeout:
-      return StatusCode::kResourceExhausted;
+      return StatusCode::kDeadlineExceeded;
     case WireStatus::kInternal:
       return StatusCode::kInternal;
+    case WireStatus::kResourceExhausted:
+      return StatusCode::kResourceExhausted;
+    case WireStatus::kCancelled:
+      return StatusCode::kCancelled;
   }
   return StatusCode::kInternal;
 }
@@ -62,12 +73,16 @@ const char* WireStatusName(WireStatus status) {
       return "Timeout";
     case WireStatus::kInternal:
       return "Internal";
+    case WireStatus::kResourceExhausted:
+      return "ResourceExhausted";
+    case WireStatus::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }
 
 bool IsValidWireStatus(uint8_t raw) {
-  return raw <= static_cast<uint8_t>(WireStatus::kInternal);
+  return raw <= static_cast<uint8_t>(WireStatus::kCancelled);
 }
 
 }  // namespace serve

@@ -15,11 +15,13 @@ namespace serve {
 /// tests/serve_protocol_test.cc and must never be renumbered, only
 /// appended to.
 ///
-/// Two codes have no StatusCode origin because they are serving-tier
-/// verdicts, not library errors: kOverloaded is the bounded admission
+/// Serving-tier verdict semantics: kOverloaded is the bounded admission
 /// queue shedding under pressure (retry later — the request was never
-/// admitted), kTimeout is a request that aged out of the queue before a
-/// dispatcher reached it (it was admitted but never composed).
+/// admitted), kTimeout is a request whose deadline fired after admission
+/// (it aged out of the queue, or its composition was cancelled mid-flight
+/// and wound down at the next cancellation point). The distinction is
+/// load-bearing for retry policy: kOverloaded is safe to retry, kTimeout
+/// means the deadline budget is spent.
 enum class WireStatus : uint8_t {
   kOk = 0,
   kInvalidArgument = 1,
@@ -29,19 +31,25 @@ enum class WireStatus : uint8_t {
   kOverloaded = 5,
   kTimeout = 6,
   kInternal = 7,
+  // Appended with the deadline/cancellation spine: kResourceExhausted used
+  // to collapse onto kOverloaded (and the inverse collapsed kOverloaded and
+  // kTimeout back onto kResourceExhausted), which made a client-side retry
+  // policy impossible. Each code now has its own wire image.
+  kResourceExhausted = 8,
+  kCancelled = 9,
 };
 
 /// Total, pinned mapping from the library's StatusCode: every StatusCode
-/// has exactly one wire image (kResourceExhausted → kOverloaded; anything
+/// has exactly one wire image (kDeadlineExceeded → kTimeout; anything
 /// unknown degrades to kInternal, never to a bogus success). The mapping
 /// is pinned code-by-code in tests/serve_protocol_test.cc.
 WireStatus WireStatusFrom(StatusCode code);
 
-/// Client-side inverse: reconstructs the closest StatusCode so wire
-/// errors re-enter the library's Status/Result plumbing. kOverloaded and
-/// kTimeout both land on kResourceExhausted (their shared library-side
-/// ancestor); the round trip StatusCode→WireStatus→StatusCode is identity
-/// for every code except that collapse.
+/// Client-side inverse: reconstructs the StatusCode so wire errors
+/// re-enter the library's Status/Result plumbing. Since the v1 append of
+/// kResourceExhausted/kCancelled the round trip
+/// StatusCode→WireStatus→StatusCode is identity for every code
+/// (kTimeout ↔ kDeadlineExceeded is the one renaming across the wire).
 StatusCode StatusCodeFrom(WireStatus status);
 
 /// Stable display name ("Ok", "Overloaded", ...).

@@ -92,7 +92,12 @@ TEST(ComposeServiceTest, LruEvictionDropsOldestAndRecounts) {
   EXPECT_EQ(service.Stats().evictions, 1u);
   EXPECT_TRUE(service.Submit(sim::BuildFanoutProblem(2)).cache_hit());
   EXPECT_TRUE(service.Submit(sim::BuildFanoutProblem(4)).cache_hit());
-  EXPECT_FALSE(service.Submit(sim::BuildFanoutProblem(3)).cache_hit());
+  // Hold the miss handle until it completes: dropping it mid-flight would
+  // now count as abandonment and cancel the recomputation.
+  ComposeService::Handle recomputed =
+      service.Submit(sim::BuildFanoutProblem(3));
+  EXPECT_FALSE(recomputed.cache_hit());
+  recomputed.Wait();
   EXPECT_EQ(service.Stats().cache_entries, 2u);
 }
 

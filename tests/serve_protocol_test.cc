@@ -36,6 +36,8 @@ TEST(WireStatusTest, NumericValuesArePinned) {
   EXPECT_EQ(static_cast<uint8_t>(WireStatus::kOverloaded), 5);
   EXPECT_EQ(static_cast<uint8_t>(WireStatus::kTimeout), 6);
   EXPECT_EQ(static_cast<uint8_t>(WireStatus::kInternal), 7);
+  EXPECT_EQ(static_cast<uint8_t>(WireStatus::kResourceExhausted), 8);
+  EXPECT_EQ(static_cast<uint8_t>(WireStatus::kCancelled), 9);
 }
 
 TEST(WireStatusTest, MappingFromStatusCodeIsTotalAndPinned) {
@@ -48,29 +50,30 @@ TEST(WireStatusTest, MappingFromStatusCodeIsTotalAndPinned) {
   EXPECT_EQ(WireStatusFrom(StatusCode::kFailedPrecondition),
             WireStatus::kFailedPrecondition);
   EXPECT_EQ(WireStatusFrom(StatusCode::kResourceExhausted),
-            WireStatus::kOverloaded);
+            WireStatus::kResourceExhausted);
   EXPECT_EQ(WireStatusFrom(StatusCode::kInternal), WireStatus::kInternal);
+  EXPECT_EQ(WireStatusFrom(StatusCode::kOverloaded), WireStatus::kOverloaded);
+  EXPECT_EQ(WireStatusFrom(StatusCode::kDeadlineExceeded),
+            WireStatus::kTimeout);
+  EXPECT_EQ(WireStatusFrom(StatusCode::kCancelled), WireStatus::kCancelled);
 }
 
-TEST(WireStatusTest, InverseIsIdentityExceptTheDocumentedCollapse) {
-  for (uint8_t raw = 0; raw <= 7; ++raw) {
+TEST(WireStatusTest, InverseIsIdentityForEveryCode) {
+  // Since the append of kResourceExhausted/kCancelled nothing collapses
+  // any more: a client reconstructs exactly the StatusCode the server
+  // classified (kTimeout ↔ kDeadlineExceeded is a renaming, not a merge),
+  // which is what makes a retry-on-kOverloaded-only policy possible.
+  for (uint8_t raw = 0; raw <= 9; ++raw) {
     ASSERT_TRUE(IsValidWireStatus(raw));
     WireStatus ws = static_cast<WireStatus>(raw);
-    // StatusCode → WireStatus → StatusCode is identity for every library
-    // code; the two serving-tier verdicts collapse onto
-    // kResourceExhausted.
-    if (ws == WireStatus::kOverloaded || ws == WireStatus::kTimeout) {
-      EXPECT_EQ(StatusCodeFrom(ws), StatusCode::kResourceExhausted);
-    } else {
-      EXPECT_EQ(WireStatusFrom(StatusCodeFrom(ws)), ws);
-    }
+    EXPECT_EQ(WireStatusFrom(StatusCodeFrom(ws)), ws);
   }
-  EXPECT_FALSE(IsValidWireStatus(8));
+  EXPECT_FALSE(IsValidWireStatus(10));
   EXPECT_FALSE(IsValidWireStatus(255));
 }
 
 TEST(WireStatusTest, EveryValueHasAName) {
-  for (uint8_t raw = 0; raw <= 7; ++raw) {
+  for (uint8_t raw = 0; raw <= 9; ++raw) {
     EXPECT_STRNE(WireStatusName(static_cast<WireStatus>(raw)), "");
   }
 }
@@ -111,6 +114,11 @@ std::vector<ServeRequest> SampleRequests() {
   with_keys.owned_keys = owned;  // keep the borrowed pointer alive
   out.push_back(std::move(with_keys));
 
+  // An end-to-end deadline rides along as the optional trailing field.
+  ServeRequest bounded = ServeRequest::Of(sim::BuildFanoutProblem(3), 11);
+  bounded.deadline_ms = 250;
+  out.push_back(std::move(bounded));
+
   // The literature suite exercises real constraint shapes.
   Parser parser;
   for (const testdata::LiteratureProblem& prob :
@@ -140,8 +148,38 @@ TEST(ServeRequestRoundTripTest, SerializeParseSerializeIsByteIdentical) {
 
     EXPECT_EQ(parsed->request_id, req.request_id);
     EXPECT_EQ(parsed->has_options, req.has_options);
+    EXPECT_EQ(parsed->deadline_ms, req.deadline_ms);
     EXPECT_EQ(parsed->problem.Fingerprint(), req.problem.Fingerprint());
   }
+}
+
+TEST(ServeRequestRoundTripTest, DeadlineFieldIsOptionalAndCanonical) {
+  // A deadline-less request serializes to the exact v1 byte image: the
+  // trailing field is simply absent, so old golden frames and old servers
+  // keep working.
+  ServeRequest plain = ServeRequest::Of(sim::BuildFanoutProblem(3), 5);
+  std::string v1_bytes;
+  ASSERT_TRUE(plain.SerializeTo(&v1_bytes).ok());
+
+  ServeRequest bounded = plain;
+  bounded.deadline_ms = 100;
+  std::string v2_bytes;
+  ASSERT_TRUE(bounded.SerializeTo(&v2_bytes).ok());
+  ASSERT_EQ(v2_bytes.size(), v1_bytes.size() + 4);
+  EXPECT_EQ(v2_bytes.compare(0, v1_bytes.size(), v1_bytes), 0);
+
+  Result<ServeRequest> parsed = ServeRequest::Parse(
+      reinterpret_cast<const uint8_t*>(v2_bytes.data()), v2_bytes.size());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->deadline_ms, 100u);
+
+  // Zero must travel as absence: a present-but-zero trailing field would
+  // give one value two byte images, so it is rejected as hostile input.
+  std::string zero_bytes = v1_bytes + std::string(4, '\0');
+  EXPECT_FALSE(ServeRequest::Parse(
+                   reinterpret_cast<const uint8_t*>(zero_bytes.data()),
+                   zero_bytes.size())
+                   .ok());
 }
 
 TEST(ServeRequestRoundTripTest, NonDefaultRegistryIsRejectedNotShipped) {

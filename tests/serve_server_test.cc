@@ -281,6 +281,42 @@ TEST(ComposeServerTest, ManyConcurrentClientsAgreeWithDirectCompose) {
             static_cast<uint64_t>(kClients * kRequestsEach));
 }
 
+TEST(ComposeServerTest, StopDrainsAdmittedWorkBeforeClosing) {
+  ComposeService service;
+  ServerOptions options;
+  options.dispatch_threads = 1;
+  // The closed gate pins the request in the admission queue until Stop —
+  // draining overrides the gate, so the shutdown itself must compose and
+  // answer it. No accepted request is silently dropped.
+  options.admission_gate = std::make_shared<std::atomic<bool>>(false);
+  ComposeServer server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = MustConnect(server.port());
+  ASSERT_NE(client, nullptr);
+
+  CompositionProblem problem = sim::BuildFanoutProblem(4);
+  std::string direct_fp =
+      Compose(problem, service.default_options()).Fingerprint();
+  ASSERT_TRUE(client->Send(ServeRequest::Of(std::move(problem), 11)).ok());
+  // Wait until the request is provably queued, then stop mid-admission.
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.Stats().queue_depth_watermark < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(server.Stats().queue_depth_watermark, 1u);
+  server.Stop();
+
+  Result<ServeReply> reply = client->Recv();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->status, WireStatus::kOk);
+  EXPECT_EQ(reply->request_id, 11u);
+  EXPECT_EQ(reply->result.Fingerprint(), direct_fp);
+  // After the drained reply, the connection is gone — clean EOF.
+  EXPECT_FALSE(client->Recv().ok());
+}
+
 TEST(ComposeServerTest, StopWhileIdleAndDoubleStopAreClean) {
   ComposeService service;
   auto server = std::make_unique<ComposeServer>(&service, ServerOptions{});

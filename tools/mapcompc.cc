@@ -20,6 +20,15 @@
 //                          (single-task mode only)
 //     --rounds N           retry residual symbols for up to N elimination
 //                          rounds (default 4; 1 = the paper's single pass)
+//     --deadline-ms N      end-to-end deadline: local modes run compose and
+//                          --check-eval under one cooperative cancel token
+//                          that fires N ms after work starts (a run that
+//                          beats the deadline is byte-identical to an
+//                          unbounded one); --client sends N as the
+//                          per-request wire deadline and --serve-demo
+//                          submits each request with its own N ms budget.
+//                          A fired deadline exits 6 — partial results are
+//                          still printed, with their residuals
 //     --jobs N             compose N tasks concurrently (default 1)
 //     --elim-jobs N        within each task, eliminate independent sigma2
 //                          symbols on up to N lanes (conflict-graph waves;
@@ -172,6 +181,7 @@ int main(int argc, char** argv) {
   bool eval_stats = false;
   bool fail_on_warnings = false;
   int jobs = 1;
+  int deadline_ms = 0;    // 0 = no --deadline-ms
   int serve_passes = 0;   // 0 = no --serve-demo
   int serve_port = -1;    // -1 = no --serve; 0 = ephemeral
   int serve_requests = 0; // 0 = serve forever
@@ -196,6 +206,12 @@ int main(int argc, char** argv) {
       options.max_rounds = std::atoi(argv[++i]);
       if (options.max_rounds < 1) {
         std::fprintf(stderr, "--rounds expects an integer >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::atoi(argv[++i]);
+      if (deadline_ms < 1) {
+        std::fprintf(stderr, "--deadline-ms expects an integer >= 1\n");
         return 2;
       }
     } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
@@ -432,6 +448,9 @@ int main(int argc, char** argv) {
       mapcomp::serve::ServeRequest request =
           mapcomp::serve::ServeRequest::WithOptions(
               problems[i], options, static_cast<uint64_t>(i + 1));
+      if (deadline_ms > 0) {
+        request.deadline_ms = static_cast<uint32_t>(deadline_ms);
+      }
       mapcomp::Result<mapcomp::serve::ServeReply> reply =
           (*client)->Call(request);
       const char* label = paths[i] == "-" ? "<stdin>" : paths[i].c_str();
@@ -444,7 +463,10 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s: server refused: %s (%s)\n", label,
                      mapcomp::serve::WireStatusName(reply->status),
                      reply->message.c_str());
-        return 1;
+        return (reply->status == mapcomp::serve::WireStatus::kTimeout ||
+                reply->status == mapcomp::serve::WireStatus::kCancelled)
+                   ? 6
+                   : 1;
       }
       served.push_back(std::make_shared<mapcomp::runtime::ServedResult>(
           std::move(reply->result)));
@@ -468,7 +490,15 @@ int main(int argc, char** argv) {
         if (i >= static_cast<size_t>(jobs)) {
           handles[i - static_cast<size_t>(jobs)].Wait();
         }
-        handles.push_back(service.Submit(problems[i]));
+        // Each submission gets its own budget: the deadline clock starts
+        // at Submit, not at process start, matching the serving tier's
+        // per-request semantics.
+        handles.push_back(
+            deadline_ms > 0
+                ? service.Submit(
+                      mapcomp::serve::ServeRequest::Of(problems[i]),
+                      mapcomp::common::Deadline::After(deadline_ms))
+                : service.Submit(problems[i]));
       }
       for (const auto& h : handles) h.Wait();
     }
@@ -478,13 +508,29 @@ int main(int argc, char** argv) {
       if (!outcome.ok()) {
         std::fprintf(stderr, "error: %s\n",
                      outcome.status().ToString().c_str());
-        return 1;
+        return outcome.status().IsInterrupt() ? 6 : 1;
       }
       served.push_back(outcome.shared());
     }
     std::fprintf(stderr, "%s", service.Stats().ToString().c_str());
   } else {
+    if (deadline_ms > 0) {
+      // One run-wide budget: every task (and a later --check-eval) polls
+      // the same token, so the whole invocation unwinds cooperatively
+      // when it fires.
+      options.cancel = mapcomp::common::CancelToken::WithDeadline(
+          mapcomp::common::Deadline::After(deadline_ms));
+    }
     results = mapcomp::runtime::ComposeMany(problems, options, jobs);
+  }
+
+  bool any_interrupt = false;
+  for (const mapcomp::CompositionResult& r : results) {
+    if (!r.interrupt.ok()) {
+      any_interrupt = true;
+      std::fprintf(stderr, "warning: partial result: %s\n",
+                   r.interrupt.ToString().c_str());
+    }
   }
 
   bool any_residual = false;
@@ -521,6 +567,7 @@ int main(int argc, char** argv) {
     mapcomp::EvalStats total_eval_stats;
     mapcomp::CompositionCheckOptions check_options;
     check_options.eval.jobs = jobs;
+    check_options.eval.cancel = options.cancel;
     for (size_t i = 0; i < result_count; ++i) {
       // A served (slim) result still carries everything the soundness
       // harness reads: the composed signature, constraints and residuals.
@@ -560,6 +607,7 @@ int main(int argc, char** argv) {
   }
   if (any_violation) return 5;
   if (any_check_error) return 1;
+  if (any_interrupt) return 6;
   if (any_warning) return 4;
   return any_residual ? 3 : 0;
 }
